@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation: sweep the HBBP length cutoff (DESIGN.md experiment
+ * index). The paper's criteria search settles on 18; this sweep shows
+ * the error as a function of the cutoff on a mixed workload set —
+ * pure-LBR at one end, pure-EBS at the other — plus the effect of the
+ * bias->EBS term.
+ */
+
+#include "bench/common.hh"
+
+using namespace hbbp;
+using namespace hbbp::bench;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Quiet);
+    headline("Ablation: HBBP cutoff sweep",
+             "error minimized in a band around the paper's cutoff of "
+             "18; the bias term protects against LBR anomalies");
+
+    std::vector<Workload> set;
+    set.push_back(makeTest40());
+    set.push_back(makeFitter(FitterVariant::Sse));
+    set.push_back(makeFitter(FitterVariant::AvxFix));
+    set.push_back(makeSpecBenchmark("453.povray"));
+    set.push_back(makeSpecBenchmark("471.omnetpp"));
+    set.push_back(makeSpecBenchmark("456.hmmer"));
+    set.push_back(makeSpecBenchmark("433.milc"));
+
+    // Collect once per workload; re-analyze per cutoff.
+    struct Captured
+    {
+        Workload w;
+        ProfiledRun run;
+    };
+    std::vector<Captured> captured;
+    Profiler collector;
+    for (Workload &w : set)
+        captured.push_back({w, collector.run(w)});
+
+    TextTable table({"cutoff", "avg err (bias->EBS)",
+                     "avg err (length only)"});
+    table.setAlign(1, Align::Right);
+    table.setAlign(2, Align::Right);
+
+    double best_err = 1e9;
+    int best_cutoff = -1;
+    for (int cutoff : {0, 2, 4, 8, 12, 16, 18, 22, 26, 32, 48, 1000}) {
+        double sum_bias = 0, sum_plain = 0;
+        for (const Captured &c : captured) {
+            AnalyzerOptions with_bias;
+            with_bias.classifier = std::make_shared<CutoffClassifier>(
+                static_cast<double>(cutoff), true);
+            Profiler p1(MachineConfig{}, CollectorConfig{}, with_bias);
+            AnalysisResult r1 = p1.analyze(c.w, c.run.profile);
+            sum_bias += p1.accuracy(c.run, r1).hbbp;
+
+            AnalyzerOptions plain;
+            plain.classifier = std::make_shared<CutoffClassifier>(
+                static_cast<double>(cutoff), false);
+            Profiler p2(MachineConfig{}, CollectorConfig{}, plain);
+            AnalysisResult r2 = p2.analyze(c.w, c.run.profile);
+            sum_plain += p2.accuracy(c.run, r2).hbbp;
+        }
+        double avg_bias = sum_bias / static_cast<double>(captured.size());
+        double avg_plain =
+            sum_plain / static_cast<double>(captured.size());
+        std::string label = cutoff == 0 ? "0 (pure EBS)"
+                            : cutoff == 1000 ? "inf (pure LBR)"
+                                             : std::to_string(cutoff);
+        table.addRow({label, percentStr(avg_bias, 2),
+                      percentStr(avg_plain, 2)});
+        if (avg_bias < best_err) {
+            best_err = avg_bias;
+            best_cutoff = cutoff;
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("best cutoff in sweep: %d (avg err %s); paper uses 18\n",
+                best_cutoff, percentStr(best_err, 2).c_str());
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Calibration diagnostics (not a paper table).
+ *
+ * Prints, for the training suite: per-length-bucket EBS and LBR block
+ * error medians, the EBS-vs-LBR label balance, the fitted decision tree
+ * and its root cutoff, and per-workload average weighted errors. Used to
+ * tune the PMU model so the learned cutoff lands near the paper's 18.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "hbbp/hbbp.hh"
+
+using namespace hbbp;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Normal);
+
+    Profiler profiler;
+    HbbpTrainer trainer(profiler);
+
+    std::vector<Workload> suite = makeTrainingSuite();
+    std::vector<LabeledBlock> blocks = trainer.labelBlocks(suite);
+    std::printf("training examples: %zu\n", blocks.size());
+
+    // Error medians by block-length bucket.
+    std::map<int, std::vector<double>> ebs_by_len, lbr_by_len;
+    std::map<int, int> ebs_wins, lbr_wins;
+    for (const LabeledBlock &lb : blocks) {
+        int bucket = static_cast<int>(lb.features.length) / 4 * 4;
+        ebs_by_len[bucket].push_back(lb.ebs_error);
+        lbr_by_len[bucket].push_back(lb.lbr_error);
+        if (lb.label == kLabelEbs)
+            ebs_wins[bucket]++;
+        else
+            lbr_wins[bucket]++;
+    }
+    TextTable table({"len bucket", "n", "EBS median err", "LBR median err",
+                     "EBS wins", "LBR wins"});
+    for (auto &[bucket, errs] : ebs_by_len) {
+        table.addRow({
+            format("%d-%d", bucket, bucket + 3),
+            std::to_string(errs.size()),
+            percentStr(percentile(errs, 50), 2),
+            percentStr(percentile(lbr_by_len[bucket], 50), 2),
+            std::to_string(ebs_wins[bucket]),
+            std::to_string(lbr_wins[bucket]),
+        });
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Bias statistics.
+    size_t biased = 0;
+    double biased_lbr_err = 0, clean_lbr_err = 0;
+    size_t clean = 0;
+    for (const LabeledBlock &lb : blocks) {
+        if (lb.features.bias > 0.5) {
+            biased++;
+            biased_lbr_err += lb.lbr_error;
+        } else {
+            clean++;
+            clean_lbr_err += lb.lbr_error;
+        }
+    }
+    std::printf("bias-flagged blocks: %zu (mean LBR err %.2f%%), "
+                "clean: %zu (mean LBR err %.2f%%)\n\n",
+                biased, biased ? 100.0 * biased_lbr_err / biased : 0.0,
+                clean, clean ? 100.0 * clean_lbr_err / clean : 0.0);
+
+    // Fit the tree.
+    DecisionTree tree = trainer.fitTree(blocks);
+    std::printf("tree:\n%s\n",
+                tree.toText(HbbpTrainer::featureNames(),
+                            HbbpTrainer::classNames()).c_str());
+    std::vector<double> imp = tree.featureImportances();
+    for (size_t i = 0; i < imp.size(); i++)
+        std::printf("importance %-16s %.3f\n",
+                    BlockFeatures::featureName(i), imp[i]);
+    std::printf("root length cutoff: %.1f\n\n",
+                HbbpTrainer::rootLengthCutoff(tree));
+
+    // Per-workload aggregate errors on a few probes.
+    std::vector<Workload> probes;
+    probes.push_back(makeTest40());
+    probes.push_back(makeFitter(FitterVariant::Sse));
+    probes.push_back(makeFitter(FitterVariant::AvxFix));
+    probes.push_back(makeSpecBenchmark("453.povray"));
+    probes.push_back(makeSpecBenchmark("456.hmmer"));
+    probes.push_back(makeSpecBenchmark("470.lbm"));
+    TextTable errs({"workload", "HBBP", "LBR", "EBS", "streams disc."});
+    for (const Workload &w : probes) {
+        ProfiledRun run = profiler.run(w);
+        AnalysisResult analysis = profiler.analyze(w, run.profile);
+        AccuracySummary acc = profiler.accuracy(run, analysis);
+        errs.addRow({w.name, percentStr(acc.hbbp, 2),
+                     percentStr(acc.lbr, 2), percentStr(acc.ebs, 2),
+                     percentStr(analysis.estimates.discardFraction(), 1)});
+    }
+    std::printf("%s\n", errs.render().c_str());
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries.
+ */
+
+#ifndef HBBP_BENCH_COMMON_HH
+#define HBBP_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "hbbp/hbbp.hh"
+
+namespace hbbp::bench {
+
+/** One fully analyzed workload run. */
+struct Analyzed
+{
+    ProfiledRun run;
+    AnalysisResult analysis;
+    AccuracySummary accuracy;
+};
+
+/** Run, analyze and score a workload with the given profiler. */
+inline Analyzed
+analyzeWorkload(const Profiler &profiler, const Workload &w)
+{
+    ProfiledRun run = profiler.run(w);
+    AnalysisResult analysis = profiler.analyze(w, run.profile);
+    AccuracySummary accuracy = profiler.accuracy(run, analysis);
+    return Analyzed{std::move(run), std::move(analysis), accuracy};
+}
+
+/** Format a count in millions with two decimals. */
+inline std::string
+millions(double x)
+{
+    return format("%.2f", x / 1e6);
+}
+
+/** Format seconds in a human-friendly way. */
+inline std::string
+seconds(double s)
+{
+    if (s >= 3600.0)
+        return format("%.1fh", s / 3600.0);
+    if (s >= 60.0)
+        return format("%.1fm", s / 60.0);
+    return format("%.1fs", s);
+}
+
+/** Print a headline for a reproduced table/figure. */
+inline void
+headline(const char *what, const char *paper_summary)
+{
+    std::printf("==== %s ====\n", what);
+    std::printf("paper reference: %s\n\n", paper_summary);
+}
+
+} // namespace hbbp::bench
+
+#endif // HBBP_BENCH_COMMON_HH

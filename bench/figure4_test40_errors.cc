@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces Figure 4: Test40 per-mnemonic error percentages for
+ * HBBP, LBR and EBS over the top-20 instruction-retiring mnemonics.
+ *
+ * Paper: on the top-5 mnemonics LBR errors run 4-7% while HBBP stays
+ * under 2%; further down EBS reaches 15-25% on POP, RET_NEAR and JMP
+ * while HBBP stays under 1%.
+ */
+
+#include "bench/common.hh"
+
+using namespace hbbp;
+using namespace hbbp::bench;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Quiet);
+    headline("Figure 4: Test40 per-mnemonic errors, HBBP vs LBR vs EBS",
+             "HBBP under ~2% throughout; LBR 4-7% on the top "
+             "mnemonics; EBS 15-25% spikes on POP/RET_NEAR/JMP");
+
+    Profiler profiler;
+    Workload w = makeTest40();
+    Analyzed a = analyzeWorkload(profiler, w);
+
+    Counter<Mnemonic> hbbp =
+        Profiler::userMnemonics(a.analysis.hbbpMix());
+    Counter<Mnemonic> ebs = Profiler::userMnemonics(a.analysis.ebsMix());
+    Counter<Mnemonic> lbr = Profiler::userMnemonics(a.analysis.lbrMix());
+    const Counter<Mnemonic> &ref = a.run.true_user_mnemonics;
+
+    TextTable table({"mnemonic", "share", "HBBP err", "LBR err",
+                     "EBS err", "HBBP best?"});
+    for (size_t c = 1; c < 5; c++)
+        table.setAlign(c, Align::Right);
+    double total = ref.total();
+    int hbbp_best_or_tied = 0, rows = 0;
+    for (const auto &[m, ref_count] : ref.top(20)) {
+        double eh = blockError(ref_count, hbbp.get(m));
+        double el = blockError(ref_count, lbr.get(m));
+        double ee = blockError(ref_count, ebs.get(m));
+        bool best = eh <= el + 0.005 && eh <= ee + 0.005;
+        hbbp_best_or_tied += best;
+        rows++;
+        table.addRow({info(m).name, percentStr(ref_count / total, 1),
+                      percentStr(eh, 2), percentStr(el, 2),
+                      percentStr(ee, 2), best ? "yes" : ""});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("HBBP best or tied on %d of %d top mnemonics\n",
+                hbbp_best_or_tied, rows);
+    std::printf("aggregate: HBBP %s, LBR %s, EBS %s\n",
+                percentStr(a.accuracy.hbbp, 2).c_str(),
+                percentStr(a.accuracy.lbr, 2).c_str(),
+                percentStr(a.accuracy.ebs, 2).c_str());
+    return 0;
+}

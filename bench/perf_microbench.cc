@@ -1,0 +1,168 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks backing the paper's "near real
+ * time" claims: simulation/collection throughput, decoder speed, and
+ * analyzer latency ("most workloads in a minute or less" — here,
+ * milliseconds at simulation scale).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hh"
+
+using namespace hbbp;
+
+namespace {
+
+const Workload &
+test40()
+{
+    static const Workload w = [] {
+        Workload x = makeTest40();
+        x.max_instructions = 1'000'000;
+        return x;
+    }();
+    return w;
+}
+
+const ProfileData &
+test40Profile()
+{
+    static const ProfileData pd = [] {
+        CollectorConfig cc;
+        cc.runtime_class = test40().runtime_class;
+        cc.max_instructions = test40().max_instructions;
+        cc.seed = test40().exec_seed;
+        return Collector::collect(*test40().program, MachineConfig{}, cc);
+    }();
+    return pd;
+}
+
+void
+BM_EngineThroughput(benchmark::State &state)
+{
+    const Workload &w = test40();
+    for (auto _ : state) {
+        ExecutionEngine engine(*w.program, MachineConfig{}, w.exec_seed);
+        ExecStats stats = engine.run(w.max_instructions);
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(w.max_instructions));
+}
+BENCHMARK(BM_EngineThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_CollectionThroughput(benchmark::State &state)
+{
+    const Workload &w = test40();
+    CollectorConfig cc;
+    cc.runtime_class = w.runtime_class;
+    cc.max_instructions = w.max_instructions;
+    cc.seed = w.exec_seed;
+    for (auto _ : state) {
+        ProfileData pd =
+            Collector::collect(*w.program, MachineConfig{}, cc);
+        benchmark::DoNotOptimize(pd.ebs.size());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(w.max_instructions));
+}
+BENCHMARK(BM_CollectionThroughput)->Unit(benchmark::kMillisecond);
+
+void
+BM_Decoder(benchmark::State &state)
+{
+    const Module &mod = test40().program->modules()[0];
+    for (auto _ : state) {
+        auto instrs = decodeAll(mod.live_text, mod.base);
+        benchmark::DoNotOptimize(instrs.size());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(mod.live_text.size()));
+}
+BENCHMARK(BM_Decoder);
+
+void
+BM_BlockMapConstruction(benchmark::State &state)
+{
+    const Program &p = *test40().program;
+    for (auto _ : state) {
+        BlockMap map(p);
+        benchmark::DoNotOptimize(map.blocks().size());
+    }
+}
+BENCHMARK(BM_BlockMapConstruction);
+
+void
+BM_BbecEstimation(benchmark::State &state)
+{
+    const Program &p = *test40().program;
+    BlockMap map(p);
+    const ProfileData &pd = test40Profile();
+    BbecEstimator estimator;
+    for (auto _ : state) {
+        BbecEstimates est = estimator.estimate(map, pd);
+        benchmark::DoNotOptimize(est.lbr.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(pd.ebs.size() + pd.lbr.size()));
+}
+BENCHMARK(BM_BbecEstimation)->Unit(benchmark::kMillisecond);
+
+void
+BM_FullAnalysis(benchmark::State &state)
+{
+    const Workload &w = test40();
+    const ProfileData &pd = test40Profile();
+    Analyzer analyzer;
+    for (auto _ : state) {
+        AnalysisResult res = analyzer.analyze(*w.program, pd);
+        benchmark::DoNotOptimize(res.hbbp.size());
+    }
+}
+BENCHMARK(BM_FullAnalysis)->Unit(benchmark::kMillisecond);
+
+void
+BM_MixPivot(benchmark::State &state)
+{
+    const Workload &w = test40();
+    Analyzer analyzer;
+    AnalysisResult res = analyzer.analyze(*w.program, test40Profile());
+    InstructionMix mix = res.hbbpMix();
+    MixQuery q;
+    q.group_by = {MixDim::Function, MixDim::Mnemonic};
+    for (auto _ : state) {
+        auto rows = mix.pivot(q);
+        benchmark::DoNotOptimize(rows.size());
+    }
+}
+BENCHMARK(BM_MixPivot)->Unit(benchmark::kMillisecond);
+
+void
+BM_TreePredict(benchmark::State &state)
+{
+    // Train once on synthetic labels, then measure prediction cost.
+    Dataset d(HbbpTrainer::featureNames());
+    Rng rng(3);
+    for (int i = 0; i < 1000; i++) {
+        BlockFeatures f;
+        f.length = static_cast<double>(rng.nextRange(1, 60));
+        f.bytes = f.length * 5;
+        f.exec_estimate = rng.nextDouble() * 1e6;
+        d.add(f.toVector(), f.length <= 18 ? 1 : 0);
+    }
+    DecisionTree tree;
+    tree.fit(d);
+    std::vector<double> x = {10, 50, 1000, 0, 0, 0.1};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tree.predict(x));
+        x[0] = x[0] >= 60 ? 1 : x[0] + 1;
+    }
+}
+BENCHMARK(BM_TreePredict);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces Table 5: the Test40 (Geant4 particle simulation)
+ * evaluation — runtime penalties of HBBP collection vs SDE
+ * instrumentation, and HBBP's average weighted error.
+ *
+ * Paper values: clean 27.1s, HBBP 27.7s (2.3% penalty), SDE 277.0s
+ * (923% penalty); HBBP avg weighted error 0.94%.
+ */
+
+#include "bench/common.hh"
+
+using namespace hbbp;
+using namespace hbbp::bench;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Quiet);
+    headline("Table 5: Test40 evaluation",
+             "clean 27.1s; HBBP +2.3%; SDE 9.23x; HBBP error 0.94%");
+
+    Profiler profiler;
+    Workload w = makeTest40();
+    Analyzed a = analyzeWorkload(profiler, w);
+
+    InstrumentationCostModel sde_model;
+    CollectionCostModel hbbp_model;
+    const RunFeatures &f = a.run.profile.features;
+    double sde_slowdown = sde_model.slowdown(f);
+    double hbbp_overhead = hbbp_model.overheadFraction(
+        f, a.run.profile.paper_periods.ebs,
+        a.run.profile.paper_periods.lbr);
+
+    double clean = w.paper_clean_seconds;
+    TextTable table({"", "Clean", "HBBP", "SDE"});
+    for (size_t c = 1; c < 4; c++)
+        table.setAlign(c, Align::Right);
+    table.addRow({"Runtime [s]", format("%.1f", clean),
+                  format("%.1f", clean * (1 + hbbp_overhead)),
+                  format("%.1f", clean * sde_slowdown)});
+    table.addRow({"Time penalty", "N/A",
+                  percentStr(hbbp_overhead, 1),
+                  percentStr(sde_slowdown - 1.0, 0)});
+    table.addRow({"Avg W Error", "N/A",
+                  percentStr(a.accuracy.hbbp, 2), "0%"});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("baselines on the same run: LBR %s, EBS %s\n",
+                percentStr(a.accuracy.lbr, 2).c_str(),
+                percentStr(a.accuracy.ebs, 2).c_str());
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Kernel-mode profiling: what HBBP can do that PIN/SDE cannot.
+ *
+ * Profiles the kernel benchmark (user-space prime search + the same
+ * code as a kernel module triggered by reads) and prints side-by-side
+ * ring breakdowns. Demonstrates the self-modifying-kernel-text fix:
+ * without patching the static image with the live .text, kernel-side
+ * results are badly distorted.
+ */
+
+#include <cstdio>
+
+#include "hbbp/hbbp.hh"
+
+using namespace hbbp;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Quiet);
+
+    Workload w = makeKernelBench();
+
+    // Collect once; the collection sees both rings.
+    Profiler collector;
+    ProfiledRun run = collector.run(w);
+    std::printf("run: %llu user + %llu kernel instructions\n\n",
+                static_cast<unsigned long long>(
+                    run.stats.user_instructions),
+                static_cast<unsigned long long>(
+                    run.stats.kernel_instructions));
+
+    // Analyze with the kernel live-text fix enabled.
+    AnalyzerOptions opts;
+    opts.map.patch_kernel_text = true;
+    Profiler analyzer(MachineConfig{}, CollectorConfig{}, opts);
+    AnalysisResult res = analyzer.analyze(w, run.profile);
+    InstructionMix mix = res.hbbpMix();
+
+    // Ring breakdown.
+    MixQuery by_ring;
+    by_ring.group_by = {MixDim::Ring, MixDim::Category};
+    by_ring.top_n = 12;
+    std::printf("ring x category view:\n%s\n",
+                mix.pivotTable(by_ring).render().c_str());
+
+    // Kernel-only function view.
+    MixQuery kernel_funcs;
+    kernel_funcs.group_by = {MixDim::Module, MixDim::Function};
+    kernel_funcs.filter = [](const MixContext &ctx) {
+        return ctx.ring == Ring::Kernel;
+    };
+    std::printf("kernel-side functions:\n%s\n",
+                mix.pivotTable(kernel_funcs).render().c_str());
+
+    // Show why the fix matters.
+    AnalyzerOptions stale_opts;
+    stale_opts.map.patch_kernel_text = false;
+    Profiler stale(MachineConfig{}, CollectorConfig{}, stale_opts);
+    AnalysisResult stale_res = stale.analyze(w, run.profile);
+    std::printf("LBR streams discarded: %s with stale static kernel "
+                "text, %s with the live-text patch\n",
+                percentStr(stale_res.estimates.discardFraction(), 2)
+                    .c_str(),
+                percentStr(res.estimates.discardFraction(), 2).c_str());
+
+    // PIN's view for contrast: user-mode only.
+    std::printf("\nfor contrast, software instrumentation sees %llu "
+                "instructions (user mode only) — the kernel side is "
+                "invisible to it.\n",
+                static_cast<unsigned long long>(
+                    static_cast<uint64_t>(
+                        run.true_user_mnemonics.total())));
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: profile a workload with HBBP and print its instruction
+ * mix.
+ *
+ * The canonical five-step flow:
+ *   1. obtain a Workload (here: a generated benchmark; in your own
+ *      code, build a Program with ProgramBuilder),
+ *   2. collect a profile — one execution, two simultaneous LBR-mode
+ *      PMU collections (the collector),
+ *   3. analyze — disassemble into a block map, estimate BBECs from the
+ *      EBS and LBR data sources, let HBBP pick per block,
+ *   4. query pivot-table views of the instruction mix,
+ *   5. (optional) compare against the instrumentation ground truth.
+ */
+
+#include <cstdio>
+
+#include "hbbp/hbbp.hh"
+
+using namespace hbbp;
+
+int
+main()
+{
+    setLogLevel(LogLevel::Quiet);
+
+    // 1. A workload: the Geant4-like Test40 benchmark.
+    Workload workload = makeTest40();
+
+    // 2+3+5. The Profiler facade bundles collection, analysis and the
+    // deterministic reference run.
+    Profiler profiler;
+    ProfiledRun run = profiler.run(workload);
+    AnalysisResult analysis = profiler.analyze(workload, run.profile);
+
+    std::printf("collected %zu EBS samples and %zu LBR stacks from "
+                "%llu instructions\n",
+                run.profile.ebs.size(), run.profile.lbr.size(),
+                static_cast<unsigned long long>(
+                    run.stats.instructions));
+
+    // 4a. Top mnemonics.
+    InstructionMix mix = analysis.hbbpMix();
+    MixQuery top;
+    top.group_by = {MixDim::Mnemonic};
+    top.top_n = 10;
+    std::printf("\ntop 10 mnemonics:\n%s",
+                mix.pivotTable(top).render().c_str());
+
+    // 4b. Breakdown by ISA extension and packing (vectorization view).
+    MixQuery vec;
+    vec.group_by = {MixDim::Isa, MixDim::Packing};
+    std::printf("\nISA x packing breakdown:\n%s",
+                mix.pivotTable(vec).render().c_str());
+
+    // 4c. A custom taxonomy: long-latency instructions per function.
+    Taxonomy tax = Taxonomy::standard();
+    Counter<std::string> groups = mix.taxonomyCounts(tax);
+    std::printf("\nlong-latency instructions executed: %.0f "
+                "(%.2f%% of all)\n", groups.get("long_latency"),
+                100.0 * groups.get("long_latency") /
+                    mix.totalInstructions());
+
+    // 5. How accurate was all of this?
+    AccuracySummary acc = profiler.accuracy(run, analysis);
+    std::printf("\navg weighted error vs instrumentation ground truth: "
+                "HBBP %s (EBS alone %s, LBR alone %s)\n",
+                percentStr(acc.hbbp, 2).c_str(),
+                percentStr(acc.ebs, 2).c_str(),
+                percentStr(acc.lbr, 2).c_str());
+    return 0;
+}

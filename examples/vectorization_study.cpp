@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Vectorization study: the CLForward scenario from Section VIII.E.
+ *
+ * An instruction mix is often the fastest way to check whether code
+ * vectorized: compare the scalar/packed split before and after a
+ * change. Here we profile both builds of CLForward with HBBP, print
+ * the packing breakdown and quantify the conversion (the paper's
+ * developers replaced a large number of scalar instructions by a
+ * smaller number of packed ones and gained 8%).
+ */
+
+#include <cstdio>
+
+#include "hbbp/hbbp.hh"
+
+using namespace hbbp;
+
+namespace {
+
+struct PackingProfile
+{
+    double scalar = 0;
+    double packed = 0;
+    double other = 0;
+    double total = 0;
+};
+
+PackingProfile
+profileOf(const Workload &w)
+{
+    Profiler profiler;
+    ProfiledRun run = profiler.run(w);
+    AnalysisResult analysis = profiler.analyze(w, run.profile);
+    InstructionMix mix = analysis.hbbpMix();
+
+    PackingProfile p;
+    const Counter<Mnemonic> counts = mix.mnemonicCounts();
+    for (const auto &[m, count] : counts.items()) {
+        switch (info(m).packing) {
+          case Packing::Scalar:
+            p.scalar += count;
+            break;
+          case Packing::Packed:
+            p.packed += count;
+            break;
+          default:
+            p.other += count;
+        }
+        p.total += count;
+    }
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Quiet);
+
+    std::printf("profiling CLForward before and after the #omp simd "
+                "fix...\n\n");
+    PackingProfile before =
+        profileOf(makeClForward(ClForwardVersion::Before));
+    PackingProfile after =
+        profileOf(makeClForward(ClForwardVersion::After));
+
+    TextTable table({"metric", "before", "after"});
+    table.setAlign(1, Align::Right);
+    table.setAlign(2, Align::Right);
+    auto pct = [](double x, double total) {
+        return percentStr(total > 0 ? x / total : 0, 1);
+    };
+    table.addRow({"scalar share", pct(before.scalar, before.total),
+                  pct(after.scalar, after.total)});
+    table.addRow({"packed share", pct(before.packed, before.total),
+                  pct(after.packed, after.total)});
+    table.addRow({"other share", pct(before.other, before.total),
+                  pct(after.other, after.total)});
+    std::printf("%s\n", table.render().c_str());
+
+    double scalar_removed = before.scalar - after.scalar;
+    double packed_added = after.packed - before.packed;
+    std::printf("the fix replaced ~%.1fM scalar instructions with "
+                "~%.1fM packed ones (%.1f scalar per packed)\n",
+                scalar_removed / 1e6, packed_added / 1e6,
+                scalar_removed / packed_added);
+
+    if (after.scalar / after.total < 0.05)
+        std::printf("verdict: the loop now vectorizes — scalar residue "
+                    "is below 5%%.\n");
+    else
+        std::printf("verdict: significant scalar residue remains; "
+                    "check the compiler report for the blocking "
+                    "dependence.\n");
+    return 0;
+}

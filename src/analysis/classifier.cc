@@ -1,0 +1,71 @@
+#include "analysis/classifier.hh"
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+const char *
+name(BbecSource source)
+{
+    switch (source) {
+      case BbecSource::Ebs: return "EBS";
+      case BbecSource::Lbr: return "LBR";
+      default: panic("name: bad BbecSource %d", static_cast<int>(source));
+    }
+}
+
+double
+BlockFeatures::value(size_t index) const
+{
+    switch (index) {
+      case 0: return length;
+      case 1: return bytes;
+      case 2: return exec_estimate;
+      case 3: return bias;
+      case 4: return long_latency;
+      case 5: return branch_density;
+      default:
+        panic("BlockFeatures::value: index %zu out of range", index);
+    }
+}
+
+const char *
+BlockFeatures::featureName(size_t index)
+{
+    switch (index) {
+      case 0: return "block_length";
+      case 1: return "block_bytes";
+      case 2: return "exec_estimate";
+      case 3: return "bias_flag";
+      case 4: return "long_latency";
+      case 5: return "branch_density";
+      default:
+        panic("BlockFeatures::featureName: index %zu out of range", index);
+    }
+}
+
+std::vector<double>
+BlockFeatures::toVector() const
+{
+    std::vector<double> v(kCount);
+    for (size_t i = 0; i < kCount; i++)
+        v[i] = value(i);
+    return v;
+}
+
+std::string
+CutoffClassifier::describe() const
+{
+    if (bias_to_ebs_)
+        return format("bias -> EBS; else block_length <= %.0f -> LBR, "
+                      "else EBS", cutoff_);
+    return format("block_length <= %.0f -> LBR, else EBS", cutoff_);
+}
+
+std::string
+FixedClassifier::describe() const
+{
+    return format("always %s", name(source_));
+}
+
+} // namespace hbbp

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Per-block data source selection — the "hybrid" in HBBP.
+ *
+ * Section IV: for each basic block, HBBP decides whether the EBS or the
+ * LBR estimate is used. The decision rule is learned offline with a
+ * classification tree (src/ml); the learned rule the paper reports is a
+ * single cutoff on block instruction length at 18, which the
+ * CutoffClassifier encodes directly. Classifiers consume BlockFeatures,
+ * the same feature vector the trainer uses.
+ */
+
+#ifndef HBBP_ANALYSIS_CLASSIFIER_HH
+#define HBBP_ANALYSIS_CLASSIFIER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hbbp {
+
+/** Which data source a block's BBEC comes from. */
+enum class BbecSource : uint8_t { Ebs, Lbr };
+
+/** Printable name of a source. */
+const char *name(BbecSource source);
+
+/**
+ * The feature vector HBBP classifiers and the ML trainer operate on.
+ *
+ * Kept deliberately close to the paper's candidate features: code
+ * parameters that could influence the monitoring subsystem, weighted by
+ * execution count.
+ */
+struct BlockFeatures
+{
+    double length = 0.0;        ///< Instructions in the block.
+    double bytes = 0.0;         ///< Encoded size in bytes.
+    double exec_estimate = 0.0; ///< Estimated executions (max of both).
+    double bias = 0.0;          ///< 1.0 when the LBR bias flag is set.
+    double long_latency = 0.0;  ///< 1.0 when a long-latency op present.
+    double branch_density = 0.0;///< Control transfers / instructions.
+
+    /** Number of features (for ML matrices). */
+    static constexpr size_t kCount = 6;
+
+    /** Feature value by index (order matches featureName()). */
+    double value(size_t index) const;
+
+    /** Name of feature @p index. */
+    static const char *featureName(size_t index);
+
+    /** Flatten into a vector (ML dataset rows). */
+    std::vector<double> toVector() const;
+};
+
+/** Interface: choose a data source for one block. */
+class HbbpClassifier
+{
+  public:
+    virtual ~HbbpClassifier() = default;
+
+    /** Pick the source for a block with the given features. */
+    virtual BbecSource choose(const BlockFeatures &features) const = 0;
+
+    /** Short human-readable description of the rule. */
+    virtual std::string describe() const = 0;
+};
+
+/**
+ * The paper's learned rule: blocks of @p cutoff instructions or fewer
+ * use LBR, longer blocks use EBS — except that bias-flagged blocks
+ * (whose LBR evidence is suspect, Section III.C) always use EBS.
+ */
+class CutoffClassifier : public HbbpClassifier
+{
+  public:
+    explicit CutoffClassifier(double cutoff = 18.0,
+                              bool bias_to_ebs = true)
+        : cutoff_(cutoff), bias_to_ebs_(bias_to_ebs)
+    {
+    }
+
+    BbecSource
+    choose(const BlockFeatures &features) const override
+    {
+        if (bias_to_ebs_ && features.bias > 0.5)
+            return BbecSource::Ebs;
+        return features.length <= cutoff_ ? BbecSource::Lbr
+                                          : BbecSource::Ebs;
+    }
+
+    std::string describe() const override;
+
+    double cutoff() const { return cutoff_; }
+
+    /** True when bias-flagged blocks are routed to EBS. */
+    bool biasToEbs() const { return bias_to_ebs_; }
+
+  private:
+    double cutoff_;
+    bool bias_to_ebs_;
+};
+
+/** Always pick one source (the EBS-only / LBR-only baselines). */
+class FixedClassifier : public HbbpClassifier
+{
+  public:
+    explicit FixedClassifier(BbecSource source) : source_(source) {}
+
+    BbecSource
+    choose(const BlockFeatures &) const override
+    {
+        return source_;
+    }
+
+    std::string describe() const override;
+
+  private:
+    BbecSource source_;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_ANALYSIS_CLASSIFIER_HH

@@ -1,0 +1,59 @@
+#include "analysis/error.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hbbp {
+
+std::vector<MnemonicError>
+perMnemonicErrors(const Counter<Mnemonic> &reference,
+                  const Counter<Mnemonic> &measured)
+{
+    std::vector<MnemonicError> out;
+    out.reserve(reference.size());
+    for (const auto &[mn, ref] : reference.items()) {
+        if (ref <= 0.0)
+            continue;
+        MnemonicError e;
+        e.mnemonic = mn;
+        e.reference = ref;
+        e.measured = measured.get(mn);
+        e.error = std::abs(ref - e.measured) / ref;
+        out.push_back(e);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MnemonicError &a, const MnemonicError &b) {
+                  if (a.reference != b.reference)
+                      return a.reference > b.reference;
+                  return static_cast<uint16_t>(a.mnemonic) <
+                         static_cast<uint16_t>(b.mnemonic);
+              });
+    return out;
+}
+
+double
+avgWeightedError(const Counter<Mnemonic> &reference,
+                 const Counter<Mnemonic> &measured)
+{
+    double total_ref = reference.total();
+    if (total_ref <= 0.0)
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &[mn, ref] : reference.items()) {
+        if (ref <= 0.0)
+            continue;
+        double err = std::abs(ref - measured.get(mn)) / ref;
+        sum += err * ref / total_ref;
+    }
+    return sum;
+}
+
+double
+blockError(double reference, double estimate)
+{
+    if (reference <= 0.0)
+        return 0.0;
+    return std::abs(reference - estimate) / reference;
+}
+
+} // namespace hbbp

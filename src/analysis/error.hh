@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Error metrics (Section VI of the paper).
+ *
+ *   Error(M) = |Vref(M) - Vmeasured(M)| / Vref(M)
+ *
+ * for every mnemonic M, and the aggregate
+ *
+ *   AvgWError = sum_M Error(M) * Vref(M) / #instructions_ref
+ *
+ * i.e. each mnemonic's error weighted by its share of the reference
+ * instruction stream.
+ */
+
+#ifndef HBBP_ANALYSIS_ERROR_HH
+#define HBBP_ANALYSIS_ERROR_HH
+
+#include <vector>
+
+#include "isa/mnemonic.hh"
+#include "support/histogram.hh"
+
+namespace hbbp {
+
+/** Per-mnemonic comparison of a measurement against the reference. */
+struct MnemonicError
+{
+    Mnemonic mnemonic = Mnemonic::NOP;
+    double reference = 0.0;
+    double measured = 0.0;
+    double error = 0.0; ///< |ref - meas| / ref.
+};
+
+/**
+ * Per-mnemonic errors, sorted by decreasing reference count. Mnemonics
+ * absent from the reference are skipped (their weight is zero).
+ */
+std::vector<MnemonicError>
+perMnemonicErrors(const Counter<Mnemonic> &reference,
+                  const Counter<Mnemonic> &measured);
+
+/** The paper's average weighted error. */
+double avgWeightedError(const Counter<Mnemonic> &reference,
+                        const Counter<Mnemonic> &measured);
+
+/**
+ * Per-block relative BBEC error |ref - est| / ref; returns 0 for blocks
+ * the reference never executed. Used for training labels and Table 3.
+ */
+double blockError(double reference, double estimate);
+
+} // namespace hbbp
+
+#endif // HBBP_ANALYSIS_ERROR_HH

@@ -1,0 +1,112 @@
+#include "analysis/fdo.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace hbbp {
+
+FdoProfile::FdoProfile(const BlockMap &map,
+                       const std::vector<double> &bbec)
+{
+    if (bbec.size() != map.blocks().size())
+        panic("FdoProfile: %zu counts for %zu blocks", bbec.size(),
+              map.blocks().size());
+
+    std::map<std::string, FdoFunction> by_name;
+    for (uint32_t i = 0; i < map.blocks().size(); i++) {
+        const MapBlock &blk = map.block(i);
+        std::string fname = map.functionName(blk);
+        FdoFunction &fn = by_name[fname];
+        if (fn.name.empty()) {
+            fn.name = fname;
+            fn.start = blk.start;
+        }
+        fn.start = std::min(fn.start, blk.start);
+        double count = std::max(bbec[i], 0.0);
+        fn.blocks.emplace_back(blk.start, count);
+        fn.total_instructions +=
+            count * static_cast<double>(blk.size());
+        total_ += count * static_cast<double>(blk.size());
+
+        // Conditional branches: estimate p(taken) by flow conservation
+        // with the fall-through block (the next block by address).
+        if (blk.instrs.empty())
+            continue;
+        const Instruction &last = blk.instrs.back();
+        if (!last.info().isCondBranch())
+            continue;
+        FdoBranch br;
+        br.branch_addr = last.addr;
+        br.target_addr = last.target();
+        br.exec_count = count;
+        uint32_t fall = map.blockAt(blk.end());
+        if (count > 0 && fall != BlockMap::npos) {
+            double fall_count = std::max(bbec[fall], 0.0);
+            br.taken_prob =
+                std::clamp(1.0 - fall_count / count, 0.0, 1.0);
+        }
+        fn.branches.push_back(br);
+    }
+
+    // Entry counts: the count of each function's lowest-address block.
+    for (auto &[name, fn] : by_name) {
+        for (const auto &[addr, count] : fn.blocks) {
+            if (addr == fn.start)
+                fn.entry_count = count;
+        }
+        functions_.push_back(std::move(fn));
+    }
+    std::sort(functions_.begin(), functions_.end(),
+              [](const FdoFunction &a, const FdoFunction &b) {
+                  if (a.total_instructions != b.total_instructions)
+                      return a.total_instructions > b.total_instructions;
+                  return a.name < b.name;
+              });
+}
+
+std::string
+FdoProfile::toText() const
+{
+    std::string out;
+    for (const FdoFunction &fn : functions_) {
+        if (fn.total_instructions <= 0)
+            continue;
+        out += format("function %s entry=%llu total=%llu\n",
+                      fn.name.c_str(),
+                      static_cast<unsigned long long>(
+                          fn.entry_count + 0.5),
+                      static_cast<unsigned long long>(
+                          fn.total_instructions + 0.5));
+        for (const auto &[addr, count] : fn.blocks)
+            out += format("  block %s %llu\n", hexAddr(addr).c_str(),
+                          static_cast<unsigned long long>(count + 0.5));
+        for (const FdoBranch &br : fn.branches)
+            out += format("  branch %s -> %s count=%llu p_taken=%.4f\n",
+                          hexAddr(br.branch_addr).c_str(),
+                          hexAddr(br.target_addr).c_str(),
+                          static_cast<unsigned long long>(
+                              br.exec_count + 0.5),
+                          br.taken_prob);
+    }
+    return out;
+}
+
+void
+FdoProfile::save(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    std::string text = toText();
+    if (std::fwrite(text.data(), 1, text.size(), f) != text.size()) {
+        std::fclose(f);
+        fatal("short write to '%s'", path.c_str());
+    }
+    std::fclose(f);
+}
+
+} // namespace hbbp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Feedback-directed-optimization export.
+ *
+ * Section II.A of the paper motivates BBECs as input for automated
+ * compiler optimization (PGO / AutoFDO). FdoProfile turns a BBEC
+ * vector into the data a compiler consumes: per-function entry counts,
+ * per-block execution counts, and per-conditional-branch taken
+ * probabilities (derived from the execution counts of the branch's
+ * block and its target), serialized in an AutoFDO-like text format.
+ */
+
+#ifndef HBBP_ANALYSIS_FDO_HH
+#define HBBP_ANALYSIS_FDO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "program/blockmap.hh"
+
+namespace hbbp {
+
+/** One conditional branch with its estimated taken probability. */
+struct FdoBranch
+{
+    uint64_t branch_addr = 0; ///< Address of the Jcc.
+    uint64_t target_addr = 0; ///< Taken target.
+    double exec_count = 0.0;  ///< Executions of the branch.
+    double taken_prob = 0.0;  ///< Estimated probability of taken.
+};
+
+/** One function's profile. */
+struct FdoFunction
+{
+    std::string name;
+    uint64_t start = 0;
+    double entry_count = 0.0; ///< Executions of the entry block.
+    double total_instructions = 0.0;
+    /** (block start, execution count), in layout order. */
+    std::vector<std::pair<uint64_t, double>> blocks;
+    std::vector<FdoBranch> branches;
+};
+
+/** A whole-program FDO profile derived from BBECs. */
+class FdoProfile
+{
+  public:
+    /**
+     * Build from a block map and per-map-block execution counts
+     * (typically AnalysisResult::hbbp).
+     *
+     * Branch taken probabilities use flow conservation: for a block B
+     * ending in a conditional with taken-target T,
+     * p(taken) ~= count(T reached from B) which we approximate as
+     * 1 - count(fall-through block) / count(B), clamped to [0, 1].
+     */
+    FdoProfile(const BlockMap &map, const std::vector<double> &bbec);
+
+    /** Per-function profiles, hottest first. */
+    const std::vector<FdoFunction> &functions() const
+    {
+        return functions_;
+    }
+
+    /** Total profiled instructions. */
+    double totalInstructions() const { return total_; }
+
+    /**
+     * AutoFDO-like text serialization:
+     *
+     *   function <name> entry=<count> total=<count>
+     *     block 0x<addr> <count>
+     *     branch 0x<addr> -> 0x<addr> count=<n> p_taken=<p>
+     */
+    std::string toText() const;
+
+    /** Write toText() to @p path; fatal() on I/O error. */
+    void save(const std::string &path) const;
+
+  private:
+    std::vector<FdoFunction> functions_;
+    double total_ = 0.0;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_ANALYSIS_FDO_HH

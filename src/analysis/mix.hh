@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Instruction mixes and pivot-table views.
+ *
+ * Given per-block execution counts (from any source — HBBP, EBS, LBR or
+ * ground truth), InstructionMix combines them with the static block map
+ * to produce per-mnemonic counts and the pivot-table views of Section
+ * V.B: group-by over thread/module/function/block/mnemonic/ISA/category/
+ * packing/width/ring/memory-access dimensions, with filters and top-N.
+ */
+
+#ifndef HBBP_ANALYSIS_MIX_HH
+#define HBBP_ANALYSIS_MIX_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/taxonomy.hh"
+#include "program/blockmap.hh"
+#include "support/histogram.hh"
+#include "support/table.hh"
+
+namespace hbbp {
+
+/** Pivot dimensions. */
+enum class MixDim : uint8_t {
+    Module,
+    Function,
+    Block,     ///< Block start address.
+    Mnemonic,
+    Isa,       ///< ISA extension (BASE/X87/SSE/AVX/AVX2).
+    Category,
+    Packing,   ///< NONE/SCALAR/PACKED.
+    Width,     ///< Operand width in bits.
+    Ring,      ///< USER/KERNEL.
+    MemAccess, ///< NONE/LOAD/STORE/LOAD_STORE.
+};
+
+/** Printable name of a dimension. */
+const char *name(MixDim dim);
+
+/** Context handed to filters: one (block, instruction) pair. */
+struct MixContext
+{
+    const BlockMap *map = nullptr;
+    const MapBlock *block = nullptr;
+    const Instruction *instr = nullptr;
+    Ring ring = Ring::User;
+
+    /** Rendered value of @p dim for this context. */
+    std::string dimValue(MixDim dim) const;
+};
+
+/** One output row of a pivot query. */
+struct PivotRow
+{
+    std::vector<std::string> key; ///< One cell per group-by dimension.
+    double count = 0.0;           ///< Estimated executed instructions.
+};
+
+/** A pivot query: group-by dimensions, optional filter and top-N. */
+struct MixQuery
+{
+    std::vector<MixDim> group_by{MixDim::Mnemonic};
+    /** Keep only contexts for which the filter returns true. */
+    std::function<bool(const MixContext &)> filter;
+    /** Keep only the N largest rows (0 = all). */
+    size_t top_n = 0;
+};
+
+/** An instruction mix: block counts joined with static disassembly. */
+class InstructionMix
+{
+  public:
+    /**
+     * @param map   block map the counts are indexed by
+     * @param bbec  per-map-block execution counts (same indexing)
+     */
+    InstructionMix(const BlockMap &map, std::vector<double> bbec);
+
+    /** Total executed instructions in the mix. */
+    double totalInstructions() const;
+
+    /** Per-mnemonic execution counts. */
+    Counter<Mnemonic> mnemonicCounts() const;
+
+    /** Per-mnemonic counts restricted by a filter. */
+    Counter<Mnemonic>
+    mnemonicCounts(const std::function<bool(const MixContext &)> &filter)
+        const;
+
+    /** Run a pivot query. Rows sorted by decreasing count. */
+    std::vector<PivotRow> pivot(const MixQuery &query) const;
+
+    /** Render a pivot query as a text table. */
+    TextTable pivotTable(const MixQuery &query) const;
+
+    /** Counts aggregated over a taxonomy's groups. */
+    Counter<std::string> taxonomyCounts(const Taxonomy &taxonomy) const;
+
+    /** The per-block counts backing the mix. */
+    const std::vector<double> &bbec() const { return bbec_; }
+
+    /** The block map backing the mix. */
+    const BlockMap &map() const { return map_; }
+
+  private:
+    void forEach(const std::function<void(const MixContext &,
+                                          double count)> &fn) const;
+
+    const BlockMap &map_;
+    std::vector<double> bbec_;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_ANALYSIS_MIX_HH

@@ -1,0 +1,139 @@
+#include "analysis/report.hh"
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace hbbp {
+
+TextTable
+Reporter::sharesTable(const std::vector<MixDim> &dims, size_t top_n) const
+{
+    MixQuery q;
+    q.group_by = dims;
+    q.top_n = top_n;
+    std::vector<PivotRow> rows = mix_.pivot(q);
+
+    std::vector<std::string> headers;
+    for (MixDim d : dims)
+        headers.emplace_back(name(d));
+    headers.emplace_back("count");
+    headers.emplace_back("share");
+    TextTable table(headers);
+    table.setAlign(headers.size() - 2, Align::Right);
+    table.setAlign(headers.size() - 1, Align::Right);
+
+    double total = mix_.totalInstructions();
+    for (const PivotRow &row : rows) {
+        std::vector<std::string> cells = row.key;
+        cells.push_back(withSeparators(
+            static_cast<uint64_t>(row.count + 0.5)));
+        cells.push_back(percentStr(total > 0 ? row.count / total : 0, 1));
+        table.addRow(std::move(cells));
+    }
+    return table;
+}
+
+TextTable
+Reporter::topFunctions(size_t n) const
+{
+    return sharesTable({MixDim::Module, MixDim::Function}, n);
+}
+
+TextTable
+Reporter::topMnemonics(size_t n) const
+{
+    return sharesTable({MixDim::Mnemonic}, n);
+}
+
+TextTable
+Reporter::isaBreakdown() const
+{
+    return sharesTable({MixDim::Isa, MixDim::Packing}, 0);
+}
+
+TextTable
+Reporter::familyBreakdown() const
+{
+    return sharesTable({MixDim::Category}, 0);
+}
+
+TextTable
+Reporter::ringBreakdown() const
+{
+    return sharesTable({MixDim::Ring}, 0);
+}
+
+TextTable
+Reporter::memoryBreakdown() const
+{
+    return sharesTable({MixDim::MemAccess}, 0);
+}
+
+TextTable
+Reporter::taxonomyBreakdown(const Taxonomy &taxonomy) const
+{
+    TextTable table({"group", "count", "share"});
+    table.setAlign(1, Align::Right);
+    table.setAlign(2, Align::Right);
+    Counter<std::string> counts = mix_.taxonomyCounts(taxonomy);
+    double total = mix_.totalInstructions();
+    for (const std::string &group : taxonomy.groupNames()) {
+        double c = counts.get(group);
+        table.addRow({group,
+                      withSeparators(static_cast<uint64_t>(c + 0.5)),
+                      percentStr(total > 0 ? c / total : 0, 2)});
+    }
+    return table;
+}
+
+std::string
+Reporter::annotatedDisassembly(const std::string &function) const
+{
+    const BlockMap &map = mix_.map();
+    std::string out;
+    for (uint32_t i = 0; i < map.blocks().size(); i++) {
+        const MapBlock &blk = map.block(i);
+        if (map.functionName(blk) != function)
+            continue;
+        double count = mix_.bbec()[i];
+        out += format("; block %s  executed ~%llu times%s\n",
+                      hexAddr(blk.start).c_str(),
+                      static_cast<unsigned long long>(count + 0.5),
+                      count <= 0 ? " (cold)" : "");
+        for (const Instruction &instr : blk.instrs) {
+            const MnemonicInfo &mi = instr.info();
+            std::string attrs = format("%s/%s/%s", name(mi.ext),
+                                       name(mi.category),
+                                       name(mi.packing));
+            if (instr.mem_read)
+                attrs += "/load";
+            if (instr.mem_write)
+                attrs += "/store";
+            if (mi.isLongLatency())
+                attrs += "/long-lat";
+            out += format("  %s  %-12s %-36s %12llu\n",
+                          hexAddr(instr.addr).c_str(), mi.name,
+                          attrs.c_str(),
+                          static_cast<unsigned long long>(count + 0.5));
+        }
+    }
+    return out;
+}
+
+std::string
+Reporter::summary() const
+{
+    std::string out;
+    out += format("total executed instructions: %s\n\n",
+                  withSeparators(static_cast<uint64_t>(
+                      mix_.totalInstructions() + 0.5)).c_str());
+    out += "top functions:\n" + topFunctions().render() + "\n";
+    out += "top mnemonics:\n" + topMnemonics(12).render() + "\n";
+    out += "ISA breakdown:\n" + isaBreakdown().render() + "\n";
+    out += "families:\n" + familyBreakdown().render() + "\n";
+    out += "rings:\n" + ringBreakdown().render() + "\n";
+    out += "memory:\n" + memoryBreakdown().render();
+    return out;
+}
+
+} // namespace hbbp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Canned report views (Section V.B of the paper).
+ *
+ * The paper's analyzer emits pivot tables with "custom or traditional
+ * views such as top functions, top mnemonics, or instruction family
+ * breakdowns ... produced in a few clicks", plus disassembly annotated
+ * with static instruction properties. Reporter packages those views on
+ * top of InstructionMix.
+ */
+
+#ifndef HBBP_ANALYSIS_REPORT_HH
+#define HBBP_ANALYSIS_REPORT_HH
+
+#include <string>
+
+#include "analysis/mix.hh"
+
+namespace hbbp {
+
+/** Produces the traditional analysis views from a mix. */
+class Reporter
+{
+  public:
+    explicit Reporter(const InstructionMix &mix) : mix_(mix) {}
+
+    /** Top @p n functions by executed instructions. */
+    TextTable topFunctions(size_t n = 10) const;
+
+    /** Top @p n mnemonics by execution count, with shares. */
+    TextTable topMnemonics(size_t n = 20) const;
+
+    /** Breakdown by ISA extension and packing. */
+    TextTable isaBreakdown() const;
+
+    /** Breakdown by functional category (instruction families). */
+    TextTable familyBreakdown() const;
+
+    /** Ring (user/kernel) breakdown. */
+    TextTable ringBreakdown() const;
+
+    /** Memory access breakdown (loads / stores / neither). */
+    TextTable memoryBreakdown() const;
+
+    /** Per-group totals for a custom taxonomy. */
+    TextTable taxonomyBreakdown(const Taxonomy &taxonomy) const;
+
+    /**
+     * Annotated disassembly of @p function: every instruction with its
+     * address, mnemonic, static attributes and estimated executions.
+     * Empty string when the function is unknown or never executed.
+     */
+    std::string annotatedDisassembly(const std::string &function) const;
+
+    /** One-page summary combining the standard views. */
+    std::string summary() const;
+
+  private:
+    TextTable sharesTable(const std::vector<MixDim> &dims,
+                          size_t top_n) const;
+
+    const InstructionMix &mix_;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_ANALYSIS_REPORT_HH

@@ -1,0 +1,69 @@
+#include "collect/collector.hh"
+
+#include "instr/instrumenter.hh"
+#include "support/logging.hh"
+
+namespace hbbp {
+
+RunFeatures
+makeRunFeatures(const ExecStats &stats, uint64_t simd_instructions)
+{
+    RunFeatures f;
+    f.cycles = stats.cycles;
+    f.instructions = stats.instructions;
+    f.block_entries = stats.block_entries;
+    f.taken_branches = stats.taken_branches;
+    f.simd_instructions = simd_instructions;
+    return f;
+}
+
+ProfileData
+Collector::collect(const Program &prog, const MachineConfig &machine,
+                   const CollectorConfig &config)
+{
+    ProfileData pd;
+    pd.runtime_class = config.runtime_class;
+    pd.paper_periods = paperPeriods(config.runtime_class);
+    pd.sim_periods = scaledPeriods(config.runtime_class,
+                                   config.period_scale);
+
+    PmuConfig pmu_config = config.pmu;
+    pmu_config.ebs_period = pd.sim_periods.ebs;
+    pmu_config.lbr_period = pd.sim_periods.lbr;
+    DualCollectionPmu pmu(pmu_config);
+
+    // An instrumenter rides along solely to compute the SIMD instruction
+    // count for the overhead model; it is not part of the collection.
+    Instrumenter counter(prog, /*include_kernel=*/true);
+
+    ExecutionEngine engine(prog, machine, config.seed);
+    engine.addObserver(&pmu);
+    engine.addObserver(&counter);
+    ExecStats stats = engine.run(config.max_instructions);
+
+    uint64_t simd = 0;
+    const Counter<Mnemonic> mnemonic_counts = counter.mnemonicCounts();
+    for (const auto &[mn, count] : mnemonic_counts.items()) {
+        IsaExt ext = info(mn).ext;
+        if (ext == IsaExt::Sse || ext == IsaExt::Avx ||
+            ext == IsaExt::Avx2)
+            simd += static_cast<uint64_t>(count);
+    }
+
+    pd.features = makeRunFeatures(stats, simd);
+    pd.pmi_count = pmu.pmiCount();
+    pd.ebs = pmu.takeEbsSamples();
+    pd.lbr = pmu.takeLbrSamples();
+
+    for (const Module &mod : prog.modules()) {
+        MmapRecord rec;
+        rec.name = mod.name;
+        rec.base = mod.base;
+        rec.size = mod.size;
+        rec.kernel = mod.isKernel();
+        pd.mmaps.push_back(std::move(rec));
+    }
+    return pd;
+}
+
+} // namespace hbbp

@@ -1,0 +1,80 @@
+#include "collect/periods.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+const char *
+name(RuntimeClass cls)
+{
+    switch (cls) {
+      case RuntimeClass::Seconds: return "Seconds";
+      case RuntimeClass::MinutesFew: return "~1-2 minutes";
+      case RuntimeClass::MinutesMany: return "Minutes (SPEC workloads)";
+      default:
+        panic("name: bad RuntimeClass %d", static_cast<int>(cls));
+    }
+}
+
+SamplingPeriods
+paperPeriods(RuntimeClass cls)
+{
+    // Table 4 of the paper, verbatim.
+    switch (cls) {
+      case RuntimeClass::Seconds:
+        return {1'000'037, 100'003};
+      case RuntimeClass::MinutesFew:
+        return {10'000'019, 1'000'037};
+      case RuntimeClass::MinutesMany:
+        return {100'000'007, 10'000'019};
+      default:
+        panic("paperPeriods: bad RuntimeClass %d", static_cast<int>(cls));
+    }
+}
+
+RuntimeClass
+classifyRuntime(double seconds)
+{
+    if (seconds < 60.0)
+        return RuntimeClass::Seconds;
+    if (seconds < 180.0)
+        return RuntimeClass::MinutesFew;
+    return RuntimeClass::MinutesMany;
+}
+
+uint64_t
+nextPrime(uint64_t n)
+{
+    if (n <= 2)
+        return 2;
+    if (n % 2 == 0)
+        n++;
+    for (;; n += 2) {
+        bool prime = true;
+        for (uint64_t d = 3; d * d <= n; d += 2) {
+            if (n % d == 0) {
+                prime = false;
+                break;
+            }
+        }
+        if (prime)
+            return n;
+    }
+}
+
+SamplingPeriods
+scaledPeriods(RuntimeClass cls, uint64_t scale, uint64_t floor_ebs,
+              uint64_t floor_lbr)
+{
+    if (scale == 0)
+        panic("scaledPeriods: scale must be >= 1");
+    SamplingPeriods paper = paperPeriods(cls);
+    SamplingPeriods sim;
+    sim.ebs = nextPrime(std::max(paper.ebs / scale, floor_ebs));
+    sim.lbr = nextPrime(std::max(paper.lbr / scale, floor_lbr));
+    return sim;
+}
+
+} // namespace hbbp

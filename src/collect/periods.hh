@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sampling period selection (the paper's Table 4).
+ *
+ * The paper chooses EBS and LBR sampling periods by the workload's
+ * runtime class; the values are primes to avoid resonance with loop trip
+ * counts. The simulation runs orders of magnitude fewer instructions
+ * than the real workloads, so collection uses the paper periods divided
+ * by a scale factor (and re-primed); overhead accounting always uses the
+ * unscaled paper values.
+ */
+
+#ifndef HBBP_COLLECT_PERIODS_HH
+#define HBBP_COLLECT_PERIODS_HH
+
+#include <cstdint>
+
+namespace hbbp {
+
+/** Runtime classes from Table 4. */
+enum class RuntimeClass : uint8_t {
+    Seconds,    ///< Seconds-long runs.
+    MinutesFew, ///< Roughly 1-2 minutes.
+    MinutesMany,///< Minutes and beyond (SPEC workloads).
+};
+
+/** Printable name of a runtime class. */
+const char *name(RuntimeClass cls);
+
+/** An (EBS period, LBR period) pair. */
+struct SamplingPeriods
+{
+    uint64_t ebs = 0;
+    uint64_t lbr = 0;
+};
+
+/** The paper's Table 4 periods for @p cls. */
+SamplingPeriods paperPeriods(RuntimeClass cls);
+
+/** Classify a wall-clock runtime in seconds per Table 4. */
+RuntimeClass classifyRuntime(double seconds);
+
+/** Smallest prime >= @p n (n >= 2). */
+uint64_t nextPrime(uint64_t n);
+
+/**
+ * Scale paper periods down for simulation: divide by @p scale, clamp to
+ * a floor, and round each to the next prime.
+ */
+SamplingPeriods scaledPeriods(RuntimeClass cls, uint64_t scale,
+                              uint64_t floor_ebs = 997,
+                              uint64_t floor_lbr = 97);
+
+} // namespace hbbp
+
+#endif // HBBP_COLLECT_PERIODS_HH

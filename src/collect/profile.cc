@@ -1,0 +1,223 @@
+#include "collect/profile.hh"
+
+#include <cstdio>
+#include <memory>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x48424250'50524f46ULL; // "HBBPPROF"
+constexpr uint32_t kVersion = 2;
+
+class Writer
+{
+  public:
+    explicit Writer(const std::string &path)
+        : file_(std::fopen(path.c_str(), "wb")), path_(path)
+    {
+        if (!file_)
+            fatal("cannot open '%s' for writing", path.c_str());
+    }
+
+    ~Writer()
+    {
+        if (file_)
+            std::fclose(file_);
+    }
+
+    Writer(const Writer &) = delete;
+    Writer &operator=(const Writer &) = delete;
+
+    void
+    raw(const void *data, size_t size)
+    {
+        if (std::fwrite(data, 1, size, file_) != size)
+            fatal("short write to '%s'", path_.c_str());
+    }
+
+    void u8(uint8_t v) { raw(&v, sizeof(v)); }
+    void u32(uint32_t v) { raw(&v, sizeof(v)); }
+    void u64(uint64_t v) { raw(&v, sizeof(v)); }
+    void f64(double v) { raw(&v, sizeof(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        raw(s.data(), s.size());
+    }
+
+  private:
+    std::FILE *file_;
+    std::string path_;
+};
+
+class Reader
+{
+  public:
+    explicit Reader(const std::string &path)
+        : file_(std::fopen(path.c_str(), "rb")), path_(path)
+    {
+        if (!file_)
+            fatal("cannot open '%s' for reading", path.c_str());
+    }
+
+    ~Reader()
+    {
+        if (file_)
+            std::fclose(file_);
+    }
+
+    Reader(const Reader &) = delete;
+    Reader &operator=(const Reader &) = delete;
+
+    void
+    raw(void *data, size_t size)
+    {
+        if (std::fread(data, 1, size, file_) != size)
+            fatal("short read from '%s' (corrupt profile?)",
+                  path_.c_str());
+    }
+
+    uint8_t u8() { uint8_t v; raw(&v, sizeof(v)); return v; }
+    uint32_t u32() { uint32_t v; raw(&v, sizeof(v)); return v; }
+    uint64_t u64() { uint64_t v; raw(&v, sizeof(v)); return v; }
+    double f64() { double v; raw(&v, sizeof(v)); return v; }
+
+    std::string
+    str()
+    {
+        uint32_t n = u32();
+        if (n > (1u << 20))
+            fatal("implausible string length %u in '%s'", n,
+                  path_.c_str());
+        std::string s(n, '\0');
+        raw(s.data(), n);
+        return s;
+    }
+
+  private:
+    std::FILE *file_;
+    std::string path_;
+};
+
+} // namespace
+
+void
+ProfileData::save(const std::string &path) const
+{
+    Writer w(path);
+    w.u64(kMagic);
+    w.u32(kVersion);
+
+    w.u64(sim_periods.ebs);
+    w.u64(sim_periods.lbr);
+    w.u64(paper_periods.ebs);
+    w.u64(paper_periods.lbr);
+    w.u8(static_cast<uint8_t>(runtime_class));
+
+    w.u64(features.cycles);
+    w.u64(features.instructions);
+    w.u64(features.block_entries);
+    w.u64(features.taken_branches);
+    w.u64(features.simd_instructions);
+    w.u64(pmi_count);
+
+    w.u32(static_cast<uint32_t>(mmaps.size()));
+    for (const MmapRecord &m : mmaps) {
+        w.str(m.name);
+        w.u64(m.base);
+        w.u64(m.size);
+        w.u8(m.kernel ? 1 : 0);
+    }
+
+    w.u64(ebs.size());
+    for (const EbsSample &s : ebs) {
+        w.u64(s.ip);
+        w.u64(s.cycle);
+        w.u8(static_cast<uint8_t>(s.ring));
+    }
+
+    w.u64(lbr.size());
+    for (const LbrStackSample &s : lbr) {
+        w.u8(static_cast<uint8_t>(s.entries.size()));
+        for (const LbrEntry &e : s.entries) {
+            w.u64(e.source);
+            w.u64(e.target);
+        }
+        w.u64(s.cycle);
+        w.u8(static_cast<uint8_t>(s.ring));
+        w.u64(s.eventing_ip);
+    }
+}
+
+ProfileData
+ProfileData::load(const std::string &path)
+{
+    Reader r(path);
+    if (r.u64() != kMagic)
+        fatal("'%s' is not an HBBP profile", path.c_str());
+    uint32_t version = r.u32();
+    if (version != kVersion)
+        fatal("'%s' has unsupported profile version %u", path.c_str(),
+              version);
+
+    ProfileData pd;
+    pd.sim_periods.ebs = r.u64();
+    pd.sim_periods.lbr = r.u64();
+    pd.paper_periods.ebs = r.u64();
+    pd.paper_periods.lbr = r.u64();
+    pd.runtime_class = static_cast<RuntimeClass>(r.u8());
+
+    pd.features.cycles = r.u64();
+    pd.features.instructions = r.u64();
+    pd.features.block_entries = r.u64();
+    pd.features.taken_branches = r.u64();
+    pd.features.simd_instructions = r.u64();
+    pd.pmi_count = r.u64();
+
+    uint32_t n_mmaps = r.u32();
+    pd.mmaps.reserve(n_mmaps);
+    for (uint32_t i = 0; i < n_mmaps; i++) {
+        MmapRecord m;
+        m.name = r.str();
+        m.base = r.u64();
+        m.size = r.u64();
+        m.kernel = r.u8() != 0;
+        pd.mmaps.push_back(std::move(m));
+    }
+
+    uint64_t n_ebs = r.u64();
+    pd.ebs.reserve(n_ebs);
+    for (uint64_t i = 0; i < n_ebs; i++) {
+        EbsSample s;
+        s.ip = r.u64();
+        s.cycle = r.u64();
+        s.ring = static_cast<Ring>(r.u8());
+        pd.ebs.push_back(s);
+    }
+
+    uint64_t n_lbr = r.u64();
+    pd.lbr.reserve(n_lbr);
+    for (uint64_t i = 0; i < n_lbr; i++) {
+        LbrStackSample s;
+        uint8_t depth = r.u8();
+        s.entries.reserve(depth);
+        for (uint8_t j = 0; j < depth; j++) {
+            LbrEntry e;
+            e.source = r.u64();
+            e.target = r.u64();
+            s.entries.push_back(e);
+        }
+        s.cycle = r.u64();
+        s.ring = static_cast<Ring>(r.u8());
+        s.eventing_ip = r.u64();
+        pd.lbr.push_back(std::move(s));
+    }
+    return pd;
+}
+
+} // namespace hbbp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The profile container — our perf.data equivalent.
+ *
+ * ProfileData bundles everything a collection run produces: EBS IP
+ * samples, LBR stack samples, module map records (for virtual address
+ * attribution), the periods used, and the clean-run execution features
+ * needed by the overhead models. It serializes to a compact binary
+ * format so collection and analysis can run as separate steps, exactly
+ * like the paper's collector/analyzer split.
+ */
+
+#ifndef HBBP_COLLECT_PROFILE_HH
+#define HBBP_COLLECT_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "collect/periods.hh"
+#include "instr/overhead.hh"
+#include "pmu/pmu.hh"
+
+namespace hbbp {
+
+/** A module map record (perf's MMAP events). */
+struct MmapRecord
+{
+    std::string name;
+    uint64_t base = 0;
+    uint64_t size = 0;
+    bool kernel = false;
+
+    bool operator==(const MmapRecord &other) const = default;
+};
+
+/** Everything one collection run produces. */
+struct ProfileData
+{
+    /** EBS data source: eventing IPs of INST_RETIRED PMIs. */
+    std::vector<EbsSample> ebs;
+    /** LBR data source: stacks captured at BR_INST_RETIRED PMIs. */
+    std::vector<LbrStackSample> lbr;
+    /** Module map at collection time. */
+    std::vector<MmapRecord> mmaps;
+
+    /** Periods actually used during (simulated) collection. */
+    SamplingPeriods sim_periods;
+    /** Paper-scale periods for the runtime class (overhead models). */
+    SamplingPeriods paper_periods;
+    /** Runtime class the periods were selected for. */
+    RuntimeClass runtime_class = RuntimeClass::Seconds;
+
+    /** Clean-run features for the overhead models. */
+    RunFeatures features;
+
+    /** PMIs delivered during collection. */
+    uint64_t pmi_count = 0;
+
+    /** Serialize to @p path; fatal() on I/O errors. */
+    void save(const std::string &path) const;
+
+    /** Deserialize from @p path; fatal() on I/O or format errors. */
+    static ProfileData load(const std::string &path);
+};
+
+} // namespace hbbp
+
+#endif // HBBP_COLLECT_PROFILE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Umbrella header: the full public API of the HBBP library.
+ *
+ * Include this (and link against the `hbbp` CMake target) to use the
+ * library; see examples/quickstart.cpp for the canonical walkthrough.
+ */
+
+#ifndef HBBP_HBBP_HH
+#define HBBP_HBBP_HH
+
+// Foundations.
+#include "support/histogram.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+#include "support/strings.hh"
+#include "support/table.hh"
+
+// The synthetic ISA (XED stand-in).
+#include "isa/encoding.hh"
+#include "isa/instruction.hh"
+#include "isa/mnemonic.hh"
+#include "isa/taxonomy.hh"
+
+// Program representation and disassembly-driven block maps.
+#include "program/block.hh"
+#include "program/blockmap.hh"
+#include "program/builder.hh"
+#include "program/program.hh"
+
+// Execution substrate.
+#include "sim/engine.hh"
+#include "sim/machine.hh"
+#include "sim/observer.hh"
+
+// PMU model.
+#include "pmu/events.hh"
+#include "pmu/lbr.hh"
+#include "pmu/pmu.hh"
+
+// Software instrumentation reference + overhead models.
+#include "instr/instrumenter.hh"
+#include "instr/overhead.hh"
+
+// Collection.
+#include "collect/collector.hh"
+#include "collect/periods.hh"
+#include "collect/profile.hh"
+
+// Analysis (BBEC estimation, HBBP fusion, mixes, error metrics).
+#include "analysis/analyzer.hh"
+#include "analysis/bbec.hh"
+#include "analysis/classifier.hh"
+#include "analysis/error.hh"
+#include "analysis/fdo.hh"
+#include "analysis/mix.hh"
+#include "analysis/report.hh"
+
+// Machine learning (criteria search).
+#include "ml/dataset.hh"
+#include "ml/decision_tree.hh"
+#include "ml/trainer.hh"
+
+// Workload generators.
+#include "workloads/clforward.hh"
+#include "workloads/fitter.hh"
+#include "workloads/kernelbench.hh"
+#include "workloads/spec2006.hh"
+#include "workloads/synthetic.hh"
+#include "workloads/test40.hh"
+#include "workloads/training.hh"
+#include "workloads/workload.hh"
+
+// The end-to-end tool.
+#include "tools/profiler.hh"
+#include "tools/registry.hh"
+
+#endif // HBBP_HBBP_HH

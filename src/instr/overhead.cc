@@ -1,0 +1,57 @@
+#include "instr/overhead.hh"
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+double
+InstrumentationCostModel::instrumentedCycles(const RunFeatures &f,
+                                             bool emulated) const
+{
+    double cycles =
+        static_cast<double>(f.cycles) +
+        per_block_cycles * static_cast<double>(f.block_entries) +
+        per_instr_cycles * static_cast<double>(f.instructions) +
+        per_branch_cycles * static_cast<double>(f.taken_branches) +
+        per_simd_cycles * static_cast<double>(f.simd_instructions);
+    if (emulated)
+        cycles += emulated_per_instr_cycles *
+                  static_cast<double>(f.instructions);
+    return cycles;
+}
+
+double
+InstrumentationCostModel::slowdown(const RunFeatures &f,
+                                   bool emulated) const
+{
+    if (f.cycles == 0)
+        panic("InstrumentationCostModel::slowdown: zero clean cycles");
+    return instrumentedCycles(f, emulated) /
+           static_cast<double>(f.cycles);
+}
+
+double
+CollectionCostModel::overheadFraction(const RunFeatures &f,
+                                      uint64_t ebs_period,
+                                      uint64_t lbr_period) const
+{
+    if (f.cycles == 0)
+        panic("CollectionCostModel::overheadFraction: zero clean cycles");
+    if (ebs_period == 0 || lbr_period == 0)
+        panic("CollectionCostModel: zero sampling period");
+    double ebs_pmis = static_cast<double>(f.instructions) /
+                      static_cast<double>(ebs_period);
+    double lbr_pmis = static_cast<double>(f.taken_branches) /
+                      static_cast<double>(lbr_period);
+    double pmi_cost = (ebs_pmis + lbr_pmis) * pmi_cycles;
+    return pmi_cost / static_cast<double>(f.cycles) + daemon_fraction;
+}
+
+double
+CollectionCostModel::slowdown(const RunFeatures &f, uint64_t ebs_period,
+                              uint64_t lbr_period) const
+{
+    return 1.0 + overheadFraction(f, ebs_period, lbr_period);
+}
+
+} // namespace hbbp

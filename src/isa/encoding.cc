@@ -1,0 +1,124 @@
+#include "isa/encoding.hh"
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+namespace {
+
+constexpr uint8_t kFlagMemRead = 0x01;
+constexpr uint8_t kFlagMemWrite = 0x02;
+
+} // namespace
+
+void
+encode(const Instruction &instr, std::vector<uint8_t> &out)
+{
+    const MnemonicInfo &mi = instr.info();
+    uint8_t min_len =
+        mi.hasDisplacement() ? kMinDispInstrBytes : kMinInstrBytes;
+    if (instr.length < min_len || instr.length > kMaxInstrBytes)
+        panic("encode: %s has invalid length %u", mi.name, instr.length);
+    if (!mi.hasDisplacement() && instr.disp != 0)
+        panic("encode: %s carries a displacement but has none", mi.name);
+
+    uint16_t id = static_cast<uint16_t>(instr.mnemonic);
+    size_t start = out.size();
+    out.push_back(static_cast<uint8_t>(id & 0xff));
+    out.push_back(static_cast<uint8_t>(id >> 8));
+    uint8_t flags = 0;
+    if (instr.mem_read)
+        flags |= kFlagMemRead;
+    if (instr.mem_write)
+        flags |= kFlagMemWrite;
+    out.push_back(flags);
+    out.push_back(instr.length);
+    if (mi.hasDisplacement()) {
+        uint32_t d = static_cast<uint32_t>(instr.disp);
+        out.push_back(static_cast<uint8_t>(d & 0xff));
+        out.push_back(static_cast<uint8_t>((d >> 8) & 0xff));
+        out.push_back(static_cast<uint8_t>((d >> 16) & 0xff));
+        out.push_back(static_cast<uint8_t>((d >> 24) & 0xff));
+    }
+    while (out.size() - start < instr.length)
+        out.push_back(0);
+}
+
+std::vector<uint8_t>
+encodeAll(const std::vector<Instruction> &instrs)
+{
+    std::vector<uint8_t> out;
+    for (const auto &instr : instrs)
+        encode(instr, out);
+    return out;
+}
+
+std::optional<DecodeResult>
+decodeOne(const std::vector<uint8_t> &bytes, size_t offset,
+          uint64_t base_addr)
+{
+    if (offset + kMinInstrBytes > bytes.size())
+        return std::nullopt;
+    uint16_t id = static_cast<uint16_t>(bytes[offset]) |
+                  (static_cast<uint16_t>(bytes[offset + 1]) << 8);
+    if (id >= kNumMnemonics)
+        return std::nullopt;
+    uint8_t flags = bytes[offset + 2];
+    uint8_t length = bytes[offset + 3];
+
+    Instruction instr;
+    instr.mnemonic = static_cast<Mnemonic>(id);
+    const MnemonicInfo &mi = instr.info();
+    uint8_t min_len =
+        mi.hasDisplacement() ? kMinDispInstrBytes : kMinInstrBytes;
+    if (length < min_len || length > kMaxInstrBytes)
+        return std::nullopt;
+    if (offset + length > bytes.size())
+        return std::nullopt;
+
+    instr.length = length;
+    instr.mem_read = (flags & kFlagMemRead) != 0;
+    instr.mem_write = (flags & kFlagMemWrite) != 0;
+    instr.addr = base_addr + offset;
+    if (mi.hasDisplacement()) {
+        uint32_t d = static_cast<uint32_t>(bytes[offset + 4]) |
+                     (static_cast<uint32_t>(bytes[offset + 5]) << 8) |
+                     (static_cast<uint32_t>(bytes[offset + 6]) << 16) |
+                     (static_cast<uint32_t>(bytes[offset + 7]) << 24);
+        instr.disp = static_cast<int32_t>(d);
+    }
+    return DecodeResult{instr, instr.addr + length};
+}
+
+std::vector<Instruction>
+decodeAll(const std::vector<uint8_t> &bytes, uint64_t base_addr)
+{
+    std::vector<Instruction> out;
+    size_t offset = 0;
+    while (offset < bytes.size()) {
+        auto res = decodeOne(bytes, offset, base_addr);
+        if (!res)
+            break;
+        out.push_back(res->instr);
+        offset += res->instr.length;
+    }
+    return out;
+}
+
+void
+patchToNop(std::vector<uint8_t> &bytes, size_t offset)
+{
+    auto res = decodeOne(bytes, offset, 0);
+    if (!res)
+        panic("patchToNop: no valid instruction at offset %zu", offset);
+    uint8_t length = res->instr.length;
+    Instruction nop;
+    nop.mnemonic = Mnemonic::NOP;
+    nop.length = length;
+    std::vector<uint8_t> enc;
+    encode(nop, enc);
+    for (size_t i = 0; i < enc.size(); i++)
+        bytes[offset + i] = enc[i];
+}
+
+} // namespace hbbp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Byte-level instruction encoding and decoding.
+ *
+ * This is the repository's stand-in for a real machine encoding plus the
+ * XED decoder the paper's analyzer uses. The format is synthetic but has
+ * the properties the experiments depend on: variable lengths (4..15
+ * bytes), explicit displacements for direct control transfers, and the
+ * ability to overwrite a branch with a same-length NOP (the kernel
+ * self-modifying-code experiment).
+ *
+ * Layout (little-endian):
+ *   byte 0..1  mnemonic id
+ *   byte 2     flags: bit0 mem_read, bit1 mem_write
+ *   byte 3     total encoded length in bytes
+ *   byte 4..7  int32 displacement (only for direct transfers)
+ *   rest       zero padding up to the declared length
+ */
+
+#ifndef HBBP_ISA_ENCODING_HH
+#define HBBP_ISA_ENCODING_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace hbbp {
+
+/** Append the encoding of @p instr to @p out. Panics on invalid fields. */
+void encode(const Instruction &instr, std::vector<uint8_t> &out);
+
+/** Encode a whole instruction sequence. */
+std::vector<uint8_t> encodeAll(const std::vector<Instruction> &instrs);
+
+/** Result of decoding one instruction. */
+struct DecodeResult
+{
+    Instruction instr;   ///< Decoded instruction, addr filled from input.
+    uint64_t next_addr;  ///< Address just past the instruction.
+};
+
+/**
+ * Decode a single instruction.
+ *
+ * @param bytes      full code image of the enclosing region
+ * @param offset     byte offset of the instruction within @p bytes
+ * @param base_addr  virtual address of bytes[0]
+ * @return the decoded instruction, or std::nullopt on malformed input
+ */
+std::optional<DecodeResult> decodeOne(const std::vector<uint8_t> &bytes,
+                                      size_t offset, uint64_t base_addr);
+
+/**
+ * Decode a full region, stopping at the first malformed instruction.
+ *
+ * @param bytes      code image
+ * @param base_addr  virtual address of bytes[0]
+ */
+std::vector<Instruction> decodeAll(const std::vector<uint8_t> &bytes,
+                                   uint64_t base_addr);
+
+/**
+ * Overwrite the instruction at @p offset with a same-length NOP in place.
+ *
+ * Used to model the Linux kernel patching tracepoint jumps to NOPs at
+ * boot. Panics if there is no valid instruction at @p offset.
+ */
+void patchToNop(std::vector<uint8_t> &bytes, size_t offset);
+
+} // namespace hbbp
+
+#endif // HBBP_ISA_ENCODING_HH

@@ -1,0 +1,41 @@
+#include "isa/instruction.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace hbbp {
+
+std::string
+Instruction::toString() const
+{
+    std::string out = format("%016llx  %-12s len=%u",
+                             static_cast<unsigned long long>(addr),
+                             info().name, length);
+    if (mem_read)
+        out += " [mr]";
+    if (mem_write)
+        out += " [mw]";
+    if (info().hasDisplacement())
+        out += format(" -> %016llx",
+                      static_cast<unsigned long long>(target()));
+    return out;
+}
+
+Instruction
+makeInstr(Mnemonic m, bool mem_read, bool mem_write, uint8_t extra_len)
+{
+    const MnemonicInfo &mi = info(m);
+    Instruction instr;
+    instr.mnemonic = m;
+    uint8_t len = static_cast<uint8_t>(mi.default_bytes + extra_len);
+    uint8_t min_len =
+        mi.hasDisplacement() ? kMinDispInstrBytes : kMinInstrBytes;
+    instr.length = std::clamp(len, min_len, kMaxInstrBytes);
+    instr.mem_read = mem_read;
+    instr.mem_write = mem_write;
+    return instr;
+}
+
+} // namespace hbbp

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A decoded instruction instance.
+ *
+ * An Instruction is a mnemonic plus the per-instance attributes that the
+ * static registry cannot know: encoded length (variable, like x86), memory
+ * operand flags, and — for direct control transfers — the branch
+ * displacement. Once placed into a program it also knows its address.
+ */
+
+#ifndef HBBP_ISA_INSTRUCTION_HH
+#define HBBP_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/mnemonic.hh"
+
+namespace hbbp {
+
+/** Minimum encoded instruction length in bytes. */
+constexpr uint8_t kMinInstrBytes = 4;
+
+/** Minimum encoded length of an instruction with a displacement. */
+constexpr uint8_t kMinDispInstrBytes = 8;
+
+/** Maximum encoded instruction length in bytes (mirrors x86's limit). */
+constexpr uint8_t kMaxInstrBytes = 15;
+
+/** A single decoded instruction instance. */
+struct Instruction
+{
+    Mnemonic mnemonic = Mnemonic::NOP;
+    uint8_t length = kMinInstrBytes; ///< Encoded length in bytes.
+    bool mem_read = false;           ///< Has a memory source operand.
+    bool mem_write = false;          ///< Has a memory destination operand.
+    int32_t disp = 0;                ///< Displacement for direct transfers.
+    uint64_t addr = 0;               ///< Virtual address once placed.
+
+    /** Static attributes of the mnemonic. */
+    const MnemonicInfo &info() const { return hbbp::info(mnemonic); }
+
+    /** Address of the next sequential instruction. */
+    uint64_t nextAddr() const { return addr + length; }
+
+    /** Branch target; only meaningful when info().hasDisplacement(). */
+    uint64_t
+    target() const
+    {
+        return nextAddr() + static_cast<uint64_t>(
+            static_cast<int64_t>(disp));
+    }
+
+    /** Human-readable one-line rendering (for debugging and reports). */
+    std::string toString() const;
+
+    /** Structural equality (address included). */
+    bool operator==(const Instruction &other) const = default;
+};
+
+/**
+ * Convenience factory for a plain instruction.
+ *
+ * @param m         mnemonic
+ * @param mem_read  instruction reads memory
+ * @param mem_write instruction writes memory
+ * @param extra_len additional encoded bytes beyond the mnemonic default
+ */
+Instruction makeInstr(Mnemonic m, bool mem_read = false,
+                      bool mem_write = false, uint8_t extra_len = 0);
+
+} // namespace hbbp
+
+#endif // HBBP_ISA_INSTRUCTION_HH

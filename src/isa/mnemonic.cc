@@ -1,0 +1,159 @@
+#include "isa/mnemonic.hh"
+
+#include <array>
+#include <unordered_map>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+namespace {
+
+constexpr std::array<MnemonicInfo, kNumMnemonics> kMnemonicTable = {{
+#define X(sym, nm, ext, cat, pack, width, lat, bytes)                       \
+    MnemonicInfo{Mnemonic::sym, nm, IsaExt::ext, Category::cat,             \
+                 Packing::pack, width, lat, bytes},
+    HBBP_MNEMONIC_LIST(X)
+#undef X
+}};
+
+} // namespace
+
+bool
+MnemonicInfo::isControl() const
+{
+    // SYSCALL/SYSRET are far control transfers: they end basic blocks,
+    // retire as taken branches and appear in the LBR, even though their
+    // category is System.
+    if (mnemonic == Mnemonic::SYSCALL || mnemonic == Mnemonic::SYSRET)
+        return true;
+    switch (category) {
+      case Category::CondBranch:
+      case Category::UncondBranch:
+      case Category::IndirectBranch:
+      case Category::Call:
+      case Category::IndirectCall:
+      case Category::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+MnemonicInfo::isAlwaysTaken() const
+{
+    return isControl() && category != Category::CondBranch;
+}
+
+bool
+MnemonicInfo::isCondBranch() const
+{
+    return category == Category::CondBranch;
+}
+
+bool
+MnemonicInfo::hasDisplacement() const
+{
+    return category == Category::CondBranch ||
+           category == Category::UncondBranch ||
+           category == Category::Call;
+}
+
+bool
+MnemonicInfo::isCall() const
+{
+    return category == Category::Call || category == Category::IndirectCall;
+}
+
+bool
+MnemonicInfo::isLongLatency() const
+{
+    return latency >= kLongLatencyThreshold;
+}
+
+const MnemonicInfo &
+info(Mnemonic m)
+{
+    auto idx = static_cast<size_t>(m);
+    if (idx >= kNumMnemonics)
+        panic("info(): mnemonic id %zu out of range", idx);
+    return kMnemonicTable[idx];
+}
+
+const char *
+name(Mnemonic m)
+{
+    return info(m).name;
+}
+
+std::optional<Mnemonic>
+mnemonicFromName(const std::string &name)
+{
+    static const std::unordered_map<std::string, Mnemonic> kByName = [] {
+        std::unordered_map<std::string, Mnemonic> map;
+        for (const auto &mi : kMnemonicTable)
+            map.emplace(mi.name, mi.mnemonic);
+        return map;
+    }();
+    auto it = kByName.find(name);
+    if (it == kByName.end())
+        return std::nullopt;
+    return it->second;
+}
+
+const char *
+name(IsaExt ext)
+{
+    switch (ext) {
+      case IsaExt::Base: return "BASE";
+      case IsaExt::X87: return "X87";
+      case IsaExt::Sse: return "SSE";
+      case IsaExt::Avx: return "AVX";
+      case IsaExt::Avx2: return "AVX2";
+      default: panic("name(): bad IsaExt %d", static_cast<int>(ext));
+    }
+}
+
+const char *
+name(Category cat)
+{
+    switch (cat) {
+      case Category::Move: return "MOVE";
+      case Category::Alu: return "ALU";
+      case Category::Logic: return "LOGIC";
+      case Category::Shift: return "SHIFT";
+      case Category::Compare: return "COMPARE";
+      case Category::Mul: return "MUL";
+      case Category::Div: return "DIV";
+      case Category::Sqrt: return "SQRT";
+      case Category::Transcend: return "TRANSCEND";
+      case Category::Convert: return "CONVERT";
+      case Category::Stack: return "STACK";
+      case Category::Shuffle: return "SHUFFLE";
+      case Category::Gather: return "GATHER";
+      case Category::CondBranch: return "COND_BRANCH";
+      case Category::UncondBranch: return "UNCOND_BRANCH";
+      case Category::IndirectBranch: return "INDIRECT_BRANCH";
+      case Category::Call: return "CALL";
+      case Category::IndirectCall: return "INDIRECT_CALL";
+      case Category::Ret: return "RET";
+      case Category::Nop: return "NOP";
+      case Category::Sync: return "SYNC";
+      case Category::System: return "SYSTEM";
+      default: panic("name(): bad Category %d", static_cast<int>(cat));
+    }
+}
+
+const char *
+name(Packing packing)
+{
+    switch (packing) {
+      case Packing::None: return "NONE";
+      case Packing::Scalar: return "SCALAR";
+      case Packing::Packed: return "PACKED";
+      default: panic("name(): bad Packing %d", static_cast<int>(packing));
+    }
+}
+
+} // namespace hbbp

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * The synthetic ISA's mnemonic registry.
+ *
+ * This is the repository's stand-in for the x86 instruction set as seen
+ * through XED in the paper: a fixed set of mnemonics, each carrying the
+ * static attributes the analyzer needs (ISA extension, category, packing,
+ * operand width, latency class, default encoded length). The registry is
+ * generated from a single X-macro list so that the enum, the name table and
+ * the attribute table can never drift apart.
+ */
+
+#ifndef HBBP_ISA_MNEMONIC_HH
+#define HBBP_ISA_MNEMONIC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hbbp {
+
+/** Instruction set extension an instruction belongs to. */
+enum class IsaExt : uint8_t {
+    Base, ///< Scalar integer / control x86.
+    X87,  ///< Legacy floating point stack.
+    Sse,  ///< 128-bit SSE/SSE2/SSE4 (FP and integer).
+    Avx,  ///< 256-bit AVX floating point.
+    Avx2, ///< 256-bit AVX2 integer (and gathers).
+    NumIsaExt
+};
+
+/** Broad functional category used in instruction mix breakdowns. */
+enum class Category : uint8_t {
+    Move,          ///< Register/memory data movement.
+    Alu,           ///< Add/sub/inc/dec/neg and friends.
+    Logic,         ///< AND/OR/XOR/NOT and SIMD boolean.
+    Shift,         ///< Shifts and rotates.
+    Compare,       ///< CMP/TEST/COMIS and SIMD compares.
+    Mul,           ///< Multiplies (and FMA).
+    Div,           ///< Divisions.
+    Sqrt,          ///< Square roots and reciprocal estimates.
+    Transcend,     ///< Transcendentals (FSIN/FCOS/FPREM).
+    Convert,       ///< Int/FP conversions.
+    Stack,         ///< PUSH/POP/LEAVE.
+    Shuffle,       ///< Shuffles, permutes, blends, broadcasts.
+    Gather,        ///< SIMD gathers.
+    CondBranch,    ///< Conditional direct branches.
+    UncondBranch,  ///< Unconditional direct jumps.
+    IndirectBranch,///< Register/memory-target jumps.
+    Call,          ///< Direct calls.
+    IndirectCall,  ///< Register/memory-target calls.
+    Ret,           ///< Near returns.
+    Nop,           ///< NOPs (including multi-byte forms).
+    Sync,          ///< Locked read-modify-write (XCHG/XADD).
+    System,        ///< SYSCALL/SYSRET/CPUID/RDTSC.
+    NumCategories
+};
+
+/** Vector packing attribute. */
+enum class Packing : uint8_t {
+    None,   ///< Not a SIMD-register operation.
+    Scalar, ///< SIMD register, scalar lane only.
+    Packed, ///< Full-width SIMD operation.
+    NumPackings
+};
+
+/**
+ * The X-macro of all mnemonics.
+ *
+ * Columns: symbol, printable name, IsaExt, Category, Packing,
+ * operand width in bits, retirement latency in cycles (approximate
+ * Ivy Bridge numbers; what matters is the long- vs short-latency split the
+ * PMU shadowing model keys on), default encoded length in bytes.
+ */
+#define HBBP_MNEMONIC_LIST(X)                                               \
+    /* --- Base integer: moves ------------------------------------------ */\
+    X(MOV,        "MOV",        Base, Move,      None,    64,  1, 4)        \
+    X(MOVZX,      "MOVZX",      Base, Move,      None,    64,  1, 4)        \
+    X(MOVSX,      "MOVSX",      Base, Move,      None,    64,  1, 4)        \
+    X(MOVSXD,     "MOVSXD",     Base, Move,      None,    64,  1, 4)        \
+    X(LEA,        "LEA",        Base, Move,      None,    64,  1, 4)        \
+    X(CMOVZ,      "CMOVZ",      Base, Move,      None,    64,  2, 4)        \
+    X(SETZ,       "SETZ",       Base, Move,      None,     8,  1, 4)        \
+    X(MOVS,       "MOVS",       Base, Move,      None,    64,  4, 4)        \
+    X(STOS,       "STOS",       Base, Move,      None,    64,  3, 4)        \
+    /* --- Base integer: arithmetic / logic ----------------------------- */\
+    X(ADD,        "ADD",        Base, Alu,       None,    64,  1, 4)        \
+    X(SUB,        "SUB",        Base, Alu,       None,    64,  1, 4)        \
+    X(ADC,        "ADC",        Base, Alu,       None,    64,  2, 4)        \
+    X(SBB,        "SBB",        Base, Alu,       None,    64,  2, 4)        \
+    X(INC,        "INC",        Base, Alu,       None,    64,  1, 4)        \
+    X(DEC,        "DEC",        Base, Alu,       None,    64,  1, 4)        \
+    X(NEG,        "NEG",        Base, Alu,       None,    64,  1, 4)        \
+    X(NOT,        "NOT",        Base, Logic,     None,    64,  1, 4)        \
+    X(AND,        "AND",        Base, Logic,     None,    64,  1, 4)        \
+    X(OR,         "OR",         Base, Logic,     None,    64,  1, 4)        \
+    X(XOR,        "XOR",        Base, Logic,     None,    64,  1, 4)        \
+    X(SHL,        "SHL",        Base, Shift,     None,    64,  1, 4)        \
+    X(SHR,        "SHR",        Base, Shift,     None,    64,  1, 4)        \
+    X(SAR,        "SAR",        Base, Shift,     None,    64,  1, 4)        \
+    X(ROL,        "ROL",        Base, Shift,     None,    64,  1, 4)        \
+    X(TEST,       "TEST",       Base, Compare,   None,    64,  1, 4)        \
+    X(CMP,        "CMP",        Base, Compare,   None,    64,  1, 4)        \
+    X(IMUL,       "IMUL",       Base, Mul,       None,    64,  3, 4)        \
+    X(MUL,        "MUL",        Base, Mul,       None,    64,  3, 4)        \
+    X(IDIV,       "IDIV",       Base, Div,       None,    64, 25, 4)        \
+    X(DIV,        "DIV",        Base, Div,       None,    64, 22, 4)        \
+    X(CDQE,       "CDQE",       Base, Convert,   None,    64,  1, 4)        \
+    X(CDQ,        "CDQ",        Base, Convert,   None,    64,  1, 4)        \
+    /* --- Base integer: stack / sync / system -------------------------- */\
+    X(PUSH,       "PUSH",       Base, Stack,     None,    64,  1, 4)        \
+    X(POP,        "POP",        Base, Stack,     None,    64,  1, 4)        \
+    X(LEAVE,      "LEAVE",      Base, Stack,     None,    64,  2, 4)        \
+    X(XCHG,       "XCHG",       Base, Sync,      None,    64, 20, 4)        \
+    X(XADD,       "XADD",       Base, Sync,      None,    64, 20, 4)        \
+    X(NOP,        "NOP",        Base, Nop,       None,     0,  1, 4)        \
+    X(SYSCALL,    "SYSCALL",    Base, System,    None,    64, 40, 4)        \
+    X(SYSRET,     "SYSRET",     Base, System,    None,    64, 30, 4)        \
+    X(CPUID,      "CPUID",      Base, System,    None,    64, 100, 4)       \
+    X(RDTSC,      "RDTSC",      Base, System,    None,    64, 25, 4)        \
+    /* --- Base integer: control transfer ------------------------------- */\
+    X(JMP,        "JMP",        Base, UncondBranch, None, 64,  1, 8)        \
+    X(JMP_IND,    "JMP_IND",    Base, IndirectBranch, None, 64, 2, 4)       \
+    X(JZ,         "JZ",         Base, CondBranch, None,   64,  1, 8)        \
+    X(JNZ,        "JNZ",        Base, CondBranch, None,   64,  1, 8)        \
+    X(JL,         "JL",         Base, CondBranch, None,   64,  1, 8)        \
+    X(JNL,        "JNL",        Base, CondBranch, None,   64,  1, 8)        \
+    X(JLE,        "JLE",        Base, CondBranch, None,   64,  1, 8)        \
+    X(JNLE,       "JNLE",       Base, CondBranch, None,   64,  1, 8)        \
+    X(JB,         "JB",         Base, CondBranch, None,   64,  1, 8)        \
+    X(JNB,        "JNB",        Base, CondBranch, None,   64,  1, 8)        \
+    X(JBE,        "JBE",        Base, CondBranch, None,   64,  1, 8)        \
+    X(JNBE,       "JNBE",       Base, CondBranch, None,   64,  1, 8)        \
+    X(JS,         "JS",         Base, CondBranch, None,   64,  1, 8)        \
+    X(JNS,        "JNS",        Base, CondBranch, None,   64,  1, 8)        \
+    X(CALL,       "CALL",       Base, Call,      None,    64,  2, 8)        \
+    X(CALL_IND,   "CALL_IND",   Base, IndirectCall, None, 64,  3, 4)        \
+    X(RET_NEAR,   "RET_NEAR",   Base, Ret,       None,    64,  2, 4)        \
+    /* --- x87 ----------------------------------------------------------- */\
+    X(FLD,        "FLD",        X87,  Move,      Scalar,  80,  1, 4)        \
+    X(FSTP,       "FSTP",       X87,  Move,      Scalar,  80,  2, 4)        \
+    X(FXCH,       "FXCH",       X87,  Move,      Scalar,  80,  1, 4)        \
+    X(FILD,       "FILD",       X87,  Convert,   Scalar,  80,  4, 4)        \
+    X(FADD,       "FADD",       X87,  Alu,       Scalar,  80,  3, 4)        \
+    X(FSUB,       "FSUB",       X87,  Alu,       Scalar,  80,  3, 4)        \
+    X(FMUL,       "FMUL",       X87,  Mul,       Scalar,  80,  5, 4)        \
+    X(FDIV,       "FDIV",       X87,  Div,       Scalar,  80, 24, 4)        \
+    X(FSQRT,      "FSQRT",      X87,  Sqrt,      Scalar,  80, 27, 4)        \
+    X(FSIN,       "FSIN",       X87,  Transcend, Scalar,  80, 90, 4)        \
+    X(FCOS,       "FCOS",       X87,  Transcend, Scalar,  80, 90, 4)        \
+    X(FPREM,      "FPREM",      X87,  Transcend, Scalar,  80, 25, 4)        \
+    X(FCOMI,      "FCOMI",      X87,  Compare,   Scalar,  80,  2, 4)        \
+    /* --- SSE scalar FP -------------------------------------------------*/\
+    X(MOVSS,      "MOVSS",      Sse,  Move,      Scalar,  32,  1, 6)        \
+    X(MOVSD_X,    "MOVSD_X",    Sse,  Move,      Scalar,  64,  1, 6)        \
+    X(ADDSS,      "ADDSS",      Sse,  Alu,       Scalar,  32,  3, 6)        \
+    X(ADDSD,      "ADDSD",      Sse,  Alu,       Scalar,  64,  3, 6)        \
+    X(SUBSS,      "SUBSS",      Sse,  Alu,       Scalar,  32,  3, 6)        \
+    X(SUBSD,      "SUBSD",      Sse,  Alu,       Scalar,  64,  3, 6)        \
+    X(MULSS,      "MULSS",      Sse,  Mul,       Scalar,  32,  5, 6)        \
+    X(MULSD,      "MULSD",      Sse,  Mul,       Scalar,  64,  5, 6)        \
+    X(DIVSS,      "DIVSS",      Sse,  Div,       Scalar,  32, 13, 6)        \
+    X(DIVSD,      "DIVSD",      Sse,  Div,       Scalar,  64, 20, 6)        \
+    X(SQRTSS,     "SQRTSS",     Sse,  Sqrt,      Scalar,  32, 13, 6)        \
+    X(SQRTSD,     "SQRTSD",     Sse,  Sqrt,      Scalar,  64, 20, 6)        \
+    X(COMISS,     "COMISS",     Sse,  Compare,   Scalar,  32,  2, 6)        \
+    X(UCOMISD,    "UCOMISD",    Sse,  Compare,   Scalar,  64,  2, 6)        \
+    X(CVTSI2SD,   "CVTSI2SD",   Sse,  Convert,   Scalar,  64,  4, 6)        \
+    X(CVTSD2SI,   "CVTSD2SI",   Sse,  Convert,   Scalar,  64,  4, 6)        \
+    X(CVTSS2SD,   "CVTSS2SD",   Sse,  Convert,   Scalar,  64,  2, 6)        \
+    X(CVTTSD2SI,  "CVTTSD2SI",  Sse,  Convert,   Scalar,  64,  4, 6)        \
+    /* --- SSE packed FP --------------------------------------------------*/\
+    X(MOVAPS,     "MOVAPS",     Sse,  Move,      Packed, 128,  1, 6)        \
+    X(MOVUPS,     "MOVUPS",     Sse,  Move,      Packed, 128,  1, 6)        \
+    X(ADDPS,      "ADDPS",      Sse,  Alu,       Packed, 128,  3, 6)        \
+    X(ADDPD,      "ADDPD",      Sse,  Alu,       Packed, 128,  3, 6)        \
+    X(SUBPS,      "SUBPS",      Sse,  Alu,       Packed, 128,  3, 6)        \
+    X(SUBPD,      "SUBPD",      Sse,  Alu,       Packed, 128,  3, 6)        \
+    X(MULPS,      "MULPS",      Sse,  Mul,       Packed, 128,  5, 6)        \
+    X(MULPD,      "MULPD",      Sse,  Mul,       Packed, 128,  5, 6)        \
+    X(DIVPS,      "DIVPS",      Sse,  Div,       Packed, 128, 13, 6)        \
+    X(DIVPD,      "DIVPD",      Sse,  Div,       Packed, 128, 20, 6)        \
+    X(SQRTPS,     "SQRTPS",     Sse,  Sqrt,      Packed, 128, 13, 6)        \
+    X(RSQRTPS,    "RSQRTPS",    Sse,  Sqrt,      Packed, 128,  5, 6)        \
+    X(XORPS,      "XORPS",      Sse,  Logic,     Packed, 128,  1, 6)        \
+    X(ANDPS,      "ANDPS",      Sse,  Logic,     Packed, 128,  1, 6)        \
+    X(ORPS,       "ORPS",       Sse,  Logic,     Packed, 128,  1, 6)        \
+    X(CMPPS,      "CMPPS",      Sse,  Compare,   Packed, 128,  3, 6)        \
+    X(SHUFPS,     "SHUFPS",     Sse,  Shuffle,   Packed, 128,  1, 6)        \
+    X(UNPCKLPS,   "UNPCKLPS",   Sse,  Shuffle,   Packed, 128,  1, 6)        \
+    X(MAXPS,      "MAXPS",      Sse,  Alu,       Packed, 128,  3, 6)        \
+    X(MINPS,      "MINPS",      Sse,  Alu,       Packed, 128,  3, 6)        \
+    X(HADDPS,     "HADDPS",     Sse,  Alu,       Packed, 128,  5, 6)        \
+    /* --- SSE integer -----------------------------------------------------*/\
+    X(MOVDQA,     "MOVDQA",     Sse,  Move,      Packed, 128,  1, 6)        \
+    X(MOVDQU,     "MOVDQU",     Sse,  Move,      Packed, 128,  1, 6)        \
+    X(PADDD,      "PADDD",      Sse,  Alu,       Packed, 128,  1, 6)        \
+    X(PSUBD,      "PSUBD",      Sse,  Alu,       Packed, 128,  1, 6)        \
+    X(PMULLD,     "PMULLD",     Sse,  Mul,       Packed, 128,  5, 6)        \
+    X(PAND,       "PAND",       Sse,  Logic,     Packed, 128,  1, 6)        \
+    X(POR,        "POR",        Sse,  Logic,     Packed, 128,  1, 6)        \
+    X(PXOR,       "PXOR",       Sse,  Logic,     Packed, 128,  1, 6)        \
+    X(PSLLD,      "PSLLD",      Sse,  Shift,     Packed, 128,  1, 6)        \
+    X(PSRLD,      "PSRLD",      Sse,  Shift,     Packed, 128,  1, 6)        \
+    X(PCMPEQD,    "PCMPEQD",    Sse,  Compare,   Packed, 128,  1, 6)        \
+    X(PSHUFD,     "PSHUFD",     Sse,  Shuffle,   Packed, 128,  1, 6)        \
+    X(PUNPCKLDQ,  "PUNPCKLDQ",  Sse,  Shuffle,   Packed, 128,  1, 6)        \
+    X(PMOVMSKB,   "PMOVMSKB",   Sse,  Move,      Packed, 128,  2, 6)        \
+    /* --- AVX float --------------------------------------------------------*/\
+    X(VMOVSS,     "VMOVSS",     Avx,  Move,      Scalar,  32,  1, 7)        \
+    X(VADDSS,     "VADDSS",     Avx,  Alu,       Scalar,  32,  3, 7)        \
+    X(VMULSS,     "VMULSS",     Avx,  Mul,       Scalar,  32,  5, 7)        \
+    X(VDIVSS,     "VDIVSS",     Avx,  Div,       Scalar,  32, 13, 7)        \
+    X(VSQRTSS,    "VSQRTSS",    Avx,  Sqrt,      Scalar,  32, 13, 7)        \
+    X(VCVTSI2SS,  "VCVTSI2SS",  Avx,  Convert,   Scalar,  32,  4, 7)        \
+    X(VFMADD231SS,"VFMADD231SS",Avx,  Mul,       Scalar,  32,  5, 7)        \
+    X(VMOVAPS,    "VMOVAPS",    Avx,  Move,      Packed, 256,  1, 7)        \
+    X(VMOVUPS,    "VMOVUPS",    Avx,  Move,      Packed, 256,  1, 7)        \
+    X(VADDPS,     "VADDPS",     Avx,  Alu,       Packed, 256,  3, 7)        \
+    X(VSUBPS,     "VSUBPS",     Avx,  Alu,       Packed, 256,  3, 7)        \
+    X(VMULPS,     "VMULPS",     Avx,  Mul,       Packed, 256,  5, 7)        \
+    X(VDIVPS,     "VDIVPS",     Avx,  Div,       Packed, 256, 21, 7)        \
+    X(VSQRTPS,    "VSQRTPS",    Avx,  Sqrt,      Packed, 256, 19, 7)        \
+    X(VXORPS,     "VXORPS",     Avx,  Logic,     Packed, 256,  1, 7)        \
+    X(VANDPS,     "VANDPS",     Avx,  Logic,     Packed, 256,  1, 7)        \
+    X(VMAXPS,     "VMAXPS",     Avx,  Alu,       Packed, 256,  3, 7)        \
+    X(VMINPS,     "VMINPS",     Avx,  Alu,       Packed, 256,  3, 7)        \
+    X(VCMPPS,     "VCMPPS",     Avx,  Compare,   Packed, 256,  3, 7)        \
+    X(VSHUFPS,    "VSHUFPS",    Avx,  Shuffle,   Packed, 256,  1, 7)        \
+    X(VBLENDVPS,  "VBLENDVPS",  Avx,  Shuffle,   Packed, 256,  2, 7)        \
+    X(VBROADCASTSS,"VBROADCASTSS",Avx,Shuffle,   Packed, 256,  1, 7)        \
+    X(VINSERTF128,"VINSERTF128",Avx,  Shuffle,   Packed, 256,  3, 7)        \
+    X(VEXTRACTF128,"VEXTRACTF128",Avx,Shuffle,   Packed, 256,  3, 7)        \
+    X(VPERM2F128, "VPERM2F128", Avx,  Shuffle,   Packed, 256,  3, 7)        \
+    X(VHADDPS,    "VHADDPS",    Avx,  Alu,       Packed, 256,  5, 7)        \
+    X(VFMADD231PS,"VFMADD231PS",Avx,  Mul,       Packed, 256,  5, 7)        \
+    X(VZEROUPPER, "VZEROUPPER", Avx,  System,    Packed, 256,  1, 7)        \
+    X(VMOVD,      "VMOVD",      Avx,  Move,      None,    32,  1, 7)        \
+    X(VMOVQ,      "VMOVQ",      Avx,  Move,      None,    64,  1, 7)        \
+    /* --- AVX2 integer ------------------------------------------------------*/\
+    X(VPADDD,     "VPADDD",     Avx2, Alu,       Packed, 256,  1, 7)        \
+    X(VPSUBD,     "VPSUBD",     Avx2, Alu,       Packed, 256,  1, 7)        \
+    X(VPMULLD,    "VPMULLD",    Avx2, Mul,       Packed, 256, 10, 7)        \
+    X(VPAND,      "VPAND",      Avx2, Logic,     Packed, 256,  1, 7)        \
+    X(VPXOR,      "VPXOR",      Avx2, Logic,     Packed, 256,  1, 7)        \
+    X(VPSLLD,     "VPSLLD",     Avx2, Shift,     Packed, 256,  1, 7)        \
+    X(VPCMPEQD,   "VPCMPEQD",   Avx2, Compare,   Packed, 256,  1, 7)        \
+    X(VPSHUFD,    "VPSHUFD",    Avx2, Shuffle,   Packed, 256,  1, 7)        \
+    X(VPBROADCASTD,"VPBROADCASTD",Avx2,Shuffle,  Packed, 256,  1, 7)        \
+    X(VPGATHERDD, "VPGATHERDD", Avx2, Gather,    Packed, 256, 14, 7)
+
+/** All mnemonics of the synthetic ISA. */
+enum class Mnemonic : uint16_t {
+#define X(sym, name, ext, cat, pack, width, lat, bytes) sym,
+    HBBP_MNEMONIC_LIST(X)
+#undef X
+    NumMnemonics
+};
+
+/** Number of mnemonics in the registry. */
+constexpr size_t kNumMnemonics = static_cast<size_t>(Mnemonic::NumMnemonics);
+
+/** Static attributes of a mnemonic. */
+struct MnemonicInfo
+{
+    Mnemonic mnemonic;      ///< Back-reference.
+    const char *name;       ///< Printable mnemonic string.
+    IsaExt ext;             ///< ISA extension.
+    Category category;      ///< Functional category.
+    Packing packing;        ///< SIMD packing attribute.
+    uint16_t width_bits;    ///< Operand width in bits (0 for NOP).
+    uint16_t latency;       ///< Retirement latency class in cycles.
+    uint8_t default_bytes;  ///< Default encoded length in bytes.
+
+    /** Any control transfer (jumps, calls, returns). */
+    bool isControl() const;
+
+    /** Control transfer that is architecturally always taken. */
+    bool isAlwaysTaken() const;
+
+    /** A conditional direct branch. */
+    bool isCondBranch() const;
+
+    /** Direct control transfer that encodes a displacement. */
+    bool hasDisplacement() const;
+
+    /** Call of either kind. */
+    bool isCall() const;
+
+    /** Long-latency instruction per the PMU shadowing model. */
+    bool isLongLatency() const;
+};
+
+/** Latency at or above which an instruction counts as long-latency. */
+constexpr uint16_t kLongLatencyThreshold = 12;
+
+/** Attribute lookup; panics on out-of-range values. */
+const MnemonicInfo &info(Mnemonic m);
+
+/** Printable name of @p m. */
+const char *name(Mnemonic m);
+
+/** Reverse lookup by name; std::nullopt when unknown. */
+std::optional<Mnemonic> mnemonicFromName(const std::string &name);
+
+/** Printable name of an ISA extension. */
+const char *name(IsaExt ext);
+
+/** Printable name of a category. */
+const char *name(Category cat);
+
+/** Printable name of a packing attribute. */
+const char *name(Packing packing);
+
+} // namespace hbbp
+
+#endif // HBBP_ISA_MNEMONIC_HH

@@ -1,0 +1,99 @@
+#include "isa/taxonomy.hh"
+
+#include <memory>
+#include <unordered_set>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+void
+Taxonomy::addGroup(const std::string &group,
+                   const std::vector<Mnemonic> &members)
+{
+    auto set = std::make_shared<std::unordered_set<uint16_t>>();
+    for (Mnemonic m : members)
+        set->insert(static_cast<uint16_t>(m));
+    groups_.push_back({group, [set](const MnemonicInfo &mi) {
+        return set->count(static_cast<uint16_t>(mi.mnemonic)) > 0;
+    }});
+}
+
+void
+Taxonomy::addGroup(const std::string &group, Predicate predicate)
+{
+    if (!predicate)
+        panic("Taxonomy::addGroup: empty predicate for group '%s'",
+              group.c_str());
+    groups_.push_back({group, std::move(predicate)});
+}
+
+std::vector<std::string>
+Taxonomy::groupsOf(Mnemonic m) const
+{
+    std::vector<std::string> out;
+    const MnemonicInfo &mi = info(m);
+    for (const auto &g : groups_)
+        if (g.predicate(mi))
+            out.push_back(g.name);
+    return out;
+}
+
+bool
+Taxonomy::isIn(Mnemonic m, const std::string &group) const
+{
+    const MnemonicInfo &mi = info(m);
+    for (const auto &g : groups_)
+        if (g.name == group)
+            return g.predicate(mi);
+    return false;
+}
+
+std::vector<Mnemonic>
+Taxonomy::membersOf(const std::string &group) const
+{
+    std::vector<Mnemonic> out;
+    for (size_t i = 0; i < kNumMnemonics; i++) {
+        Mnemonic m = static_cast<Mnemonic>(i);
+        if (isIn(m, group))
+            out.push_back(m);
+    }
+    return out;
+}
+
+std::vector<std::string>
+Taxonomy::groupNames() const
+{
+    std::vector<std::string> out;
+    for (const auto &g : groups_)
+        out.push_back(g.name);
+    return out;
+}
+
+Taxonomy
+Taxonomy::standard()
+{
+    Taxonomy tax;
+    tax.addGroup("long_latency", [](const MnemonicInfo &mi) {
+        return mi.isLongLatency();
+    });
+    tax.addGroup("synchronization",
+                 {Mnemonic::XCHG, Mnemonic::XADD});
+    tax.addGroup("vector_packed", [](const MnemonicInfo &mi) {
+        return mi.packing == Packing::Packed;
+    });
+    tax.addGroup("vector_scalar", [](const MnemonicInfo &mi) {
+        return mi.packing == Packing::Scalar &&
+               (mi.ext == IsaExt::Sse || mi.ext == IsaExt::Avx);
+    });
+    tax.addGroup("control_transfer", [](const MnemonicInfo &mi) {
+        return mi.isControl();
+    });
+    tax.addGroup("floating_point", [](const MnemonicInfo &mi) {
+        return mi.ext == IsaExt::X87 || mi.ext == IsaExt::Sse ||
+               mi.ext == IsaExt::Avx;
+    });
+    return tax;
+}
+
+} // namespace hbbp

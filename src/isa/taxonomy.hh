@@ -1,0 +1,68 @@
+/**
+ * @file
+ * User-definable instruction taxonomies.
+ *
+ * Section V.B of the paper describes custom instruction groups such as
+ * "long latency instructions" (DIV, SQRT, XCHG r,m) or "synchronization
+ * instructions" (XADD, LOCK variants) that mix static attributes with
+ * explicit mnemonic lists. Taxonomy provides exactly that: named groups
+ * defined either by an explicit mnemonic set or by a predicate over
+ * MnemonicInfo, with overlapping membership allowed.
+ */
+
+#ifndef HBBP_ISA_TAXONOMY_HH
+#define HBBP_ISA_TAXONOMY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/mnemonic.hh"
+
+namespace hbbp {
+
+/** A named, user-defined grouping of mnemonics. */
+class Taxonomy
+{
+  public:
+    using Predicate = std::function<bool(const MnemonicInfo &)>;
+
+    /** Define a group from an explicit mnemonic list. */
+    void addGroup(const std::string &group,
+                  const std::vector<Mnemonic> &members);
+
+    /** Define a group from a predicate over static attributes. */
+    void addGroup(const std::string &group, Predicate predicate);
+
+    /** All groups @p m belongs to, in definition order. */
+    std::vector<std::string> groupsOf(Mnemonic m) const;
+
+    /** True when @p m belongs to @p group. */
+    bool isIn(Mnemonic m, const std::string &group) const;
+
+    /** All mnemonics belonging to @p group. */
+    std::vector<Mnemonic> membersOf(const std::string &group) const;
+
+    /** Names of all defined groups, in definition order. */
+    std::vector<std::string> groupNames() const;
+
+    /**
+     * The default taxonomy from the paper's examples: long-latency,
+     * synchronization, memory-read, memory-write-capable, vector-packed,
+     * vector-scalar and control-transfer groups.
+     */
+    static Taxonomy standard();
+
+  private:
+    struct Group
+    {
+        std::string name;
+        Predicate predicate;
+    };
+
+    std::vector<Group> groups_;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_ISA_TAXONOMY_HH

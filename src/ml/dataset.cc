@@ -1,0 +1,41 @@
+#include "ml/dataset.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names))
+{
+    if (feature_names_.empty())
+        panic("Dataset: at least one feature required");
+}
+
+void
+Dataset::add(const std::vector<double> &x, int label, double weight)
+{
+    if (x.size() != feature_names_.size())
+        panic("Dataset::add: %zu features, expected %zu", x.size(),
+              feature_names_.size());
+    if (label < 0)
+        panic("Dataset::add: negative label %d", label);
+    if (weight <= 0.0)
+        panic("Dataset::add: non-positive weight %f", weight);
+    rows_.push_back(x);
+    labels_.push_back(label);
+    weights_.push_back(weight);
+    num_classes_ = std::max(num_classes_, label + 1);
+}
+
+double
+Dataset::totalWeight() const
+{
+    double total = 0.0;
+    for (double w : weights_)
+        total += w;
+    return total;
+}
+
+} // namespace hbbp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tabular dataset for the classification tree.
+ */
+
+#ifndef HBBP_ML_DATASET_HH
+#define HBBP_ML_DATASET_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hbbp {
+
+/** A weighted, labelled feature matrix. */
+class Dataset
+{
+  public:
+    /** @param feature_names column names, defining the width. */
+    explicit Dataset(std::vector<std::string> feature_names);
+
+    /** Append one example; @p x must match the feature count. */
+    void add(const std::vector<double> &x, int label, double weight = 1.0);
+
+    /** Number of examples. */
+    size_t size() const { return labels_.size(); }
+
+    /** Number of features. */
+    size_t featureCount() const { return feature_names_.size(); }
+
+    /** Number of distinct classes (max label + 1). */
+    int classCount() const { return num_classes_; }
+
+    /** Feature @p f of example @p i. */
+    double x(size_t i, size_t f) const { return rows_[i][f]; }
+
+    /** Label of example @p i. */
+    int label(size_t i) const { return labels_[i]; }
+
+    /** Weight of example @p i. */
+    double weight(size_t i) const { return weights_[i]; }
+
+    /** Column names. */
+    const std::vector<std::string> &featureNames() const
+    {
+        return feature_names_;
+    }
+
+    /** Sum of all weights. */
+    double totalWeight() const;
+
+  private:
+    std::vector<std::string> feature_names_;
+    std::vector<std::vector<double>> rows_;
+    std::vector<int> labels_;
+    std::vector<double> weights_;
+    int num_classes_ = 0;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_ML_DATASET_HH

@@ -1,0 +1,328 @@
+#include "ml/decision_tree.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "support/logging.hh"
+#include "support/strings.hh"
+
+namespace hbbp {
+
+double
+giniImpurity(const std::vector<double> &class_weights)
+{
+    double total = 0.0;
+    for (double w : class_weights)
+        total += w;
+    if (total <= 0.0)
+        return 0.0;
+    double sum_sq = 0.0;
+    for (double w : class_weights) {
+        double p = w / total;
+        sum_sq += p * p;
+    }
+    return 1.0 - sum_sq;
+}
+
+namespace {
+
+/** Class-weight histogram over a range of dataset indices. */
+std::vector<double>
+classWeights(const Dataset &data, const std::vector<size_t> &indices,
+             size_t begin, size_t end, int class_count)
+{
+    std::vector<double> weights(static_cast<size_t>(class_count), 0.0);
+    for (size_t i = begin; i < end; i++)
+        weights[static_cast<size_t>(data.label(indices[i]))] +=
+            data.weight(indices[i]);
+    return weights;
+}
+
+int
+majorityClass(const std::vector<double> &class_weights)
+{
+    int best = 0;
+    for (size_t c = 1; c < class_weights.size(); c++)
+        if (class_weights[c] > class_weights[best])
+            best = static_cast<int>(c);
+    return best;
+}
+
+} // namespace
+
+void
+DecisionTree::fit(const Dataset &data, const TreeConfig &config)
+{
+    if (data.size() == 0)
+        fatal("DecisionTree::fit: empty dataset");
+    config_ = config;
+    feature_count_ = data.featureCount();
+    class_count_ = std::max(data.classCount(), 1);
+    nodes_.clear();
+
+    std::vector<size_t> indices(data.size());
+    for (size_t i = 0; i < data.size(); i++)
+        indices[i] = i;
+    build(data, indices, 0, data.size(), 0);
+}
+
+int
+DecisionTree::build(const Dataset &data, std::vector<size_t> &indices,
+                    size_t begin, size_t end, size_t depth)
+{
+    Node node;
+    node.class_weights =
+        classWeights(data, indices, begin, end, class_count_);
+    node.gini = giniImpurity(node.class_weights);
+    node.samples = end - begin;
+    for (double w : node.class_weights)
+        node.weight += w;
+    node.prediction = majorityClass(node.class_weights);
+
+    int node_id = static_cast<int>(nodes_.size());
+    nodes_.push_back(node);
+
+    bool can_split = depth < config_.max_depth && node.gini > 0.0 &&
+                     node.samples >= 2 * config_.min_samples_leaf;
+    if (!can_split)
+        return node_id;
+
+    // Exhaustive search for the best (feature, threshold) split by
+    // weighted Gini decrease.
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    double best_decrease = config_.min_impurity_decrease;
+    size_t best_split_pos = 0;
+
+    std::vector<size_t> sorted(indices.begin() +
+                                   static_cast<ptrdiff_t>(begin),
+                               indices.begin() +
+                                   static_cast<ptrdiff_t>(end));
+    const double parent_weight = node.weight;
+
+    for (size_t f = 0; f < feature_count_; f++) {
+        std::sort(sorted.begin(), sorted.end(),
+                  [&](size_t a, size_t b) {
+                      return data.x(a, f) < data.x(b, f);
+                  });
+        std::vector<double> left(static_cast<size_t>(class_count_), 0.0);
+        std::vector<double> right = node.class_weights;
+        double left_weight = 0.0;
+        double right_weight = parent_weight;
+
+        for (size_t pos = 1; pos < sorted.size(); pos++) {
+            size_t prev = sorted[pos - 1];
+            double w = data.weight(prev);
+            size_t cls = static_cast<size_t>(data.label(prev));
+            left[cls] += w;
+            right[cls] -= w;
+            left_weight += w;
+            right_weight -= w;
+
+            double prev_x = data.x(prev, f);
+            double cur_x = data.x(sorted[pos], f);
+            if (cur_x <= prev_x)
+                continue; // no threshold separates equal values
+            if (pos < config_.min_samples_leaf ||
+                sorted.size() - pos < config_.min_samples_leaf)
+                continue;
+            if (left_weight < config_.min_weight_leaf ||
+                right_weight < config_.min_weight_leaf)
+                continue;
+
+            double child_impurity =
+                (left_weight * giniImpurity(left) +
+                 right_weight * giniImpurity(right)) / parent_weight;
+            double decrease = nodes_[static_cast<size_t>(node_id)].gini -
+                              child_impurity;
+            if (decrease > best_decrease) {
+                best_decrease = decrease;
+                best_feature = static_cast<int>(f);
+                best_threshold = (prev_x + cur_x) / 2.0;
+                best_split_pos = pos;
+            }
+        }
+    }
+
+    if (best_feature < 0)
+        return node_id;
+    (void)best_split_pos;
+
+    // Partition the index range in place on the winning split.
+    auto mid_it = std::stable_partition(
+        indices.begin() + static_cast<ptrdiff_t>(begin),
+        indices.begin() + static_cast<ptrdiff_t>(end), [&](size_t i) {
+            return data.x(i, static_cast<size_t>(best_feature)) <=
+                   best_threshold;
+        });
+    size_t mid = static_cast<size_t>(mid_it - indices.begin());
+    if (mid == begin || mid == end)
+        return node_id; // should not happen; defensive
+
+    nodes_[static_cast<size_t>(node_id)].feature = best_feature;
+    nodes_[static_cast<size_t>(node_id)].threshold = best_threshold;
+    int left_id = build(data, indices, begin, mid, depth + 1);
+    nodes_[static_cast<size_t>(node_id)].left = left_id;
+    int right_id = build(data, indices, mid, end, depth + 1);
+    nodes_[static_cast<size_t>(node_id)].right = right_id;
+    return node_id;
+}
+
+int
+DecisionTree::predict(const std::vector<double> &x) const
+{
+    if (nodes_.empty())
+        panic("DecisionTree::predict called before fit");
+    if (x.size() != feature_count_)
+        panic("DecisionTree::predict: %zu features, expected %zu",
+              x.size(), feature_count_);
+    size_t cur = 0;
+    for (;;) {
+        const Node &node = nodes_[cur];
+        if (node.isLeaf())
+            return node.prediction;
+        cur = static_cast<size_t>(
+            x[static_cast<size_t>(node.feature)] <= node.threshold
+                ? node.left : node.right);
+    }
+}
+
+std::vector<double>
+DecisionTree::featureImportances() const
+{
+    std::vector<double> importances(feature_count_, 0.0);
+    double root_weight = nodes_.empty() ? 0.0 : nodes_[0].weight;
+    if (root_weight <= 0.0)
+        return importances;
+    for (const Node &node : nodes_) {
+        if (node.isLeaf())
+            continue;
+        const Node &left = nodes_[static_cast<size_t>(node.left)];
+        const Node &right = nodes_[static_cast<size_t>(node.right)];
+        double decrease =
+            node.weight * node.gini -
+            left.weight * left.gini - right.weight * right.gini;
+        importances[static_cast<size_t>(node.feature)] +=
+            decrease / root_weight;
+    }
+    double total = 0.0;
+    for (double imp : importances)
+        total += imp;
+    if (total > 0.0)
+        for (double &imp : importances)
+            imp /= total;
+    return importances;
+}
+
+size_t
+DecisionTree::depth() const
+{
+    // Iterative depth computation over the implicit tree structure.
+    size_t max_depth = 0;
+    std::vector<std::pair<size_t, size_t>> stack;
+    if (nodes_.empty())
+        return 0;
+    stack.push_back({0, 0});
+    while (!stack.empty()) {
+        auto [id, d] = stack.back();
+        stack.pop_back();
+        max_depth = std::max(max_depth, d);
+        const Node &node = nodes_[id];
+        if (!node.isLeaf()) {
+            stack.push_back({static_cast<size_t>(node.left), d + 1});
+            stack.push_back({static_cast<size_t>(node.right), d + 1});
+        }
+    }
+    return max_depth;
+}
+
+size_t
+DecisionTree::leafCount() const
+{
+    size_t n = 0;
+    for (const Node &node : nodes_)
+        if (node.isLeaf())
+            n++;
+    return n;
+}
+
+namespace {
+
+std::string
+className(const std::vector<std::string> &class_names, int cls)
+{
+    if (cls >= 0 && static_cast<size_t>(cls) < class_names.size())
+        return class_names[static_cast<size_t>(cls)];
+    return format("class_%d", cls);
+}
+
+} // namespace
+
+std::string
+DecisionTree::toText(const std::vector<std::string> &feature_names,
+                     const std::vector<std::string> &class_names) const
+{
+    std::string out;
+    // Recursive lambda via explicit stack of (node, depth, prefix).
+    std::function<void(size_t, size_t)> emit = [&](size_t id,
+                                                   size_t depth) {
+        const Node &node = nodes_[id];
+        std::string indent(depth * 2, ' ');
+        if (node.isLeaf()) {
+            out += format("%sleaf: class=%s gini=%.3f samples=%zu "
+                          "weight=%.3g\n", indent.c_str(),
+                          className(class_names, node.prediction).c_str(),
+                          node.gini, node.samples, node.weight);
+            return;
+        }
+        std::string fname =
+            static_cast<size_t>(node.feature) < feature_names.size()
+                ? feature_names[static_cast<size_t>(node.feature)]
+                : format("x[%d]", node.feature);
+        out += format("%s%s <= %.3f ? (gini=%.3f samples=%zu)\n",
+                      indent.c_str(), fname.c_str(), node.threshold,
+                      node.gini, node.samples);
+        emit(static_cast<size_t>(node.left), depth + 1);
+        out += format("%selse:\n", indent.c_str());
+        emit(static_cast<size_t>(node.right), depth + 1);
+    };
+    if (!nodes_.empty())
+        emit(0, 0);
+    return out;
+}
+
+std::string
+DecisionTree::toDot(const std::vector<std::string> &feature_names,
+                    const std::vector<std::string> &class_names) const
+{
+    std::string out = "digraph hbbp_tree {\n  node [shape=box];\n";
+    for (size_t id = 0; id < nodes_.size(); id++) {
+        const Node &node = nodes_[id];
+        std::string label;
+        if (node.isLeaf()) {
+            label = format("class = %s\\ngini = %.3f\\nsamples = %zu",
+                           className(class_names, node.prediction).c_str(),
+                           node.gini, node.samples);
+        } else {
+            std::string fname =
+                static_cast<size_t>(node.feature) < feature_names.size()
+                    ? feature_names[static_cast<size_t>(node.feature)]
+                    : format("x[%d]", node.feature);
+            label = format("%s <= %.3f\\ngini = %.3f\\nsamples = %zu",
+                           fname.c_str(), node.threshold, node.gini,
+                           node.samples);
+        }
+        out += format("  n%zu [label=\"%s\"];\n", id, label.c_str());
+        if (!node.isLeaf()) {
+            out += format("  n%zu -> n%d [label=\"true\"];\n", id,
+                          node.left);
+            out += format("  n%zu -> n%d [label=\"false\"];\n", id,
+                          node.right);
+        }
+    }
+    out += "}\n";
+    return out;
+}
+
+} // namespace hbbp

@@ -1,0 +1,121 @@
+#include "ml/trainer.hh"
+
+#include "analysis/error.hh"
+#include "support/logging.hh"
+
+namespace hbbp {
+
+TreeClassifier::TreeClassifier(std::shared_ptr<const DecisionTree> tree)
+    : tree_(std::move(tree))
+{
+    if (!tree_ || !tree_->fitted())
+        panic("TreeClassifier requires a fitted tree");
+}
+
+BbecSource
+TreeClassifier::choose(const BlockFeatures &features) const
+{
+    return tree_->predict(features.toVector()) == kLabelEbs
+               ? BbecSource::Ebs : BbecSource::Lbr;
+}
+
+std::string
+TreeClassifier::describe() const
+{
+    return format("decision tree (depth %zu, %zu leaves)",
+                  tree_->depth(), tree_->leafCount());
+}
+
+HbbpTrainer::HbbpTrainer(const Profiler &profiler, TrainerOptions opts)
+    : profiler_(profiler), opts_(opts)
+{
+}
+
+std::vector<LabeledBlock>
+HbbpTrainer::labelBlocks(const Workload &w) const
+{
+    ProfiledRun run = profiler_.run(w);
+    AnalysisResult analysis = profiler_.analyze(w, run.profile);
+
+    std::vector<double> truth =
+        trueMapBbec(analysis.map, run.true_bbec_by_addr);
+
+    std::vector<LabeledBlock> out;
+    for (uint32_t i = 0; i < analysis.map.blocks().size(); i++) {
+        double ref = truth[i];
+        if (ref < opts_.min_true_count)
+            continue;
+        const MapBlock &blk = analysis.map.block(i);
+        LabeledBlock lb;
+        lb.features = analysis.features[i];
+        lb.true_count = ref;
+        lb.ebs_error = blockError(ref, analysis.estimates.ebs[i]);
+        lb.lbr_error = blockError(ref, analysis.estimates.lbr[i]);
+        lb.label = lb.ebs_error < lb.lbr_error ? kLabelEbs : kLabelLbr;
+        lb.weight = ref * static_cast<double>(blk.size());
+        lb.workload = w.name;
+        lb.addr = blk.start;
+        out.push_back(lb);
+    }
+    return out;
+}
+
+std::vector<LabeledBlock>
+HbbpTrainer::labelBlocks(const std::vector<Workload> &ws) const
+{
+    std::vector<LabeledBlock> out;
+    for (const Workload &w : ws) {
+        std::vector<LabeledBlock> part = labelBlocks(w);
+        out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+}
+
+Dataset
+HbbpTrainer::makeDataset(const std::vector<LabeledBlock> &blocks)
+{
+    Dataset data(featureNames());
+    for (const LabeledBlock &lb : blocks)
+        data.add(lb.features.toVector(), lb.label, lb.weight);
+    return data;
+}
+
+DecisionTree
+HbbpTrainer::fitTree(const std::vector<LabeledBlock> &blocks) const
+{
+    if (blocks.empty())
+        fatal("HbbpTrainer::fitTree: no training examples — lower "
+              "min_true_count or use hotter workloads");
+    Dataset data = makeDataset(blocks);
+    DecisionTree tree;
+    tree.fit(data, opts_.tree);
+    return tree;
+}
+
+double
+HbbpTrainer::rootLengthCutoff(const DecisionTree &tree)
+{
+    if (!tree.fitted() || tree.nodes().empty())
+        return -1.0;
+    const DecisionTree::Node &root = tree.nodes().front();
+    if (root.isLeaf() || root.feature != 0)
+        return -1.0; // feature 0 is block_length
+    return root.threshold;
+}
+
+std::vector<std::string>
+HbbpTrainer::classNames()
+{
+    return {"EBS", "LBR"};
+}
+
+std::vector<std::string>
+HbbpTrainer::featureNames()
+{
+    std::vector<std::string> names;
+    for (size_t i = 0; i < BlockFeatures::kCount; i++)
+        names.emplace_back(BlockFeatures::featureName(i));
+    return names;
+}
+
+} // namespace hbbp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * HBBP criteria search (Section IV.B of the paper).
+ *
+ * The trainer runs the full tool on training workloads, labels each
+ * sufficiently-hot basic block "EBS" or "LBR" depending on which
+ * estimate was closer to the software-instrumentation ground truth,
+ * weights each example by its executed instruction volume, and fits a
+ * classification tree on the BlockFeatures vector. The paper trains on
+ * ~1,100 basic blocks of non-SPEC input and consistently finds block
+ * instruction length dominating with a cutoff near 18.
+ */
+
+#ifndef HBBP_ML_TRAINER_HH
+#define HBBP_ML_TRAINER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hh"
+#include "ml/decision_tree.hh"
+#include "tools/profiler.hh"
+
+namespace hbbp {
+
+/** Label encoding used throughout the trainer. */
+constexpr int kLabelEbs = 0;
+constexpr int kLabelLbr = 1;
+
+/** One labelled training example (diagnostics retained). */
+struct LabeledBlock
+{
+    BlockFeatures features;
+    int label = kLabelLbr;   ///< kLabelEbs or kLabelLbr.
+    double weight = 1.0;     ///< Executed instruction volume.
+    std::string workload;    ///< Source workload name.
+    uint64_t addr = 0;       ///< Block start address.
+    double true_count = 0.0; ///< Ground-truth BBEC.
+    double ebs_error = 0.0;  ///< |truth - EBS| / truth.
+    double lbr_error = 0.0;  ///< |truth - LBR| / truth.
+};
+
+/** Trainer configuration. */
+struct TrainerOptions
+{
+    /** Minimum ground-truth executions for a block to be usable. */
+    double min_true_count = 800.0;
+    /** Tree growth controls. */
+    TreeConfig tree;
+};
+
+/** Adapter: a fitted tree as an HBBP classifier. */
+class TreeClassifier : public HbbpClassifier
+{
+  public:
+    explicit TreeClassifier(std::shared_ptr<const DecisionTree> tree);
+
+    BbecSource choose(const BlockFeatures &features) const override;
+    std::string describe() const override;
+
+    const DecisionTree &tree() const { return *tree_; }
+
+  private:
+    std::shared_ptr<const DecisionTree> tree_;
+};
+
+/** Runs the criteria search. */
+class HbbpTrainer
+{
+  public:
+    /**
+     * @param profiler the configured tool (its analyzer only supplies
+     *                 estimation options; classification is what is
+     *                 being learned)
+     * @param opts     trainer knobs
+     */
+    HbbpTrainer(const Profiler &profiler, TrainerOptions opts = {});
+
+    /** Extract labelled blocks from one workload. */
+    std::vector<LabeledBlock> labelBlocks(const Workload &w) const;
+
+    /** Extract labelled blocks from many workloads. */
+    std::vector<LabeledBlock>
+    labelBlocks(const std::vector<Workload> &ws) const;
+
+    /** Build a Dataset from labelled blocks. */
+    static Dataset makeDataset(const std::vector<LabeledBlock> &blocks);
+
+    /** Fit the classification tree on labelled blocks. */
+    DecisionTree fitTree(const std::vector<LabeledBlock> &blocks) const;
+
+    /**
+     * Convenience: the learned single-feature cutoff. Returns the root
+     * threshold if the root splits on block_length, else -1.
+     */
+    static double rootLengthCutoff(const DecisionTree &tree);
+
+    /** Class names for tree export, index-matched to labels. */
+    static std::vector<std::string> classNames();
+
+    /** Feature names, index-matched to BlockFeatures. */
+    static std::vector<std::string> featureNames();
+
+  private:
+    const Profiler &profiler_;
+    TrainerOptions opts_;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_ML_TRAINER_HH

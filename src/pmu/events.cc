@@ -1,0 +1,104 @@
+#include "pmu/events.hh"
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+const char *
+eventName(PmuEvent event)
+{
+    switch (event) {
+      case PmuEvent::InstRetiredPrecDist:
+        return "INST_RETIRED:PREC_DIST";
+      case PmuEvent::BrInstRetiredNearTaken:
+        return "BR_INST_RETIRED:NEAR_TAKEN";
+      default:
+        panic("eventName: bad event %d", static_cast<int>(event));
+    }
+}
+
+PmuEvent
+eventFromName(const std::string &name)
+{
+    if (name == "INST_RETIRED:PREC_DIST")
+        return PmuEvent::InstRetiredPrecDist;
+    if (name == "BR_INST_RETIRED:NEAR_TAKEN")
+        return PmuEvent::BrInstRetiredNearTaken;
+    fatal("unknown PMU event '%s'", name.c_str());
+}
+
+const char *
+name(CountingEventClass cls)
+{
+    switch (cls) {
+      case CountingEventClass::DivCycles: return "DIV (cycles)";
+      case CountingEventClass::MathSseFp: return "Math SSE FP";
+      case CountingEventClass::MathAvxFp: return "Math AVX FP";
+      case CountingEventClass::IntSimd: return "INT SIMD";
+      case CountingEventClass::X87: return "X87";
+      default:
+        panic("name: bad CountingEventClass %d", static_cast<int>(cls));
+    }
+}
+
+const char *
+name(PmuGeneration gen)
+{
+    switch (gen) {
+      case PmuGeneration::Westmere: return "Westmere";
+      case PmuGeneration::IvyBridge: return "Ivy Bridge";
+      case PmuGeneration::Haswell: return "Haswell";
+      default:
+        panic("name: bad PmuGeneration %d", static_cast<int>(gen));
+    }
+}
+
+int
+releaseYear(PmuGeneration gen)
+{
+    switch (gen) {
+      case PmuGeneration::Westmere: return 2010;
+      case PmuGeneration::IvyBridge: return 2013;
+      case PmuGeneration::Haswell: return 2015;
+      default:
+        panic("releaseYear: bad PmuGeneration %d", static_cast<int>(gen));
+    }
+}
+
+EventSupport
+countingEventSupport(PmuGeneration gen, CountingEventClass cls)
+{
+    // Encodes Table 2 of the paper: instruction-specific counting events
+    // were broadly available on Westmere and Ivy Bridge; Haswell removed
+    // the computational FP/SIMD/x87 counters, keeping only DIV cycles.
+    switch (gen) {
+      case PmuGeneration::Westmere:
+        return cls == CountingEventClass::MathAvxFp
+                   ? EventSupport::NotApplicable
+                   : EventSupport::Supported;
+      case PmuGeneration::IvyBridge:
+        return EventSupport::Supported;
+      case PmuGeneration::Haswell:
+        return cls == CountingEventClass::DivCycles
+                   ? EventSupport::Supported
+                   : EventSupport::NotSupported;
+      default:
+        panic("countingEventSupport: bad generation %d",
+              static_cast<int>(gen));
+    }
+}
+
+int
+supportedEventClassCount(PmuGeneration gen)
+{
+    int n = 0;
+    for (int c = 0;
+         c < static_cast<int>(CountingEventClass::NumClasses); c++) {
+        if (countingEventSupport(gen, static_cast<CountingEventClass>(c)) ==
+            EventSupport::Supported)
+            n++;
+    }
+    return n;
+}
+
+} // namespace hbbp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * PMU events and the per-generation capability database.
+ *
+ * Two things live here. First, the two sampling events HBBP's collector
+ * programs (Section V.A of the paper): the precise instructions-retired
+ * event used as the EBS source and the taken-branches event used as the
+ * LBR source. Second, the instruction-specific counting-event support
+ * matrix across processor generations that motivates the paper's Table 2
+ * (support for counting specific computational instructions is shrinking,
+ * hence the need for a general method like HBBP).
+ */
+
+#ifndef HBBP_PMU_EVENTS_HH
+#define HBBP_PMU_EVENTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hbbp {
+
+/** Sampling events the collector can program. */
+enum class PmuEvent : uint8_t {
+    InstRetiredPrecDist,    ///< INST_RETIRED:PREC_DIST (precise).
+    BrInstRetiredNearTaken, ///< BR_INST_RETIRED:NEAR_TAKEN.
+};
+
+/** libpfm4-style event string for @p event. */
+const char *eventName(PmuEvent event);
+
+/** Parse a libpfm4-style event string; fatal() on unknown names. */
+PmuEvent eventFromName(const std::string &name);
+
+/** Instruction-specific counting-event classes from Table 2. */
+enum class CountingEventClass : uint8_t {
+    DivCycles,  ///< DIV (cycles).
+    MathSseFp,  ///< Computational SSE FP instructions.
+    MathAvxFp,  ///< Computational AVX FP instructions.
+    IntSimd,    ///< Integer SIMD instructions.
+    X87,        ///< x87 instructions.
+    NumClasses
+};
+
+/** Printable name of a counting-event class. */
+const char *name(CountingEventClass cls);
+
+/** Server PMU generations from Table 2. */
+enum class PmuGeneration : uint8_t {
+    Westmere,  ///< 2010.
+    IvyBridge, ///< 2013.
+    Haswell,   ///< 2015.
+    NumGenerations
+};
+
+/** Printable name of a PMU generation. */
+const char *name(PmuGeneration gen);
+
+/** Release year of a PMU generation. */
+int releaseYear(PmuGeneration gen);
+
+/** Support status of a counting-event class on a generation. */
+enum class EventSupport : uint8_t {
+    Supported,
+    NotSupported,
+    NotApplicable, ///< ISA extension did not exist yet.
+};
+
+/** Table 2 lookup: support of @p cls on @p gen. */
+EventSupport countingEventSupport(PmuGeneration gen,
+                                  CountingEventClass cls);
+
+/** Number of Supported cells for @p gen (the declining trend). */
+int supportedEventClassCount(PmuGeneration gen);
+
+} // namespace hbbp
+
+#endif // HBBP_PMU_EVENTS_HH

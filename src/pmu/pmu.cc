@@ -1,0 +1,79 @@
+#include "pmu/pmu.hh"
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+DualCollectionPmu::DualCollectionPmu(const PmuConfig &config)
+    : config_(config), rng_(config.seed),
+      ring_(config.lbr_depth, config.quirk, splitmix64(config.seed))
+{
+    if (config_.ebs_period == 0 || config_.lbr_period == 0)
+        fatal("DualCollectionPmu: sampling periods must be non-zero");
+}
+
+void
+DualCollectionPmu::onRetire(const Instruction &instr, const BasicBlock &blk,
+                            uint64_t cycle_start, uint64_t cycle_end,
+                            Ring ring)
+{
+    (void)blk;
+    (void)cycle_start;
+    if (!config_.monitor_kernel && ring == Ring::Kernel)
+        return;
+
+    // Deliver any pending PMIs whose delay has elapsed. The sampled IP is
+    // the instruction retiring at delivery time — this is where skid and
+    // shadowing come from: during a retirement stall, cycle_end jumps
+    // forward and this instruction absorbs every PMI initiated in the
+    // stall window.
+    if (ebs_pmi_pending_ && cycle_end >= ebs_pmi_cycle_) {
+        ebs_pmi_pending_ = false;
+        pmi_count_++;
+        // Eventing IP kept; LBR payload of this collection is discarded
+        // at analysis time, so it is not stored at all.
+        ebs_.push_back({instr.addr, cycle_end, ring});
+    }
+    if (lbr_pmi_pending_ && cycle_end >= lbr_pmi_cycle_) {
+        lbr_pmi_pending_ = false;
+        pmi_count_++;
+        LbrStackSample sample;
+        sample.entries = ring_.snapshot();
+        sample.cycle = cycle_end;
+        sample.ring = ring;
+        sample.eventing_ip = instr.addr; // discarded by analysis
+        lbr_.push_back(std::move(sample));
+    }
+
+    // Counter A: instructions retired.
+    ebs_counter_++;
+    if (ebs_counter_ >= config_.ebs_period && !ebs_pmi_pending_) {
+        ebs_counter_ = 0;
+        uint64_t span = config_.precise_skid_max_cycles -
+                        config_.precise_skid_min_cycles;
+        uint64_t skid = config_.precise_skid_min_cycles +
+                        (span ? rng_.nextBelow(span + 1) : 0);
+        ebs_pmi_cycle_ = cycle_end + skid;
+        ebs_pmi_pending_ = true;
+    }
+}
+
+void
+DualCollectionPmu::onTakenBranch(const TakenBranch &branch)
+{
+    if (!config_.monitor_kernel && branch.ring == Ring::Kernel)
+        return;
+
+    // LBR hardware logs every taken branch.
+    ring_.insert(branch.source, branch.target);
+
+    // Counter B: taken branches retired.
+    lbr_counter_++;
+    if (lbr_counter_ >= config_.lbr_period && !lbr_pmi_pending_) {
+        lbr_counter_ = 0;
+        lbr_pmi_cycle_ = branch.cycle + config_.lbr_pmi_delay_cycles;
+        lbr_pmi_pending_ = true;
+    }
+}
+
+} // namespace hbbp

@@ -1,0 +1,77 @@
+#include "program/block.hh"
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+Behavior
+Behavior::loop(uint64_t count)
+{
+    if (count == 0)
+        panic("Behavior::loop requires count >= 1");
+    Behavior b;
+    b.kind = Kind::LoopCount;
+    b.loop_count = count;
+    return b;
+}
+
+Behavior
+Behavior::prob(double p)
+{
+    if (p < 0.0 || p > 1.0)
+        panic("Behavior::prob: p=%f out of [0,1]", p);
+    Behavior b;
+    b.kind = Kind::TakenProb;
+    b.taken_prob = p;
+    return b;
+}
+
+Behavior
+Behavior::patternOf(std::vector<bool> outcomes)
+{
+    if (outcomes.empty())
+        panic("Behavior::patternOf requires a non-empty pattern");
+    Behavior b;
+    b.kind = Kind::Pattern;
+    b.pattern = std::move(outcomes);
+    return b;
+}
+
+Behavior
+Behavior::targetSet(std::vector<std::pair<FuncId, double>> targets)
+{
+    if (targets.empty())
+        panic("Behavior::targetSet requires at least one target");
+    double total = 0.0;
+    for (const auto &[fn, w] : targets) {
+        if (w < 0.0)
+            panic("Behavior::targetSet: negative weight %f", w);
+        total += w;
+    }
+    if (total <= 0.0)
+        panic("Behavior::targetSet: weights sum to zero");
+    Behavior b;
+    b.kind = Kind::Targets;
+    b.targets = std::move(targets);
+    return b;
+}
+
+bool
+BasicBlock::hasLongLatency() const
+{
+    for (const auto &instr : instrs)
+        if (instr.info().isLongLatency())
+            return true;
+    return false;
+}
+
+const Instruction *
+BasicBlock::controlInstr() const
+{
+    if (instrs.empty())
+        return nullptr;
+    const Instruction &last = instrs.back();
+    return last.info().isControl() ? &last : nullptr;
+}
+
+} // namespace hbbp

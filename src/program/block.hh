@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Basic blocks, terminators and branch behaviours.
+ *
+ * A program is a set of modules containing functions containing basic
+ * blocks. Blocks carry their instructions and a terminator describing
+ * control flow. Conditional and indirect terminators reference a
+ * Behaviour — a declarative description of how the branch resolves at
+ * run time (loop trip counts, taken probabilities, cyclic patterns,
+ * weighted indirect target sets) that the execution engine interprets.
+ */
+
+#ifndef HBBP_PROGRAM_BLOCK_HH
+#define HBBP_PROGRAM_BLOCK_HH
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace hbbp {
+
+/** Index of a basic block within a Program (global, flat). */
+using BlockId = uint32_t;
+/** Index of a function within a Program. */
+using FuncId = uint32_t;
+/** Index of a module within a Program. */
+using ModuleId = uint32_t;
+/** Index of a behaviour within a Program. */
+using BehaviorId = uint32_t;
+
+/** Sentinel for "no block". */
+constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+/** Sentinel for "no function". */
+constexpr FuncId kNoFunc = std::numeric_limits<FuncId>::max();
+/** Sentinel for "no behaviour". */
+constexpr BehaviorId kNoBehavior = std::numeric_limits<BehaviorId>::max();
+
+/** How a basic block ends. */
+enum class TermKind : uint8_t {
+    FallThrough,  ///< Falls into the next block (no control instruction).
+    Jump,         ///< Unconditional direct jump.
+    CondBranch,   ///< Conditional branch; behaviour decides taken.
+    IndirectJump, ///< Indirect jump; behaviour picks target block.
+    Call,         ///< Direct call; continues at fall-through on return.
+    IndirectCall, ///< Indirect call; behaviour picks callee.
+    Return,       ///< Pops the call stack (RET_NEAR or SYSRET).
+    Syscall,      ///< Enters a kernel handler; continues on return.
+    Exit,         ///< Terminates the program.
+};
+
+/** Declarative branch behaviour interpreted by the execution engine. */
+struct Behavior
+{
+    enum class Kind : uint8_t {
+        LoopCount, ///< Taken (count-1) times, then falls through; repeats.
+        TakenProb, ///< Taken with fixed probability.
+        Pattern,   ///< Cyclic taken/not-taken pattern.
+        Targets,   ///< Weighted set of indirect targets (functions).
+    };
+
+    Kind kind = Kind::TakenProb;
+    uint64_t loop_count = 0;   ///< LoopCount: iterations per loop entry.
+    double taken_prob = 0.5;   ///< TakenProb: probability of taken.
+    std::vector<bool> pattern; ///< Pattern: cyclic outcomes.
+    /** Targets: (function, weight) pairs for indirect transfers. */
+    std::vector<std::pair<FuncId, double>> targets;
+
+    /** A loop backedge taken @p count - 1 times per entry. */
+    static Behavior loop(uint64_t count);
+
+    /** A branch taken with probability @p p. */
+    static Behavior prob(double p);
+
+    /** A cyclic pattern of outcomes. */
+    static Behavior patternOf(std::vector<bool> outcomes);
+
+    /** A weighted indirect target set. */
+    static Behavior targetSet(
+        std::vector<std::pair<FuncId, double>> targets);
+};
+
+/** A basic block: straight-line instructions plus one terminator. */
+struct BasicBlock
+{
+    BlockId id = kNoBlock;
+    FuncId func = kNoFunc;
+    std::vector<Instruction> instrs;
+
+    TermKind term = TermKind::FallThrough;
+    /** Taken/jump target block (CondBranch/Jump). */
+    BlockId taken_target = kNoBlock;
+    /** Fall-through / post-call continuation block. */
+    BlockId fall_target = kNoBlock;
+    /** Callee function (Call/Syscall). */
+    FuncId callee = kNoFunc;
+    /** Behaviour for CondBranch/IndirectJump/IndirectCall. */
+    BehaviorId behavior = kNoBehavior;
+
+    /** Block start address (assigned at build time). */
+    uint64_t start = 0;
+    /** Size in bytes (assigned at build time). */
+    uint32_t bytes = 0;
+
+    /** Number of instructions. */
+    size_t size() const { return instrs.size(); }
+
+    /** Address one past the last instruction. */
+    uint64_t end() const { return start + bytes; }
+
+    /** True when @p addr falls inside the block. */
+    bool contains(uint64_t addr) const
+    {
+        return addr >= start && addr < end();
+    }
+
+    /** True when any instruction is long-latency. */
+    bool hasLongLatency() const;
+
+    /** The terminating control instruction, if the block has one. */
+    const Instruction *controlInstr() const;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_PROGRAM_BLOCK_HH

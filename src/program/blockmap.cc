@@ -1,0 +1,125 @@
+#include "program/blockmap.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "isa/encoding.hh"
+#include "support/logging.hh"
+
+namespace hbbp {
+
+bool
+MapBlock::hasLongLatency() const
+{
+    for (const auto &instr : instrs)
+        if (instr.info().isLongLatency())
+            return true;
+    return false;
+}
+
+BlockMap::BlockMap(const Program &prog, const BlockMapOptions &opts)
+    : prog_(prog)
+{
+    for (const Module &mod : prog.modules())
+        discoverModule(mod, opts);
+    std::sort(blocks_.begin(), blocks_.end(),
+              [](const MapBlock &a, const MapBlock &b) {
+                  return a.start < b.start;
+              });
+    for (uint32_t i = 0; i < blocks_.size(); i++)
+        blocks_[i].index = i;
+}
+
+void
+BlockMap::discoverModule(const Module &mod, const BlockMapOptions &opts)
+{
+    const std::vector<uint8_t> &text =
+        (mod.isKernel() && opts.patch_kernel_text) ? mod.live_text
+                                                   : mod.static_text;
+
+    // Pass 1: linear decode.
+    std::vector<Instruction> instrs = decodeAll(text, mod.base);
+    if (instrs.empty())
+        return;
+
+    // Pass 2: collect leaders.
+    std::set<uint64_t> leaders;
+    leaders.insert(mod.base);
+    for (FuncId fid : mod.functions)
+        leaders.insert(prog_.function(fid).start);
+    for (const Instruction &instr : instrs) {
+        if (!instr.info().isControl())
+            continue;
+        // The instruction after any control transfer starts a block.
+        leaders.insert(instr.nextAddr());
+        // Direct targets start blocks.
+        if (instr.info().hasDisplacement())
+            leaders.insert(instr.target());
+    }
+
+    // Pass 3: partition instructions into [leader, next leader) blocks.
+    uint64_t text_end = mod.base + text.size();
+    MapBlock cur;
+    bool open = false;
+    auto close_block = [&](uint64_t end_addr) {
+        if (!open || cur.instrs.empty())
+            return;
+        cur.bytes = static_cast<uint32_t>(end_addr - cur.start);
+        blocks_.push_back(std::move(cur));
+        cur = MapBlock{};
+        open = false;
+    };
+    for (const Instruction &instr : instrs) {
+        bool is_leader = leaders.count(instr.addr) > 0;
+        if (is_leader)
+            close_block(instr.addr);
+        if (!open) {
+            cur.start = instr.addr;
+            cur.module = mod.id;
+            cur.func = prog_.functionAt(instr.addr);
+            open = true;
+        }
+        cur.instrs.push_back(instr);
+        if (instr.info().isControl())
+            close_block(instr.nextAddr());
+    }
+    close_block(text_end);
+}
+
+const MapBlock &
+BlockMap::block(uint32_t index) const
+{
+    if (index >= blocks_.size())
+        panic("BlockMap::block: index %u out of range", index);
+    return blocks_[index];
+}
+
+uint32_t
+BlockMap::blockAt(uint64_t addr) const
+{
+    auto it = std::upper_bound(
+        blocks_.begin(), blocks_.end(), addr,
+        [](uint64_t a, const MapBlock &b) { return a < b.start; });
+    if (it == blocks_.begin())
+        return npos;
+    const MapBlock &candidate = *(it - 1);
+    if (!candidate.contains(addr))
+        return npos;
+    return candidate.index;
+}
+
+std::string
+BlockMap::functionName(const MapBlock &block) const
+{
+    if (block.func == kNoFunc)
+        return "?";
+    return prog_.function(block.func).name;
+}
+
+std::string
+BlockMap::moduleName(const MapBlock &block) const
+{
+    return prog_.module(block.module).name;
+}
+
+} // namespace hbbp

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Analyzer-side basic block discovery.
+ *
+ * The paper's analyzer does not get the compiler's CFG; it disassembles
+ * the binary (with XED) and builds a basic block map from leaders:
+ * function entries, branch targets, and instructions following control
+ * transfers. BlockMap reproduces that pipeline on a Program's encoded
+ * text images.
+ *
+ * Crucially, for kernel modules the map can be built either from the
+ * static on-disk image (tracepoint JMPs present — the default, which is
+ * wrong for live execution) or from the live image (the paper's fix of
+ * patching the static binary with the .text of the running kernel).
+ */
+
+#ifndef HBBP_PROGRAM_BLOCKMAP_HH
+#define HBBP_PROGRAM_BLOCKMAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace hbbp {
+
+/** A basic block as discovered by disassembly. */
+struct MapBlock
+{
+    uint32_t index = 0;      ///< Index within the BlockMap.
+    uint64_t start = 0;      ///< First instruction address.
+    uint32_t bytes = 0;      ///< Size in bytes.
+    ModuleId module = 0;     ///< Enclosing module.
+    FuncId func = kNoFunc;   ///< Enclosing function (via symbols).
+    std::vector<Instruction> instrs;
+
+    /** Address one past the end. */
+    uint64_t end() const { return start + bytes; }
+
+    /** True when @p addr is inside the block. */
+    bool contains(uint64_t addr) const
+    {
+        return addr >= start && addr < end();
+    }
+
+    /** Instruction count. */
+    size_t size() const { return instrs.size(); }
+
+    /** True when any instruction is long-latency. */
+    bool hasLongLatency() const;
+};
+
+/** Options controlling block map construction. */
+struct BlockMapOptions
+{
+    /**
+     * Replace kernel static text with the live image before
+     * disassembling (the paper's self-modifying-code fix). User modules
+     * are unaffected (their images are identical).
+     */
+    bool patch_kernel_text = false;
+};
+
+/** The analyzer's address-indexed basic block map. */
+class BlockMap
+{
+  public:
+    /** Disassemble @p prog's modules and discover blocks. */
+    BlockMap(const Program &prog, const BlockMapOptions &opts = {});
+
+    /** All discovered blocks, sorted by start address. */
+    const std::vector<MapBlock> &blocks() const { return blocks_; }
+
+    /** Block by index; panics when out of range. */
+    const MapBlock &block(uint32_t index) const;
+
+    /** Index of the block containing @p addr, or npos. */
+    uint32_t blockAt(uint64_t addr) const;
+
+    /** Sentinel returned by blockAt for unmapped addresses. */
+    static constexpr uint32_t npos = UINT32_MAX;
+
+    /** Name of the function owning @p block (or "?"). */
+    std::string functionName(const MapBlock &block) const;
+
+    /** Name of the module owning @p block. */
+    std::string moduleName(const MapBlock &block) const;
+
+    /** The program this map was built from. */
+    const Program &program() const { return prog_; }
+
+  private:
+    void discoverModule(const Module &mod, const BlockMapOptions &opts);
+
+    const Program &prog_;
+    std::vector<MapBlock> blocks_;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_PROGRAM_BLOCKMAP_HH

@@ -1,0 +1,434 @@
+#include "program/builder.hh"
+
+#include <algorithm>
+
+#include "isa/encoding.hh"
+#include "support/logging.hh"
+
+namespace hbbp {
+
+namespace {
+
+constexpr uint64_t kUserBase = 0x0000000000400000ULL;
+constexpr uint64_t kKernelBase = 0xffffffff81000000ULL;
+constexpr uint64_t kModuleGap = 0x10000; ///< 64 KiB between modules.
+constexpr uint64_t kPageAlign = 0x1000;
+
+uint64_t
+alignUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+} // namespace
+
+ProgramBuilder::ProgramBuilder() = default;
+
+BasicBlock &
+ProgramBuilder::blockRef(BlockId id)
+{
+    if (id >= prog_.blocks_.size())
+        panic("ProgramBuilder: block id %u out of range", id);
+    return prog_.blocks_[id];
+}
+
+void
+ProgramBuilder::requireOpen(BlockId id)
+{
+    if (extra_[id].terminated)
+        panic("ProgramBuilder: block %u already terminated", id);
+}
+
+void
+ProgramBuilder::setTerm(BlockId id, TermKind term)
+{
+    requireOpen(id);
+    blockRef(id).term = term;
+    extra_[id].terminated = true;
+}
+
+ModuleId
+ProgramBuilder::addModule(const std::string &name, Ring ring)
+{
+    Module mod;
+    mod.id = static_cast<ModuleId>(prog_.modules_.size());
+    mod.name = name;
+    mod.ring = ring;
+    prog_.modules_.push_back(std::move(mod));
+    return prog_.modules_.back().id;
+}
+
+FuncId
+ProgramBuilder::addFunction(ModuleId module, const std::string &name)
+{
+    if (module >= prog_.modules_.size())
+        panic("ProgramBuilder::addFunction: bad module id %u", module);
+    Function fn;
+    fn.id = static_cast<FuncId>(prog_.functions_.size());
+    fn.module = module;
+    fn.name = name;
+    prog_.functions_.push_back(fn);
+    prog_.modules_[module].functions.push_back(fn.id);
+    return fn.id;
+}
+
+BlockId
+ProgramBuilder::addBlock(FuncId func)
+{
+    if (func >= prog_.functions_.size())
+        panic("ProgramBuilder::addBlock: bad function id %u", func);
+    BasicBlock blk;
+    blk.id = static_cast<BlockId>(prog_.blocks_.size());
+    blk.func = func;
+    prog_.blocks_.push_back(std::move(blk));
+    extra_.emplace_back();
+    Function &fn = prog_.functions_[func];
+    fn.blocks.push_back(prog_.blocks_.back().id);
+    if (fn.entry == kNoBlock)
+        fn.entry = prog_.blocks_.back().id;
+    return prog_.blocks_.back().id;
+}
+
+BehaviorId
+ProgramBuilder::addBehavior(const Behavior &behavior)
+{
+    prog_.behaviors_.push_back(behavior);
+    return static_cast<BehaviorId>(prog_.behaviors_.size() - 1);
+}
+
+void
+ProgramBuilder::append(BlockId block, const Instruction &instr)
+{
+    requireOpen(block);
+    if (instr.info().isControl())
+        panic("ProgramBuilder::append: %s is a control instruction; "
+              "use an end*() method", instr.info().name);
+    blockRef(block).instrs.push_back(instr);
+}
+
+void
+ProgramBuilder::appendN(BlockId block, const Instruction &instr,
+                        size_t count)
+{
+    for (size_t i = 0; i < count; i++)
+        append(block, instr);
+}
+
+void
+ProgramBuilder::appendTracepoint(BlockId block)
+{
+    requireOpen(block);
+    BasicBlock &blk = blockRef(block);
+    const Function &fn = prog_.functions_[blk.func];
+    if (!prog_.modules_[fn.module].isKernel())
+        panic("ProgramBuilder::appendTracepoint: block %u is not in a "
+              "kernel module", block);
+    // The static image holds a JMP to the next instruction; the live
+    // image holds a same-length NOP. We record the instruction index and
+    // swap the mnemonic when emitting the two images.
+    Instruction jmp = makeInstr(Mnemonic::JMP);
+    blk.instrs.push_back(jmp);
+    extra_[block].tracepoints.push_back(blk.instrs.size() - 1);
+}
+
+void
+ProgramBuilder::endJump(BlockId block, BlockId target)
+{
+    requireOpen(block);
+    blockRef(block).instrs.push_back(makeInstr(Mnemonic::JMP));
+    blockRef(block).taken_target = target;
+    setTerm(block, TermKind::Jump);
+}
+
+void
+ProgramBuilder::endCond(BlockId block, Mnemonic mn, BlockId taken,
+                        BehaviorId behavior, BlockId fall)
+{
+    requireOpen(block);
+    if (info(mn).category != Category::CondBranch)
+        panic("ProgramBuilder::endCond: %s is not a conditional branch",
+              info(mn).name);
+    BasicBlock &blk = blockRef(block);
+    blk.instrs.push_back(makeInstr(mn));
+    blk.taken_target = taken;
+    blk.fall_target = fall;
+    blk.behavior = behavior;
+    setTerm(block, TermKind::CondBranch);
+}
+
+void
+ProgramBuilder::endIndirectJump(BlockId block, BehaviorId behavior)
+{
+    requireOpen(block);
+    BasicBlock &blk = blockRef(block);
+    blk.instrs.push_back(makeInstr(Mnemonic::JMP_IND));
+    blk.behavior = behavior;
+    setTerm(block, TermKind::IndirectJump);
+}
+
+void
+ProgramBuilder::endCall(BlockId block, FuncId callee, BlockId fall)
+{
+    requireOpen(block);
+    BasicBlock &blk = blockRef(block);
+    blk.instrs.push_back(makeInstr(Mnemonic::CALL));
+    blk.callee = callee;
+    blk.fall_target = fall;
+    setTerm(block, TermKind::Call);
+}
+
+void
+ProgramBuilder::endIndirectCall(BlockId block, BehaviorId behavior,
+                                BlockId fall)
+{
+    requireOpen(block);
+    BasicBlock &blk = blockRef(block);
+    blk.instrs.push_back(makeInstr(Mnemonic::CALL_IND));
+    blk.behavior = behavior;
+    blk.fall_target = fall;
+    setTerm(block, TermKind::IndirectCall);
+}
+
+void
+ProgramBuilder::endReturn(BlockId block, Mnemonic mn)
+{
+    requireOpen(block);
+    if (info(mn).category != Category::Ret &&
+        mn != Mnemonic::SYSRET)
+        panic("ProgramBuilder::endReturn: %s cannot return", info(mn).name);
+    blockRef(block).instrs.push_back(makeInstr(mn));
+    setTerm(block, TermKind::Return);
+}
+
+void
+ProgramBuilder::endSyscall(BlockId block, FuncId handler, BlockId fall)
+{
+    requireOpen(block);
+    BasicBlock &blk = blockRef(block);
+    blk.instrs.push_back(makeInstr(Mnemonic::SYSCALL));
+    blk.callee = handler;
+    blk.fall_target = fall;
+    setTerm(block, TermKind::Syscall);
+}
+
+void
+ProgramBuilder::endFallThrough(BlockId block)
+{
+    setTerm(block, TermKind::FallThrough);
+}
+
+void
+ProgramBuilder::endExit(BlockId block)
+{
+    setTerm(block, TermKind::Exit);
+}
+
+void
+ProgramBuilder::setEntry(FuncId func)
+{
+    if (func >= prog_.functions_.size())
+        panic("ProgramBuilder::setEntry: bad function id %u", func);
+    prog_.entry_func_ = func;
+}
+
+Program
+ProgramBuilder::build()
+{
+    if (built_)
+        panic("ProgramBuilder::build called twice");
+    built_ = true;
+
+    if (prog_.entry_func_ == kNoFunc)
+        fatal("ProgramBuilder: no entry function set");
+
+    // --- Resolve implicit fall-through targets and validate structure.
+    for (Function &fn : prog_.functions_) {
+        if (fn.blocks.empty())
+            fatal("ProgramBuilder: function '%s' has no blocks",
+                  fn.name.c_str());
+        for (size_t i = 0; i < fn.blocks.size(); i++) {
+            BasicBlock &blk = prog_.blocks_[fn.blocks[i]];
+            if (!extra_[blk.id].terminated)
+                fatal("ProgramBuilder: block %u in '%s' not terminated",
+                      blk.id, fn.name.c_str());
+            BlockId next = (i + 1 < fn.blocks.size())
+                ? fn.blocks[i + 1] : kNoBlock;
+            bool needs_fall =
+                blk.term == TermKind::FallThrough ||
+                blk.term == TermKind::CondBranch ||
+                blk.term == TermKind::Call ||
+                blk.term == TermKind::IndirectCall ||
+                blk.term == TermKind::Syscall;
+            if (needs_fall) {
+                if (blk.term == TermKind::FallThrough)
+                    blk.fall_target = next;
+                else if (blk.fall_target == kNoBlock)
+                    blk.fall_target = next;
+                if (blk.fall_target == kNoBlock)
+                    fatal("ProgramBuilder: block %u in '%s' needs a "
+                          "fall-through but is last in the function",
+                          blk.id, fn.name.c_str());
+                if (blk.fall_target != next)
+                    fatal("ProgramBuilder: block %u fall-through must be "
+                          "the next block in layout", blk.id);
+            }
+            if (blk.term == TermKind::CondBranch ||
+                blk.term == TermKind::Jump) {
+                if (blk.taken_target == kNoBlock ||
+                    blk.taken_target >= prog_.blocks_.size())
+                    fatal("ProgramBuilder: block %u has bad branch target",
+                          blk.id);
+                if (prog_.blocks_[blk.taken_target].func != blk.func)
+                    fatal("ProgramBuilder: block %u branches outside its "
+                          "function", blk.id);
+            }
+            if (blk.term == TermKind::CondBranch ||
+                blk.term == TermKind::IndirectJump ||
+                blk.term == TermKind::IndirectCall) {
+                if (blk.behavior == kNoBehavior ||
+                    blk.behavior >= prog_.behaviors_.size())
+                    fatal("ProgramBuilder: block %u lacks a behaviour",
+                          blk.id);
+                const Behavior &bh = prog_.behaviors_[blk.behavior];
+                bool indirect = blk.term != TermKind::CondBranch;
+                if (indirect && bh.kind != Behavior::Kind::Targets)
+                    fatal("ProgramBuilder: block %u indirect terminator "
+                          "needs a Targets behaviour", blk.id);
+                if (!indirect && bh.kind == Behavior::Kind::Targets)
+                    fatal("ProgramBuilder: block %u conditional branch "
+                          "cannot use a Targets behaviour", blk.id);
+                if (blk.term == TermKind::IndirectJump) {
+                    for (const auto &[tgt, w] : bh.targets)
+                        if (tgt >= prog_.blocks_.size() ||
+                            prog_.blocks_[tgt].func != blk.func)
+                            fatal("ProgramBuilder: block %u indirect jump "
+                                  "target %u invalid", blk.id, tgt);
+                } else if (blk.term == TermKind::IndirectCall) {
+                    for (const auto &[tgt, w] : bh.targets)
+                        if (tgt >= prog_.functions_.size())
+                            fatal("ProgramBuilder: block %u indirect call "
+                                  "target %u invalid", blk.id, tgt);
+                }
+            }
+            if (blk.term == TermKind::Call || blk.term == TermKind::Syscall) {
+                if (blk.callee >= prog_.functions_.size())
+                    fatal("ProgramBuilder: block %u has bad callee", blk.id);
+                bool callee_kernel =
+                    prog_.modules_[prog_.functions_[blk.callee].module]
+                        .isKernel();
+                if (blk.term == TermKind::Syscall && !callee_kernel)
+                    fatal("ProgramBuilder: block %u syscall handler must "
+                          "be in a kernel module", blk.id);
+            }
+        }
+    }
+
+    // --- Address layout.
+    uint64_t user_cursor = kUserBase;
+    uint64_t kernel_cursor = kKernelBase;
+    for (Module &mod : prog_.modules_) {
+        uint64_t &cursor = mod.isKernel() ? kernel_cursor : user_cursor;
+        mod.base = alignUp(cursor, kPageAlign);
+        uint64_t addr = mod.base;
+        for (FuncId fid : mod.functions) {
+            Function &fn = prog_.functions_[fid];
+            fn.start = addr;
+            for (BlockId bid : fn.blocks) {
+                BasicBlock &blk = prog_.blocks_[bid];
+                blk.start = addr;
+                uint32_t bytes = 0;
+                for (Instruction &instr : blk.instrs) {
+                    instr.addr = addr + bytes;
+                    bytes += instr.length;
+                }
+                blk.bytes = bytes;
+                addr += bytes;
+            }
+            fn.size = addr - fn.start;
+        }
+        mod.size = addr - mod.base;
+        cursor = addr + kModuleGap;
+    }
+
+    // --- Resolve displacements of terminating control instructions.
+    for (BasicBlock &blk : prog_.blocks_) {
+        if (blk.instrs.empty())
+            continue;
+        Instruction &last = blk.instrs.back();
+        if (!last.info().hasDisplacement())
+            continue;
+        uint64_t target = 0;
+        switch (blk.term) {
+          case TermKind::Jump:
+          case TermKind::CondBranch:
+            target = prog_.blocks_[blk.taken_target].start;
+            break;
+          case TermKind::Call:
+            target = prog_.blocks_[
+                prog_.functions_[blk.callee].entry].start;
+            break;
+          default: {
+            // A tracepoint JMP can be the last instruction of a block
+            // with a non-branch terminator; its displacement stays 0
+            // (target = next instruction).
+            const auto &tps = extra_[blk.id].tracepoints;
+            bool last_is_tracepoint =
+                !tps.empty() && tps.back() == blk.instrs.size() - 1;
+            if (last.mnemonic == Mnemonic::JMP && last_is_tracepoint)
+                continue;
+            panic("ProgramBuilder: displacement instruction %s with "
+                  "terminator kind %d", last.info().name,
+                  static_cast<int>(blk.term));
+          }
+        }
+        last.disp = static_cast<int32_t>(
+            static_cast<int64_t>(target) -
+            static_cast<int64_t>(last.nextAddr()));
+    }
+
+    // --- Emit text images (static first, then patch live tracepoints).
+    for (Module &mod : prog_.modules_) {
+        mod.static_text.clear();
+        mod.static_text.reserve(mod.size);
+        for (FuncId fid : mod.functions) {
+            for (BlockId bid : prog_.functions_[fid].blocks) {
+                BasicBlock &blk = prog_.blocks_[bid];
+                for (size_t i = 0; i < blk.instrs.size(); i++)
+                    encode(blk.instrs[i], mod.static_text);
+            }
+        }
+        mod.live_text = mod.static_text;
+        // Patch tracepoints: live image gets NOPs, and the executing block
+        // representation must match the live image.
+        for (FuncId fid : mod.functions) {
+            for (BlockId bid : prog_.functions_[fid].blocks) {
+                BasicBlock &blk = prog_.blocks_[bid];
+                for (size_t idx : extra_[bid].tracepoints) {
+                    Instruction &instr = blk.instrs[idx];
+                    size_t offset =
+                        static_cast<size_t>(instr.addr - mod.base);
+                    patchToNop(mod.live_text, offset);
+                    uint8_t length = instr.length;
+                    uint64_t addr = instr.addr;
+                    instr = Instruction{};
+                    instr.mnemonic = Mnemonic::NOP;
+                    instr.length = length;
+                    instr.addr = addr;
+                }
+            }
+        }
+    }
+
+    // --- Address index.
+    prog_.by_addr_.resize(prog_.blocks_.size());
+    for (BlockId i = 0; i < prog_.blocks_.size(); i++)
+        prog_.by_addr_[i] = i;
+    std::sort(prog_.by_addr_.begin(), prog_.by_addr_.end(),
+              [this](BlockId a, BlockId b) {
+                  return prog_.blocks_[a].start < prog_.blocks_[b].start;
+              });
+
+    return std::move(prog_);
+}
+
+} // namespace hbbp

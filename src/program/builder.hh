@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fluent construction of programs.
+ *
+ * ProgramBuilder is the only way to create a Program. It checks structural
+ * invariants (terminators present, branch targets inside the same
+ * function, fall-through adjacency), appends the terminating control
+ * instructions, lays out the address space, resolves branch displacements
+ * and produces the encoded text images — including the kernel
+ * static-vs-live split for tracepoints.
+ */
+
+#ifndef HBBP_PROGRAM_BUILDER_HH
+#define HBBP_PROGRAM_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace hbbp {
+
+/** Builds a Program step by step; see file comment for the workflow. */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder();
+
+    /** Add a module; functions added afterwards belong to it by id. */
+    ModuleId addModule(const std::string &name, Ring ring = Ring::User);
+
+    /** Add a function to @p module. */
+    FuncId addFunction(ModuleId module, const std::string &name);
+
+    /** Add a basic block at the end of @p func's layout. */
+    BlockId addBlock(FuncId func);
+
+    /** Register a branch behaviour. */
+    BehaviorId addBehavior(const Behavior &behavior);
+
+    /** Append a non-control instruction to @p block. */
+    void append(BlockId block, const Instruction &instr);
+
+    /** Append @p count copies of a non-control instruction. */
+    void appendN(BlockId block, const Instruction &instr, size_t count);
+
+    /**
+     * Append a kernel tracepoint site: a JMP in the static image that the
+     * live image carries as a same-length NOP. Only valid in kernel
+     * modules.
+     */
+    void appendTracepoint(BlockId block);
+
+    /** End @p block with an unconditional jump to @p target. */
+    void endJump(BlockId block, BlockId target);
+
+    /**
+     * End @p block with a conditional branch.
+     *
+     * @param mn        a CondBranch-category mnemonic (JZ, JLE, ...)
+     * @param taken     target when taken (same function)
+     * @param behavior  LoopCount / TakenProb / Pattern behaviour
+     * @param fall      fall-through block; kNoBlock = next block in layout
+     */
+    void endCond(BlockId block, Mnemonic mn, BlockId taken,
+                 BehaviorId behavior, BlockId fall = kNoBlock);
+
+    /**
+     * End @p block with an indirect jump. Behaviour targets are BlockIds
+     * within the same function.
+     */
+    void endIndirectJump(BlockId block, BehaviorId behavior);
+
+    /** End @p block with a direct call; execution resumes at @p fall. */
+    void endCall(BlockId block, FuncId callee, BlockId fall = kNoBlock);
+
+    /**
+     * End @p block with an indirect call. Behaviour targets are FuncIds.
+     */
+    void endIndirectCall(BlockId block, BehaviorId behavior,
+                         BlockId fall = kNoBlock);
+
+    /** End @p block with a near return (or SYSRET from kernel). */
+    void endReturn(BlockId block,
+                   Mnemonic mn = Mnemonic::RET_NEAR);
+
+    /** End @p block by entering kernel @p handler; resumes at @p fall. */
+    void endSyscall(BlockId block, FuncId handler, BlockId fall = kNoBlock);
+
+    /** End @p block by falling through to the next block in layout. */
+    void endFallThrough(BlockId block);
+
+    /** End @p block by terminating the program. */
+    void endExit(BlockId block);
+
+    /** Set the function execution starts in. */
+    void setEntry(FuncId func);
+
+    /**
+     * Validate, lay out, encode and return the finished Program.
+     * The builder must not be reused afterwards.
+     */
+    Program build();
+
+  private:
+    struct BlockExtra
+    {
+        bool terminated = false;
+        std::vector<size_t> tracepoints; ///< Instruction indices.
+    };
+
+    BasicBlock &blockRef(BlockId id);
+    void requireOpen(BlockId id);
+    void setTerm(BlockId id, TermKind term);
+
+    Program prog_;
+    std::vector<BlockExtra> extra_;
+    bool built_ = false;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_PROGRAM_BUILDER_HH

@@ -1,0 +1,80 @@
+#include "program/program.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+const BasicBlock &
+Program::block(BlockId id) const
+{
+    if (id >= blocks_.size())
+        panic("Program::block: id %u out of range", id);
+    return blocks_[id];
+}
+
+const Function &
+Program::function(FuncId id) const
+{
+    if (id >= functions_.size())
+        panic("Program::function: id %u out of range", id);
+    return functions_[id];
+}
+
+const Module &
+Program::module(ModuleId id) const
+{
+    if (id >= modules_.size())
+        panic("Program::module: id %u out of range", id);
+    return modules_[id];
+}
+
+const Behavior &
+Program::behavior(BehaviorId id) const
+{
+    if (id >= behaviors_.size())
+        panic("Program::behavior: id %u out of range", id);
+    return behaviors_[id];
+}
+
+BlockId
+Program::blockAt(uint64_t addr) const
+{
+    // by_addr_ is sorted by block start; find the last block whose start
+    // is <= addr and check containment.
+    auto it = std::upper_bound(
+        by_addr_.begin(), by_addr_.end(), addr,
+        [this](uint64_t a, BlockId id) { return a < blocks_[id].start; });
+    if (it == by_addr_.begin())
+        return kNoBlock;
+    BlockId candidate = *(it - 1);
+    return blocks_[candidate].contains(addr) ? candidate : kNoBlock;
+}
+
+FuncId
+Program::functionAt(uint64_t addr) const
+{
+    BlockId b = blockAt(addr);
+    return b == kNoBlock ? kNoFunc : blocks_[b].func;
+}
+
+ModuleId
+Program::moduleAt(uint64_t addr) const
+{
+    for (const auto &mod : modules_)
+        if (addr >= mod.base && addr < mod.base + mod.size)
+            return mod.id;
+    return static_cast<ModuleId>(modules_.size());
+}
+
+uint64_t
+Program::staticInstrCount() const
+{
+    uint64_t n = 0;
+    for (const auto &b : blocks_)
+        n += b.instrs.size();
+    return n;
+}
+
+} // namespace hbbp

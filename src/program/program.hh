@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Whole-program representation.
+ *
+ * A Program owns modules (user binaries and kernel images), functions,
+ * basic blocks and branch behaviours, plus the address-space layout and
+ * fast address-to-block lookup the analyzer and PMU need.
+ *
+ * Kernel modules carry two text images: the live image that actually
+ * executes (tracepoint jumps patched to NOPs, as the Linux kernel does at
+ * boot) and the static on-disk image (jumps present). The analyzer
+ * disassembles the static image unless told to apply the paper's fix of
+ * patching it with the live text.
+ */
+
+#ifndef HBBP_PROGRAM_PROGRAM_HH
+#define HBBP_PROGRAM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "program/block.hh"
+
+namespace hbbp {
+
+/** Privilege ring a module executes in. */
+enum class Ring : uint8_t {
+    User,   ///< Rings 1-3 in the paper's terminology.
+    Kernel, ///< Ring 0.
+};
+
+/** A function: a named, contiguous sequence of basic blocks. */
+struct Function
+{
+    FuncId id = kNoFunc;
+    ModuleId module = 0;
+    std::string name;
+    std::vector<BlockId> blocks; ///< In layout order.
+    BlockId entry = kNoBlock;
+    uint64_t start = 0; ///< Assigned at build time.
+    uint64_t size = 0;  ///< Bytes, assigned at build time.
+};
+
+/** A loaded binary module (executable, shared object or kernel image). */
+struct Module
+{
+    ModuleId id = 0;
+    std::string name;
+    Ring ring = Ring::User;
+    uint64_t base = 0;  ///< Load address.
+    uint64_t size = 0;  ///< Bytes of text.
+    std::vector<FuncId> functions;
+    /** Text image as it executes (kernel: tracepoints patched to NOP). */
+    std::vector<uint8_t> live_text;
+    /** Text image as on disk (kernel: tracepoint jumps present). */
+    std::vector<uint8_t> static_text;
+
+    /** True for ring-0 modules. */
+    bool isKernel() const { return ring == Ring::Kernel; }
+};
+
+/** An executable program: the unit the engine runs and tools profile. */
+class Program
+{
+  public:
+    /** The function execution starts in. */
+    FuncId entryFunction() const { return entry_func_; }
+
+    /** All modules. */
+    const std::vector<Module> &modules() const { return modules_; }
+
+    /** All functions. */
+    const std::vector<Function> &functions() const { return functions_; }
+
+    /** All basic blocks, indexed by BlockId. */
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** All branch behaviours, indexed by BehaviorId. */
+    const std::vector<Behavior> &behaviors() const { return behaviors_; }
+
+    /** Block by id; panics when out of range. */
+    const BasicBlock &block(BlockId id) const;
+
+    /** Function by id; panics when out of range. */
+    const Function &function(FuncId id) const;
+
+    /** Module by id; panics when out of range. */
+    const Module &module(ModuleId id) const;
+
+    /** Behaviour by id; panics when out of range. */
+    const Behavior &behavior(BehaviorId id) const;
+
+    /** Block containing @p addr, or kNoBlock. */
+    BlockId blockAt(uint64_t addr) const;
+
+    /** Function containing @p addr, or kNoFunc. */
+    FuncId functionAt(uint64_t addr) const;
+
+    /** Module containing @p addr, or modules().size() when none. */
+    ModuleId moduleAt(uint64_t addr) const;
+
+    /** Total static instruction count over all blocks. */
+    uint64_t staticInstrCount() const;
+
+    /** Sum of expected dynamic instructions is workload-specific; the
+     *  program itself only exposes structure. */
+
+  private:
+    friend class ProgramBuilder;
+
+    FuncId entry_func_ = kNoFunc;
+    std::vector<Module> modules_;
+    std::vector<Function> functions_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<Behavior> behaviors_;
+
+    /** Block ids sorted by start address for binary search. */
+    std::vector<BlockId> by_addr_;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_PROGRAM_PROGRAM_HH

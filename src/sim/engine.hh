@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The execution engine.
+ *
+ * Interprets a Program: walks basic blocks, resolves terminators through
+ * their declared behaviours, maintains the call stack and privilege ring,
+ * advances the cycle clock per the MachineConfig, and feeds events to the
+ * attached observers. Execution is fully deterministic for a given
+ * Program and seed.
+ */
+
+#ifndef HBBP_SIM_ENGINE_HH
+#define HBBP_SIM_ENGINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "program/program.hh"
+#include "sim/machine.hh"
+#include "sim/observer.hh"
+#include "support/rng.hh"
+
+namespace hbbp {
+
+/** Aggregate execution statistics. */
+struct ExecStats
+{
+    uint64_t instructions = 0;   ///< Total retired instructions.
+    uint64_t cycles = 0;         ///< Final cycle count.
+    uint64_t taken_branches = 0; ///< Taken control transfers.
+    uint64_t user_instructions = 0;
+    uint64_t kernel_instructions = 0;
+    uint64_t block_entries = 0;  ///< Basic block executions.
+
+    /** Instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                        static_cast<double>(cycles) : 0.0;
+    }
+};
+
+/** Runs a Program and notifies observers; see file comment. */
+class ExecutionEngine
+{
+  public:
+    /**
+     * @param prog    program to run (must outlive the engine)
+     * @param config  machine timing parameters
+     * @param seed    seed for all stochastic branch behaviours
+     */
+    ExecutionEngine(const Program &prog, const MachineConfig &config,
+                    uint64_t seed = 1);
+
+    /** Attach an observer (not owned; must outlive run()). */
+    void addObserver(ExecObserver *observer);
+
+    /**
+     * Run from the entry function until program exit or until
+     * @p max_instructions retire, whichever comes first.
+     */
+    ExecStats run(uint64_t max_instructions = UINT64_MAX);
+
+    /** Statistics of the last run. */
+    const ExecStats &stats() const { return stats_; }
+
+    /** Machine configuration in use. */
+    const MachineConfig &machine() const { return config_; }
+
+  private:
+    /** Resolve a conditional branch outcome for @p blk. */
+    bool condTaken(const BasicBlock &blk);
+
+    /** Pick an indirect target id from @p blk's behaviour. */
+    uint32_t pickTarget(const BasicBlock &blk);
+
+    void notifyTaken(uint64_t source, uint64_t target, Ring ring);
+
+    const Program &prog_;
+    MachineConfig config_;
+    Rng rng_;
+    std::vector<ExecObserver *> observers_;
+
+    /** Per-block behaviour state (loop counters / pattern positions). */
+    std::vector<uint64_t> behavior_state_;
+
+    /** Per-block ring, precomputed from the owning module. */
+    std::vector<Ring> block_ring_;
+
+    uint64_t cycle_ = 0;
+    ExecStats stats_;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_SIM_ENGINE_HH

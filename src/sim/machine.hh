@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Machine timing configuration.
+ *
+ * The cycle model is intentionally simple: short-latency instructions
+ * retire one per cycle (an IPC-1 pipeline), long-latency instructions
+ * stall retirement for their full latency. This is all the PMU error
+ * mechanisms need — skid is measured in cycles, and shadowing emerges
+ * from retirement stalls — while keeping full runs of tens of millions
+ * of instructions fast.
+ */
+
+#ifndef HBBP_SIM_MACHINE_HH
+#define HBBP_SIM_MACHINE_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace hbbp {
+
+/** Static machine parameters. */
+struct MachineConfig
+{
+    /** Core frequency used to convert cycles to seconds. */
+    double freq_ghz = 2.7;
+
+    /** Extra cycles charged to instructions with memory operands. */
+    uint32_t mem_extra_cycles = 0;
+
+    /** Retirement cost of one instruction in cycles. */
+    uint64_t
+    retireCost(const Instruction &instr) const
+    {
+        const MnemonicInfo &mi = instr.info();
+        uint64_t cost = mi.isLongLatency() ? mi.latency : 1;
+        if (instr.mem_read || instr.mem_write)
+            cost += mem_extra_cycles;
+        return cost;
+    }
+
+    /** Convert a cycle count to seconds at the configured frequency. */
+    double
+    cyclesToSeconds(uint64_t cycles) const
+    {
+        return static_cast<double>(cycles) / (freq_ghz * 1e9);
+    }
+};
+
+} // namespace hbbp
+
+#endif // HBBP_SIM_MACHINE_HH

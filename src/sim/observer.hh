@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Execution observation interface.
+ *
+ * Observers attach to the ExecutionEngine and receive retirement and
+ * control-flow events. The software instrumenter (ground truth) and the
+ * PMU (sampling) are both observers; neither perturbs execution, which
+ * models the paper's claim that PMU collection does not disturb the
+ * execution path. Instrumentation overhead is modelled analytically in
+ * src/instr instead of by slowing down the simulation.
+ */
+
+#ifndef HBBP_SIM_OBSERVER_HH
+#define HBBP_SIM_OBSERVER_HH
+
+#include <cstdint>
+
+#include "program/block.hh"
+#include "program/program.hh"
+
+namespace hbbp {
+
+/** A taken control transfer, as the LBR hardware would see it. */
+struct TakenBranch
+{
+    uint64_t source = 0; ///< Address of the branch instruction.
+    uint64_t target = 0; ///< Address control arrived at.
+    uint64_t cycle = 0;  ///< Retirement cycle of the branch.
+    Ring ring = Ring::User;
+};
+
+/** Receives execution events from the engine. */
+class ExecObserver
+{
+  public:
+    virtual ~ExecObserver() = default;
+
+    /** A basic block's execution begins. */
+    virtual void
+    onBlockEntry(const BasicBlock &blk, Ring ring)
+    {
+        (void)blk;
+        (void)ring;
+    }
+
+    /**
+     * One instruction retired.
+     *
+     * @param instr       the retired instruction
+     * @param blk         its enclosing block
+     * @param cycle_start cycle retirement began
+     * @param cycle_end   cycle retirement completed
+     * @param ring        privilege ring
+     */
+    virtual void
+    onRetire(const Instruction &instr, const BasicBlock &blk,
+             uint64_t cycle_start, uint64_t cycle_end, Ring ring)
+    {
+        (void)instr;
+        (void)blk;
+        (void)cycle_start;
+        (void)cycle_end;
+        (void)ring;
+    }
+
+    /** A control transfer was architecturally taken. */
+    virtual void
+    onTakenBranch(const TakenBranch &branch)
+    {
+        (void)branch;
+    }
+
+    /** Execution finished (program exit or budget reached). */
+    virtual void
+    onFinish(uint64_t final_cycle)
+    {
+        (void)final_cycle;
+    }
+};
+
+} // namespace hbbp
+
+#endif // HBBP_SIM_OBSERVER_HH

@@ -1,0 +1,17 @@
+// Counter<Key> is header-only; this translation unit exists so the support
+// library always has at least this object and to host explicit
+// instantiations for the most common key types (compile-time check that the
+// template is well-formed for them).
+
+#include "support/histogram.hh"
+
+#include <cstdint>
+#include <string>
+
+namespace hbbp {
+
+template class Counter<std::string>;
+template class Counter<uint64_t>;
+template class Counter<int>;
+
+} // namespace hbbp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Generic keyed counters.
+ *
+ * Counter<Key> is the workhorse container for instruction mixes and basic
+ * block execution counts: a hash map from key to double with convenience
+ * arithmetic (scaling, merging, normalized views, top-N extraction).
+ */
+
+#ifndef HBBP_SUPPORT_HISTOGRAM_HH
+#define HBBP_SUPPORT_HISTOGRAM_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hbbp {
+
+/** A keyed counter with double-valued weights. */
+template <typename Key>
+class Counter
+{
+  public:
+    using Map = std::unordered_map<Key, double>;
+
+    /** Add @p weight (default 1) to @p key. */
+    void
+    add(const Key &key, double weight = 1.0)
+    {
+        values_[key] += weight;
+    }
+
+    /** Value for @p key; 0 when absent. */
+    double
+    get(const Key &key) const
+    {
+        auto it = values_.find(key);
+        return it == values_.end() ? 0.0 : it->second;
+    }
+
+    /** True when @p key has been recorded. */
+    bool
+    contains(const Key &key) const
+    {
+        return values_.find(key) != values_.end();
+    }
+
+    /** Sum of all values. */
+    double
+    total() const
+    {
+        double sum = 0.0;
+        for (const auto &[k, v] : values_)
+            sum += v;
+        return sum;
+    }
+
+    /** Number of distinct keys. */
+    size_t size() const { return values_.size(); }
+
+    /** True when no key has been recorded. */
+    bool empty() const { return values_.empty(); }
+
+    /** Merge another counter into this one (scaled by @p scale). */
+    void
+    merge(const Counter &other, double scale = 1.0)
+    {
+        for (const auto &[k, v] : other.values_)
+            values_[k] += v * scale;
+    }
+
+    /** Multiply every value by @p scale. */
+    void
+    scale(double scale)
+    {
+        for (auto &[k, v] : values_)
+            v *= scale;
+    }
+
+    /** Entries sorted by decreasing value, at most @p n of them. */
+    std::vector<std::pair<Key, double>>
+    top(size_t n) const
+    {
+        std::vector<std::pair<Key, double>> entries(values_.begin(),
+                                                    values_.end());
+        std::sort(entries.begin(), entries.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.second != b.second)
+                          return a.second > b.second;
+                      return a.first < b.first; // deterministic tie-break
+                  });
+        if (entries.size() > n)
+            entries.resize(n);
+        return entries;
+    }
+
+    /** All entries sorted by decreasing value. */
+    std::vector<std::pair<Key, double>>
+    sorted() const
+    {
+        return top(values_.size());
+    }
+
+    /** Underlying map (read-only). */
+    const Map &items() const { return values_; }
+
+    /** Remove all entries. */
+    void clear() { values_.clear(); }
+
+  private:
+    Map values_;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_SUPPORT_HISTOGRAM_HH

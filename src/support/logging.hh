@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() for internal invariant violations
+ * (bugs in this library), fatal() for user errors that make it impossible
+ * to continue, warn()/inform() for non-fatal status messages.
+ */
+
+#ifndef HBBP_SUPPORT_LOGGING_HH
+#define HBBP_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hbbp {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel {
+    Quiet,   ///< Only panic/fatal output.
+    Normal,  ///< warn() and inform() are printed.
+    Verbose, ///< Additionally print verbose() messages.
+};
+
+/** Set the global verbosity for warn()/inform()/verbose(). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal invariant violation and abort.
+ *
+ * Use when something happened that should never happen regardless of user
+ * input; calls std::abort() so a core dump / debugger is possible.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error and exit(1).
+ *
+ * Use for bad configuration or invalid arguments, not library bugs.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Warn about suspicious but non-fatal conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informative status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Extra-detail message, printed only at LogLevel::Verbose. */
+void verbose(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace hbbp
+
+#endif // HBBP_SUPPORT_LOGGING_HH

@@ -1,0 +1,125 @@
+#include "support/rng.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    // Expand the seed with splitmix64 as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto &s : s_) {
+        x = splitmix64(x);
+        s = x;
+    }
+    // xoshiro must not be seeded with all zeros.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::nextBelow called with bound 0");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::nextRange: lo %lld > hi %lld",
+              static_cast<long long>(lo), static_cast<long long>(hi));
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality bits into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    // Irwin-Hall approximation with 4 uniforms: variance 4/12 = 1/3.
+    double sum = nextDouble() + nextDouble() + nextDouble() + nextDouble();
+    double unit = (sum - 2.0) * std::sqrt(3.0); // ~N(0, 1)
+    return mean + stddev * unit;
+}
+
+uint64_t
+Rng::nextGeometric(double p)
+{
+    if (p <= 0.0)
+        panic("Rng::nextGeometric requires p > 0");
+    if (p >= 1.0)
+        return 0;
+    double u = nextDouble();
+    // Avoid log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return static_cast<uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+Rng
+Rng::fork(uint64_t stream_id) const
+{
+    return Rng(splitmix64(s_[0] ^ splitmix64(stream_id)));
+}
+
+} // namespace hbbp

@@ -1,0 +1,101 @@
+#include "support/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+void
+RunningStats::add(double x)
+{
+    addWeighted(x, 1.0);
+}
+
+void
+RunningStats::addWeighted(double x, double weight)
+{
+    if (weight <= 0.0)
+        return;
+    count_++;
+    if (!has_any_) {
+        min_ = max_ = x;
+        has_any_ = true;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    // Weighted Welford update (West 1979).
+    double new_weight = weight_ + weight;
+    double delta = x - mean_;
+    double r = delta * weight / new_weight;
+    mean_ += r;
+    m2_ += weight_ * delta * r;
+    weight_ = new_weight;
+}
+
+double
+RunningStats::mean() const
+{
+    return weight_ > 0.0 ? mean_ : 0.0;
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2 || weight_ <= 0.0)
+        return 0.0;
+    return m2_ / weight_;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    if (p < 0.0 || p > 100.0)
+        panic("percentile: p=%f out of [0,100]", p);
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            panic("geomean requires positive inputs, got %f", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace hbbp

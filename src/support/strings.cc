@@ -1,0 +1,88 @@
+#include "support/strings.hh"
+
+#include <cctype>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); i++) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+toLower(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+std::string
+toUpper(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    return s;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+withSeparators(uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    int pos = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (pos && pos % 3 == 0)
+            out.push_back('\'');
+        out.push_back(*it);
+        pos++;
+    }
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string
+hexAddr(uint64_t addr)
+{
+    return format("0x%016llx", static_cast<unsigned long long>(addr));
+}
+
+std::string
+percentStr(double fraction, int decimals)
+{
+    return format("%.*f%%", decimals, fraction * 100.0);
+}
+
+} // namespace hbbp

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small string helpers shared across the library.
+ */
+
+#ifndef HBBP_SUPPORT_STRINGS_HH
+#define HBBP_SUPPORT_STRINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hbbp {
+
+/** Split @p s on @p sep; empty fields preserved. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Lower-case ASCII copy. */
+std::string toLower(std::string s);
+
+/** Upper-case ASCII copy. */
+std::string toUpper(std::string s);
+
+/** True when @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/** Format a count with thousands separators: 1234567 -> "1'234'567". */
+std::string withSeparators(uint64_t value);
+
+/** Format an address as 0x%016x. */
+std::string hexAddr(uint64_t addr);
+
+/** Format a double as a percentage string with @p decimals places. */
+std::string percentStr(double fraction, int decimals = 1);
+
+} // namespace hbbp
+
+#endif // HBBP_SUPPORT_STRINGS_HH

@@ -1,0 +1,133 @@
+#include "support/table.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::Left)
+{
+    if (headers_.empty())
+        panic("TextTable requires at least one column");
+}
+
+void
+TextTable::setAlign(size_t col, Align align)
+{
+    if (col >= aligns_.size())
+        panic("TextTable::setAlign: column %zu out of range", col);
+    aligns_[col] = align;
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("TextTable::addRow: got %zu cells, expected %zu",
+              cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+size_t
+TextTable::rowCount() const
+{
+    size_t n = 0;
+    for (const auto &r : rows_)
+        if (!r.empty())
+            n++;
+    return n;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); i++)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        for (size_t i = 0; i < row.size(); i++)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    auto rule = [&]() {
+        std::string line = "+";
+        for (size_t w : widths)
+            line += std::string(w + 2, '-') + "+";
+        line += "\n";
+        return line;
+    };
+
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (size_t i = 0; i < cells.size(); i++) {
+            size_t pad = widths[i] - cells[i].size();
+            line += " ";
+            if (aligns_[i] == Align::Right)
+                line += std::string(pad, ' ') + cells[i];
+            else
+                line += cells[i] + std::string(pad, ' ');
+            line += " |";
+        }
+        line += "\n";
+        return line;
+    };
+
+    std::string out = rule();
+    out += emit_row(headers_);
+    out += rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out += rule();
+        else
+            out += emit_row(row);
+    }
+    out += rule();
+    return out;
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string out = "\"";
+        for (char c : cell) {
+            if (c == '"')
+                out += "\"\"";
+            else
+                out.push_back(c);
+        }
+        out += "\"";
+        return out;
+    };
+
+    std::string out;
+    for (size_t i = 0; i < headers_.size(); i++) {
+        if (i)
+            out += ",";
+        out += quote(headers_[i]);
+    }
+    out += "\n";
+    for (const auto &row : rows_) {
+        if (row.empty())
+            continue;
+        for (size_t i = 0; i < row.size(); i++) {
+            if (i)
+                out += ",";
+            out += quote(row[i]);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace hbbp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII / CSV table rendering.
+ *
+ * Every bench binary regenerating a paper table or figure uses TextTable so
+ * that output is uniform and machine-diffable.
+ */
+
+#ifndef HBBP_SUPPORT_TABLE_HH
+#define HBBP_SUPPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hbbp {
+
+/** Column alignment for TextTable. */
+enum class Align { Left, Right };
+
+/** A simple text table with a header row and aligned columns. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Set per-column alignment; default is Left. */
+    void setAlign(size_t col, Align align);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Number of data rows (separators excluded). */
+    size_t rowCount() const;
+
+    /** Render with box-drawing in plain ASCII. */
+    std::string render() const;
+
+    /** Render as CSV (RFC-4180-style quoting of commas and quotes). */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    // A row with zero cells encodes a separator.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_SUPPORT_TABLE_HH

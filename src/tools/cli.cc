@@ -1,0 +1,246 @@
+/**
+ * @file
+ * hbbp-tool — the command-line front end, mirroring the paper's
+ * two-phase collector/analyzer workflow:
+ *
+ *   hbbp-tool list
+ *   hbbp-tool collect <workload> -o <profile>
+ *   hbbp-tool analyze <workload> -i <profile> [options]
+ *   hbbp-tool report  <workload> [-i <profile>] [options]
+ *
+ * analyze/report options:
+ *   --source hbbp|ebs|lbr   data source for the mix (default hbbp)
+ *   --cutoff N              HBBP length cutoff (default 18)
+ *   --no-bias-rule          disable the bias->EBS term
+ *   --patch-kernel          apply the live-kernel-text fix
+ *   --pivot d1,d2,...       pivot dims: module,function,block,mnemonic,
+ *                           isa,category,packing,width,ring,mem
+ *   --top N                 keep the N largest rows
+ *   --function NAME         print annotated disassembly of NAME
+ *   --csv                   render pivots as CSV
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "tools/profiler.hh"
+#include "tools/registry.hh"
+
+using namespace hbbp;
+
+namespace {
+
+struct CliOptions
+{
+    std::string command;
+    std::string workload;
+    std::string profile_in;
+    std::string profile_out;
+    std::string source = "hbbp";
+    double cutoff = 18.0;
+    bool bias_rule = true;
+    bool patch_kernel = false;
+    std::vector<std::string> pivot;
+    size_t top = 0;
+    std::string function;
+    bool csv = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: hbbp-tool list\n"
+                 "       hbbp-tool collect <workload> -o <profile>\n"
+                 "       hbbp-tool analyze <workload> -i <profile> "
+                 "[--source hbbp|ebs|lbr] [--cutoff N]\n"
+                 "                 [--no-bias-rule] [--patch-kernel] "
+                 "[--pivot dims] [--top N]\n"
+                 "                 [--function NAME] [--csv]\n"
+                 "       hbbp-tool report <workload> [-i <profile>]\n");
+    std::exit(2);
+}
+
+CliOptions
+parse(int argc, char **argv)
+{
+    CliOptions opts;
+    if (argc < 2)
+        usage();
+    opts.command = argv[1];
+    int i = 2;
+    if (opts.command != "list") {
+        if (i >= argc)
+            usage();
+        opts.workload = argv[i++];
+    }
+    auto need_value = [&](const char *flag) -> std::string {
+        if (i >= argc)
+            fatal("missing value for %s", flag);
+        return argv[i++];
+    };
+    while (i < argc) {
+        std::string arg = argv[i++];
+        if (arg == "-o")
+            opts.profile_out = need_value("-o");
+        else if (arg == "-i")
+            opts.profile_in = need_value("-i");
+        else if (arg == "--source")
+            opts.source = need_value("--source");
+        else if (arg == "--cutoff")
+            opts.cutoff = std::stod(need_value("--cutoff"));
+        else if (arg == "--no-bias-rule")
+            opts.bias_rule = false;
+        else if (arg == "--patch-kernel")
+            opts.patch_kernel = true;
+        else if (arg == "--pivot")
+            opts.pivot = split(need_value("--pivot"), ',');
+        else if (arg == "--top")
+            opts.top = static_cast<size_t>(
+                std::stoul(need_value("--top")));
+        else if (arg == "--function")
+            opts.function = need_value("--function");
+        else if (arg == "--csv")
+            opts.csv = true;
+        else
+            fatal("unknown option '%s'", arg.c_str());
+    }
+    return opts;
+}
+
+MixDim
+dimFromName(const std::string &dim_name)
+{
+    for (MixDim d : {MixDim::Module, MixDim::Function, MixDim::Block,
+                     MixDim::Mnemonic, MixDim::Isa, MixDim::Category,
+                     MixDim::Packing, MixDim::Width, MixDim::Ring,
+                     MixDim::MemAccess}) {
+        if (dim_name == name(d))
+            return d;
+    }
+    fatal("unknown pivot dimension '%s'", dim_name.c_str());
+}
+
+Workload
+loadWorkload(const std::string &workload_name)
+{
+    std::optional<Workload> w = makeWorkloadByName(workload_name);
+    if (!w)
+        fatal("unknown workload '%s' (try `hbbp-tool list`)",
+              workload_name.c_str());
+    return std::move(*w);
+}
+
+int
+cmdList()
+{
+    for (const std::string &w : workloadNames())
+        std::printf("%s\n", w.c_str());
+    return 0;
+}
+
+int
+cmdCollect(const CliOptions &opts)
+{
+    if (opts.profile_out.empty())
+        fatal("collect requires -o <profile>");
+    Workload w = loadWorkload(opts.workload);
+    CollectorConfig cc;
+    cc.runtime_class = w.runtime_class;
+    cc.max_instructions = w.max_instructions;
+    cc.seed = w.exec_seed;
+    ProfileData pd = Collector::collect(*w.program, MachineConfig{}, cc);
+    pd.save(opts.profile_out);
+    std::printf("collected %zu EBS samples + %zu LBR stacks from %llu "
+                "instructions -> %s\n", pd.ebs.size(), pd.lbr.size(),
+                static_cast<unsigned long long>(
+                    pd.features.instructions),
+                opts.profile_out.c_str());
+    return 0;
+}
+
+int
+cmdAnalyze(const CliOptions &opts, bool full_report)
+{
+    Workload w = loadWorkload(opts.workload);
+
+    ProfileData pd;
+    if (!opts.profile_in.empty()) {
+        pd = ProfileData::load(opts.profile_in);
+    } else {
+        CollectorConfig cc;
+        cc.runtime_class = w.runtime_class;
+        cc.max_instructions = w.max_instructions;
+        cc.seed = w.exec_seed;
+        pd = Collector::collect(*w.program, MachineConfig{}, cc);
+    }
+
+    AnalyzerOptions aopts;
+    aopts.map.patch_kernel_text = opts.patch_kernel;
+    aopts.classifier = std::make_shared<CutoffClassifier>(
+        opts.cutoff, opts.bias_rule);
+    Analyzer analyzer(aopts);
+    AnalysisResult res = analyzer.analyze(*w.program, pd);
+
+    std::unique_ptr<InstructionMix> mix;
+    if (opts.source == "hbbp")
+        mix = std::make_unique<InstructionMix>(res.hbbpMix());
+    else if (opts.source == "ebs")
+        mix = std::make_unique<InstructionMix>(res.ebsMix());
+    else if (opts.source == "lbr")
+        mix = std::make_unique<InstructionMix>(res.lbrMix());
+    else
+        fatal("unknown source '%s'", opts.source.c_str());
+
+    Reporter reporter(*mix);
+    if (full_report) {
+        std::printf("%s\n", reporter.summary().c_str());
+        return 0;
+    }
+
+    if (!opts.function.empty()) {
+        std::string listing =
+            reporter.annotatedDisassembly(opts.function);
+        if (listing.empty())
+            fatal("no function named '%s'", opts.function.c_str());
+        std::printf("%s", listing.c_str());
+        return 0;
+    }
+
+    MixQuery q;
+    if (!opts.pivot.empty()) {
+        q.group_by.clear();
+        for (const std::string &d : opts.pivot)
+            q.group_by.push_back(dimFromName(d));
+    }
+    q.top_n = opts.top;
+    TextTable table = mix->pivotTable(q);
+    std::printf("%s", opts.csv ? table.renderCsv().c_str()
+                               : table.render().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogLevel(LogLevel::Quiet);
+    CliOptions opts = parse(argc, argv);
+    if (opts.command == "list")
+        return cmdList();
+    if (opts.command == "collect")
+        return cmdCollect(opts);
+    if (opts.command == "analyze")
+        return cmdAnalyze(opts, /*full_report=*/false);
+    if (opts.command == "report")
+        return cmdAnalyze(opts, /*full_report=*/true);
+    usage();
+}

@@ -1,0 +1,55 @@
+#include "tools/registry.hh"
+
+#include "workloads/clforward.hh"
+#include "workloads/fitter.hh"
+#include "workloads/kernelbench.hh"
+#include "workloads/spec2006.hh"
+#include "workloads/test40.hh"
+#include "workloads/training.hh"
+
+namespace hbbp {
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names = specBenchmarkNames();
+    names.insert(names.end(),
+                 {"test40", "kernelbench", "hydro_post", "fitter_x87",
+                  "fitter_sse", "fitter_avx_broken", "fitter_avx_fix",
+                  "clforward_before", "clforward_after"});
+    for (const Workload &w : makeTrainingSuite())
+        names.push_back(w.name);
+    return names;
+}
+
+std::optional<Workload>
+makeWorkloadByName(const std::string &name)
+{
+    if (name == "test40")
+        return makeTest40();
+    if (name == "kernelbench")
+        return makeKernelBench();
+    if (name == "hydro_post")
+        return makeHydroPost();
+    if (name == "fitter_x87")
+        return makeFitter(FitterVariant::X87);
+    if (name == "fitter_sse")
+        return makeFitter(FitterVariant::Sse);
+    if (name == "fitter_avx_broken")
+        return makeFitter(FitterVariant::AvxBroken);
+    if (name == "fitter_avx_fix")
+        return makeFitter(FitterVariant::AvxFix);
+    if (name == "clforward_before")
+        return makeClForward(ClForwardVersion::Before);
+    if (name == "clforward_after")
+        return makeClForward(ClForwardVersion::After);
+    for (const std::string &spec : specBenchmarkNames())
+        if (spec == name)
+            return makeSpecBenchmark(name);
+    for (Workload &w : makeTrainingSuite())
+        if (w.name == name)
+            return w;
+    return std::nullopt;
+}
+
+} // namespace hbbp

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Name-based workload registry: every benchmark the repository can
+ * generate, addressable by string (used by the CLI tool and tests).
+ */
+
+#ifndef HBBP_TOOLS_REGISTRY_HH
+#define HBBP_TOOLS_REGISTRY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace hbbp {
+
+/** All registered workload names. */
+std::vector<std::string> workloadNames();
+
+/** Generate a workload by name; std::nullopt for unknown names. */
+std::optional<Workload> makeWorkloadByName(const std::string &name);
+
+} // namespace hbbp
+
+#endif // HBBP_TOOLS_REGISTRY_HH

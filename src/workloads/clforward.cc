@@ -1,0 +1,68 @@
+#include "workloads/clforward.hh"
+
+#include "workloads/synthetic.hh"
+
+namespace hbbp {
+
+Workload
+makeClForward(ClForwardVersion version)
+{
+    SyntheticAppSpec spec;
+    spec.seed = 0xc1f0d;
+
+    MnemonicPalette base;
+    base.weights = {
+        {Mnemonic::MOV, 8}, {Mnemonic::ADD, 3}, {Mnemonic::CMP, 2},
+        {Mnemonic::LEA, 2},
+    };
+
+    if (version == ClForwardVersion::Before) {
+        spec.name = "clforward_before";
+        // ~77% scalar AVX, ~8% packed AVX, ~15% base integer, mirroring
+        // the Table 8 "BEFORE" breakdown (scalar 14.7 / packed 1.5 /
+        // base 2.9 of 19.2B).
+        MnemonicPalette p;
+        p.weights = {
+            {Mnemonic::VMOVSS, 22}, {Mnemonic::VADDSS, 18},
+            {Mnemonic::VMULSS, 18}, {Mnemonic::VFMADD231SS, 10},
+            {Mnemonic::VDIVSS, 2},  {Mnemonic::VSQRTSS, 1},
+            {Mnemonic::VCVTSI2SS, 2},
+            {Mnemonic::VMOVAPS, 3}, {Mnemonic::VADDPS, 2},
+            {Mnemonic::VMULPS, 2},
+        };
+        p.mix(base, 1.0);
+        spec.palette = p;
+        spec.max_instructions = 6'000'000;
+    } else {
+        spec.name = "clforward_after";
+        // ~67% packed AVX, ~21% non-vector AVX moves, ~2.5% residual
+        // scalar AVX, ~9.5% base (packed 10.6 / NONE 3.3 / scalar 0.4 /
+        // base 1.5 of 15.8B). The total dynamic count shrinks by the
+        // paper's 15.8/19.2 ratio.
+        MnemonicPalette p;
+        p.weights = {
+            {Mnemonic::VMOVAPS, 16}, {Mnemonic::VADDPS, 14},
+            {Mnemonic::VMULPS, 14},  {Mnemonic::VFMADD231PS, 12},
+            {Mnemonic::VBROADCASTSS, 4}, {Mnemonic::VSHUFPS, 3},
+            {Mnemonic::VDIVPS, 1.2}, {Mnemonic::VPERM2F128, 1.4},
+            {Mnemonic::VMOVD, 11},   {Mnemonic::VMOVQ, 10},
+            {Mnemonic::VMOVSS, 1.5}, {Mnemonic::VADDSS, 1},
+        };
+        p.mix(base, 0.88);
+        spec.palette = p;
+        spec.max_instructions = static_cast<uint64_t>(
+            6'000'000.0 * 15.8 / 19.2);
+    }
+
+    spec.num_workers = 5;
+    spec.num_leaves = 2;
+    spec.segments_per_worker = 5;
+    spec.mean_block_len = 16.0;
+    spec.sd_block_len = 5.0;
+    spec.mean_inner_trip = 20.0;
+    spec.runtime_class = RuntimeClass::MinutesFew;
+    spec.paper_clean_seconds = 95.0;
+    return makeSyntheticApp(spec);
+}
+
+} // namespace hbbp

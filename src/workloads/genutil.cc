@@ -1,0 +1,295 @@
+#include "workloads/genutil.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+Instruction
+MnemonicPalette::draw(Rng &rng) const
+{
+    if (weights.empty())
+        panic("MnemonicPalette::draw: empty palette");
+    double total = totalWeight();
+    double pick = rng.nextDouble() * total;
+    Mnemonic chosen = weights.back().first;
+    for (const auto &[mn, w] : weights) {
+        pick -= w;
+        if (pick <= 0.0) {
+            chosen = mn;
+            break;
+        }
+    }
+    const MnemonicInfo &mi = info(chosen);
+    bool can_mem = !mi.isControl() && mi.category != Category::Nop &&
+                   mi.category != Category::System;
+    bool mem_read = can_mem && rng.chance(mem_read_frac);
+    bool mem_write = can_mem && !mem_read && rng.chance(mem_write_frac);
+    // Memory-form instructions encode longer, like x86 ModRM+disp.
+    uint8_t extra = 0;
+    if (mem_read || mem_write)
+        extra = static_cast<uint8_t>(1 + rng.nextBelow(3));
+    return makeInstr(chosen, mem_read, mem_write, extra);
+}
+
+double
+MnemonicPalette::totalWeight() const
+{
+    double total = 0.0;
+    for (const auto &[mn, w] : weights)
+        total += w;
+    return total;
+}
+
+MnemonicPalette &
+MnemonicPalette::mix(const MnemonicPalette &other, double scale)
+{
+    for (const auto &[mn, w] : other.weights)
+        weights.emplace_back(mn, w * scale);
+    return *this;
+}
+
+MnemonicPalette
+paletteIntBranchy()
+{
+    MnemonicPalette p;
+    p.weights = {
+        {Mnemonic::MOV, 28}, {Mnemonic::ADD, 10}, {Mnemonic::SUB, 5},
+        {Mnemonic::CMP, 12}, {Mnemonic::TEST, 8}, {Mnemonic::LEA, 7},
+        {Mnemonic::AND, 4},  {Mnemonic::OR, 3},   {Mnemonic::XOR, 4},
+        {Mnemonic::SHL, 3},  {Mnemonic::SHR, 2},  {Mnemonic::MOVZX, 5},
+        {Mnemonic::MOVSX, 2},{Mnemonic::INC, 2},  {Mnemonic::DEC, 2},
+        {Mnemonic::IMUL, 1}, {Mnemonic::SETZ, 1}, {Mnemonic::CMOVZ, 2},
+    };
+    p.mem_read_frac = 0.30;
+    p.mem_write_frac = 0.12;
+    return p;
+}
+
+MnemonicPalette
+paletteIntMemory()
+{
+    MnemonicPalette p;
+    p.weights = {
+        {Mnemonic::MOV, 38}, {Mnemonic::ADD, 8},  {Mnemonic::CMP, 10},
+        {Mnemonic::LEA, 8},  {Mnemonic::TEST, 5}, {Mnemonic::SUB, 4},
+        {Mnemonic::MOVSXD, 4}, {Mnemonic::MOVZX, 4}, {Mnemonic::SHL, 2},
+        {Mnemonic::AND, 3},  {Mnemonic::XOR, 2},  {Mnemonic::CDQE, 2},
+        {Mnemonic::IMUL, 1},
+    };
+    p.mem_read_frac = 0.45;
+    p.mem_write_frac = 0.15;
+    return p;
+}
+
+MnemonicPalette
+paletteIntKernel()
+{
+    MnemonicPalette p;
+    p.weights = {
+        {Mnemonic::MOV, 24}, {Mnemonic::ADD, 14}, {Mnemonic::SUB, 6},
+        {Mnemonic::CMP, 8},  {Mnemonic::AND, 6},  {Mnemonic::OR, 5},
+        {Mnemonic::XOR, 6},  {Mnemonic::SHL, 5},  {Mnemonic::SHR, 5},
+        {Mnemonic::SAR, 2},  {Mnemonic::LEA, 6},  {Mnemonic::IMUL, 4},
+        {Mnemonic::MOVZX, 5},{Mnemonic::TEST, 3}, {Mnemonic::ROL, 1},
+    };
+    p.mem_read_frac = 0.25;
+    p.mem_write_frac = 0.08;
+    return p;
+}
+
+MnemonicPalette
+paletteObjectOriented()
+{
+    MnemonicPalette p;
+    p.weights = {
+        {Mnemonic::MOV, 34}, {Mnemonic::PUSH, 7}, {Mnemonic::POP, 7},
+        {Mnemonic::LEA, 6},  {Mnemonic::CMP, 8},  {Mnemonic::TEST, 6},
+        {Mnemonic::ADD, 7},  {Mnemonic::SUB, 4},  {Mnemonic::XOR, 3},
+        {Mnemonic::MOVZX, 3},{Mnemonic::MOVSXD, 2},
+        {Mnemonic::ADDSD, 3},{Mnemonic::MULSD, 2},
+        {Mnemonic::MOVSD_X, 3}, {Mnemonic::UCOMISD, 1},
+        {Mnemonic::CVTSI2SD, 1}, {Mnemonic::SQRTSD, 0.4},
+        {Mnemonic::DIVSD, 0.6},
+    };
+    p.mem_read_frac = 0.35;
+    p.mem_write_frac = 0.14;
+    return p;
+}
+
+MnemonicPalette
+paletteFpScalarSse()
+{
+    MnemonicPalette p;
+    p.weights = {
+        {Mnemonic::MOVSS, 10}, {Mnemonic::MOVSD_X, 8},
+        {Mnemonic::ADDSS, 7},  {Mnemonic::ADDSD, 6},
+        {Mnemonic::SUBSD, 4},  {Mnemonic::MULSS, 6},
+        {Mnemonic::MULSD, 6},  {Mnemonic::DIVSD, 1.5},
+        {Mnemonic::SQRTSD, 0.8}, {Mnemonic::UCOMISD, 3},
+        {Mnemonic::COMISS, 2}, {Mnemonic::CVTSS2SD, 1},
+        {Mnemonic::CVTSI2SD, 1},
+        {Mnemonic::MOV, 18}, {Mnemonic::ADD, 5}, {Mnemonic::CMP, 5},
+        {Mnemonic::LEA, 4},  {Mnemonic::TEST, 2},
+    };
+    p.mem_read_frac = 0.30;
+    p.mem_write_frac = 0.10;
+    return p;
+}
+
+MnemonicPalette
+paletteFpPackedSse()
+{
+    MnemonicPalette p;
+    p.weights = {
+        {Mnemonic::MOVAPS, 12}, {Mnemonic::MOVUPS, 4},
+        {Mnemonic::ADDPS, 9},   {Mnemonic::SUBPS, 4},
+        {Mnemonic::MULPS, 9},   {Mnemonic::DIVPS, 1.2},
+        {Mnemonic::SQRTPS, 0.8},{Mnemonic::SHUFPS, 4},
+        {Mnemonic::UNPCKLPS, 2},{Mnemonic::XORPS, 2},
+        {Mnemonic::ANDPS, 2},   {Mnemonic::MAXPS, 2},
+        {Mnemonic::MINPS, 2},   {Mnemonic::CMPPS, 2},
+        {Mnemonic::MOV, 10}, {Mnemonic::ADD, 4}, {Mnemonic::CMP, 3},
+        {Mnemonic::LEA, 3},
+    };
+    p.mem_read_frac = 0.28;
+    p.mem_write_frac = 0.12;
+    return p;
+}
+
+MnemonicPalette
+paletteFpPackedAvx()
+{
+    MnemonicPalette p;
+    p.weights = {
+        {Mnemonic::VMOVAPS, 12}, {Mnemonic::VMOVUPS, 4},
+        {Mnemonic::VADDPS, 9},   {Mnemonic::VSUBPS, 4},
+        {Mnemonic::VMULPS, 9},   {Mnemonic::VDIVPS, 1.2},
+        {Mnemonic::VSQRTPS, 0.8},{Mnemonic::VSHUFPS, 3},
+        {Mnemonic::VXORPS, 2},   {Mnemonic::VANDPS, 2},
+        {Mnemonic::VMAXPS, 2},   {Mnemonic::VMINPS, 2},
+        {Mnemonic::VFMADD231PS, 5}, {Mnemonic::VBROADCASTSS, 2},
+        {Mnemonic::VINSERTF128, 1}, {Mnemonic::VPERM2F128, 1},
+        {Mnemonic::MOV, 10}, {Mnemonic::ADD, 4}, {Mnemonic::CMP, 3},
+        {Mnemonic::LEA, 3},
+    };
+    p.mem_read_frac = 0.28;
+    p.mem_write_frac = 0.12;
+    return p;
+}
+
+MnemonicPalette
+paletteFpScalarAvx()
+{
+    MnemonicPalette p;
+    p.weights = {
+        {Mnemonic::VMOVSS, 12}, {Mnemonic::VADDSS, 9},
+        {Mnemonic::VMULSS, 9},  {Mnemonic::VDIVSS, 1.5},
+        {Mnemonic::VSQRTSS, 0.8}, {Mnemonic::VFMADD231SS, 4},
+        {Mnemonic::VCVTSI2SS, 1},
+        {Mnemonic::MOV, 14}, {Mnemonic::ADD, 5}, {Mnemonic::CMP, 4},
+        {Mnemonic::LEA, 3},  {Mnemonic::TEST, 2},
+    };
+    p.mem_read_frac = 0.30;
+    p.mem_write_frac = 0.10;
+    return p;
+}
+
+MnemonicPalette
+paletteX87()
+{
+    MnemonicPalette p;
+    p.weights = {
+        {Mnemonic::FLD, 12},  {Mnemonic::FSTP, 9}, {Mnemonic::FXCH, 6},
+        {Mnemonic::FADD, 8},  {Mnemonic::FSUB, 4}, {Mnemonic::FMUL, 8},
+        {Mnemonic::FDIV, 1.2},{Mnemonic::FSQRT, 0.6},
+        {Mnemonic::FCOMI, 2}, {Mnemonic::FILD, 1},
+        {Mnemonic::MOV, 12},  {Mnemonic::ADD, 4}, {Mnemonic::CMP, 3},
+        {Mnemonic::LEA, 2},
+    };
+    p.mem_read_frac = 0.32;
+    p.mem_write_frac = 0.14;
+    return p;
+}
+
+MnemonicPalette
+paletteIntAvx2()
+{
+    MnemonicPalette p;
+    p.weights = {
+        {Mnemonic::MOVDQA, 6}, {Mnemonic::VPADDD, 8},
+        {Mnemonic::VPSUBD, 3}, {Mnemonic::VPMULLD, 3},
+        {Mnemonic::VPAND, 3},  {Mnemonic::VPXOR, 3},
+        {Mnemonic::VPSLLD, 3}, {Mnemonic::VPCMPEQD, 3},
+        {Mnemonic::VPSHUFD, 2},{Mnemonic::VPBROADCASTD, 1},
+        {Mnemonic::MOV, 12},   {Mnemonic::ADD, 5}, {Mnemonic::CMP, 4},
+        {Mnemonic::LEA, 3},
+    };
+    p.mem_read_frac = 0.30;
+    p.mem_write_frac = 0.12;
+    return p;
+}
+
+void
+fillBlock(ProgramBuilder &pb, BlockId block, Rng &rng,
+          const MnemonicPalette &palette, size_t count)
+{
+    // Real basic blocks are thematic — a block mostly loads, or mostly
+    // multiplies, etc. Lean each block toward a couple of "focus"
+    // mnemonics so adjacent blocks have genuinely different mixes;
+    // without this, boundary skid would cancel at the mnemonic level
+    // and EBS would look unrealistically accurate.
+    MnemonicPalette themed = palette;
+    if (themed.weights.size() >= 2 && count >= 3) {
+        for (int k = 0; k < 2; k++) {
+            size_t pick = rng.nextBelow(themed.weights.size());
+            themed.weights[pick].second *= 4.0;
+        }
+    }
+    for (size_t i = 0; i < count; i++)
+        pb.append(block, themed.draw(rng));
+}
+
+FuncId
+addLeafFunction(ProgramBuilder &pb, ModuleId mod, const std::string &name,
+                Rng &rng, const MnemonicPalette &palette, size_t len)
+{
+    FuncId fn = pb.addFunction(mod, name);
+    BlockId b = pb.addBlock(fn);
+    fillBlock(pb, b, rng, palette, len);
+    pb.endReturn(b);
+    return fn;
+}
+
+size_t
+drawBlockLen(Rng &rng, double mean, double sd, size_t lo, size_t hi)
+{
+    double x = rng.nextGaussian(mean, sd);
+    double clamped = std::clamp(x, static_cast<double>(lo),
+                                static_cast<double>(hi));
+    return static_cast<size_t>(std::lround(clamped));
+}
+
+uint64_t
+drawTripCount(Rng &rng, double mean)
+{
+    if (mean <= 2.0)
+        return 2;
+    uint64_t extra = rng.nextGeometric(1.0 / (mean - 1.0));
+    return 2 + extra;
+}
+
+Mnemonic
+drawCondBranch(Rng &rng)
+{
+    static const Mnemonic kBranches[] = {
+        Mnemonic::JZ, Mnemonic::JNZ, Mnemonic::JL, Mnemonic::JNL,
+        Mnemonic::JLE, Mnemonic::JNLE, Mnemonic::JB, Mnemonic::JNB,
+        Mnemonic::JBE, Mnemonic::JNBE, Mnemonic::JS, Mnemonic::JNS,
+    };
+    return kBranches[rng.nextBelow(std::size(kBranches))];
+}
+
+} // namespace hbbp

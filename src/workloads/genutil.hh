@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Workload generation utilities: mnemonic palettes and structure
+ * helpers shared by all benchmark generators.
+ */
+
+#ifndef HBBP_WORKLOADS_GENUTIL_HH
+#define HBBP_WORKLOADS_GENUTIL_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "program/builder.hh"
+#include "support/rng.hh"
+
+namespace hbbp {
+
+/**
+ * A weighted distribution over non-control mnemonics, plus the
+ * probability that a generated instruction carries memory operands.
+ */
+struct MnemonicPalette
+{
+    std::vector<std::pair<Mnemonic, double>> weights;
+    double mem_read_frac = 0.25;
+    double mem_write_frac = 0.10;
+
+    /** Draw one instruction. */
+    Instruction draw(Rng &rng) const;
+
+    /** Sum of weights. */
+    double totalWeight() const;
+
+    /** Merge another palette scaled by @p scale. */
+    MnemonicPalette &mix(const MnemonicPalette &other, double scale);
+};
+
+/** Scalar integer control-heavy code (compilers, interpreters). */
+MnemonicPalette paletteIntBranchy();
+
+/** Pointer-chasing integer code (mcf, astar). */
+MnemonicPalette paletteIntMemory();
+
+/** Long-block integer kernels (hmmer, h264ref). */
+MnemonicPalette paletteIntKernel();
+
+/** Object-oriented C++ (omnetpp, xalancbmk, Geant4): stack traffic. */
+MnemonicPalette paletteObjectOriented();
+
+/** Scalar SSE floating point (povray-like). */
+MnemonicPalette paletteFpScalarSse();
+
+/** Packed SSE floating point. */
+MnemonicPalette paletteFpPackedSse();
+
+/** Packed AVX floating point. */
+MnemonicPalette paletteFpPackedAvx();
+
+/** Scalar AVX floating point (un-vectorized AVX codegen). */
+MnemonicPalette paletteFpScalarAvx();
+
+/** x87 legacy floating point. */
+MnemonicPalette paletteX87();
+
+/** AVX2 integer SIMD. */
+MnemonicPalette paletteIntAvx2();
+
+/**
+ * Fill @p block with @p count instructions drawn from @p palette.
+ */
+void fillBlock(ProgramBuilder &pb, BlockId block, Rng &rng,
+               const MnemonicPalette &palette, size_t count);
+
+/**
+ * Build a leaf function: one block of @p len instructions plus RET.
+ */
+FuncId addLeafFunction(ProgramBuilder &pb, ModuleId mod,
+                       const std::string &name, Rng &rng,
+                       const MnemonicPalette &palette, size_t len);
+
+/** Draw a block length from a clamped Gaussian. */
+size_t drawBlockLen(Rng &rng, double mean, double sd, size_t lo,
+                    size_t hi);
+
+/** Draw a loop trip count >= 2 around @p mean (geometric tail). */
+uint64_t drawTripCount(Rng &rng, double mean);
+
+/** A conditional-branch mnemonic drawn uniformly. */
+Mnemonic drawCondBranch(Rng &rng);
+
+} // namespace hbbp
+
+#endif // HBBP_WORKLOADS_GENUTIL_HH

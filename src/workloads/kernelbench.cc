@@ -1,0 +1,146 @@
+#include "workloads/kernelbench.hh"
+
+#include <memory>
+
+#include "program/builder.hh"
+#include "support/logging.hh"
+#include "workloads/genutil.hh"
+
+namespace hbbp {
+
+namespace {
+
+/**
+ * Add the prime-search function: three nested loops plus a probabilistic
+ * divisibility-test diamond, using exactly the mnemonic set of Table 7.
+ * The kernel flavour inserts tracepoint sites (static JMPs, live NOPs).
+ */
+FuncId
+addPrimeFunction(ProgramBuilder &pb, ModuleId mod, const std::string &name,
+                 bool tracepoints)
+{
+    FuncId fn = pb.addFunction(mod, name);
+
+    // Entry: executed once per call.
+    BlockId entry = pb.addBlock(fn);
+    pb.append(entry, makeInstr(Mnemonic::MOV));
+    pb.append(entry, makeInstr(Mnemonic::MOV, true));
+    pb.append(entry, makeInstr(Mnemonic::TEST));
+    if (tracepoints)
+        pb.appendTracepoint(entry);
+    pb.endFallThrough(entry);
+
+    // Outer loop over candidate numbers n.
+    BlockId outer = pb.addBlock(fn);
+    pb.append(outer, makeInstr(Mnemonic::MOV));
+    pb.append(outer, makeInstr(Mnemonic::CDQE));
+    pb.append(outer, makeInstr(Mnemonic::IMUL));
+    pb.append(outer, makeInstr(Mnemonic::CMP));
+    pb.endFallThrough(outer);
+
+    // Middle loop over divisors d (~3.35 iterations per outer).
+    BlockId mid = pb.addBlock(fn);
+    pb.append(mid, makeInstr(Mnemonic::MOVSXD));
+    pb.append(mid, makeInstr(Mnemonic::SUB, true));
+    pb.append(mid, makeInstr(Mnemonic::MOV));
+    if (tracepoints)
+        pb.appendTracepoint(mid);
+    pb.endFallThrough(mid);
+
+    // Inner loop: the remainder computation (~2.9 per middle).
+    BlockId inner = pb.addBlock(fn);
+    pb.append(inner, makeInstr(Mnemonic::ADD));
+    pb.append(inner, makeInstr(Mnemonic::ADD, true));
+    pb.append(inner, makeInstr(Mnemonic::CMP));
+    pb.endCond(inner, Mnemonic::JNZ, inner,
+               pb.addBehavior(Behavior::loop(3)));
+
+    // Divisibility check: the "divisor found" block is skipped ~79% of
+    // the time.
+    BlockId check = pb.addBlock(fn);
+    pb.append(check, makeInstr(Mnemonic::TEST));
+    pb.append(check, makeInstr(Mnemonic::MOV));
+    BlockId found = pb.addBlock(fn);
+    BlockId mid_latch = pb.addBlock(fn);
+    pb.endCond(check, Mnemonic::JZ, mid_latch,
+               pb.addBehavior(Behavior::prob(0.79)), found);
+
+    pb.append(found, makeInstr(Mnemonic::MOV));
+    pb.append(found, makeInstr(Mnemonic::SUB));
+    pb.endFallThrough(found);
+
+    // Middle-loop latch: trips cycle 3,3,4 (~3.33 per outer).
+    pb.append(mid_latch, makeInstr(Mnemonic::MOVSXD));
+    pb.append(mid_latch, makeInstr(Mnemonic::CMP));
+    pb.endCond(mid_latch, Mnemonic::JLE, mid,
+               pb.addBehavior(Behavior::patternOf(
+                   {true, true, false, true, true, false, true, true,
+                    true, false})));
+
+    // Outer-loop latch.
+    BlockId outer_latch = pb.addBlock(fn);
+    pb.append(outer_latch, makeInstr(Mnemonic::MOV, false, true));
+    pb.append(outer_latch, makeInstr(Mnemonic::ADD));
+    pb.endCond(outer_latch, Mnemonic::JNLE, outer,
+               pb.addBehavior(Behavior::loop(12)));
+
+    BlockId epi = pb.addBlock(fn);
+    pb.append(epi, makeInstr(Mnemonic::MOV));
+    pb.endReturn(epi, name == kKernelBenchKernelFunc
+                          ? Mnemonic::SYSRET : Mnemonic::RET_NEAR);
+    return fn;
+}
+
+} // namespace
+
+Workload
+makeKernelBench()
+{
+    Rng rng(0xbeefcafe);
+    ProgramBuilder pb;
+
+    ModuleId user_mod = pb.addModule("hello", Ring::User);
+    ModuleId kernel_mod = pb.addModule("hello.ko", Ring::Kernel);
+
+    FuncId hello_u =
+        addPrimeFunction(pb, user_mod, kKernelBenchUserFunc, false);
+    FuncId hello_k =
+        addPrimeFunction(pb, kernel_mod, kKernelBenchKernelFunc, true);
+
+    // Main: idle work, user-space prime search, then a read() that
+    // triggers the same code in the kernel module.
+    FuncId main_fn = pb.addFunction(user_mod, "main");
+    BlockId entry = pb.addBlock(main_fn);
+    fillBlock(pb, entry, rng, paletteIntBranchy(), 4);
+    pb.endFallThrough(entry);
+
+    BlockId head = pb.addBlock(main_fn);
+    // Idle separation between kernel calls, as in the paper's setup.
+    fillBlock(pb, head, rng, paletteIntBranchy(), 18);
+    pb.endCall(head, hello_u);
+
+    BlockId mid = pb.addBlock(main_fn);
+    fillBlock(pb, mid, rng, paletteIntBranchy(), 10);
+    pb.endSyscall(mid, hello_k);
+
+    BlockId latch = pb.addBlock(main_fn);
+    fillBlock(pb, latch, rng, paletteIntBranchy(), 3);
+    pb.endCond(latch, Mnemonic::JNZ, head,
+               pb.addBehavior(Behavior::loop(1'000'000'000ULL)));
+
+    BlockId done = pb.addBlock(main_fn);
+    pb.append(done, makeInstr(Mnemonic::XOR));
+    pb.endExit(done);
+    pb.setEntry(main_fn);
+
+    Workload w;
+    w.name = "kernelbench";
+    w.program = std::make_shared<Program>(pb.build());
+    w.runtime_class = RuntimeClass::Seconds;
+    w.max_instructions = 6'000'000;
+    w.exec_seed = 0x51ca11;
+    w.paper_clean_seconds = 9.0;
+    return w;
+}
+
+} // namespace hbbp

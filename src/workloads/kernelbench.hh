@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The synthetic kernel benchmark (Section VIII.D).
+ *
+ * A small prime-search kernel exists twice: as a user-space function
+ * (hello_u in module "hello") and as the same code inserted into a live
+ * kernel as a device-driver module (hello_k in "hello.ko"), triggered
+ * from user space by reads (syscalls), separated in time by idle work.
+ * The kernel module contains tracepoint sites that are patched to NOPs
+ * in the live image (self-modifying kernel text) — the analyzer must
+ * apply the live-text fix to handle them.
+ */
+
+#ifndef HBBP_WORKLOADS_KERNELBENCH_HH
+#define HBBP_WORKLOADS_KERNELBENCH_HH
+
+#include "workloads/workload.hh"
+
+namespace hbbp {
+
+/** Names of the two prime-search functions. */
+constexpr const char *kKernelBenchUserFunc = "hello_u";
+constexpr const char *kKernelBenchKernelFunc = "hello_k";
+
+/** Generate the kernel benchmark workload. */
+Workload makeKernelBench();
+
+} // namespace hbbp
+
+#endif // HBBP_WORKLOADS_KERNELBENCH_HH

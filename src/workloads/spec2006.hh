@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Synthetic stand-ins for the SPEC CPU2006 suite.
+ *
+ * Each of the 29 benchmarks the paper evaluates is synthesized with a
+ * parameterization reflecting its structural character: mnemonic palette
+ * (integer branchy / pointer-chasing / long-block kernels / OO C++ /
+ * scalar or packed FP), basic block length distribution and loop
+ * behaviour. Absolute dynamic sizes are scaled down for simulation; the
+ * paper-scale clean runtimes are carried along for Table 1 / Figure 2
+ * reporting.
+ *
+ * 464.h264ref carries the paper's footnote: SDE produced incorrect
+ * results for it (a PIN bug evidenced by PMU counting verification), so
+ * it is excluded from average-error aggregation.
+ */
+
+#ifndef HBBP_WORKLOADS_SPEC2006_HH
+#define HBBP_WORKLOADS_SPEC2006_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/synthetic.hh"
+#include "workloads/workload.hh"
+
+namespace hbbp {
+
+/** Static description of one SPEC benchmark stand-in. */
+struct SpecEntry
+{
+    std::string name;    ///< e.g. "453.povray".
+    bool integer = true; ///< CINT vs CFP.
+    /** Clean runtime at paper scale, seconds (reference-level figure). */
+    double paper_clean_seconds = 0.0;
+    /** Excluded from error aggregation (the h264ref SDE bug). */
+    bool excluded_from_error = false;
+};
+
+/** The full benchmark list in suite order. */
+const std::vector<SpecEntry> &specEntries();
+
+/** Names only, in suite order. */
+std::vector<std::string> specBenchmarkNames();
+
+/** Generate one benchmark by name; fatal() on unknown names. */
+Workload makeSpecBenchmark(const std::string &name);
+
+/** Generate the whole suite. */
+std::vector<Workload> makeSpecSuite();
+
+/** Lookup of the static entry by name; fatal() on unknown names. */
+const SpecEntry &specEntry(const std::string &name);
+
+} // namespace hbbp
+
+#endif // HBBP_WORKLOADS_SPEC2006_HH

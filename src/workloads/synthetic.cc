@@ -1,0 +1,189 @@
+#include "workloads/synthetic.hh"
+
+#include <memory>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+namespace {
+
+/** Appends one if/else diamond; returns the merge block (open). */
+BlockId
+makeDiamond(ProgramBuilder &pb, FuncId fn, BlockId cur, Rng &rng,
+            const SyntheticAppSpec &spec)
+{
+    BlockId then_b = pb.addBlock(fn);
+    BlockId else_b = pb.addBlock(fn);
+    BlockId merge = pb.addBlock(fn);
+
+    double p = 0.1 + rng.nextDouble() * 0.8;
+    BehaviorId bh = pb.addBehavior(Behavior::prob(p));
+    pb.endCond(cur, drawCondBranch(rng), else_b, bh);
+
+    size_t then_len = drawBlockLen(rng, spec.mean_block_len,
+                                   spec.sd_block_len, spec.min_block_len,
+                                   spec.max_block_len);
+    fillBlock(pb, then_b, rng, spec.palette, then_len);
+    pb.endJump(then_b, merge);
+
+    size_t else_len = drawBlockLen(rng, spec.mean_block_len,
+                                   spec.sd_block_len, spec.min_block_len,
+                                   spec.max_block_len);
+    fillBlock(pb, else_b, rng, spec.palette, else_len);
+    pb.endFallThrough(else_b);
+
+    size_t merge_len = drawBlockLen(rng, spec.mean_block_len,
+                                    spec.sd_block_len, spec.min_block_len,
+                                    spec.max_block_len);
+    fillBlock(pb, merge, rng, spec.palette, merge_len);
+    return merge;
+}
+
+/** Builds one worker function; returns its id. */
+FuncId
+buildWorker(ProgramBuilder &pb, ModuleId mod, const std::string &name,
+            Rng &rng, const SyntheticAppSpec &spec,
+            const std::vector<FuncId> &leaves)
+{
+    FuncId fn = pb.addFunction(mod, name);
+
+    BlockId cur = pb.addBlock(fn);
+    fillBlock(pb, cur, rng, spec.palette,
+              drawBlockLen(rng, spec.mean_block_len / 2.0,
+                           spec.sd_block_len / 2.0, spec.min_block_len,
+                           spec.max_block_len));
+    pb.endFallThrough(cur);
+
+    // Outer loop head.
+    BlockId head = pb.addBlock(fn);
+    fillBlock(pb, head, rng, spec.palette,
+              drawBlockLen(rng, spec.mean_block_len, spec.sd_block_len,
+                           spec.min_block_len, spec.max_block_len));
+    cur = head;
+
+    for (size_t seg = 0; seg < spec.segments_per_worker; seg++) {
+        double roll = rng.nextDouble();
+        if (roll < spec.diamond_prob) {
+            cur = makeDiamond(pb, fn, cur, rng, spec);
+        } else if (roll < spec.diamond_prob + spec.call_prob &&
+                   !leaves.empty()) {
+            FuncId leaf = leaves[rng.nextBelow(leaves.size())];
+            pb.endCall(cur, leaf);
+            cur = pb.addBlock(fn);
+            fillBlock(pb, cur, rng, spec.palette,
+                      drawBlockLen(rng, spec.mean_block_len,
+                                   spec.sd_block_len, spec.min_block_len,
+                                   spec.max_block_len));
+        } else if (roll < spec.diamond_prob + spec.call_prob +
+                              spec.inner_loop_prob) {
+            // Single-block self loop.
+            pb.endFallThrough(cur);
+            BlockId inner = pb.addBlock(fn);
+            fillBlock(pb, inner, rng, spec.palette,
+                      drawBlockLen(rng, spec.mean_block_len,
+                                   spec.sd_block_len, spec.min_block_len,
+                                   spec.max_block_len));
+            BehaviorId bh = pb.addBehavior(
+                Behavior::loop(drawTripCount(rng, spec.mean_inner_trip)));
+            pb.endCond(inner, drawCondBranch(rng), inner, bh);
+            cur = pb.addBlock(fn);
+            fillBlock(pb, cur, rng, spec.palette,
+                      drawBlockLen(rng, spec.mean_block_len,
+                                   spec.sd_block_len, spec.min_block_len,
+                                   spec.max_block_len));
+        } else {
+            // Plain segment: extend the current block.
+            fillBlock(pb, cur, rng, spec.palette,
+                      drawBlockLen(rng, spec.mean_block_len / 2.0,
+                                   spec.sd_block_len / 2.0,
+                                   spec.min_block_len,
+                                   spec.max_block_len));
+        }
+    }
+
+    // Outer loop latch.
+    BehaviorId outer = pb.addBehavior(
+        Behavior::loop(drawTripCount(rng, spec.mean_outer_trip)));
+    pb.endCond(cur, drawCondBranch(rng), head, outer);
+
+    BlockId epi = pb.addBlock(fn);
+    fillBlock(pb, epi, rng, spec.palette, 2);
+    pb.endReturn(epi);
+    return fn;
+}
+
+} // namespace
+
+Workload
+makeSyntheticApp(const SyntheticAppSpec &spec)
+{
+    if (spec.palette.weights.empty())
+        fatal("makeSyntheticApp('%s'): palette is empty",
+              spec.name.c_str());
+    if (spec.num_workers == 0)
+        fatal("makeSyntheticApp('%s'): need at least one worker",
+              spec.name.c_str());
+
+    Rng rng(spec.seed);
+    ProgramBuilder pb;
+    ModuleId mod = pb.addModule(spec.name + ".bin");
+
+    std::vector<FuncId> leaves;
+    for (size_t i = 0; i < spec.num_leaves; i++)
+        leaves.push_back(addLeafFunction(
+            pb, mod, format("leaf_%zu", i), rng, spec.palette,
+            spec.leaf_len));
+
+    std::vector<FuncId> workers;
+    for (size_t i = 0; i < spec.num_workers; i++)
+        workers.push_back(buildWorker(pb, mod, format("worker_%zu", i),
+                                      rng, spec, leaves));
+
+    FuncId main_fn = pb.addFunction(mod, "main");
+    BlockId entry = pb.addBlock(main_fn);
+    fillBlock(pb, entry, rng, spec.palette, 4);
+    pb.endFallThrough(entry);
+
+    BlockId head = pb.addBlock(main_fn);
+    fillBlock(pb, head, rng, spec.palette, 3);
+    BlockId cont;
+    if (spec.indirect_dispatch && workers.size() > 1) {
+        std::vector<std::pair<FuncId, double>> targets;
+        for (FuncId w : workers)
+            targets.emplace_back(w, 0.5 + rng.nextDouble());
+        BehaviorId disp = pb.addBehavior(Behavior::targetSet(targets));
+        pb.endIndirectCall(head, disp);
+        cont = pb.addBlock(main_fn);
+    } else {
+        // Round-robin-ish via a chain of direct calls.
+        pb.endCall(head, workers[0]);
+        cont = pb.addBlock(main_fn);
+        for (size_t i = 1; i < workers.size(); i++) {
+            fillBlock(pb, cont, rng, spec.palette, 2);
+            pb.endCall(cont, workers[i]);
+            cont = pb.addBlock(main_fn);
+        }
+    }
+    fillBlock(pb, cont, rng, spec.palette, 2);
+    BehaviorId main_loop =
+        pb.addBehavior(Behavior::loop(1'000'000'000ULL));
+    pb.endCond(cont, Mnemonic::JNZ, head, main_loop);
+
+    BlockId exit_b = pb.addBlock(main_fn);
+    pb.append(exit_b, makeInstr(Mnemonic::XOR));
+    pb.endExit(exit_b);
+
+    pb.setEntry(main_fn);
+
+    Workload w;
+    w.name = spec.name;
+    w.program = std::make_shared<Program>(pb.build());
+    w.runtime_class = spec.runtime_class;
+    w.max_instructions = spec.max_instructions;
+    w.exec_seed = splitmix64(spec.seed ^ 0xabcdef);
+    w.paper_clean_seconds = spec.paper_clean_seconds;
+    return w;
+}
+
+} // namespace hbbp

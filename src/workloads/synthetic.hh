@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The generic synthetic application generator.
+ *
+ * Benchmarks are synthesized from a structural specification: worker
+ * functions made of loop nests, if/else diamonds and calls to leaf
+ * functions, filled with instructions drawn from a mnemonic palette,
+ * dispatched from a long-running main loop. The SPEC CPU2006 stand-ins,
+ * the training codes and several experiment workloads are all instances
+ * of this generator with different parameters.
+ */
+
+#ifndef HBBP_WORKLOADS_SYNTHETIC_HH
+#define HBBP_WORKLOADS_SYNTHETIC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/genutil.hh"
+#include "workloads/workload.hh"
+
+namespace hbbp {
+
+/** Parameters of one synthetic application. */
+struct SyntheticAppSpec
+{
+    std::string name = "synthetic";
+    uint64_t seed = 1;
+
+    size_t num_workers = 6;          ///< Hot functions.
+    size_t num_leaves = 3;           ///< Small callee functions.
+    size_t segments_per_worker = 5;  ///< Structure steps per worker loop.
+
+    double mean_block_len = 10.0;    ///< Basic block instruction count.
+    double sd_block_len = 4.0;
+    size_t min_block_len = 2;
+    size_t max_block_len = 55;
+
+    double diamond_prob = 0.30;      ///< Segment is an if/else diamond.
+    double call_prob = 0.15;         ///< Segment calls a leaf function.
+    double inner_loop_prob = 0.30;   ///< Segment is an inner loop.
+
+    double mean_inner_trip = 10.0;   ///< Inner loop trip count.
+    double mean_outer_trip = 40.0;   ///< Worker outer-loop trip count.
+    size_t leaf_len = 6;             ///< Leaf function body length.
+
+    /** Use an indirect (virtual-dispatch-style) call in the main loop. */
+    bool indirect_dispatch = true;
+
+    MnemonicPalette palette;
+
+    uint64_t max_instructions = 6'000'000;
+    RuntimeClass runtime_class = RuntimeClass::MinutesMany;
+    double paper_clean_seconds = 0.0;
+};
+
+/** Generate a Workload from @p spec. */
+Workload makeSyntheticApp(const SyntheticAppSpec &spec);
+
+} // namespace hbbp
+
+#endif // HBBP_WORKLOADS_SYNTHETIC_HH

@@ -1,0 +1,40 @@
+#include "workloads/test40.hh"
+
+#include "workloads/synthetic.hh"
+
+namespace hbbp {
+
+Workload
+makeTest40()
+{
+    SyntheticAppSpec spec;
+    spec.name = "test40";
+    spec.seed = 0x6ea474;
+    spec.palette = paletteObjectOriented();
+    // Geant4 physics: stepping kernels add scalar SSE math on top of the
+    // OO base (transport, cross-sections, RNG).
+    spec.palette.mix(paletteFpScalarSse(), 0.35);
+
+    // Short methods, dense dispatch.
+    spec.num_workers = 12;
+    spec.num_leaves = 10;
+    spec.segments_per_worker = 4;
+    spec.mean_block_len = 6.0;
+    spec.sd_block_len = 2.5;
+    spec.min_block_len = 2;
+    spec.max_block_len = 24;
+    spec.diamond_prob = 0.35;
+    spec.call_prob = 0.35;
+    spec.inner_loop_prob = 0.15;
+    spec.mean_inner_trip = 6.0;
+    spec.mean_outer_trip = 25.0;
+    spec.leaf_len = 5;
+    spec.indirect_dispatch = true;
+
+    spec.max_instructions = 6'000'000;
+    spec.runtime_class = RuntimeClass::Seconds;
+    spec.paper_clean_seconds = 27.1; // Table 5 clean runtime.
+    return makeSyntheticApp(spec);
+}
+
+} // namespace hbbp

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Test40 — the Geant4-like particle simulation workload (Section
+ * VIII.B).
+ *
+ * Represents complex object-oriented scientific C++: many short
+ * methods, deep call chains, virtual dispatch, and moderate scalar
+ * floating point. Its short basic blocks are what make it hard for EBS
+ * and a showcase for HBBP.
+ */
+
+#ifndef HBBP_WORKLOADS_TEST40_HH
+#define HBBP_WORKLOADS_TEST40_HH
+
+#include "workloads/workload.hh"
+
+namespace hbbp {
+
+/** Generate the Test40 workload. */
+Workload makeTest40();
+
+} // namespace hbbp
+
+#endif // HBBP_WORKLOADS_TEST40_HH

@@ -1,0 +1,84 @@
+#include "workloads/training.hh"
+
+#include "support/logging.hh"
+#include "workloads/synthetic.hh"
+
+namespace hbbp {
+
+std::vector<Workload>
+makeTrainingSuite()
+{
+    struct TrainSpec
+    {
+        double mean_len;
+        int palette; ///< Archetype rotation index.
+    };
+    // A sweep across the block-length axis (the feature the criteria
+    // search must resolve) with rotating instruction palettes.
+    const TrainSpec specs[] = {
+        {4, 0},  {5, 1},  {6, 2},  {8, 3},  {10, 4}, {12, 5},
+        {14, 0}, {16, 1}, {18, 2}, {20, 3}, {23, 4}, {26, 5},
+        {30, 0}, {36, 1}, {42, 2}, {50, 3},
+    };
+
+    std::vector<Workload> suite;
+    int index = 0;
+    for (const TrainSpec &ts : specs) {
+        SyntheticAppSpec spec;
+        spec.name = format("train_%02d_len%d", index,
+                           static_cast<int>(ts.mean_len));
+        spec.seed = 0x7121 + static_cast<uint64_t>(index) * 977;
+        switch (ts.palette) {
+          case 0: spec.palette = paletteIntBranchy(); break;
+          case 1: spec.palette = paletteObjectOriented(); break;
+          case 2: spec.palette = paletteFpScalarSse(); break;
+          case 3: spec.palette = paletteFpPackedSse(); break;
+          case 4: spec.palette = paletteIntMemory(); break;
+          default: spec.palette = paletteFpPackedAvx(); break;
+        }
+        spec.mean_block_len = ts.mean_len;
+        spec.sd_block_len = ts.mean_len / 3.0;
+        spec.num_workers = 8;
+        spec.num_leaves = 4;
+        spec.segments_per_worker = 5;
+        spec.diamond_prob = 0.30;
+        spec.call_prob = 0.15;
+        spec.inner_loop_prob = 0.35;
+        spec.mean_inner_trip = 8.0 + (index % 5) * 6.0;
+        spec.mean_outer_trip = 30.0;
+        spec.max_instructions = 3'000'000;
+        spec.runtime_class = RuntimeClass::Seconds;
+        suite.push_back(makeSyntheticApp(spec));
+        index++;
+    }
+    return suite;
+}
+
+Workload
+makeHydroPost()
+{
+    SyntheticAppSpec spec;
+    spec.name = "hydro_post";
+    spec.seed = 0x42d90;
+    // Extremely short blocks of vector code: the worst case for
+    // per-block instrumentation probes (76.6x in Table 1).
+    spec.palette = paletteFpPackedSse();
+    spec.palette.mix(paletteFpScalarSse(), 0.5);
+    spec.mean_block_len = 3.2;
+    spec.sd_block_len = 1.0;
+    spec.min_block_len = 2;
+    spec.max_block_len = 8;
+    spec.num_workers = 6;
+    spec.num_leaves = 4;
+    spec.segments_per_worker = 6;
+    spec.diamond_prob = 0.45;
+    spec.call_prob = 0.20;
+    spec.inner_loop_prob = 0.25;
+    spec.mean_inner_trip = 12.0;
+    spec.max_instructions = 4'000'000;
+    spec.runtime_class = RuntimeClass::MinutesMany;
+    spec.paper_clean_seconds = 287.0;
+    return makeSyntheticApp(spec);
+}
+
+} // namespace hbbp

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The non-SPEC training workloads for the HBBP criteria search
+ * (Section IV.B: ~1,100 basic blocks of training input).
+ *
+ * A sweep of synthetic applications over block-length regimes and
+ * palette archetypes, plus loop-heavy codes that exercise the LBR bias
+ * quirk, so the classification tree sees both failure modes of the base
+ * methods. Also provides the hydro-post benchmark used in Table 1.
+ */
+
+#ifndef HBBP_WORKLOADS_TRAINING_HH
+#define HBBP_WORKLOADS_TRAINING_HH
+
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace hbbp {
+
+/** The training suite (non-SPEC codes). */
+std::vector<Workload> makeTrainingSuite();
+
+/** Hydro-post: the extreme instrumentation-slowdown case of Table 1. */
+Workload makeHydroPost();
+
+} // namespace hbbp
+
+#endif // HBBP_WORKLOADS_TRAINING_HH

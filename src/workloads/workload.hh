@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The workload abstraction: a program plus how to run it.
+ *
+ * Every benchmark in the evaluation (SPEC CPU2006 synthetics, Fitter,
+ * Test40, CLForward, the kernel benchmark, the training codes) is
+ * produced as a Workload by a generator in this directory.
+ */
+
+#ifndef HBBP_WORKLOADS_WORKLOAD_HH
+#define HBBP_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "collect/periods.hh"
+#include "program/program.hh"
+
+namespace hbbp {
+
+/** A runnable benchmark. */
+struct Workload
+{
+    std::string name;
+    /** Shared so analysis results can safely reference the program. */
+    std::shared_ptr<Program> program;
+    /** Runtime class for Table 4 period selection. */
+    RuntimeClass runtime_class = RuntimeClass::MinutesMany;
+    /** Simulated instruction budget. */
+    uint64_t max_instructions = 8'000'000;
+    /** Seed for branch behaviours during execution. */
+    uint64_t exec_seed = 1;
+    /**
+     * The workload's clean wall-clock runtime at paper scale in seconds
+     * (used when reproducing Table 1/5 absolute columns); 0 = derive
+     * from simulated cycles only.
+     */
+    double paper_clean_seconds = 0.0;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Shared fixtures for the test suite: canonical hand-built programs
+ * with exactly-known execution counts.
+ */
+
+#ifndef HBBP_TESTS_HELPERS_HH
+#define HBBP_TESTS_HELPERS_HH
+
+#include <memory>
+
+#include "hbbp/hbbp.hh"
+
+namespace hbbp::testutil {
+
+/**
+ * A single-function program:
+ *
+ *   entry(4 instrs) -> loop_body(6 instrs, executes `trips` times per
+ *   entry, re-entered `outer` times) -> tail(3 instrs) -> exit
+ *
+ * Exact counts: entry 1, loop head executes outer*trips, tail outer,
+ * where the structure is:
+ *   entry -> head; head endCond(taken=head, Loop(trips)); falls to
+ *   latch; latch endCond(taken=head0...) — simplified to:
+ *   entry(1) -> body(self-loop, trips) -> tail(1) -> exit.
+ */
+struct LoopProgram
+{
+    std::shared_ptr<Program> program;
+    BlockId entry = kNoBlock;
+    BlockId body = kNoBlock;
+    BlockId tail = kNoBlock;
+    uint64_t trips = 0;
+};
+
+inline LoopProgram
+makeLoopProgram(uint64_t trips, size_t body_len = 6)
+{
+    ProgramBuilder pb;
+    ModuleId mod = pb.addModule("loop.bin");
+    FuncId fn = pb.addFunction(mod, "main");
+
+    LoopProgram out;
+    out.trips = trips;
+    out.entry = pb.addBlock(fn);
+    for (int i = 0; i < 4; i++)
+        pb.append(out.entry, makeInstr(Mnemonic::MOV));
+    pb.endFallThrough(out.entry);
+
+    out.body = pb.addBlock(fn);
+    for (size_t i = 0; i < body_len; i++)
+        pb.append(out.body, makeInstr(Mnemonic::ADD));
+    pb.endCond(out.body, Mnemonic::JNZ, out.body,
+               pb.addBehavior(Behavior::loop(trips)));
+
+    out.tail = pb.addBlock(fn);
+    pb.append(out.tail, makeInstr(Mnemonic::SUB));
+    pb.append(out.tail, makeInstr(Mnemonic::CMP));
+    pb.append(out.tail, makeInstr(Mnemonic::TEST));
+    pb.endExit(out.tail);
+
+    pb.setEntry(fn);
+    out.program = std::make_shared<Program>(pb.build());
+    return out;
+}
+
+/**
+ * A two-function user program plus a kernel module with one handler:
+ * main calls worker() then syscalls into handler(), `iterations` times.
+ */
+struct KernelProgram
+{
+    std::shared_ptr<Program> program;
+    FuncId worker = kNoFunc;
+    FuncId handler = kNoFunc;
+    uint64_t iterations = 0;
+};
+
+inline KernelProgram
+makeKernelProgram(uint64_t iterations, bool with_tracepoint = false)
+{
+    ProgramBuilder pb;
+    ModuleId user = pb.addModule("user.bin", Ring::User);
+    ModuleId kern = pb.addModule("kern.ko", Ring::Kernel);
+
+    KernelProgram out;
+    out.iterations = iterations;
+
+    out.worker = pb.addFunction(user, "worker");
+    BlockId wb = pb.addBlock(out.worker);
+    pb.append(wb, makeInstr(Mnemonic::ADD));
+    pb.append(wb, makeInstr(Mnemonic::IMUL));
+    pb.endReturn(wb);
+
+    out.handler = pb.addFunction(kern, "handler");
+    BlockId hb = pb.addBlock(out.handler);
+    pb.append(hb, makeInstr(Mnemonic::MOV));
+    if (with_tracepoint)
+        pb.appendTracepoint(hb);
+    pb.append(hb, makeInstr(Mnemonic::AND));
+    pb.endReturn(hb, Mnemonic::SYSRET);
+
+    FuncId main_fn = pb.addFunction(user, "main");
+    BlockId entry = pb.addBlock(main_fn);
+    pb.append(entry, makeInstr(Mnemonic::XOR));
+    pb.endFallThrough(entry);
+    BlockId head = pb.addBlock(main_fn);
+    pb.append(head, makeInstr(Mnemonic::MOV));
+    pb.endCall(head, out.worker);
+    BlockId mid = pb.addBlock(main_fn);
+    pb.append(mid, makeInstr(Mnemonic::LEA));
+    pb.endSyscall(mid, out.handler);
+    BlockId latch = pb.addBlock(main_fn);
+    pb.append(latch, makeInstr(Mnemonic::CMP));
+    pb.endCond(latch, Mnemonic::JNZ, head,
+               pb.addBehavior(Behavior::loop(iterations)));
+    BlockId done = pb.addBlock(main_fn);
+    pb.append(done, makeInstr(Mnemonic::NOP));
+    pb.endExit(done);
+
+    pb.setEntry(main_fn);
+    out.program = std::make_shared<Program>(pb.build());
+    return out;
+}
+
+/** A fast, low-budget profiler for integration tests. */
+inline Profiler
+fastProfiler()
+{
+    return Profiler{};
+}
+
+} // namespace hbbp::testutil
+
+#endif // HBBP_TESTS_HELPERS_HH

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for disassembly-driven block discovery, including the property
+ * that the analyzer's map reconstructs the builder's blocks for user
+ * code, and the kernel static/live divergence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "program/blockmap.hh"
+#include "tests/helpers.hh"
+#include "workloads/spec2006.hh"
+
+namespace hbbp {
+namespace {
+
+TEST(BlockMap, ReconstructsLoopProgramExactly)
+{
+    auto lp = testutil::makeLoopProgram(5);
+    BlockMap map(*lp.program);
+
+    // entry/body boundary exists because body is a branch target; the
+    // body/tail boundary because the body ends in a branch.
+    ASSERT_EQ(map.blocks().size(), 3u);
+    EXPECT_EQ(map.block(0).start, lp.program->block(lp.entry).start);
+    EXPECT_EQ(map.block(1).start, lp.program->block(lp.body).start);
+    EXPECT_EQ(map.block(2).start, lp.program->block(lp.tail).start);
+    EXPECT_EQ(map.block(1).size(),
+              lp.program->block(lp.body).instrs.size());
+}
+
+TEST(BlockMap, LookupMatchesProgramLookup)
+{
+    auto lp = testutil::makeLoopProgram(5);
+    BlockMap map(*lp.program);
+    for (const MapBlock &mb : map.blocks()) {
+        for (const Instruction &i : mb.instrs) {
+            EXPECT_EQ(map.blockAt(i.addr), mb.index);
+        }
+    }
+    EXPECT_EQ(map.blockAt(0), BlockMap::npos);
+}
+
+TEST(BlockMap, NamesResolve)
+{
+    auto kp = testutil::makeKernelProgram(2);
+    BlockMap map(*kp.program);
+    bool saw_handler = false, saw_user_mod = false;
+    for (const MapBlock &mb : map.blocks()) {
+        if (map.functionName(mb) == "handler")
+            saw_handler = true;
+        if (map.moduleName(mb) == "user.bin")
+            saw_user_mod = true;
+    }
+    EXPECT_TRUE(saw_handler);
+    EXPECT_TRUE(saw_user_mod);
+}
+
+/**
+ * Property over generated workloads: every builder block that starts
+ * with a leader (branch target or follows a control transfer) appears
+ * in the analyzer map with identical boundaries, and every map block
+ * start coincides with some builder block start (user code only, where
+ * images are identical).
+ */
+class MapReconstruction
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(MapReconstruction, MapBlocksAlignWithProgramBlocks)
+{
+    Workload w = makeSpecBenchmark(GetParam());
+    const Program &p = *w.program;
+    BlockMap map(p);
+
+    // Every map block start is a program block start (the map may merge
+    // fall-through-only splits but never invents boundaries, and every
+    // control transfer ends a block in both views).
+    for (const MapBlock &mb : map.blocks()) {
+        BlockId pb = p.blockAt(mb.start);
+        ASSERT_NE(pb, kNoBlock);
+        EXPECT_EQ(p.block(pb).start, mb.start)
+            << "map block starts mid-program-block";
+        // Instructions agree at the start of the block.
+        EXPECT_EQ(mb.instrs.front().mnemonic,
+                  p.block(pb).instrs.front().mnemonic);
+    }
+
+    // Conversely: every program block that is a branch target appears
+    // as a map block with the same boundary.
+    for (const BasicBlock &blk : p.blocks()) {
+        if (blk.term != TermKind::CondBranch && blk.term != TermKind::Jump)
+            continue;
+        uint64_t target = p.block(blk.taken_target).start;
+        uint32_t mi = map.blockAt(target);
+        ASSERT_NE(mi, BlockMap::npos);
+        EXPECT_EQ(map.block(mi).start, target);
+    }
+
+    // Total instruction bytes agree.
+    uint64_t map_bytes = 0;
+    for (const MapBlock &mb : map.blocks())
+        map_bytes += mb.bytes;
+    uint64_t prog_bytes = 0;
+    for (const Module &m : p.modules())
+        prog_bytes += m.size;
+    EXPECT_EQ(map_bytes, prog_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpecSuite, MapReconstruction,
+    ::testing::ValuesIn(specBenchmarkNames()),
+    [](const ::testing::TestParamInfo<std::string> &pi) {
+        std::string s = pi.param;
+        for (char &c : s)
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return s;
+    });
+
+TEST(BlockMap, KernelStaticMapContainsTracepointJumps)
+{
+    auto kp = testutil::makeKernelProgram(2, /*with_tracepoint=*/true);
+    BlockMap stale(*kp.program, {.patch_kernel_text = false});
+    BlockMap fixed(*kp.program, {.patch_kernel_text = true});
+
+    // The stale map sees a JMP in the kernel handler; the fixed map a
+    // NOP.
+    auto count_mnemonic = [&](const BlockMap &map, Mnemonic m) {
+        int n = 0;
+        for (const MapBlock &mb : map.blocks()) {
+            if (!map.program().module(mb.module).isKernel())
+                continue;
+            for (const Instruction &i : mb.instrs)
+                n += i.mnemonic == m;
+        }
+        return n;
+    };
+    EXPECT_EQ(count_mnemonic(stale, Mnemonic::JMP), 1);
+    EXPECT_EQ(count_mnemonic(stale, Mnemonic::NOP), 0);
+    EXPECT_EQ(count_mnemonic(fixed, Mnemonic::JMP), 0);
+    EXPECT_EQ(count_mnemonic(fixed, Mnemonic::NOP), 1);
+
+    // The stale map splits the handler block at the tracepoint.
+    auto kernel_blocks = [&](const BlockMap &map) {
+        size_t n = 0;
+        for (const MapBlock &mb : map.blocks())
+            n += map.program().module(mb.module).isKernel();
+        return n;
+    };
+    EXPECT_GT(kernel_blocks(stale), kernel_blocks(fixed));
+}
+
+TEST(BlockMap, HasLongLatencyFlag)
+{
+    ProgramBuilder pb;
+    ModuleId mod = pb.addModule("m");
+    FuncId fn = pb.addFunction(mod, "f");
+    BlockId b = pb.addBlock(fn);
+    pb.append(b, makeInstr(Mnemonic::MOV));
+    pb.append(b, makeInstr(Mnemonic::DIV));
+    pb.endExit(b);
+    pb.setEntry(fn);
+    Program p = pb.build();
+    BlockMap map(p);
+    ASSERT_EQ(map.blocks().size(), 1u);
+    EXPECT_TRUE(map.block(0).hasLongLatency());
+}
+
+} // namespace
+} // namespace hbbp

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for period selection (Table 4), profile serialization and the
+ * collector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "collect/collector.hh"
+#include "collect/periods.hh"
+#include "collect/profile.hh"
+#include "tests/helpers.hh"
+
+namespace hbbp {
+namespace {
+
+TEST(Periods, PaperTable4Values)
+{
+    SamplingPeriods s = paperPeriods(RuntimeClass::Seconds);
+    EXPECT_EQ(s.ebs, 1'000'037u);
+    EXPECT_EQ(s.lbr, 100'003u);
+    SamplingPeriods m = paperPeriods(RuntimeClass::MinutesFew);
+    EXPECT_EQ(m.ebs, 10'000'019u);
+    EXPECT_EQ(m.lbr, 1'000'037u);
+    SamplingPeriods l = paperPeriods(RuntimeClass::MinutesMany);
+    EXPECT_EQ(l.ebs, 100'000'007u);
+    EXPECT_EQ(l.lbr, 10'000'019u);
+}
+
+TEST(Periods, PaperPeriodsArePrime)
+{
+    for (RuntimeClass cls : {RuntimeClass::Seconds,
+                             RuntimeClass::MinutesFew,
+                             RuntimeClass::MinutesMany}) {
+        SamplingPeriods s = paperPeriods(cls);
+        EXPECT_EQ(nextPrime(s.ebs), s.ebs);
+        EXPECT_EQ(nextPrime(s.lbr), s.lbr);
+    }
+}
+
+TEST(Periods, LbrPeriodSmallerThanEbs)
+{
+    // LBR samples on taken branches, which are rarer than retirements.
+    for (RuntimeClass cls : {RuntimeClass::Seconds,
+                             RuntimeClass::MinutesFew,
+                             RuntimeClass::MinutesMany}) {
+        SamplingPeriods s = paperPeriods(cls);
+        EXPECT_LT(s.lbr, s.ebs);
+    }
+}
+
+TEST(Periods, RuntimeClassification)
+{
+    EXPECT_EQ(classifyRuntime(5), RuntimeClass::Seconds);
+    EXPECT_EQ(classifyRuntime(59.9), RuntimeClass::Seconds);
+    EXPECT_EQ(classifyRuntime(90), RuntimeClass::MinutesFew);
+    EXPECT_EQ(classifyRuntime(600), RuntimeClass::MinutesMany);
+}
+
+TEST(Periods, NextPrime)
+{
+    EXPECT_EQ(nextPrime(0), 2u);
+    EXPECT_EQ(nextPrime(2), 2u);
+    EXPECT_EQ(nextPrime(3), 3u);
+    EXPECT_EQ(nextPrime(4), 5u);
+    EXPECT_EQ(nextPrime(90), 97u);
+    EXPECT_EQ(nextPrime(1000), 1009u);
+    EXPECT_EQ(nextPrime(100'000'000), 100'000'007u);
+}
+
+TEST(Periods, ScaledPeriodsArePrimeAndFloored)
+{
+    SamplingPeriods s =
+        scaledPeriods(RuntimeClass::MinutesMany, 100'000);
+    EXPECT_EQ(s.ebs, 1009u);
+    EXPECT_EQ(s.lbr, 101u);
+    // Huge scale clamps to the floors.
+    SamplingPeriods t =
+        scaledPeriods(RuntimeClass::Seconds, 1'000'000'000);
+    EXPECT_EQ(t.ebs, 997u);
+    EXPECT_EQ(t.lbr, 97u);
+}
+
+TEST(Profile, SaveLoadRoundTrip)
+{
+    ProfileData pd;
+    pd.sim_periods = {1009, 101};
+    pd.paper_periods = {100'000'007, 10'000'019};
+    pd.runtime_class = RuntimeClass::MinutesMany;
+    pd.features = {123456, 100000, 9000, 15000, 777};
+    pd.pmi_count = 42;
+    pd.mmaps.push_back({"a.bin", 0x400000, 0x1000, false});
+    pd.mmaps.push_back({"k.ko", 0xffffffff81000000ULL, 0x2000, true});
+    pd.ebs.push_back({0x400123, 999, Ring::User});
+    pd.ebs.push_back({0xffffffff81000010ULL, 1999, Ring::Kernel});
+    LbrStackSample stack;
+    stack.entries = {{0x400100, 0x400200}, {0x400210, 0x400300}};
+    stack.cycle = 5000;
+    stack.ring = Ring::User;
+    stack.eventing_ip = 0x400208;
+    pd.lbr.push_back(stack);
+
+    std::string path = ::testing::TempDir() + "/profile_roundtrip.hbbp";
+    pd.save(path);
+    ProfileData loaded = ProfileData::load(path);
+
+    EXPECT_EQ(loaded.sim_periods.ebs, pd.sim_periods.ebs);
+    EXPECT_EQ(loaded.sim_periods.lbr, pd.sim_periods.lbr);
+    EXPECT_EQ(loaded.paper_periods.ebs, pd.paper_periods.ebs);
+    EXPECT_EQ(loaded.runtime_class, pd.runtime_class);
+    EXPECT_EQ(loaded.features.cycles, pd.features.cycles);
+    EXPECT_EQ(loaded.features.simd_instructions,
+              pd.features.simd_instructions);
+    EXPECT_EQ(loaded.pmi_count, 42u);
+    ASSERT_EQ(loaded.mmaps.size(), 2u);
+    EXPECT_EQ(loaded.mmaps[1], pd.mmaps[1]);
+    ASSERT_EQ(loaded.ebs.size(), 2u);
+    EXPECT_EQ(loaded.ebs[1].ip, pd.ebs[1].ip);
+    EXPECT_EQ(loaded.ebs[1].ring, Ring::Kernel);
+    ASSERT_EQ(loaded.lbr.size(), 1u);
+    EXPECT_EQ(loaded.lbr[0].entries, stack.entries);
+    EXPECT_EQ(loaded.lbr[0].eventing_ip, stack.eventing_ip);
+    std::remove(path.c_str());
+}
+
+TEST(ProfileDeath, LoadRejectsGarbage)
+{
+    std::string path = ::testing::TempDir() + "/garbage.hbbp";
+    FILE *f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs("not a profile at all", f);
+    fclose(f);
+    EXPECT_EXIT(ProfileData::load(path), ::testing::ExitedWithCode(1),
+                "not an HBBP profile");
+    std::remove(path.c_str());
+}
+
+TEST(Collector, ProducesBothSampleKindsAndMmaps)
+{
+    auto kp = testutil::makeKernelProgram(300'000);
+    Workload w;
+    w.name = "kp";
+    w.program = kp.program;
+    w.runtime_class = RuntimeClass::Seconds;
+    w.max_instructions = 2'000'000;
+
+    CollectorConfig cc;
+    cc.runtime_class = w.runtime_class;
+    cc.max_instructions = w.max_instructions;
+    ProfileData pd = Collector::collect(*w.program, MachineConfig{}, cc);
+
+    EXPECT_GT(pd.ebs.size(), 100u);
+    EXPECT_GT(pd.lbr.size(), 100u);
+    EXPECT_EQ(pd.mmaps.size(), 2u);
+    EXPECT_TRUE(pd.mmaps[1].kernel);
+    EXPECT_EQ(pd.paper_periods.ebs,
+              paperPeriods(RuntimeClass::Seconds).ebs);
+    EXPECT_GT(pd.features.cycles, 0u);
+    EXPECT_GE(pd.features.instructions, w.max_instructions);
+    EXPECT_EQ(pd.pmi_count, pd.ebs.size() + pd.lbr.size());
+}
+
+TEST(Collector, SimdFeatureCountsVectorInstructions)
+{
+    Workload w = makeFitter(FitterVariant::Sse);
+    w.max_instructions = 500'000;
+    CollectorConfig cc;
+    cc.runtime_class = w.runtime_class;
+    cc.max_instructions = w.max_instructions;
+    cc.seed = w.exec_seed;
+    ProfileData pd = Collector::collect(*w.program, MachineConfig{}, cc);
+    // The SSE fitter is vector-dominated.
+    EXPECT_GT(pd.features.simd_instructions,
+              pd.features.instructions / 4);
+}
+
+TEST(Collector, RuntimeClassSelectsPeriods)
+{
+    auto lp = testutil::makeLoopProgram(100'000);
+    CollectorConfig cc;
+    cc.runtime_class = RuntimeClass::MinutesMany;
+    cc.max_instructions = 100'000;
+    ProfileData pd = Collector::collect(*lp.program, MachineConfig{}, cc);
+    EXPECT_EQ(pd.sim_periods.ebs,
+              scaledPeriods(RuntimeClass::MinutesMany,
+                            cc.period_scale).ebs);
+}
+
+} // namespace
+} // namespace hbbp

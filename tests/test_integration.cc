@@ -1,0 +1,252 @@
+/**
+ * @file
+ * End-to-end integration tests: the paper's headline claims on the
+ * full pipeline (collector -> analyzer -> mixes vs ground truth).
+ *
+ * These run reduced instruction budgets to stay fast; the bench
+ * binaries reproduce the full-size numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ml/trainer.hh"
+#include "tests/helpers.hh"
+#include "tools/profiler.hh"
+
+namespace hbbp {
+namespace {
+
+TEST(Integration, CollectionAndReferenceRunsAgree)
+{
+    Profiler profiler;
+    Workload w = makeTest40();
+    w.max_instructions = 500'000;
+    ProfiledRun run = profiler.run(w);
+    EXPECT_EQ(run.stats.instructions, run.profile.features.instructions);
+    EXPECT_EQ(run.stats.taken_branches,
+              run.profile.features.taken_branches);
+    EXPECT_GT(run.true_user_mnemonics.total(), 0.0);
+}
+
+TEST(Integration, HbbpBeatsBothBaselinesOnTest40)
+{
+    Profiler profiler;
+    Workload w = makeTest40();
+    ProfiledRun run = profiler.run(w);
+    AnalysisResult analysis = profiler.analyze(w, run.profile);
+    AccuracySummary acc = profiler.accuracy(run, analysis);
+
+    // Paper Table 5 / Figure 4: HBBP under 1%, better than each base
+    // method alone on this short-method OO workload.
+    EXPECT_LT(acc.hbbp, 0.03);
+    EXPECT_LE(acc.hbbp, acc.ebs + 0.002);
+    EXPECT_LE(acc.hbbp, acc.lbr + 0.002);
+}
+
+TEST(Integration, FitterSseLbrBrokenHbbpRecovers)
+{
+    // Section VIII.C: on the SSE build LBR alone shows double-digit
+    // errors (entry[0] bias); EBS and HBBP stay at a few percent.
+    Profiler profiler;
+    Workload w = makeFitter(FitterVariant::Sse);
+    ProfiledRun run = profiler.run(w);
+    AnalysisResult analysis = profiler.analyze(w, run.profile);
+    AccuracySummary acc = profiler.accuracy(run, analysis);
+
+    EXPECT_GT(acc.lbr, 0.08);
+    EXPECT_LT(acc.ebs, 0.05);
+    EXPECT_LT(acc.hbbp, 0.05);
+    EXPECT_LT(acc.hbbp, acc.lbr / 2.0);
+}
+
+TEST(Integration, FitterAvxEbsWorseLbrAndHbbpGood)
+{
+    // Section VIII.C, the other direction: on the AVX build EBS is the
+    // bad method; LBR and HBBP agree and are good.
+    Profiler profiler;
+    Workload w = makeFitter(FitterVariant::AvxFix);
+    ProfiledRun run = profiler.run(w);
+    AnalysisResult analysis = profiler.analyze(w, run.profile);
+    AccuracySummary acc = profiler.accuracy(run, analysis);
+
+    EXPECT_LT(acc.lbr, 0.02);
+    EXPECT_LT(acc.hbbp, 0.02);
+    EXPECT_GT(acc.ebs, 2.0 * acc.hbbp);
+}
+
+TEST(Integration, BiasFlagsRouteFitterSseBlocksToEbs)
+{
+    Profiler profiler;
+    Workload w = makeFitter(FitterVariant::Sse);
+    ProfiledRun run = profiler.run(w);
+    AnalysisResult analysis = profiler.analyze(w, run.profile);
+
+    // At least one bias-flagged short block chose EBS despite the
+    // length rule preferring LBR.
+    bool routed = false;
+    for (uint32_t i = 0; i < analysis.map.blocks().size(); i++) {
+        if (analysis.estimates.bias[i] &&
+            analysis.features[i].length <= 18 &&
+            analysis.choice[i] == BbecSource::Ebs)
+            routed = true;
+    }
+    EXPECT_TRUE(routed);
+}
+
+TEST(Integration, KernelMixMatchesUserMix)
+{
+    // Section VIII.D: the same prime-search code in user space and in
+    // the kernel produces matching HBBP mixes, and the kernel side is
+    // invisible to software instrumentation.
+    Profiler profiler(MachineConfig{}, CollectorConfig{},
+                      AnalyzerOptions{.map = {.patch_kernel_text = true}});
+    Workload w = makeKernelBench();
+    ProfiledRun run = profiler.run(w);
+    AnalysisResult analysis = profiler.analyze(w, run.profile);
+
+    InstructionMix mix = analysis.hbbpMix();
+    auto in_function = [&](const std::string &fn) {
+        return [&map = analysis.map, fn](const MixContext &ctx) {
+            return map.functionName(*ctx.block) == fn;
+        };
+    };
+    Counter<Mnemonic> user_side =
+        mix.mnemonicCounts(in_function(kKernelBenchUserFunc));
+    Counter<Mnemonic> kernel_side =
+        mix.mnemonicCounts(in_function(kKernelBenchKernelFunc));
+    ASSERT_GT(user_side.total(), 0.0);
+    ASSERT_GT(kernel_side.total(), 0.0);
+
+    // SDE (user instrumentation) sees nothing of the kernel function.
+    double sde_kernel = 0.0;
+    const Program &p = *w.program;
+    for (const BasicBlock &blk : p.blocks()) {
+        if (p.function(blk.func).name == kKernelBenchKernelFunc)
+            sde_kernel += 1.0;
+    }
+    EXPECT_GT(sde_kernel, 0.0); // blocks exist...
+    // ...but the user-mode reference contains no kernel instructions:
+    // its total equals the engine's user instruction count.
+    EXPECT_DOUBLE_EQ(run.true_user_mnemonics.total(),
+                     static_cast<double>(run.stats.user_instructions));
+
+    // Per-mnemonic agreement between HBBP's user and kernel views
+    // (shares within a few percentage points, as in Table 7).
+    for (const auto &[m, cu] : user_side.items()) {
+        if (m == Mnemonic::RET_NEAR || m == Mnemonic::NOP)
+            continue;
+        double su = cu / user_side.total();
+        double sk = kernel_side.get(m) / kernel_side.total();
+        EXPECT_NEAR(su, sk, 0.04) << info(m).name;
+    }
+}
+
+TEST(Integration, KernelPatchFixReducesKernelError)
+{
+    // Section III.C's remedy: patching the static kernel text with the
+    // live image improves kernel-side accuracy.
+    Workload w = makeKernelBench();
+    Profiler stale(MachineConfig{}, CollectorConfig{},
+                   AnalyzerOptions{.map = {.patch_kernel_text = false}});
+    Profiler fixed(MachineConfig{}, CollectorConfig{},
+                   AnalyzerOptions{.map = {.patch_kernel_text = true}});
+
+    ProfiledRun run = stale.run(w);
+    AnalysisResult res_stale = stale.analyze(w, run.profile);
+    AnalysisResult res_fixed = fixed.analyze(w, run.profile);
+
+    // Reference: full-ring mnemonic counts.
+    const Counter<Mnemonic> &ref = run.true_all_mnemonics;
+    double err_stale =
+        avgWeightedError(ref, res_stale.hbbpMix().mnemonicCounts());
+    double err_fixed =
+        avgWeightedError(ref, res_fixed.hbbpMix().mnemonicCounts());
+    EXPECT_LT(err_fixed, err_stale);
+}
+
+TEST(Integration, TrainerProducesLengthDominatedTree)
+{
+    // A reduced criteria search: fewer workloads, smaller budgets.
+    Profiler profiler;
+    HbbpTrainer trainer(profiler, {.min_true_count = 500.0});
+
+    std::vector<Workload> suite = makeTrainingSuite();
+    for (Workload &w : suite)
+        w.max_instructions = 2'000'000;
+
+    std::vector<LabeledBlock> blocks = trainer.labelBlocks(suite);
+    ASSERT_GT(blocks.size(), 300u);
+
+    DecisionTree tree = trainer.fitTree(blocks);
+    ASSERT_TRUE(tree.fitted());
+    auto imp = tree.featureImportances();
+    // Block size (length + bytes, which encode the same thing) is the
+    // dominant signal, as in the paper.
+    EXPECT_GT(imp[0] + imp[1], 0.3);
+
+    // The tree beats both fixed baselines on its own training set
+    // (weighted accuracy).
+    double tree_ok = 0, ebs_ok = 0, lbr_ok = 0, total = 0;
+    for (const LabeledBlock &lb : blocks) {
+        total += lb.weight;
+        if (tree.predict(lb.features.toVector()) == lb.label)
+            tree_ok += lb.weight;
+        if (lb.label == kLabelEbs)
+            ebs_ok += lb.weight;
+        else
+            lbr_ok += lb.weight;
+    }
+    EXPECT_GT(tree_ok, ebs_ok);
+    EXPECT_GT(tree_ok, lbr_ok);
+}
+
+TEST(Integration, ProfileSurvivesSerializationPipeline)
+{
+    // Collector output -> file -> analyzer gives identical results to
+    // the in-memory path (the tool's two-phase workflow).
+    Profiler profiler;
+    Workload w = makeTest40();
+    w.max_instructions = 500'000;
+    ProfiledRun run = profiler.run(w);
+
+    std::string path = ::testing::TempDir() + "/pipeline.hbbp";
+    run.profile.save(path);
+    ProfileData loaded = ProfileData::load(path);
+
+    AnalysisResult direct = profiler.analyze(w, run.profile);
+    AnalysisResult via_file = profiler.analyze(w, loaded);
+    ASSERT_EQ(direct.hbbp.size(), via_file.hbbp.size());
+    for (size_t i = 0; i < direct.hbbp.size(); i++)
+        EXPECT_DOUBLE_EQ(direct.hbbp[i], via_file.hbbp[i]);
+    std::remove(path.c_str());
+}
+
+TEST(Integration, CutoffClassifierMatchesPaperRule)
+{
+    CutoffClassifier rule(18.0, /*bias_to_ebs=*/false);
+    BlockFeatures f;
+    f.length = 18;
+    EXPECT_EQ(rule.choose(f), BbecSource::Lbr);
+    f.length = 19;
+    EXPECT_EQ(rule.choose(f), BbecSource::Ebs);
+
+    CutoffClassifier with_bias(18.0);
+    f.length = 5;
+    f.bias = 1.0;
+    EXPECT_EQ(with_bias.choose(f), BbecSource::Ebs);
+    f.bias = 0.0;
+    EXPECT_EQ(with_bias.choose(f), BbecSource::Lbr);
+}
+
+TEST(Integration, FixedClassifiersAreBaselines)
+{
+    FixedClassifier ebs(BbecSource::Ebs), lbr(BbecSource::Lbr);
+    BlockFeatures f;
+    f.length = 100;
+    EXPECT_EQ(ebs.choose(f), BbecSource::Ebs);
+    EXPECT_EQ(lbr.choose(f), BbecSource::Lbr);
+    EXPECT_NE(ebs.describe(), lbr.describe());
+}
+
+} // namespace
+} // namespace hbbp

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit and property tests for the ISA registry, instruction instances,
+ * encoding/decoding and taxonomies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "isa/encoding.hh"
+#include "isa/instruction.hh"
+#include "isa/mnemonic.hh"
+#include "isa/taxonomy.hh"
+
+namespace hbbp {
+namespace {
+
+// ---------------------------------------------------------------------
+// Registry invariants, parameterized over every mnemonic.
+
+class MnemonicInvariants : public ::testing::TestWithParam<uint16_t>
+{
+};
+
+TEST_P(MnemonicInvariants, InfoIsConsistent)
+{
+    Mnemonic m = static_cast<Mnemonic>(GetParam());
+    const MnemonicInfo &mi = info(m);
+
+    EXPECT_EQ(mi.mnemonic, m);
+    ASSERT_NE(mi.name, nullptr);
+    EXPECT_GT(std::string(mi.name).size(), 0u);
+
+    // Latency is sane and long-latency matches the threshold.
+    EXPECT_GE(mi.latency, 1);
+    EXPECT_EQ(mi.isLongLatency(), mi.latency >= kLongLatencyThreshold);
+
+    // Default length respects the encoding minima.
+    uint8_t min_len =
+        mi.hasDisplacement() ? kMinDispInstrBytes : kMinInstrBytes;
+    EXPECT_GE(mi.default_bytes, min_len);
+    EXPECT_LE(mi.default_bytes, kMaxInstrBytes);
+
+    // Control attribute coherence.
+    if (mi.isCondBranch())
+        EXPECT_TRUE(mi.isControl());
+    if (mi.isAlwaysTaken())
+        EXPECT_TRUE(mi.isControl());
+    if (mi.isControl())
+        EXPECT_NE(mi.isCondBranch(), mi.isAlwaysTaken());
+
+    // Packed/scalar implies a SIMD or x87 extension.
+    if (mi.packing != Packing::None) {
+        EXPECT_TRUE(mi.ext == IsaExt::X87 || mi.ext == IsaExt::Sse ||
+                    mi.ext == IsaExt::Avx || mi.ext == IsaExt::Avx2);
+    }
+
+    // Name round-trips through the reverse lookup.
+    auto back = mnemonicFromName(mi.name);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+}
+
+TEST_P(MnemonicInvariants, EncodeDecodeRoundTrip)
+{
+    Mnemonic m = static_cast<Mnemonic>(GetParam());
+    Instruction instr = makeInstr(m, /*mem_read=*/true,
+                                  /*mem_write=*/false, /*extra_len=*/2);
+    instr.addr = 0x400000;
+    if (instr.info().hasDisplacement())
+        instr.disp = -64;
+
+    std::vector<uint8_t> bytes;
+    encode(instr, bytes);
+    ASSERT_EQ(bytes.size(), instr.length);
+
+    auto decoded = decodeOne(bytes, 0, 0x400000);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->instr, instr);
+    EXPECT_EQ(decoded->next_addr, instr.addr + instr.length);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMnemonics, MnemonicInvariants,
+    ::testing::Range(static_cast<uint16_t>(0),
+                     static_cast<uint16_t>(kNumMnemonics)),
+    [](const ::testing::TestParamInfo<uint16_t> &pi) {
+        return std::string(
+            name(static_cast<Mnemonic>(pi.param)));
+    });
+
+// ---------------------------------------------------------------------
+// Targeted registry facts.
+
+TEST(Mnemonics, UnknownNameLookupFails)
+{
+    EXPECT_FALSE(mnemonicFromName("NOT_AN_INSTRUCTION").has_value());
+}
+
+TEST(Mnemonics, ControlClassification)
+{
+    EXPECT_TRUE(info(Mnemonic::JZ).isCondBranch());
+    EXPECT_TRUE(info(Mnemonic::JMP).isAlwaysTaken());
+    EXPECT_TRUE(info(Mnemonic::CALL).isCall());
+    EXPECT_TRUE(info(Mnemonic::CALL_IND).isCall());
+    EXPECT_TRUE(info(Mnemonic::RET_NEAR).isControl());
+    EXPECT_FALSE(info(Mnemonic::MOV).isControl());
+    EXPECT_TRUE(info(Mnemonic::JMP).hasDisplacement());
+    EXPECT_FALSE(info(Mnemonic::JMP_IND).hasDisplacement());
+    EXPECT_FALSE(info(Mnemonic::RET_NEAR).hasDisplacement());
+}
+
+TEST(Mnemonics, LongLatencyExamples)
+{
+    EXPECT_TRUE(info(Mnemonic::DIV).isLongLatency());
+    EXPECT_TRUE(info(Mnemonic::FSQRT).isLongLatency());
+    EXPECT_TRUE(info(Mnemonic::VPGATHERDD).isLongLatency());
+    EXPECT_FALSE(info(Mnemonic::ADD).isLongLatency());
+    EXPECT_FALSE(info(Mnemonic::MULPS).isLongLatency());
+}
+
+TEST(Mnemonics, EnumNamesUnique)
+{
+    std::set<std::string> names;
+    for (size_t i = 0; i < kNumMnemonics; i++)
+        names.insert(name(static_cast<Mnemonic>(i)));
+    EXPECT_EQ(names.size(), kNumMnemonics);
+}
+
+// ---------------------------------------------------------------------
+// Instruction instances.
+
+TEST(Instruction, TargetArithmetic)
+{
+    Instruction j = makeInstr(Mnemonic::JMP);
+    j.addr = 0x1000;
+    j.disp = 0x20;
+    EXPECT_EQ(j.nextAddr(), 0x1000u + j.length);
+    EXPECT_EQ(j.target(), 0x1000u + j.length + 0x20u);
+    j.disp = -32;
+    EXPECT_EQ(j.target(), 0x1000u + j.length - 32u);
+}
+
+TEST(Instruction, MakeInstrClampsLength)
+{
+    Instruction i = makeInstr(Mnemonic::MOV, false, false, 200);
+    EXPECT_EQ(i.length, kMaxInstrBytes);
+    Instruction j = makeInstr(Mnemonic::JZ, false, false, 0);
+    EXPECT_GE(j.length, kMinDispInstrBytes);
+}
+
+TEST(Instruction, ToStringMentionsMnemonic)
+{
+    Instruction i = makeInstr(Mnemonic::MULPS, true);
+    i.addr = 0x400000;
+    std::string s = i.toString();
+    EXPECT_NE(s.find("MULPS"), std::string::npos);
+    EXPECT_NE(s.find("[mr]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Encoding edge cases.
+
+TEST(Encoding, DecodeRejectsBadMnemonicId)
+{
+    std::vector<uint8_t> bytes{0xff, 0xff, 0x00, 0x04};
+    EXPECT_FALSE(decodeOne(bytes, 0, 0).has_value());
+}
+
+TEST(Encoding, DecodeRejectsTruncatedInput)
+{
+    Instruction i = makeInstr(Mnemonic::MOV);
+    std::vector<uint8_t> bytes;
+    encode(i, bytes);
+    bytes.pop_back();
+    EXPECT_FALSE(decodeOne(bytes, 0, 0).has_value());
+}
+
+TEST(Encoding, DecodeRejectsBadLengthField)
+{
+    Instruction i = makeInstr(Mnemonic::MOV);
+    std::vector<uint8_t> bytes;
+    encode(i, bytes);
+    bytes[3] = 2; // below kMinInstrBytes
+    EXPECT_FALSE(decodeOne(bytes, 0, 0).has_value());
+    bytes[3] = 100; // above kMaxInstrBytes
+    EXPECT_FALSE(decodeOne(bytes, 0, 0).has_value());
+}
+
+TEST(Encoding, DecodeAllWalksSequences)
+{
+    std::vector<Instruction> instrs;
+    instrs.push_back(makeInstr(Mnemonic::MOV));
+    instrs.push_back(makeInstr(Mnemonic::ADDPS, true));
+    Instruction j = makeInstr(Mnemonic::JNZ);
+    j.disp = -16;
+    instrs.push_back(j);
+    std::vector<uint8_t> bytes = encodeAll(instrs);
+
+    std::vector<Instruction> decoded = decodeAll(bytes, 0x7000);
+    ASSERT_EQ(decoded.size(), 3u);
+    EXPECT_EQ(decoded[0].mnemonic, Mnemonic::MOV);
+    EXPECT_EQ(decoded[1].mnemonic, Mnemonic::ADDPS);
+    EXPECT_TRUE(decoded[1].mem_read);
+    EXPECT_EQ(decoded[2].mnemonic, Mnemonic::JNZ);
+    EXPECT_EQ(decoded[2].disp, -16);
+    EXPECT_EQ(decoded[0].addr, 0x7000u);
+    EXPECT_EQ(decoded[1].addr, 0x7000u + decoded[0].length);
+}
+
+TEST(Encoding, PatchToNopPreservesLength)
+{
+    Instruction j = makeInstr(Mnemonic::JMP);
+    std::vector<uint8_t> bytes;
+    encode(j, bytes);
+    size_t total = bytes.size();
+
+    patchToNop(bytes, 0);
+    EXPECT_EQ(bytes.size(), total);
+    auto decoded = decodeOne(bytes, 0, 0);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->instr.mnemonic, Mnemonic::NOP);
+    EXPECT_EQ(decoded->instr.length, j.length);
+}
+
+TEST(EncodingDeath, EncodeRejectsStrayDisplacement)
+{
+    Instruction i = makeInstr(Mnemonic::MOV);
+    i.disp = 4;
+    std::vector<uint8_t> bytes;
+    EXPECT_DEATH(encode(i, bytes), "displacement");
+}
+
+// ---------------------------------------------------------------------
+// Taxonomy.
+
+TEST(Taxonomy, ExplicitGroupMembership)
+{
+    Taxonomy tax;
+    tax.addGroup("pair", {Mnemonic::DIV, Mnemonic::FSQRT});
+    EXPECT_TRUE(tax.isIn(Mnemonic::DIV, "pair"));
+    EXPECT_FALSE(tax.isIn(Mnemonic::ADD, "pair"));
+    EXPECT_FALSE(tax.isIn(Mnemonic::DIV, "unknown_group"));
+}
+
+TEST(Taxonomy, PredicateGroup)
+{
+    Taxonomy tax;
+    tax.addGroup("wide", [](const MnemonicInfo &mi) {
+        return mi.width_bits >= 256;
+    });
+    EXPECT_TRUE(tax.isIn(Mnemonic::VADDPS, "wide"));
+    EXPECT_FALSE(tax.isIn(Mnemonic::ADDPS, "wide"));
+    auto members = tax.membersOf("wide");
+    for (Mnemonic m : members)
+        EXPECT_GE(info(m).width_bits, 256);
+    EXPECT_FALSE(members.empty());
+}
+
+TEST(Taxonomy, OverlappingGroupsReported)
+{
+    Taxonomy tax = Taxonomy::standard();
+    auto groups = tax.groupsOf(Mnemonic::XCHG);
+    // XCHG is both long-latency and a synchronization instruction.
+    EXPECT_NE(std::find(groups.begin(), groups.end(), "long_latency"),
+              groups.end());
+    EXPECT_NE(std::find(groups.begin(), groups.end(), "synchronization"),
+              groups.end());
+}
+
+TEST(Taxonomy, StandardGroupsSane)
+{
+    Taxonomy tax = Taxonomy::standard();
+    EXPECT_TRUE(tax.isIn(Mnemonic::VMULPS, "vector_packed"));
+    EXPECT_TRUE(tax.isIn(Mnemonic::MULSS, "vector_scalar"));
+    EXPECT_FALSE(tax.isIn(Mnemonic::MULPS, "vector_scalar"));
+    EXPECT_TRUE(tax.isIn(Mnemonic::CALL, "control_transfer"));
+    EXPECT_TRUE(tax.isIn(Mnemonic::FADD, "floating_point"));
+    EXPECT_FALSE(tax.isIn(Mnemonic::ADD, "floating_point"));
+    EXPECT_FALSE(tax.groupNames().empty());
+}
+
+} // namespace
+} // namespace hbbp

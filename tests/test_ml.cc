@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the CART classification tree and the dataset container.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.hh"
+#include "ml/decision_tree.hh"
+#include "support/rng.hh"
+
+namespace hbbp {
+namespace {
+
+TEST(Gini, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(giniImpurity({10, 0}), 0.0);
+    EXPECT_DOUBLE_EQ(giniImpurity({5, 5}), 0.5);
+    EXPECT_DOUBLE_EQ(giniImpurity({}), 0.0);
+    EXPECT_NEAR(giniImpurity({1, 1, 1}), 2.0 / 3.0, 1e-12);
+    // Weighted: 75/25 split -> 1 - (0.75^2 + 0.25^2) = 0.375.
+    EXPECT_DOUBLE_EQ(giniImpurity({7.5, 2.5}), 0.375);
+}
+
+TEST(Dataset, BasicAccounting)
+{
+    Dataset d({"x", "y"});
+    d.add({1.0, 2.0}, 0, 2.0);
+    d.add({3.0, 4.0}, 1, 1.0);
+    EXPECT_EQ(d.size(), 2u);
+    EXPECT_EQ(d.featureCount(), 2u);
+    EXPECT_EQ(d.classCount(), 2);
+    EXPECT_DOUBLE_EQ(d.totalWeight(), 3.0);
+    EXPECT_DOUBLE_EQ(d.x(1, 0), 3.0);
+    EXPECT_EQ(d.label(1), 1);
+}
+
+TEST(DatasetDeath, RejectsBadRows)
+{
+    Dataset d({"x"});
+    EXPECT_DEATH(d.add({1.0, 2.0}, 0), "features");
+    EXPECT_DEATH(d.add({1.0}, -1), "negative label");
+    EXPECT_DEATH(d.add({1.0}, 0, 0.0), "weight");
+}
+
+TEST(DecisionTree, RecoversThresholdSplit)
+{
+    // Labels are exactly x <= 18 ? 1 : 0; the tree must find a
+    // threshold between the surrounding sample values.
+    Dataset d({"x"});
+    Rng rng(5);
+    for (int i = 0; i < 400; i++) {
+        double x = static_cast<double>(rng.nextRange(1, 40));
+        d.add({x}, x <= 18.0 ? 1 : 0);
+    }
+    DecisionTree tree;
+    tree.fit(d, {.max_depth = 1, .min_samples_leaf = 1});
+
+    ASSERT_TRUE(tree.fitted());
+    const auto &root = tree.nodes().front();
+    ASSERT_FALSE(root.isLeaf());
+    EXPECT_EQ(root.feature, 0);
+    EXPECT_GT(root.threshold, 17.9);
+    EXPECT_LT(root.threshold, 19.1);
+    EXPECT_EQ(tree.predict({10.0}), 1);
+    EXPECT_EQ(tree.predict({30.0}), 0);
+}
+
+TEST(DecisionTree, PicksInformativeFeature)
+{
+    // Feature 0 is noise; feature 1 separates classes.
+    Dataset d({"noise", "signal"});
+    Rng rng(7);
+    for (int i = 0; i < 500; i++) {
+        int label = static_cast<int>(rng.nextBelow(2));
+        double noise = rng.nextDouble();
+        double signal = label ? 5.0 + rng.nextDouble()
+                              : rng.nextDouble();
+        d.add({noise, signal}, label);
+    }
+    DecisionTree tree;
+    tree.fit(d, {.max_depth = 2, .min_samples_leaf = 5});
+    auto imp = tree.featureImportances();
+    ASSERT_EQ(imp.size(), 2u);
+    EXPECT_GT(imp[1], 0.95);
+    EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTree, SampleWeightsDominateSplits)
+{
+    // Unweighted, the majority class is 0; one massive-weight example
+    // with label 1 flips the leaf prediction at its x.
+    Dataset d({"x"});
+    for (int i = 0; i < 50; i++)
+        d.add({1.0}, 0, 1.0);
+    d.add({1.0}, 1, 1000.0);
+    DecisionTree tree;
+    tree.fit(d, {.max_depth = 1, .min_samples_leaf = 1});
+    EXPECT_EQ(tree.predict({1.0}), 1);
+}
+
+TEST(DecisionTree, DepthAndLeafLimitsRespected)
+{
+    Dataset d({"x"});
+    Rng rng(11);
+    for (int i = 0; i < 600; i++) {
+        double x = rng.nextDouble() * 100;
+        // A complicated labelling that invites deep trees.
+        int label = (static_cast<int>(x) / 7) % 2;
+        d.add({x}, label);
+    }
+    DecisionTree tree;
+    tree.fit(d, {.max_depth = 3, .min_samples_leaf = 20});
+    EXPECT_LE(tree.depth(), 3u);
+    for (const auto &node : tree.nodes())
+        if (node.isLeaf())
+            EXPECT_GE(node.samples, 20u);
+    EXPECT_EQ(tree.leafCount() + (tree.nodes().size() - tree.leafCount()),
+              tree.nodes().size());
+}
+
+TEST(DecisionTree, PureNodeBecomesLeaf)
+{
+    Dataset d({"x"});
+    for (int i = 0; i < 100; i++)
+        d.add({static_cast<double>(i)}, 1);
+    DecisionTree tree;
+    tree.fit(d, {.max_depth = 5, .min_samples_leaf = 1});
+    EXPECT_EQ(tree.nodes().size(), 1u);
+    EXPECT_TRUE(tree.nodes().front().isLeaf());
+    EXPECT_EQ(tree.predict({50.0}), 1);
+}
+
+TEST(DecisionTree, MinImpurityDecreaseBlocksUselessSplits)
+{
+    Dataset d({"x"});
+    Rng rng(13);
+    // Nearly random labels: no split is worth much.
+    for (int i = 0; i < 200; i++)
+        d.add({rng.nextDouble()}, static_cast<int>(rng.nextBelow(2)));
+    DecisionTree tree;
+    TreeConfig cfg;
+    cfg.max_depth = 4;
+    cfg.min_samples_leaf = 5;
+    cfg.min_impurity_decrease = 0.05;
+    tree.fit(d, cfg);
+    EXPECT_LE(tree.leafCount(), 2u);
+}
+
+TEST(DecisionTree, NodeStatisticsConsistent)
+{
+    Dataset d({"x"});
+    Rng rng(17);
+    for (int i = 0; i < 300; i++) {
+        double x = rng.nextDouble() * 10;
+        d.add({x}, x < 5 ? 0 : 1, 1.0 + rng.nextDouble());
+    }
+    DecisionTree tree;
+    tree.fit(d, {.max_depth = 3, .min_samples_leaf = 5});
+    for (const auto &node : tree.nodes()) {
+        if (node.isLeaf())
+            continue;
+        const auto &l = tree.nodes()[static_cast<size_t>(node.left)];
+        const auto &r = tree.nodes()[static_cast<size_t>(node.right)];
+        EXPECT_EQ(node.samples, l.samples + r.samples);
+        EXPECT_NEAR(node.weight, l.weight + r.weight, 1e-9);
+    }
+    // Root carries all the weight.
+    EXPECT_NEAR(tree.nodes().front().weight, d.totalWeight(), 1e-9);
+}
+
+TEST(DecisionTree, TextAndDotExport)
+{
+    Dataset d({"len"});
+    for (int i = 0; i < 30; i++)
+        d.add({static_cast<double>(i)}, i <= 15 ? 1 : 0);
+    DecisionTree tree;
+    tree.fit(d, {.max_depth = 1, .min_samples_leaf = 1});
+    std::string text = tree.toText({"len"}, {"EBS", "LBR"});
+    EXPECT_NE(text.find("len <="), std::string::npos);
+    EXPECT_NE(text.find("gini"), std::string::npos);
+    std::string dot = tree.toDot({"len"}, {"EBS", "LBR"});
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("samples"), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n"), std::string::npos);
+}
+
+TEST(DecisionTreeDeath, PredictBeforeFit)
+{
+    DecisionTree tree;
+    EXPECT_DEATH(tree.predict({1.0}), "before fit");
+}
+
+TEST(DecisionTreeDeath, EmptyDatasetIsFatal)
+{
+    Dataset d({"x"});
+    DecisionTree tree;
+    EXPECT_EXIT(tree.fit(d), ::testing::ExitedWithCode(1), "empty");
+}
+
+} // namespace
+} // namespace hbbp

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the execution engine: exact behaviour semantics,
+ * determinism, ring transitions, the cycle model and observer events.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hh"
+#include "tests/helpers.hh"
+
+namespace hbbp {
+namespace {
+
+/** Records every event for inspection. */
+class RecordingObserver : public ExecObserver
+{
+  public:
+    std::vector<BlockId> block_entries;
+    std::vector<Mnemonic> retires;
+    std::vector<TakenBranch> branches;
+    uint64_t finish_cycle = 0;
+    uint64_t last_cycle_end = 0;
+    bool cycles_monotone = true;
+
+    void
+    onBlockEntry(const BasicBlock &blk, Ring) override
+    {
+        block_entries.push_back(blk.id);
+    }
+
+    void
+    onRetire(const Instruction &instr, const BasicBlock &,
+             uint64_t cycle_start, uint64_t cycle_end, Ring) override
+    {
+        retires.push_back(instr.mnemonic);
+        if (cycle_end <= cycle_start || cycle_start < last_cycle_end)
+            cycles_monotone = false;
+        last_cycle_end = cycle_end;
+    }
+
+    void
+    onTakenBranch(const TakenBranch &branch) override
+    {
+        branches.push_back(branch);
+    }
+
+    void onFinish(uint64_t final_cycle) override
+    {
+        finish_cycle = final_cycle;
+    }
+};
+
+TEST(Engine, LoopCountSemanticsExact)
+{
+    for (uint64_t trips : {1ULL, 2ULL, 5ULL, 100ULL}) {
+        auto lp = testutil::makeLoopProgram(trips);
+        ExecutionEngine engine(*lp.program, MachineConfig{}, 1);
+        Instrumenter instr(*lp.program, true);
+        engine.addObserver(&instr);
+        ExecStats stats = engine.run();
+
+        EXPECT_EQ(instr.bbec(lp.entry), 1u) << "trips=" << trips;
+        EXPECT_EQ(instr.bbec(lp.body), trips) << "trips=" << trips;
+        EXPECT_EQ(instr.bbec(lp.tail), 1u) << "trips=" << trips;
+        // entry 4 + trips*(6+1 branch) + tail 3.
+        EXPECT_EQ(stats.instructions, 4 + trips * 7 + 3);
+        // The backedge is taken trips-1 times; nothing else branches.
+        EXPECT_EQ(stats.taken_branches, trips - 1);
+    }
+}
+
+TEST(Engine, DeterministicAcrossRuns)
+{
+    Workload w = makeTest40();
+    w.max_instructions = 200'000;
+
+    auto run_once = [&]() {
+        ExecutionEngine engine(*w.program, MachineConfig{}, w.exec_seed);
+        RecordingObserver rec;
+        engine.addObserver(&rec);
+        ExecStats stats = engine.run(w.max_instructions);
+        return std::make_tuple(stats.instructions, stats.cycles,
+                               stats.taken_branches,
+                               rec.block_entries.size());
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, SeedChangesProbabilisticOutcomes)
+{
+    Workload w = makeTest40();
+    auto count_branches = [&](uint64_t seed) {
+        ExecutionEngine engine(*w.program, MachineConfig{}, seed);
+        return engine.run(100'000).taken_branches;
+    };
+    // Different seeds should give (slightly) different branch counts.
+    EXPECT_NE(count_branches(1), count_branches(2));
+}
+
+TEST(Engine, MaxInstructionBudgetHonored)
+{
+    Workload w = makeTest40();
+    ExecutionEngine engine(*w.program, MachineConfig{}, 1);
+    ExecStats stats = engine.run(10'000);
+    EXPECT_GE(stats.instructions, 10'000u);
+    // Overrun is bounded by one block.
+    EXPECT_LT(stats.instructions, 10'200u);
+}
+
+TEST(Engine, PatternBehaviourCycles)
+{
+    // A self-loop with pattern {t, t, f}: exactly 3 executions per
+    // entry.
+    ProgramBuilder pb;
+    ModuleId mod = pb.addModule("m");
+    FuncId fn = pb.addFunction(mod, "f");
+    BlockId entry = pb.addBlock(fn);
+    pb.append(entry, makeInstr(Mnemonic::MOV));
+    pb.endFallThrough(entry);
+    BlockId loop = pb.addBlock(fn);
+    pb.append(loop, makeInstr(Mnemonic::ADD));
+    pb.endCond(loop, Mnemonic::JNZ, loop,
+               pb.addBehavior(Behavior::patternOf({true, true, false})));
+    BlockId tail = pb.addBlock(fn);
+    pb.append(tail, makeInstr(Mnemonic::SUB));
+    pb.endExit(tail);
+    pb.setEntry(fn);
+    Program p = pb.build();
+
+    ExecutionEngine engine(p, MachineConfig{}, 1);
+    Instrumenter instr(p, true);
+    engine.addObserver(&instr);
+    engine.run();
+    EXPECT_EQ(instr.bbec(loop), 3u);
+}
+
+TEST(Engine, RingTransitionsViaSyscall)
+{
+    auto kp = testutil::makeKernelProgram(10);
+    ExecutionEngine engine(*kp.program, MachineConfig{}, 1);
+    RecordingObserver rec;
+    Instrumenter instr(*kp.program, true);
+    engine.addObserver(&rec);
+    engine.addObserver(&instr);
+    ExecStats stats = engine.run();
+
+    // Kernel handler runs exactly `iterations` times: 3 instructions
+    // each (MOV, AND, SYSRET).
+    EXPECT_EQ(stats.kernel_instructions, kp.iterations * 3);
+    EXPECT_GT(stats.user_instructions, 0u);
+    EXPECT_EQ(stats.instructions,
+              stats.user_instructions + stats.kernel_instructions);
+
+    // SYSCALL and SYSRET both appear as taken branches.
+    int syscalls = 0, sysrets = 0;
+    const Program &p = *kp.program;
+    for (const TakenBranch &tb : rec.branches) {
+        BlockId b = p.blockAt(tb.source);
+        ASSERT_NE(b, kNoBlock);
+        Mnemonic m = p.block(b).instrs.back().mnemonic;
+        if (m == Mnemonic::SYSCALL) {
+            syscalls++;
+            EXPECT_EQ(tb.ring, Ring::User);
+        }
+        if (m == Mnemonic::SYSRET) {
+            sysrets++;
+            EXPECT_EQ(tb.ring, Ring::Kernel);
+        }
+    }
+    EXPECT_EQ(syscalls, static_cast<int>(kp.iterations));
+    EXPECT_EQ(sysrets, static_cast<int>(kp.iterations));
+}
+
+TEST(Engine, CallReturnBalanced)
+{
+    auto kp = testutil::makeKernelProgram(7);
+    ExecutionEngine engine(*kp.program, MachineConfig{}, 1);
+    RecordingObserver rec;
+    engine.addObserver(&rec);
+    engine.run();
+
+    int rets = 0;
+    for (Mnemonic m : rec.retires)
+        if (m == Mnemonic::RET_NEAR || m == Mnemonic::SYSRET)
+            rets++;
+    int calls = 0;
+    for (Mnemonic m : rec.retires)
+        if (m == Mnemonic::CALL || m == Mnemonic::SYSCALL)
+            calls++;
+    EXPECT_EQ(calls, rets);
+}
+
+TEST(Engine, CycleModelChargesLatencies)
+{
+    // 10 ADDs -> 10 cycles; 10 DIVs -> 10 * latency(DIV).
+    auto build = [](Mnemonic m) {
+        ProgramBuilder pb;
+        ModuleId mod = pb.addModule("m");
+        FuncId fn = pb.addFunction(mod, "f");
+        BlockId b = pb.addBlock(fn);
+        for (int i = 0; i < 10; i++)
+            pb.append(b, makeInstr(m));
+        pb.endExit(b);
+        pb.setEntry(fn);
+        return pb.build();
+    };
+    Program adds = build(Mnemonic::ADD);
+    Program divs = build(Mnemonic::DIV);
+    MachineConfig mc;
+    ExecutionEngine e1(adds, mc, 1), e2(divs, mc, 1);
+    EXPECT_EQ(e1.run().cycles, 10u);
+    EXPECT_EQ(e2.run().cycles, 10u * info(Mnemonic::DIV).latency);
+}
+
+TEST(Engine, MemExtraCyclesConfigurable)
+{
+    ProgramBuilder pb;
+    ModuleId mod = pb.addModule("m");
+    FuncId fn = pb.addFunction(mod, "f");
+    BlockId b = pb.addBlock(fn);
+    pb.append(b, makeInstr(Mnemonic::MOV, /*mem_read=*/true));
+    pb.endExit(b);
+    pb.setEntry(fn);
+    Program p = pb.build();
+
+    MachineConfig mc;
+    mc.mem_extra_cycles = 3;
+    ExecutionEngine engine(p, mc, 1);
+    EXPECT_EQ(engine.run().cycles, 4u);
+}
+
+TEST(Engine, ObserverCyclesMonotone)
+{
+    Workload w = makeFitter(FitterVariant::Sse);
+    ExecutionEngine engine(*w.program, MachineConfig{}, 1);
+    RecordingObserver rec;
+    engine.addObserver(&rec);
+    ExecStats stats = engine.run(100'000);
+    EXPECT_TRUE(rec.cycles_monotone);
+    EXPECT_EQ(rec.finish_cycle, stats.cycles);
+    EXPECT_EQ(rec.retires.size(), stats.instructions);
+    EXPECT_EQ(rec.block_entries.size(), stats.block_entries);
+    EXPECT_EQ(rec.branches.size(), stats.taken_branches);
+}
+
+TEST(Engine, IndirectCallDistributesOverTargets)
+{
+    // main loop indirect-calls two workers with 3:1 weights.
+    ProgramBuilder pb;
+    ModuleId mod = pb.addModule("m");
+    FuncId f1 = pb.addFunction(mod, "w1");
+    BlockId b1 = pb.addBlock(f1);
+    pb.append(b1, makeInstr(Mnemonic::ADD));
+    pb.endReturn(b1);
+    FuncId f2 = pb.addFunction(mod, "w2");
+    BlockId b2 = pb.addBlock(f2);
+    pb.append(b2, makeInstr(Mnemonic::SUB));
+    pb.endReturn(b2);
+
+    FuncId main_fn = pb.addFunction(mod, "main");
+    BlockId entry = pb.addBlock(main_fn);
+    pb.append(entry, makeInstr(Mnemonic::MOV));
+    pb.endFallThrough(entry);
+    BlockId head = pb.addBlock(main_fn);
+    pb.append(head, makeInstr(Mnemonic::MOV));
+    pb.endIndirectCall(head, pb.addBehavior(Behavior::targetSet(
+                                 {{f1, 3.0}, {f2, 1.0}})));
+    BlockId latch = pb.addBlock(main_fn);
+    pb.append(latch, makeInstr(Mnemonic::CMP));
+    pb.endCond(latch, Mnemonic::JNZ, head,
+               pb.addBehavior(Behavior::loop(10'000)));
+    BlockId done = pb.addBlock(main_fn);
+    pb.append(done, makeInstr(Mnemonic::NOP));
+    pb.endExit(done);
+    pb.setEntry(main_fn);
+    Program p = pb.build();
+
+    ExecutionEngine engine(p, MachineConfig{}, 99);
+    Instrumenter instr(p, true);
+    engine.addObserver(&instr);
+    engine.run();
+    double ratio = static_cast<double>(instr.bbec(b1)) /
+                   static_cast<double>(instr.bbec(b2));
+    EXPECT_NEAR(ratio, 3.0, 0.3);
+    EXPECT_EQ(instr.bbec(b1) + instr.bbec(b2), 10'000u);
+}
+
+TEST(Engine, IpcIsPositive)
+{
+    auto lp = testutil::makeLoopProgram(100);
+    ExecutionEngine engine(*lp.program, MachineConfig{}, 1);
+    ExecStats stats = engine.run();
+    EXPECT_GT(stats.ipc(), 0.0);
+    EXPECT_LE(stats.ipc(), 1.0);
+}
+
+TEST(MachineConfig, CyclesToSeconds)
+{
+    MachineConfig mc;
+    mc.freq_ghz = 2.0;
+    EXPECT_DOUBLE_EQ(mc.cyclesToSeconds(2'000'000'000ULL), 1.0);
+}
+
+} // namespace
+} // namespace hbbp
