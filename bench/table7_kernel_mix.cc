@@ -22,7 +22,7 @@ main()
     // The kernel analyzer applies the live-text patching fix
     // (Section III.C) to handle the module's NOP'd tracepoints.
     Profiler profiler(MachineConfig{}, CollectorConfig{},
-                      AnalyzerOptions{.map = {.patch_kernel_text = true}});
+                      AnalyzerOptions::kernelPatched());
     Workload w = makeKernelBench();
     Analyzed a = analyzeWorkload(profiler, w);
 

@@ -1,0 +1,19 @@
+# Opt-in Address + UndefinedBehavior sanitizer instrumentation,
+# enabled with -DHBBP_SANITIZE=ON (used by the CI sanitizer job).
+option(HBBP_SANITIZE "Build with AddressSanitizer + UBSan" OFF)
+
+function(hbbp_enable_sanitizers)
+    if(NOT HBBP_SANITIZE)
+        return()
+    endif()
+    if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+        message(WARNING "HBBP_SANITIZE requested but compiler "
+                        "'${CMAKE_CXX_COMPILER_ID}' is not gcc/clang — skipping")
+        return()
+    endif()
+    add_compile_options(-fsanitize=address,undefined
+                        -fno-sanitize-recover=undefined
+                        -fno-omit-frame-pointer)
+    add_link_options(-fsanitize=address,undefined)
+    message(STATUS "Building with ASan + UBSan")
+endfunction()

@@ -34,6 +34,17 @@ struct AnalyzerOptions
     BbecOptions bbec;
     /** Source selection rule; null means CutoffClassifier(18). */
     std::shared_ptr<const HbbpClassifier> classifier;
+
+    /**
+     * Options with Section III.C's live-kernel-text fix switched on
+     * (or explicitly off, for stale-map comparisons).
+     */
+    static AnalyzerOptions kernelPatched(bool patch = true)
+    {
+        AnalyzerOptions opts;
+        opts.map.patch_kernel_text = patch;
+        return opts;
+    }
 };
 
 /** Everything one analysis pass produces. */

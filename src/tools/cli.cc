@@ -3,6 +3,7 @@
  * hbbp-tool — the command-line front end, mirroring the paper's
  * two-phase collector/analyzer workflow:
  *
+ *   hbbp-tool version
  *   hbbp-tool list
  *   hbbp-tool collect <workload> -o <profile>
  *   hbbp-tool analyze <workload> -i <profile> [options]
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "analysis/report.hh"
+#include "hbbp/version.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "tools/profiler.hh"
@@ -57,7 +59,8 @@ struct CliOptions
 usage()
 {
     std::fprintf(stderr,
-                 "usage: hbbp-tool list\n"
+                 "usage: hbbp-tool version\n"
+                 "       hbbp-tool list\n"
                  "       hbbp-tool collect <workload> -o <profile>\n"
                  "       hbbp-tool analyze <workload> -i <profile> "
                  "[--source hbbp|ebs|lbr] [--cutoff N]\n"
@@ -233,6 +236,11 @@ int
 main(int argc, char **argv)
 {
     setLogLevel(LogLevel::Quiet);
+    if (argc >= 2 && (std::strcmp(argv[1], "version") == 0 ||
+                      std::strcmp(argv[1], "--version") == 0)) {
+        std::printf("hbbp-tool %s\n", kVersion);
+        return 0;
+    }
     CliOptions opts = parse(argc, argv);
     if (opts.command == "list")
         return cmdList();

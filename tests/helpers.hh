@@ -66,6 +66,90 @@ makeLoopProgram(uint64_t trips, size_t body_len = 6)
 }
 
 /**
+ * A diamond (if/else + join) wrapped in a counted loop, with
+ * exactly-known per-block counts:
+ *
+ *         entry (2 instrs, executes once)
+ *           |
+ *         head  (1 instr + JZ, executes `iters` times)
+ *        /    \
+ *    left      right      (alternating {taken, not-taken} pattern)
+ *   (1 instr) (2 instrs + JMP)
+ *        \    /
+ *         join  (1 instr + JNZ backedge, executes `iters` times)
+ *           |
+ *         tail  (1 instr, executes once)
+ *
+ * The join block is the merge point the loop fixture can't produce: it
+ * is simultaneously a jump target (from `right`) and a fall-through
+ * successor (from `left`). Layout order is entry, head, right, left,
+ * join, tail, so the taken arm (`left`) is reached only via the branch
+ * and the fall-through arm (`right`) must JMP over it to the join.
+ *
+ * With the alternating pattern starting at taken, `left` executes
+ * ceil(iters/2) times and `right` floor(iters/2) times.
+ */
+struct DiamondProgram
+{
+    std::shared_ptr<Program> program;
+    BlockId entry = kNoBlock;
+    BlockId head = kNoBlock;
+    BlockId left = kNoBlock;
+    BlockId right = kNoBlock;
+    BlockId join = kNoBlock;
+    BlockId tail = kNoBlock;
+    uint64_t iters = 0;
+    uint64_t left_count = 0;
+    uint64_t right_count = 0;
+};
+
+inline DiamondProgram
+makeDiamondProgram(uint64_t iters)
+{
+    ProgramBuilder pb;
+    ModuleId mod = pb.addModule("diamond.bin");
+    FuncId fn = pb.addFunction(mod, "main");
+
+    DiamondProgram out;
+    out.iters = iters;
+    out.left_count = (iters + 1) / 2;
+    out.right_count = iters / 2;
+
+    out.entry = pb.addBlock(fn);
+    out.head = pb.addBlock(fn);
+    out.right = pb.addBlock(fn);
+    out.left = pb.addBlock(fn);
+    out.join = pb.addBlock(fn);
+    out.tail = pb.addBlock(fn);
+
+    pb.append(out.entry, makeInstr(Mnemonic::MOV));
+    pb.append(out.entry, makeInstr(Mnemonic::XOR));
+    pb.endFallThrough(out.entry);
+
+    pb.append(out.head, makeInstr(Mnemonic::CMP));
+    pb.endCond(out.head, Mnemonic::JZ, out.left,
+               pb.addBehavior(Behavior::patternOf({true, false})));
+
+    pb.append(out.right, makeInstr(Mnemonic::ADD));
+    pb.append(out.right, makeInstr(Mnemonic::OR));
+    pb.endJump(out.right, out.join);
+
+    pb.append(out.left, makeInstr(Mnemonic::SUB));
+    pb.endFallThrough(out.left);
+
+    pb.append(out.join, makeInstr(Mnemonic::AND));
+    pb.endCond(out.join, Mnemonic::JNZ, out.head,
+               pb.addBehavior(Behavior::loop(iters)));
+
+    pb.append(out.tail, makeInstr(Mnemonic::NOP));
+    pb.endExit(out.tail);
+
+    pb.setEntry(fn);
+    out.program = std::make_shared<Program>(pb.build());
+    return out;
+}
+
+/**
  * A two-function user program plus a kernel module with one handler:
  * main calls worker() then syscalls into handler(), `iterations` times.
  */

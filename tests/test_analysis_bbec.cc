@@ -236,12 +236,12 @@ TEST(BbecEstimator, RenormalizationImprovesAggregateAccuracy)
 {
     // On a typical workload the discard-induced undercount is global,
     // so the correction improves the mnemonic-level LBR error.
-    Profiler plain(MachineConfig{}, CollectorConfig{},
-                   AnalyzerOptions{
-                       .bbec = {.renormalize_discards = false}});
-    Profiler renorm(MachineConfig{}, CollectorConfig{},
-                    AnalyzerOptions{
-                        .bbec = {.renormalize_discards = true}});
+    AnalyzerOptions no_renorm;
+    no_renorm.bbec.renormalize_discards = false;
+    AnalyzerOptions with_renorm;
+    with_renorm.bbec.renormalize_discards = true;
+    Profiler plain(MachineConfig{}, CollectorConfig{}, no_renorm);
+    Profiler renorm(MachineConfig{}, CollectorConfig{}, with_renorm);
     Workload w = makeTest40();
     ProfiledRun run = plain.run(w);
     AnalysisResult res_plain = plain.analyze(w, run.profile);

@@ -32,6 +32,53 @@ TEST(BlockMap, ReconstructsLoopProgramExactly)
               lp.program->block(lp.body).instrs.size());
 }
 
+TEST(BlockMap, ReconstructsDiamondMergePoint)
+{
+    auto dp = testutil::makeDiamondProgram(6);
+    const Program &p = *dp.program;
+    BlockMap map(p);
+
+    // All six builder blocks are leaders in the map: head is a branch
+    // target (join's backedge), left is head's taken target, right
+    // follows the conditional, join is right's jump target, and tail
+    // follows join's conditional.
+    ASSERT_EQ(map.blocks().size(), 6u);
+    const BlockId ids[] = {dp.entry, dp.head,  dp.right,
+                           dp.left,  dp.join, dp.tail};
+    for (size_t i = 0; i < 6; i++) {
+        EXPECT_EQ(map.block(static_cast<uint32_t>(i)).start,
+                  p.block(ids[i]).start);
+        EXPECT_EQ(map.block(static_cast<uint32_t>(i)).instrs.size(),
+                  p.block(ids[i]).instrs.size());
+    }
+}
+
+TEST(BlockMap, DiamondJoinIsSingleBlockDespiteTwoPredecessors)
+{
+    // The join is reached both by a fall-through (left) and a jump
+    // (right); the map must start exactly one block at the join address
+    // and must not split or merge across either edge.
+    auto dp = testutil::makeDiamondProgram(4);
+    const Program &p = *dp.program;
+    BlockMap map(p);
+
+    uint64_t join_start = p.block(dp.join).start;
+    uint32_t ji = map.blockAt(join_start);
+    ASSERT_NE(ji, BlockMap::npos);
+    EXPECT_EQ(map.block(ji).start, join_start);
+
+    // The fall-through predecessor (left) ends exactly where the join
+    // begins, and every left instruction maps to a block distinct from
+    // the join's.
+    EXPECT_EQ(p.block(dp.left).end(), join_start);
+    for (const Instruction &i : p.block(dp.left).instrs)
+        EXPECT_NE(map.blockAt(i.addr), ji);
+
+    // The jump predecessor's displacement resolves to the join leader.
+    const Instruction &jmp = p.block(dp.right).instrs.back();
+    EXPECT_EQ(map.blockAt(jmp.target()), ji);
+}
+
 TEST(BlockMap, LookupMatchesProgramLookup)
 {
     auto lp = testutil::makeLoopProgram(5);

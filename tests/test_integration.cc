@@ -99,7 +99,7 @@ TEST(Integration, KernelMixMatchesUserMix)
     // the kernel produces matching HBBP mixes, and the kernel side is
     // invisible to software instrumentation.
     Profiler profiler(MachineConfig{}, CollectorConfig{},
-                      AnalyzerOptions{.map = {.patch_kernel_text = true}});
+                      AnalyzerOptions::kernelPatched());
     Workload w = makeKernelBench();
     ProfiledRun run = profiler.run(w);
     AnalysisResult analysis = profiler.analyze(w, run.profile);
@@ -147,9 +147,9 @@ TEST(Integration, KernelPatchFixReducesKernelError)
     // live image improves kernel-side accuracy.
     Workload w = makeKernelBench();
     Profiler stale(MachineConfig{}, CollectorConfig{},
-                   AnalyzerOptions{.map = {.patch_kernel_text = false}});
+                   AnalyzerOptions::kernelPatched(false));
     Profiler fixed(MachineConfig{}, CollectorConfig{},
-                   AnalyzerOptions{.map = {.patch_kernel_text = true}});
+                   AnalyzerOptions::kernelPatched(true));
 
     ProfiledRun run = stale.run(w);
     AnalysisResult res_stale = stale.analyze(w, run.profile);
@@ -168,7 +168,9 @@ TEST(Integration, TrainerProducesLengthDominatedTree)
 {
     // A reduced criteria search: fewer workloads, smaller budgets.
     Profiler profiler;
-    HbbpTrainer trainer(profiler, {.min_true_count = 500.0});
+    TrainerOptions topts;
+    topts.min_true_count = 500.0;
+    HbbpTrainer trainer(profiler, topts);
 
     std::vector<Workload> suite = makeTrainingSuite();
     for (Workload &w : suite)

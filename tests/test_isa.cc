@@ -45,12 +45,15 @@ TEST_P(MnemonicInvariants, InfoIsConsistent)
     EXPECT_LE(mi.default_bytes, kMaxInstrBytes);
 
     // Control attribute coherence.
-    if (mi.isCondBranch())
+    if (mi.isCondBranch()) {
         EXPECT_TRUE(mi.isControl());
-    if (mi.isAlwaysTaken())
+    }
+    if (mi.isAlwaysTaken()) {
         EXPECT_TRUE(mi.isControl());
-    if (mi.isControl())
+    }
+    if (mi.isControl()) {
         EXPECT_NE(mi.isCondBranch(), mi.isAlwaysTaken());
+    }
 
     // Packed/scalar implies a SIMD or x87 extension.
     if (mi.packing != Packing::None) {

@@ -114,9 +114,11 @@ TEST(DecisionTree, DepthAndLeafLimitsRespected)
     DecisionTree tree;
     tree.fit(d, {.max_depth = 3, .min_samples_leaf = 20});
     EXPECT_LE(tree.depth(), 3u);
-    for (const auto &node : tree.nodes())
-        if (node.isLeaf())
+    for (const auto &node : tree.nodes()) {
+        if (node.isLeaf()) {
             EXPECT_GE(node.samples, 20u);
+        }
+    }
     EXPECT_EQ(tree.leafCount() + (tree.nodes().size() - tree.leafCount()),
               tree.nodes().size());
 }

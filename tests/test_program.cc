@@ -52,6 +52,63 @@ TEST(Builder, DisplacementsResolveToTargets)
     EXPECT_EQ(branch.target(), body.start);
 }
 
+TEST(Builder, DiamondEdgesResolve)
+{
+    auto dp = testutil::makeDiamondProgram(4);
+    const Program &p = *dp.program;
+
+    // The conditional at the head targets the taken arm and falls
+    // through to the not-taken arm (which is next in layout).
+    const BasicBlock &head = p.block(dp.head);
+    EXPECT_EQ(head.term, TermKind::CondBranch);
+    EXPECT_EQ(head.taken_target, dp.left);
+    EXPECT_EQ(head.fall_target, dp.right);
+    EXPECT_EQ(head.instrs.back().target(), p.block(dp.left).start);
+
+    // The not-taken arm jumps over the taken arm to the join.
+    const BasicBlock &right = p.block(dp.right);
+    EXPECT_EQ(right.term, TermKind::Jump);
+    EXPECT_EQ(right.taken_target, dp.join);
+    EXPECT_EQ(right.instrs.back().target(), p.block(dp.join).start);
+
+    // The taken arm reaches the join by fall-through: no control
+    // instruction, and its bytes end exactly at the join start.
+    const BasicBlock &left = p.block(dp.left);
+    EXPECT_EQ(left.term, TermKind::FallThrough);
+    EXPECT_EQ(left.fall_target, dp.join);
+    EXPECT_EQ(left.controlInstr(), nullptr);
+    EXPECT_EQ(left.end(), p.block(dp.join).start);
+
+    // The join closes the loop back to the head.
+    const BasicBlock &join = p.block(dp.join);
+    EXPECT_EQ(join.term, TermKind::CondBranch);
+    EXPECT_EQ(join.taken_target, dp.head);
+    EXPECT_EQ(join.fall_target, dp.tail);
+}
+
+TEST(Builder, DiamondExecutionCountsExact)
+{
+    // Exact per-block counts through the merge point, including an odd
+    // iteration count where the arms split unevenly.
+    for (uint64_t iters : {1ULL, 4ULL, 7ULL}) {
+        auto dp = testutil::makeDiamondProgram(iters);
+        ExecutionEngine engine(*dp.program, MachineConfig{}, 1);
+        Instrumenter instr(*dp.program, true);
+        engine.addObserver(&instr);
+        engine.run();
+
+        EXPECT_EQ(instr.bbec(dp.entry), 1u) << "iters=" << iters;
+        EXPECT_EQ(instr.bbec(dp.head), iters) << "iters=" << iters;
+        EXPECT_EQ(instr.bbec(dp.left), dp.left_count)
+            << "iters=" << iters;
+        EXPECT_EQ(instr.bbec(dp.right), dp.right_count)
+            << "iters=" << iters;
+        // Both arms merge: the join executes once per head execution.
+        EXPECT_EQ(instr.bbec(dp.join), iters) << "iters=" << iters;
+        EXPECT_EQ(instr.bbec(dp.tail), 1u) << "iters=" << iters;
+    }
+}
+
 TEST(Builder, CallDisplacementTargetsCalleeEntry)
 {
     auto kp = testutil::makeKernelProgram(3);

@@ -20,8 +20,7 @@ struct ReportFixture : ::testing::Test
         workload = makeKernelBench();
         workload.max_instructions = 800'000;
         Profiler profiler(MachineConfig{}, CollectorConfig{},
-                          AnalyzerOptions{
-                              .map = {.patch_kernel_text = true}});
+                          AnalyzerOptions::kernelPatched());
         run = std::make_unique<ProfiledRun>(profiler.run(workload));
         analysis = std::make_unique<AnalysisResult>(
             profiler.analyze(workload, run->profile));

@@ -87,6 +87,51 @@ TEST(Engine, DeterministicAcrossRuns)
     EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(Engine, ObserverStreamsByteIdenticalAcrossRuns)
+{
+    // Regression: two runs with the same seed must produce
+    // byte-identical observer event streams, not just matching
+    // aggregate statistics. Any hidden nondeterminism (iteration over
+    // unordered containers, uninitialized state, address-dependent
+    // ordering) shows up here first.
+    Workload w = makeTest40();
+    w.max_instructions = 100'000;
+
+    struct Capture
+    {
+        std::vector<BlockId> block_entries;
+        std::vector<Mnemonic> retires;
+        std::vector<TakenBranch> branches;
+        uint64_t finish_cycle = 0;
+    };
+    auto run_once = [&]() {
+        ExecutionEngine engine(*w.program, MachineConfig{}, w.exec_seed);
+        RecordingObserver rec;
+        engine.addObserver(&rec);
+        engine.run(w.max_instructions);
+        Capture c;
+        c.block_entries = rec.block_entries;
+        c.retires = rec.retires;
+        c.branches = rec.branches;
+        c.finish_cycle = rec.finish_cycle;
+        return c;
+    };
+
+    Capture a = run_once();
+    Capture b = run_once();
+
+    EXPECT_EQ(a.block_entries, b.block_entries);
+    EXPECT_EQ(a.retires, b.retires);
+    EXPECT_EQ(a.finish_cycle, b.finish_cycle);
+    ASSERT_EQ(a.branches.size(), b.branches.size());
+    for (size_t i = 0; i < a.branches.size(); i++) {
+        EXPECT_EQ(a.branches[i].source, b.branches[i].source) << i;
+        EXPECT_EQ(a.branches[i].target, b.branches[i].target) << i;
+        EXPECT_EQ(a.branches[i].cycle, b.branches[i].cycle) << i;
+        EXPECT_EQ(a.branches[i].ring, b.branches[i].ring) << i;
+    }
+}
+
 TEST(Engine, SeedChangesProbabilisticOutcomes)
 {
     Workload w = makeTest40();

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <set>
 
+#include "hbbp/version.hh"
 #include "support/histogram.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
@@ -343,6 +344,18 @@ TEST(LoggingDeath, FatalExits)
 {
     EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
                 "fatal: bad config");
+}
+
+TEST(Version, ConfiguredAndCoherent)
+{
+    // HBBP_EXPECTED_VERSION is injected by tests/CMakeLists.txt from
+    // ${PROJECT_VERSION}, independently of the configure_file step
+    // that generates hbbp/version.hh — so this catches a stale or
+    // misconfigured generated header.
+    EXPECT_STREQ(kVersion, HBBP_EXPECTED_VERSION);
+    std::string v = kVersion;
+    EXPECT_EQ(v, format("%d.%d.%d", HBBP_VERSION_MAJOR,
+                        HBBP_VERSION_MINOR, HBBP_VERSION_PATCH));
 }
 
 } // namespace
