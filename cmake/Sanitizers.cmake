@@ -1,19 +1,33 @@
-# Opt-in Address + UndefinedBehavior sanitizer instrumentation,
-# enabled with -DHBBP_SANITIZE=ON (used by the CI sanitizer job).
+# Opt-in sanitizer instrumentation:
+#   -DHBBP_SANITIZE=ON         AddressSanitizer + UBSan (CI sanitizer job)
+#   -DHBBP_SANITIZE_THREAD=ON  ThreadSanitizer (CI fleet/tsan job)
+# The two are mutually exclusive (TSan cannot link with ASan).
 option(HBBP_SANITIZE "Build with AddressSanitizer + UBSan" OFF)
+option(HBBP_SANITIZE_THREAD "Build with ThreadSanitizer" OFF)
 
 function(hbbp_enable_sanitizers)
-    if(NOT HBBP_SANITIZE)
+    if(NOT HBBP_SANITIZE AND NOT HBBP_SANITIZE_THREAD)
         return()
     endif()
+    if(HBBP_SANITIZE AND HBBP_SANITIZE_THREAD)
+        message(FATAL_ERROR "HBBP_SANITIZE and HBBP_SANITIZE_THREAD are "
+                            "mutually exclusive (ASan and TSan cannot be "
+                            "combined)")
+    endif()
     if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
-        message(WARNING "HBBP_SANITIZE requested but compiler "
+        message(WARNING "sanitizers requested but compiler "
                         "'${CMAKE_CXX_COMPILER_ID}' is not gcc/clang — skipping")
         return()
     endif()
-    add_compile_options(-fsanitize=address,undefined
-                        -fno-sanitize-recover=undefined
-                        -fno-omit-frame-pointer)
-    add_link_options(-fsanitize=address,undefined)
-    message(STATUS "Building with ASan + UBSan")
+    if(HBBP_SANITIZE)
+        add_compile_options(-fsanitize=address,undefined
+                            -fno-sanitize-recover=undefined
+                            -fno-omit-frame-pointer)
+        add_link_options(-fsanitize=address,undefined)
+        message(STATUS "Building with ASan + UBSan")
+    else()
+        add_compile_options(-fsanitize=thread -fno-omit-frame-pointer)
+        add_link_options(-fsanitize=thread)
+        message(STATUS "Building with TSan")
+    endif()
 endfunction()

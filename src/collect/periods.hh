@@ -32,6 +32,8 @@ struct SamplingPeriods
 {
     uint64_t ebs = 0;
     uint64_t lbr = 0;
+
+    bool operator==(const SamplingPeriods &other) const = default;
 };
 
 /** The paper's Table 4 periods for @p cls. */

@@ -63,6 +63,9 @@ class Reader
     {
         if (!file_)
             fatal("cannot open '%s' for reading", path.c_str());
+        std::fseek(file_, 0, SEEK_END);
+        size_ = std::ftell(file_);
+        std::fseek(file_, 0, SEEK_SET);
     }
 
     ~Reader()
@@ -99,10 +102,52 @@ class Reader
         return s;
     }
 
+    /**
+     * Validate an element count against the bytes left in the file:
+     * a corrupt count must die with a diagnostic here, not OOM in a
+     * reserve() or spin reading garbage.
+     */
+    uint64_t
+    count(uint64_t n, size_t min_elem_bytes, const char *what)
+    {
+        long pos = std::ftell(file_);
+        uint64_t left = pos < 0 || size_ < pos
+                            ? 0
+                            : static_cast<uint64_t>(size_ - pos);
+        if (n > left / min_elem_bytes)
+            fatal("'%s' claims %llu %s records but only %llu bytes "
+                  "remain (corrupt profile?)",
+                  path_.c_str(), static_cast<unsigned long long>(n),
+                  what, static_cast<unsigned long long>(left));
+        return n;
+    }
+
+    /** fatal() unless the whole file has been consumed. */
+    void
+    expectEof()
+    {
+        if (std::fgetc(file_) != EOF)
+            fatal("trailing garbage at the end of '%s' (corrupt "
+                  "profile?)", path_.c_str());
+    }
+
   private:
     std::FILE *file_;
     std::string path_;
+    long size_ = 0;
 };
+
+/** Cast a byte to an enum after range-checking it. */
+template <typename E>
+E
+checkedEnum(uint8_t raw, uint8_t max, const char *what,
+            const std::string &path)
+{
+    if (raw > max)
+        fatal("invalid %s value %u in '%s' (corrupt profile?)", what,
+              raw, path.c_str());
+    return static_cast<E>(raw);
+}
 
 } // namespace
 
@@ -170,7 +215,9 @@ ProfileData::load(const std::string &path)
     pd.sim_periods.lbr = r.u64();
     pd.paper_periods.ebs = r.u64();
     pd.paper_periods.lbr = r.u64();
-    pd.runtime_class = static_cast<RuntimeClass>(r.u8());
+    pd.runtime_class = checkedEnum<RuntimeClass>(
+        r.u8(), static_cast<uint8_t>(RuntimeClass::MinutesMany),
+        "runtime class", path);
 
     pd.features.cycles = r.u64();
     pd.features.instructions = r.u64();
@@ -179,7 +226,10 @@ ProfileData::load(const std::string &path)
     pd.features.simd_instructions = r.u64();
     pd.pmi_count = r.u64();
 
-    uint32_t n_mmaps = r.u32();
+    // Minimum on-disk sizes: mmap = 4-byte name length + 8 + 8 + 1;
+    // EBS sample = 8 + 8 + 1; LBR sample = 1-byte depth + 8 + 1 + 8.
+    uint32_t n_mmaps = static_cast<uint32_t>(
+        r.count(r.u32(), 21, "module map"));
     pd.mmaps.reserve(n_mmaps);
     for (uint32_t i = 0; i < n_mmaps; i++) {
         MmapRecord m;
@@ -190,17 +240,18 @@ ProfileData::load(const std::string &path)
         pd.mmaps.push_back(std::move(m));
     }
 
-    uint64_t n_ebs = r.u64();
+    uint64_t n_ebs = r.count(r.u64(), 17, "EBS sample");
     pd.ebs.reserve(n_ebs);
     for (uint64_t i = 0; i < n_ebs; i++) {
         EbsSample s;
         s.ip = r.u64();
         s.cycle = r.u64();
-        s.ring = static_cast<Ring>(r.u8());
+        s.ring = checkedEnum<Ring>(
+            r.u8(), static_cast<uint8_t>(Ring::Kernel), "ring", path);
         pd.ebs.push_back(s);
     }
 
-    uint64_t n_lbr = r.u64();
+    uint64_t n_lbr = r.count(r.u64(), 18, "LBR stack");
     pd.lbr.reserve(n_lbr);
     for (uint64_t i = 0; i < n_lbr; i++) {
         LbrStackSample s;
@@ -213,10 +264,12 @@ ProfileData::load(const std::string &path)
             s.entries.push_back(e);
         }
         s.cycle = r.u64();
-        s.ring = static_cast<Ring>(r.u8());
+        s.ring = checkedEnum<Ring>(
+            r.u8(), static_cast<uint8_t>(Ring::Kernel), "ring", path);
         s.eventing_ip = r.u64();
         pd.lbr.push_back(std::move(s));
     }
+    r.expectEof();
     return pd;
 }
 

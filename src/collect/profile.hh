@@ -62,6 +62,8 @@ struct ProfileData
 
     /** Deserialize from @p path; fatal() on I/O or format errors. */
     static ProfileData load(const std::string &path);
+
+    bool operator==(const ProfileData &other) const = default;
 };
 
 } // namespace hbbp

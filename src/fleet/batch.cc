@@ -1,0 +1,118 @@
+#include "fleet/batch.hh"
+
+#include <memory>
+#include <optional>
+
+#include "fleet/store.hh"
+#include "support/logging.hh"
+#include "support/strings.hh"
+#include "support/thread_pool.hh"
+#include "tools/registry.hh"
+
+namespace hbbp {
+
+BatchResult
+runBatch(const std::vector<std::string> &workload_names,
+         const BatchConfig &config)
+{
+    if (workload_names.empty())
+        fatal("batch needs at least one workload");
+    if (config.shards == 0)
+        fatal("batch needs at least one shard per workload");
+
+    // Resolve every name up front so a typo fails fast, before any
+    // collection has burned cycles.
+    std::vector<Workload> workloads;
+    workloads.reserve(workload_names.size());
+    for (const std::string &name : workload_names)
+        workloads.push_back(requireWorkloadByName(name));
+
+    std::optional<ProfileStore> store;
+    if (!config.store_dir.empty())
+        store.emplace(config.store_dir);
+
+    BatchResult result;
+    result.entries.resize(workloads.size());
+
+    // One workload per task; shard-level parallelism inside a task is
+    // disabled so the pool is never waited on from one of its own
+    // workers. With fewer workloads than jobs the spare workers idle.
+    parallelFor(workloads.size(), config.jobs, [&](size_t i) {
+        const Workload &w = workloads[i];
+        BatchEntry &entry = result.entries[i];
+        entry.workload = w.name;
+
+        ProfileKey key;
+        key.workload = w.name;
+        key.config = collectorConfigFor(w);
+        key.shards = config.shards;
+        key.machine = config.machine;
+
+        ShardPlan plan;
+        plan.shards = config.shards;
+        plan.jobs = 1;
+
+        ProfileData pd;
+        if (store) {
+            pd = store->getOrCollect(key, *w.program, /*jobs=*/1,
+                                     &entry.cache_hit);
+        } else {
+            pd = collectSharded(*w.program, config.machine, key.config,
+                                plan);
+        }
+        entry.instructions = pd.features.instructions;
+        entry.ebs_samples = pd.ebs.size();
+        entry.lbr_stacks = pd.lbr.size();
+
+        Analyzer analyzer(config.analyzer);
+        AnalysisResult res = analyzer.analyze(*w.program, pd);
+        InstructionMix mix = res.hbbpMix();
+        entry.hbbp_instructions = mix.totalInstructions();
+        entry.hbbp_mnemonics = mix.mnemonicCounts();
+    });
+
+    // Fold in input order so the aggregate is independent of the
+    // scheduling (double addition is order-sensitive).
+    for (const BatchEntry &entry : result.entries) {
+        result.aggregate.merge(entry.hbbp_mnemonics);
+        if (entry.cache_hit)
+            result.cache_hits++;
+    }
+    return result;
+}
+
+TextTable
+BatchResult::summaryTable() const
+{
+    TextTable table({"workload", "cache", "instructions", "EBS", "LBR",
+                     "HBBP instr"});
+    for (size_t col = 2; col <= 5; col++)
+        table.setAlign(col, Align::Right);
+    for (const BatchEntry &e : entries) {
+        table.addRow({e.workload, e.cache_hit ? "hit" : "miss",
+                      withSeparators(e.instructions),
+                      withSeparators(e.ebs_samples),
+                      withSeparators(e.lbr_stacks),
+                      withSeparators(static_cast<uint64_t>(
+                          e.hbbp_instructions))});
+    }
+    return table;
+}
+
+TextTable
+BatchResult::aggregateMixTable(size_t top_n) const
+{
+    TextTable table({"mnemonic", "count", "share"});
+    table.setAlign(1, Align::Right);
+    table.setAlign(2, Align::Right);
+    double total = aggregate.total();
+    auto rows = top_n ? aggregate.top(top_n) : aggregate.sorted();
+    for (const auto &[mn, count] : rows) {
+        table.addRow({name(mn),
+                      withSeparators(static_cast<uint64_t>(count)),
+                      percentStr(total > 0 ? count / total : 0.0, 2)});
+    }
+    return table;
+}
+
+} // namespace hbbp

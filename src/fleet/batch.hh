@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The fleet batch driver.
+ *
+ * Fans a list of workloads across a worker pool — collect (through the
+ * content-addressed store when one is configured), analyze, and fold
+ * every per-workload HBBP mix into one aggregated fleet-wide
+ * instruction mix. This is the fleet-profiler view of the paper's
+ * tool: not "what does one run of one binary execute" but "what does
+ * the whole fleet execute", which is the question continuous profilers
+ * answer in production.
+ *
+ * Results are deterministic: workloads are resolved up front, every
+ * task writes into its own slot, and the aggregation folds in input
+ * order — the jobs count changes wall-clock time only.
+ */
+
+#ifndef HBBP_FLEET_BATCH_HH
+#define HBBP_FLEET_BATCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "fleet/shard.hh"
+#include "isa/mnemonic.hh"
+#include "sim/machine.hh"
+#include "support/histogram.hh"
+#include "support/table.hh"
+
+namespace hbbp {
+
+/** Batch driver configuration. */
+struct BatchConfig
+{
+    /** Shards each workload's collection is split into. */
+    uint32_t shards = 1;
+    /** Worker threads fanning out over the workload list. */
+    unsigned jobs = 1;
+    /** Profile store directory; empty disables caching. */
+    std::string store_dir;
+    /** Machine timing model shared by every run. */
+    MachineConfig machine;
+    /** Analysis options shared by every run. */
+    AnalyzerOptions analyzer;
+};
+
+/** One workload's slice of a batch run. */
+struct BatchEntry
+{
+    std::string workload;
+    bool cache_hit = false;          ///< Profile came from the store.
+    uint64_t instructions = 0;       ///< Simulated instructions.
+    uint64_t ebs_samples = 0;
+    uint64_t lbr_stacks = 0;
+    double hbbp_instructions = 0.0;  ///< Total of the HBBP mix.
+    Counter<Mnemonic> hbbp_mnemonics;
+};
+
+/** Everything one batch run produces. */
+struct BatchResult
+{
+    std::vector<BatchEntry> entries; ///< In input order.
+    Counter<Mnemonic> aggregate;     ///< Fleet-wide mnemonic counts.
+    size_t cache_hits = 0;
+
+    /** Per-workload summary table. */
+    TextTable summaryTable() const;
+
+    /** Aggregated fleet mix table (top @p top_n rows; 0 = all). */
+    TextTable aggregateMixTable(size_t top_n = 0) const;
+};
+
+/**
+ * Run the batch: collect + analyze every named workload and aggregate.
+ * fatal() (with suggestions) on unknown workload names, before any
+ * collection starts.
+ */
+BatchResult runBatch(const std::vector<std::string> &workloads,
+                     const BatchConfig &config);
+
+} // namespace hbbp
+
+#endif // HBBP_FLEET_BATCH_HH

@@ -1,0 +1,84 @@
+#include "fleet/merge.hh"
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+bool
+mergeCompatible(const ProfileData &a, const ProfileData &b,
+                std::string *why)
+{
+    auto fail = [&](std::string reason) {
+        if (why)
+            *why = std::move(reason);
+        return false;
+    };
+    if (a.sim_periods.ebs != b.sim_periods.ebs ||
+        a.sim_periods.lbr != b.sim_periods.lbr)
+        return fail(format(
+            "simulation sampling periods differ (ebs %llu/%llu vs "
+            "lbr %llu/%llu)",
+            static_cast<unsigned long long>(a.sim_periods.ebs),
+            static_cast<unsigned long long>(b.sim_periods.ebs),
+            static_cast<unsigned long long>(a.sim_periods.lbr),
+            static_cast<unsigned long long>(b.sim_periods.lbr)));
+    if (a.paper_periods.ebs != b.paper_periods.ebs ||
+        a.paper_periods.lbr != b.paper_periods.lbr)
+        return fail("paper-scale sampling periods differ");
+    if (a.runtime_class != b.runtime_class)
+        return fail(format("runtime classes differ (%s vs %s)",
+                           name(a.runtime_class), name(b.runtime_class)));
+    return true;
+}
+
+void
+mergeInto(ProfileData &into, const ProfileData &shard)
+{
+    std::string why;
+    if (!mergeCompatible(into, shard, &why))
+        fatal("cannot merge profiles: %s", why.c_str());
+
+    for (const MmapRecord &rec : shard.mmaps) {
+        bool found = false;
+        for (const MmapRecord &have : into.mmaps) {
+            if (have.name != rec.name)
+                continue;
+            if (!(have == rec))
+                fatal("cannot merge profiles: module '%s' mapped at "
+                      "%#llx+%#llx in one shard but %#llx+%#llx in "
+                      "another",
+                      rec.name.c_str(),
+                      static_cast<unsigned long long>(have.base),
+                      static_cast<unsigned long long>(have.size),
+                      static_cast<unsigned long long>(rec.base),
+                      static_cast<unsigned long long>(rec.size));
+            found = true;
+            break;
+        }
+        if (!found)
+            into.mmaps.push_back(rec);
+    }
+
+    into.ebs.insert(into.ebs.end(), shard.ebs.begin(), shard.ebs.end());
+    into.lbr.insert(into.lbr.end(), shard.lbr.begin(), shard.lbr.end());
+
+    into.features.cycles += shard.features.cycles;
+    into.features.instructions += shard.features.instructions;
+    into.features.block_entries += shard.features.block_entries;
+    into.features.taken_branches += shard.features.taken_branches;
+    into.features.simd_instructions += shard.features.simd_instructions;
+    into.pmi_count += shard.pmi_count;
+}
+
+ProfileData
+mergeProfiles(const std::vector<ProfileData> &shards)
+{
+    if (shards.empty())
+        fatal("cannot merge an empty profile list");
+    ProfileData merged = shards.front();
+    for (size_t i = 1; i < shards.size(); i++)
+        mergeInto(merged, shards[i]);
+    return merged;
+}
+
+} // namespace hbbp

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Profile merging — the fleet aggregation primitive.
+ *
+ * Production fleet profilers batch per-machine perf.data shards into one
+ * aggregate before analysis; this module gives ProfileData the same
+ * well-defined merge semantics. Samples are statistical, so merging is
+ * concatenation: EBS and LBR samples append in argument order, PMI
+ * counts and run features sum, and module maps reconcile record-by-
+ * record. Profiles are only mergeable when they were collected with
+ * identical sampling periods and runtime class — mixing periods would
+ * silently bias every downstream BBEC estimate, so it is a fatal()
+ * diagnostic instead.
+ */
+
+#ifndef HBBP_FLEET_MERGE_HH
+#define HBBP_FLEET_MERGE_HH
+
+#include <string>
+#include <vector>
+
+#include "collect/profile.hh"
+
+namespace hbbp {
+
+/**
+ * True when @p a and @p b may be merged (same sampling periods and
+ * runtime class); when false and @p why is non-null, *why describes the
+ * first mismatch found.
+ */
+bool mergeCompatible(const ProfileData &a, const ProfileData &b,
+                     std::string *why = nullptr);
+
+/**
+ * Merge @p shards (in order) into one aggregate profile.
+ *
+ * fatal() on an empty input, on incompatible sampling periods or
+ * runtime classes, and on module maps that disagree about a module's
+ * placement. Module records keep first-seen order; records new to the
+ * aggregate are appended, so the result is deterministic in the input
+ * order regardless of how the shards were produced.
+ */
+ProfileData mergeProfiles(const std::vector<ProfileData> &shards);
+
+/** Merge @p shard into @p into (same rules as mergeProfiles). */
+void mergeInto(ProfileData &into, const ProfileData &shard);
+
+} // namespace hbbp
+
+#endif // HBBP_FLEET_MERGE_HH

@@ -1,0 +1,64 @@
+#include "fleet/shard.hh"
+
+#include "fleet/merge.hh"
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/thread_pool.hh"
+
+namespace hbbp {
+
+uint64_t
+shardStreamSeed(uint64_t base, uint32_t shard)
+{
+    // Golden-ratio stride keeps streams for adjacent shards far apart;
+    // shard + 1 keeps shard 0 distinct from the unsharded base seed.
+    return splitmix64(base + (uint64_t(shard) + 1) *
+                                 0x9e3779b97f4a7c15ULL);
+}
+
+CollectorConfig
+shardConfig(const CollectorConfig &base, uint32_t shard, uint32_t total)
+{
+    if (total == 0)
+        panic("shardConfig: total must be >= 1");
+    if (shard >= total)
+        panic("shardConfig: shard %u out of range for %u shards", shard,
+              total);
+    CollectorConfig cc = base;
+    if (total == 1)
+        return cc;
+    if (base.max_instructions != UINT64_MAX) {
+        uint64_t budget = base.max_instructions / total;
+        uint64_t remainder = base.max_instructions % total;
+        cc.max_instructions = budget + (shard < remainder ? 1 : 0);
+    }
+    cc.seed = shardStreamSeed(base.seed, shard);
+    cc.pmu.seed = shardStreamSeed(base.pmu.seed, shard);
+    return cc;
+}
+
+std::vector<ProfileData>
+collectShards(const Program &prog, const MachineConfig &machine,
+              const CollectorConfig &config, const ShardPlan &plan)
+{
+    if (plan.shards == 0)
+        fatal("collection needs at least one shard");
+    std::vector<ProfileData> shards(plan.shards);
+    parallelFor(plan.shards, plan.jobs, [&](size_t i) {
+        CollectorConfig cc =
+            shardConfig(config, static_cast<uint32_t>(i), plan.shards);
+        shards[i] = Collector::collect(prog, machine, cc);
+    });
+    return shards;
+}
+
+ProfileData
+collectSharded(const Program &prog, const MachineConfig &machine,
+               const CollectorConfig &config, const ShardPlan &plan)
+{
+    if (plan.shards == 1)
+        return Collector::collect(prog, machine, config);
+    return mergeProfiles(collectShards(prog, machine, config, plan));
+}
+
+} // namespace hbbp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Sharded parallel collection.
+ *
+ * One logical collection run is split into N shards, each a full
+ * simulated execution with an independent deterministic RNG stream and
+ * 1/N of the instruction budget, collected concurrently on a worker
+ * pool and merged in shard order. Because shard seeds derive only from
+ * (base seed, shard index) and the merge is index-ordered, the merged
+ * profile is byte-identical for jobs=1 and jobs=N — parallelism changes
+ * wall-clock time, never the result. A single-shard plan degenerates to
+ * exactly Collector::collect().
+ */
+
+#ifndef HBBP_FLEET_SHARD_HH
+#define HBBP_FLEET_SHARD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "collect/collector.hh"
+#include "collect/profile.hh"
+
+namespace hbbp {
+
+/** How to split and schedule one collection run. */
+struct ShardPlan
+{
+    /** Number of shards the run is split into (>= 1). */
+    uint32_t shards = 1;
+    /** Worker threads collecting shards concurrently (>= 1). */
+    unsigned jobs = 1;
+};
+
+/**
+ * Deterministic seed for @p shard's RNG stream, derived from @p base.
+ * Streams for distinct shards are independent; shard seeds never
+ * collide with the base seed itself.
+ */
+uint64_t shardStreamSeed(uint64_t base, uint32_t shard);
+
+/**
+ * The collector configuration for shard @p shard of @p total: the
+ * instruction budget is split evenly (remainder to the low shards) and
+ * the execution/PMU seeds are re-derived per shard.
+ */
+CollectorConfig shardConfig(const CollectorConfig &base, uint32_t shard,
+                            uint32_t total);
+
+/**
+ * Collect @p plan.shards shards of @p prog concurrently and merge them.
+ * See the file comment for the determinism guarantee.
+ */
+ProfileData collectSharded(const Program &prog,
+                           const MachineConfig &machine,
+                           const CollectorConfig &config,
+                           const ShardPlan &plan);
+
+/** The individual shard profiles, in shard order (mainly for tests). */
+std::vector<ProfileData> collectShards(const Program &prog,
+                                       const MachineConfig &machine,
+                                       const CollectorConfig &config,
+                                       const ShardPlan &plan);
+
+} // namespace hbbp
+
+#endif // HBBP_FLEET_SHARD_HH

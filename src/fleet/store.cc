@@ -1,0 +1,129 @@
+#include "fleet/store.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+
+#include "support/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace hbbp {
+
+std::string
+ProfileKey::describe() const
+{
+    const PmuConfig &p = config.pmu;
+    const LbrQuirkConfig &q = p.quirk;
+    return format(
+        "workload=%s;class=%s;scale=%llu;budget=%llu;seed=%llu;"
+        "shards=%u;pmu_seed=%llu;skid=%u-%u;lbr_delay=%u;lbr_depth=%u;"
+        "kernel=%d;quirk=%d,%u,%.9g,%u;freq=%.9g;memx=%u",
+        workload.c_str(), name(config.runtime_class),
+        static_cast<unsigned long long>(config.period_scale),
+        static_cast<unsigned long long>(config.max_instructions),
+        static_cast<unsigned long long>(config.seed), shards,
+        static_cast<unsigned long long>(p.seed),
+        p.precise_skid_min_cycles, p.precise_skid_max_cycles,
+        p.lbr_pmi_delay_cycles, p.lbr_depth, p.monitor_kernel ? 1 : 0,
+        q.enabled ? 1 : 0, q.sticky_hash_mod, q.sticky_persist_prob,
+        q.sticky_max_persist, machine.freq_ghz,
+        machine.mem_extra_cycles);
+}
+
+uint64_t
+ProfileKey::hash() const
+{
+    // FNV-1a, 64-bit.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : describe()) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+ProfileStore::ProfileStore(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        fatal("cannot create profile store '%s': %s", dir_.c_str(),
+              ec.message().c_str());
+}
+
+std::string
+ProfileStore::pathFor(const ProfileKey &key) const
+{
+    return format("%s/%016llx.hbbp", dir_.c_str(),
+                  static_cast<unsigned long long>(key.hash()));
+}
+
+bool
+ProfileStore::contains(const ProfileKey &key) const
+{
+    std::error_code ec;
+    return fs::exists(pathFor(key), ec);
+}
+
+std::optional<ProfileData>
+ProfileStore::lookup(const ProfileKey &key) const
+{
+    if (!contains(key))
+        return std::nullopt;
+    return ProfileData::load(pathFor(key));
+}
+
+void
+ProfileStore::insert(const ProfileKey &key,
+                     const ProfileData &profile) const
+{
+    // The tmp name must be unique per writer: concurrent collectors of
+    // the same key (two batch tasks, two processes) would otherwise
+    // interleave writes into one file and rename a corrupt profile
+    // into place.
+    static std::atomic<uint64_t> tmp_serial{0};
+    std::string path = pathFor(key);
+    std::string tmp = format(
+        "%s.tmp.%ld.%llu", path.c_str(),
+        static_cast<long>(::getpid()),
+        static_cast<unsigned long long>(
+            tmp_serial.fetch_add(1, std::memory_order_relaxed)));
+    profile.save(tmp);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot move '%s' into the profile store", tmp.c_str());
+}
+
+ProfileData
+ProfileStore::getOrCollect(const ProfileKey &key, const Program &prog,
+                           unsigned jobs, bool *cache_hit) const
+{
+    if (std::optional<ProfileData> cached = lookup(key)) {
+        if (cache_hit)
+            *cache_hit = true;
+        return std::move(*cached);
+    }
+    ShardPlan plan;
+    plan.shards = key.shards;
+    plan.jobs = jobs;
+    ProfileData pd = collectSharded(prog, key.machine, key.config, plan);
+    insert(key, pd);
+    if (cache_hit)
+        *cache_hit = false;
+    return pd;
+}
+
+size_t
+ProfileStore::entryCount() const
+{
+    size_t n = 0;
+    std::error_code ec;
+    for (const fs::directory_entry &e : fs::directory_iterator(dir_, ec))
+        if (e.path().extension() == ".hbbp")
+            n++;
+    return n;
+}
+
+} // namespace hbbp

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The content-addressed profile store.
+ *
+ * Collection is the expensive half of the collector/analyzer split, and
+ * fleet drivers re-request the same (workload, collection options) pairs
+ * constantly. The store caches profiles on disk under a key derived
+ * from everything that determines the collection output — workload
+ * name, runtime class, periods scale, instruction budget, seeds, PMU
+ * parameters, and the shard plan — so a repeated collect is a cache
+ * hit and a changed option is automatically a different entry. Entries
+ * are written to a temp file and renamed into place, so a crashed
+ * writer never leaves a truncated profile behind.
+ */
+
+#ifndef HBBP_FLEET_STORE_HH
+#define HBBP_FLEET_STORE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collect/collector.hh"
+#include "collect/profile.hh"
+#include "fleet/shard.hh"
+#include "sim/machine.hh"
+
+namespace hbbp {
+
+/** Everything that determines a collection's output, hashable. */
+struct ProfileKey
+{
+    std::string workload;
+    CollectorConfig config;
+    uint32_t shards = 1;
+    /** Machine timing model (skid placement depends on it). */
+    MachineConfig machine;
+
+    /** Canonical description string the hash is computed over. */
+    std::string describe() const;
+
+    /** 64-bit content hash (FNV-1a over describe()). */
+    uint64_t hash() const;
+};
+
+/** On-disk content-addressed cache of collected profiles. */
+class ProfileStore
+{
+  public:
+    /** Open (creating if needed) the store rooted at @p dir. */
+    explicit ProfileStore(std::string dir);
+
+    /** Path a profile with @p key lives at (whether present or not). */
+    std::string pathFor(const ProfileKey &key) const;
+
+    /** True when a profile for @p key is cached. */
+    bool contains(const ProfileKey &key) const;
+
+    /** Load the cached profile for @p key, or nullopt on a miss. */
+    std::optional<ProfileData> lookup(const ProfileKey &key) const;
+
+    /** Cache @p profile under @p key (atomic rename into place). */
+    void insert(const ProfileKey &key, const ProfileData &profile) const;
+
+    /**
+     * The workhorse: return the cached profile for @p key, or collect
+     * it (sharded per @p key.shards on @p key.machine with @p jobs
+     * workers), cache it and return it. @p cache_hit, when non-null,
+     * reports which happened.
+     */
+    ProfileData getOrCollect(const ProfileKey &key, const Program &prog,
+                             unsigned jobs,
+                             bool *cache_hit = nullptr) const;
+
+    /** Keys of every cached entry are not recoverable; count files. */
+    size_t entryCount() const;
+
+    /** Store root directory. */
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string dir_;
+};
+
+} // namespace hbbp
+
+#endif // HBBP_FLEET_STORE_HH

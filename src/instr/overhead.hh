@@ -31,6 +31,8 @@ struct RunFeatures
     uint64_t block_entries = 0; ///< Basic block executions.
     uint64_t taken_branches = 0;
     uint64_t simd_instructions = 0; ///< SSE/AVX instructions retired.
+
+    bool operator==(const RunFeatures &other) const = default;
 };
 
 /** SDE/PIN-like software instrumentation cost model. */

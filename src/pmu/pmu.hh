@@ -41,6 +41,8 @@ struct EbsSample
     uint64_t ip = 0;
     uint64_t cycle = 0;
     Ring ring = Ring::User;
+
+    bool operator==(const EbsSample &other) const = default;
 };
 
 /** One LBR sample: the stack captured at a BR_INST_RETIRED PMI. */
@@ -52,6 +54,8 @@ struct LbrStackSample
     Ring ring = Ring::User;
     /** Eventing IP as captured; discarded by the LBR analysis path. */
     uint64_t eventing_ip = 0;
+
+    bool operator==(const LbrStackSample &other) const = default;
 };
 
 /** PMU sampling configuration. */

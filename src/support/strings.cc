@@ -1,6 +1,8 @@
 #include "support/strings.hh"
 
+#include <algorithm>
 #include <cctype>
+#include <utility>
 
 #include "support/logging.hh"
 
@@ -83,6 +85,49 @@ std::string
 percentStr(double fraction, int decimals)
 {
     return format("%.*f%%", decimals, fraction * 100.0);
+}
+
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    // Two-row Levenshtein DP.
+    std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); j++)
+        prev[j] = j;
+    for (size_t i = 1; i <= a.size(); i++) {
+        cur[0] = i;
+        for (size_t j = 1; j <= b.size(); j++) {
+            size_t subst = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+std::vector<std::string>
+closestMatches(const std::string &needle,
+               const std::vector<std::string> &candidates,
+               size_t max_results, size_t max_distance)
+{
+    std::string lowered = toLower(needle);
+    std::vector<std::pair<size_t, std::string>> scored;
+    for (const std::string &cand : candidates) {
+        size_t d = editDistance(lowered, toLower(cand));
+        if (d <= max_distance)
+            scored.emplace_back(d, cand);
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    std::vector<std::string> out;
+    for (const auto &[d, cand] : scored) {
+        if (out.size() >= max_results)
+            break;
+        out.push_back(cand);
+    }
+    return out;
 }
 
 } // namespace hbbp

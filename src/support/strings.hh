@@ -37,6 +37,20 @@ std::string hexAddr(uint64_t addr);
 /** Format a double as a percentage string with @p decimals places. */
 std::string percentStr(double fraction, int decimals = 1);
 
+/** Levenshtein edit distance between @p a and @p b. */
+size_t editDistance(const std::string &a, const std::string &b);
+
+/**
+ * The candidates closest to @p needle by edit distance (case-
+ * insensitive), nearest first, at most @p max_results of them.
+ * Candidates further than @p max_distance edits are not suggested;
+ * ties are broken by candidate order.
+ */
+std::vector<std::string>
+closestMatches(const std::string &needle,
+               const std::vector<std::string> &candidates,
+               size_t max_results = 3, size_t max_distance = 4);
+
 } // namespace hbbp
 
 #endif // HBBP_SUPPORT_STRINGS_HH

@@ -1,0 +1,105 @@
+#include "support/thread_pool.hh"
+
+#include <algorithm>
+#include <exception>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    threads = std::max(threads, 1u);
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        in_flight_++;
+    }
+    work_available_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_available_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and drained.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        // An exception escaping a std::thread entry point aborts the
+        // process with no diagnostic (and would leak in_flight_, hanging
+        // wait()); route it through fatal() like every other dead end.
+        try {
+            task();
+        } catch (const std::exception &e) {
+            fatal("worker task failed: %s", e.what());
+        } catch (...) {
+            fatal("worker task failed with an unknown exception");
+        }
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            in_flight_--;
+            if (in_flight_ == 0)
+                all_done_.notify_all();
+        }
+    }
+}
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1u;
+}
+
+void
+parallelFor(size_t count, unsigned jobs,
+            const std::function<void(size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (jobs <= 1 || count == 1) {
+        for (size_t i = 0; i < count; i++)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(std::min<size_t>(jobs, count));
+    for (size_t i = 0; i < count; i++)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace hbbp

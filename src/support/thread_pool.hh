@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A small fixed-size worker pool for fan-out parallelism.
+ *
+ * The fleet subsystem (sharded collection, batch drivers) needs to run
+ * many independent simulations concurrently. ThreadPool keeps N workers
+ * alive for the lifetime of a fan-out; parallelFor() is the primary
+ * entry point and preserves determinism by indexing tasks — callers
+ * write results into slot [i], so the output never depends on
+ * scheduling order.
+ */
+
+#ifndef HBBP_SUPPORT_THREAD_POOL_HH
+#define HBBP_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hbbp {
+
+/** Fixed-size worker pool; see file comment. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (clamped to >= 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Waits for queued work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Queue a task for execution. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned threadCount() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Sensible default parallelism for this host (>= 1). */
+    static unsigned defaultThreadCount();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable all_done_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+/**
+ * Run fn(0) .. fn(count - 1) across @p jobs workers and block until all
+ * complete. jobs <= 1 runs inline on the calling thread; results must be
+ * written into per-index slots so the outcome is identical either way.
+ */
+void parallelFor(size_t count, unsigned jobs,
+                 const std::function<void(size_t)> &fn);
+
+} // namespace hbbp
+
+#endif // HBBP_SUPPORT_THREAD_POOL_HH

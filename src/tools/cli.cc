@@ -5,9 +5,18 @@
  *
  *   hbbp-tool version
  *   hbbp-tool list
- *   hbbp-tool collect <workload> -o <profile>
+ *   hbbp-tool collect <workload> -o <profile> [--jobs N] [--shards N]
+ *                     [--store DIR]
+ *   hbbp-tool merge   -o <profile> <in1> <in2> ...
+ *   hbbp-tool batch   <w1,w2,...|all> [--jobs N] [--shards N]
+ *                     [--store DIR] [--top N] [--csv]
  *   hbbp-tool analyze <workload> -i <profile> [options]
  *   hbbp-tool report  <workload> [-i <profile>] [options]
+ *
+ * collect/batch options:
+ *   --jobs N                worker threads (default 1)
+ *   --shards N              shards per collection (default: jobs)
+ *   --store DIR             content-addressed profile cache directory
  *
  * analyze/report options:
  *   --source hbbp|ebs|lbr   data source for the mix (default hbbp)
@@ -21,7 +30,12 @@
  *   --csv                   render pivots as CSV
  */
 
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <optional>
@@ -29,6 +43,10 @@
 #include <vector>
 
 #include "analysis/report.hh"
+#include "fleet/batch.hh"
+#include "fleet/merge.hh"
+#include "fleet/shard.hh"
+#include "fleet/store.hh"
 #include "hbbp/version.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
@@ -45,12 +63,16 @@ struct CliOptions
     std::string workload;
     std::string profile_in;
     std::string profile_out;
+    std::vector<std::string> inputs; ///< Positional profiles for merge.
     std::string source = "hbbp";
+    std::string store_dir;
     double cutoff = 18.0;
     bool bias_rule = true;
     bool patch_kernel = false;
     std::vector<std::string> pivot;
     size_t top = 0;
+    unsigned jobs = 1;
+    uint32_t shards = 0; ///< 0 = default to jobs.
     std::string function;
     bool csv = false;
 };
@@ -61,7 +83,12 @@ usage()
     std::fprintf(stderr,
                  "usage: hbbp-tool version\n"
                  "       hbbp-tool list\n"
-                 "       hbbp-tool collect <workload> -o <profile>\n"
+                 "       hbbp-tool collect <workload> -o <profile> "
+                 "[--jobs N] [--shards N] [--store DIR]\n"
+                 "       hbbp-tool merge -o <profile> <in1> <in2> ...\n"
+                 "       hbbp-tool batch <w1,w2,...|all> [--jobs N] "
+                 "[--shards N] [--store DIR]\n"
+                 "                 [--top N] [--csv]\n"
                  "       hbbp-tool analyze <workload> -i <profile> "
                  "[--source hbbp|ebs|lbr] [--cutoff N]\n"
                  "                 [--no-bias-rule] [--patch-kernel] "
@@ -79,7 +106,7 @@ parse(int argc, char **argv)
         usage();
     opts.command = argv[1];
     int i = 2;
-    if (opts.command != "list") {
+    if (opts.command != "list" && opts.command != "merge") {
         if (i >= argc)
             usage();
         opts.workload = argv[i++];
@@ -89,6 +116,35 @@ parse(int argc, char **argv)
             fatal("missing value for %s", flag);
         return argv[i++];
     };
+    // std::stoul/stod would throw (or wrap negatives) on bad input;
+    // every malformed flag value should die with a fatal() diagnostic.
+    auto need_count = [&](const char *flag,
+                          uint64_t max = UINT64_MAX) -> uint64_t {
+        std::string value = need_value(flag);
+        errno = 0;
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+        if (value.empty() || *end != '\0' || errno == ERANGE ||
+            value[0] == '-')
+            fatal("invalid value '%s' for %s (expected a non-negative "
+                  "integer)", value.c_str(), flag);
+        // Narrowing would silently truncate (e.g. 2^32 shards -> 0).
+        if (v > max)
+            fatal("value '%s' for %s is out of range (max %llu)",
+                  value.c_str(), flag,
+                  static_cast<unsigned long long>(max));
+        return v;
+    };
+    auto need_number = [&](const char *flag) -> double {
+        std::string value = need_value(flag);
+        errno = 0;
+        char *end = nullptr;
+        double v = std::strtod(value.c_str(), &end);
+        if (value.empty() || *end != '\0' || errno == ERANGE)
+            fatal("invalid value '%s' for %s (expected a number)",
+                  value.c_str(), flag);
+        return v;
+    };
     while (i < argc) {
         std::string arg = argv[i++];
         if (arg == "-o")
@@ -97,8 +153,10 @@ parse(int argc, char **argv)
             opts.profile_in = need_value("-i");
         else if (arg == "--source")
             opts.source = need_value("--source");
+        else if (arg == "--store")
+            opts.store_dir = need_value("--store");
         else if (arg == "--cutoff")
-            opts.cutoff = std::stod(need_value("--cutoff"));
+            opts.cutoff = need_number("--cutoff");
         else if (arg == "--no-bias-rule")
             opts.bias_rule = false;
         else if (arg == "--patch-kernel")
@@ -106,15 +164,28 @@ parse(int argc, char **argv)
         else if (arg == "--pivot")
             opts.pivot = split(need_value("--pivot"), ',');
         else if (arg == "--top")
-            opts.top = static_cast<size_t>(
-                std::stoul(need_value("--top")));
+            opts.top = static_cast<size_t>(need_count("--top"));
+        else if (arg == "--jobs")
+            opts.jobs = static_cast<unsigned>(
+                need_count("--jobs", UINT_MAX));
+        else if (arg == "--shards")
+            opts.shards = static_cast<uint32_t>(
+                need_count("--shards", UINT32_MAX));
         else if (arg == "--function")
             opts.function = need_value("--function");
         else if (arg == "--csv")
             opts.csv = true;
-        else
+        else if (!arg.empty() && arg[0] == '-')
             fatal("unknown option '%s'", arg.c_str());
+        else if (opts.command == "merge")
+            opts.inputs.push_back(arg);
+        else
+            fatal("unexpected argument '%s'", arg.c_str());
     }
+    if (opts.jobs == 0)
+        fatal("--jobs must be >= 1");
+    if (opts.shards == 0)
+        opts.shards = std::max(opts.jobs, 1u);
     return opts;
 }
 
@@ -131,16 +202,6 @@ dimFromName(const std::string &dim_name)
     fatal("unknown pivot dimension '%s'", dim_name.c_str());
 }
 
-Workload
-loadWorkload(const std::string &workload_name)
-{
-    std::optional<Workload> w = makeWorkloadByName(workload_name);
-    if (!w)
-        fatal("unknown workload '%s' (try `hbbp-tool list`)",
-              workload_name.c_str());
-    return std::move(*w);
-}
-
 int
 cmdList()
 {
@@ -154,35 +215,99 @@ cmdCollect(const CliOptions &opts)
 {
     if (opts.profile_out.empty())
         fatal("collect requires -o <profile>");
-    Workload w = loadWorkload(opts.workload);
-    CollectorConfig cc;
-    cc.runtime_class = w.runtime_class;
-    cc.max_instructions = w.max_instructions;
-    cc.seed = w.exec_seed;
-    ProfileData pd = Collector::collect(*w.program, MachineConfig{}, cc);
+    Workload w = requireWorkloadByName(opts.workload);
+    CollectorConfig cc = collectorConfigFor(w);
+
+    ShardPlan plan;
+    plan.shards = opts.shards;
+    plan.jobs = opts.jobs;
+
+    ProfileData pd;
+    bool cache_hit = false;
+    if (!opts.store_dir.empty()) {
+        ProfileStore store(opts.store_dir);
+        ProfileKey key{w.name, cc, plan.shards, MachineConfig{}};
+        pd = store.getOrCollect(key, *w.program, plan.jobs, &cache_hit);
+    } else {
+        pd = collectSharded(*w.program, MachineConfig{}, cc, plan);
+    }
     pd.save(opts.profile_out);
     std::printf("collected %zu EBS samples + %zu LBR stacks from %llu "
-                "instructions -> %s\n", pd.ebs.size(), pd.lbr.size(),
+                "instructions (%u shard%s%s) -> %s\n",
+                pd.ebs.size(), pd.lbr.size(),
                 static_cast<unsigned long long>(
                     pd.features.instructions),
+                plan.shards, plan.shards == 1 ? "" : "s",
+                cache_hit ? ", store hit" : "",
                 opts.profile_out.c_str());
+    return 0;
+}
+
+int
+cmdMerge(const CliOptions &opts)
+{
+    if (opts.profile_out.empty())
+        fatal("merge requires -o <profile>");
+    if (opts.inputs.size() < 2)
+        fatal("merge requires at least two input profiles");
+    std::vector<ProfileData> shards;
+    shards.reserve(opts.inputs.size());
+    for (const std::string &path : opts.inputs)
+        shards.push_back(ProfileData::load(path));
+    ProfileData merged = mergeProfiles(shards);
+    merged.save(opts.profile_out);
+    std::printf("merged %zu profiles: %zu EBS samples + %zu LBR stacks "
+                "-> %s\n", shards.size(), merged.ebs.size(),
+                merged.lbr.size(), opts.profile_out.c_str());
+    return 0;
+}
+
+int
+cmdBatch(const CliOptions &opts)
+{
+    std::vector<std::string> workloads;
+    if (opts.workload == "all")
+        workloads = workloadNames();
+    else
+        workloads = split(opts.workload, ',');
+
+    BatchConfig bc;
+    bc.shards = opts.shards;
+    bc.jobs = opts.jobs;
+    bc.store_dir = opts.store_dir;
+    bc.analyzer.map.patch_kernel_text = opts.patch_kernel;
+    bc.analyzer.classifier = std::make_shared<CutoffClassifier>(
+        opts.cutoff, opts.bias_rule);
+
+    BatchResult res = runBatch(workloads, bc);
+
+    TextTable summary = res.summaryTable();
+    TextTable mix = res.aggregateMixTable(opts.top);
+    if (opts.csv) {
+        std::printf("%s\n%s", summary.renderCsv().c_str(),
+                    mix.renderCsv().c_str());
+    } else {
+        std::printf("batch: %zu workloads, %u shards each, %u jobs, "
+                    "%zu store hit%s\n\n", res.entries.size(),
+                    bc.shards, bc.jobs, res.cache_hits,
+                    res.cache_hits == 1 ? "" : "s");
+        std::printf("%s\n", summary.render().c_str());
+        std::printf("aggregated fleet mix:\n%s", mix.render().c_str());
+    }
     return 0;
 }
 
 int
 cmdAnalyze(const CliOptions &opts, bool full_report)
 {
-    Workload w = loadWorkload(opts.workload);
+    Workload w = requireWorkloadByName(opts.workload);
 
     ProfileData pd;
     if (!opts.profile_in.empty()) {
         pd = ProfileData::load(opts.profile_in);
     } else {
-        CollectorConfig cc;
-        cc.runtime_class = w.runtime_class;
-        cc.max_instructions = w.max_instructions;
-        cc.seed = w.exec_seed;
-        pd = Collector::collect(*w.program, MachineConfig{}, cc);
+        pd = Collector::collect(*w.program, MachineConfig{},
+                                collectorConfigFor(w));
     }
 
     AnalyzerOptions aopts;
@@ -246,6 +371,10 @@ main(int argc, char **argv)
         return cmdList();
     if (opts.command == "collect")
         return cmdCollect(opts);
+    if (opts.command == "merge")
+        return cmdMerge(opts);
+    if (opts.command == "batch")
+        return cmdBatch(opts);
     if (opts.command == "analyze")
         return cmdAnalyze(opts, /*full_report=*/false);
     if (opts.command == "report")

@@ -1,5 +1,7 @@
 #include "tools/registry.hh"
 
+#include "support/logging.hh"
+#include "support/strings.hh"
 #include "workloads/clforward.hh"
 #include "workloads/fitter.hh"
 #include "workloads/kernelbench.hh"
@@ -50,6 +52,31 @@ makeWorkloadByName(const std::string &name)
         if (w.name == name)
             return w;
     return std::nullopt;
+}
+
+Workload
+requireWorkloadByName(const std::string &name)
+{
+    std::optional<Workload> w = makeWorkloadByName(name);
+    if (w)
+        return std::move(*w);
+    std::vector<std::string> near = closestMatches(name, workloadNames());
+    if (near.empty())
+        fatal("unknown workload '%s' (try `hbbp-tool list`)",
+              name.c_str());
+    fatal("unknown workload '%s' — did you mean %s? "
+          "(try `hbbp-tool list`)",
+          name.c_str(), join(near, " or ").c_str());
+}
+
+CollectorConfig
+collectorConfigFor(const Workload &w)
+{
+    CollectorConfig cc;
+    cc.runtime_class = w.runtime_class;
+    cc.max_instructions = w.max_instructions;
+    cc.seed = w.exec_seed;
+    return cc;
 }
 
 } // namespace hbbp

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "collect/collector.hh"
 #include "workloads/workload.hh"
 
 namespace hbbp {
@@ -20,6 +21,20 @@ std::vector<std::string> workloadNames();
 
 /** Generate a workload by name; std::nullopt for unknown names. */
 std::optional<Workload> makeWorkloadByName(const std::string &name);
+
+/**
+ * Generate a workload by name; fatal() on unknown names with nearest-
+ * edit-distance suggestions from workloadNames().
+ */
+Workload requireWorkloadByName(const std::string &name);
+
+/**
+ * The collector configuration a workload asks for (runtime class,
+ * instruction budget, execution seed). Every collection surface — CLI
+ * collect/analyze, the batch driver, benches — must build configs here
+ * so profile-store keys stay comparable across entry points.
+ */
+CollectorConfig collectorConfigFor(const Workload &w);
 
 } // namespace hbbp
 

@@ -1,0 +1,95 @@
+# End-to-end CLI smoke test for the fleet workflow (run via ctest):
+#
+#   collect --jobs 4   -> byte-identical to --jobs 1 at equal shards
+#   merge              -> concatenates two profiles
+#   analyze            -> sharded mix agrees with the single-shard path
+#
+# Invoked as:
+#   cmake -DHBBP_TOOL=<hbbp-tool> -DWORK_DIR=<scratch dir> -P cli_fleet_smoke.cmake
+
+cmake_minimum_required(VERSION 3.20)
+
+if(NOT DEFINED HBBP_TOOL OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR "pass -DHBBP_TOOL=... and -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(run out_var)
+    execute_process(COMMAND ${ARGN}
+        WORKING_DIRECTORY "${WORK_DIR}"
+        RESULT_VARIABLE rc
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "command failed (exit ${rc}): ${ARGN}\n${out}\n${err}")
+    endif()
+    set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# --- collect: jobs=4 and jobs=1 at 4 shards must be byte-identical ---------
+run(out "${HBBP_TOOL}" collect test40 --shards 4 --jobs 4 -o j4.profile)
+run(out "${HBBP_TOOL}" collect test40 --shards 4 --jobs 1 -o j1.profile)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORK_DIR}/j4.profile" "${WORK_DIR}/j1.profile"
+    RESULT_VARIABLE differs)
+if(differs)
+    message(FATAL_ERROR "jobs=4 and jobs=1 produced different profiles")
+endif()
+
+# --- merge: two compatible profiles concatenate --------------------------
+run(merge_out "${HBBP_TOOL}" merge -o merged.profile j4.profile j1.profile)
+if(NOT merge_out MATCHES "merged 2 profiles")
+    message(FATAL_ERROR "unexpected merge output: ${merge_out}")
+endif()
+run(out "${HBBP_TOOL}" analyze test40 -i merged.profile --pivot isa --csv)
+
+# --- analyze: sharded mix vs the single-shard path -----------------------
+run(sharded_csv "${HBBP_TOOL}" analyze test40 -i j4.profile --pivot isa --csv)
+run(out "${HBBP_TOOL}" collect test40 -o single.profile)
+run(single_csv "${HBBP_TOOL}" analyze test40 -i single.profile --pivot isa --csv)
+
+# Parse "key,count" CSV bodies (counts use ' thousands separators).
+function(parse_csv csv prefix)
+    string(REPLACE "\n" ";" lines "${csv}")
+    set(keys "")
+    foreach(line IN LISTS lines)
+        if(line MATCHES "^([A-Za-z0-9_]+),([0-9']+)$")
+            set(key "${CMAKE_MATCH_1}")
+            string(REPLACE "'" "" count "${CMAKE_MATCH_2}")
+            list(APPEND keys "${key}")
+            set(${prefix}_${key} "${count}" PARENT_SCOPE)
+        endif()
+    endforeach()
+    set(${prefix}_keys "${keys}" PARENT_SCOPE)
+endfunction()
+
+parse_csv("${sharded_csv}" sharded)
+parse_csv("${single_csv}" single)
+
+if(NOT sharded_keys STREQUAL single_keys)
+    message(FATAL_ERROR "sharded and single-shard analyses disagree on "
+        "the ISA rows (and their ranking): "
+        "[${sharded_keys}] vs [${single_keys}]")
+endif()
+if(sharded_keys STREQUAL "")
+    message(FATAL_ERROR "no ISA rows parsed from: ${sharded_csv}")
+endif()
+
+# Every row's count must agree within 10% of the single-shard value.
+foreach(key IN LISTS sharded_keys)
+    set(a "${sharded_${key}}")
+    set(b "${single_${key}}")
+    math(EXPR diff "${a} - ${b}")
+    if(diff LESS 0)
+        math(EXPR diff "-(${diff})")
+    endif()
+    math(EXPR limit "${b} / 10")
+    if(diff GREATER limit)
+        message(FATAL_ERROR "ISA row '${key}' drifted: sharded ${a} vs "
+            "single-shard ${b} (> 10%)")
+    endif()
+endforeach()
+
+message(STATUS "fleet smoke OK: rows [${sharded_keys}] within tolerance")

@@ -138,6 +138,127 @@ TEST(ProfileDeath, LoadRejectsGarbage)
     std::remove(path.c_str());
 }
 
+namespace profiledeath {
+
+/** A small but fully populated profile saved to @p path. */
+void
+saveSampleProfile(const std::string &path)
+{
+    ProfileData pd;
+    pd.sim_periods = {1009, 101};
+    pd.paper_periods = {100'000'007, 10'000'019};
+    pd.runtime_class = RuntimeClass::MinutesMany;
+    pd.pmi_count = 3;
+    pd.mmaps.push_back({"a.bin", 0x400000, 0x1000, false});
+    pd.ebs.push_back({0x400123, 999, Ring::User});
+    LbrStackSample stack;
+    stack.entries = {{0x400100, 0x400200}};
+    stack.eventing_ip = 0x400208;
+    pd.lbr.push_back(stack);
+    pd.save(path);
+}
+
+/** The file's byte size. */
+long
+fileSize(const std::string &path)
+{
+    FILE *f = fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    fseek(f, 0, SEEK_END);
+    long size = ftell(f);
+    fclose(f);
+    return size;
+}
+
+/** Rewrite @p path as its first @p keep bytes. */
+void
+truncateFile(const std::string &path, long keep)
+{
+    FILE *f = fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string bytes(static_cast<size_t>(keep), '\0');
+    ASSERT_EQ(fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+    fclose(f);
+    f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fwrite(bytes.data(), 1, bytes.size(), f);
+    fclose(f);
+}
+
+} // namespace profiledeath
+
+TEST(ProfileDeath, LoadRejectsTruncationAtEveryPrefixLength)
+{
+    // A valid profile truncated anywhere must die with a clean
+    // diagnostic, never read garbage. Sweep a prefix grid that covers
+    // the header, the counts and mid-record cuts.
+    std::string path = ::testing::TempDir() + "/truncated.hbbp";
+    profiledeath::saveSampleProfile(path);
+    long size = profiledeath::fileSize(path);
+    ASSERT_GT(size, 40);
+    for (long keep : {4L, 11L, 40L, size / 2, size - 9, size - 1}) {
+        profiledeath::saveSampleProfile(path);
+        profiledeath::truncateFile(path, keep);
+        EXPECT_EXIT(ProfileData::load(path),
+                    ::testing::ExitedWithCode(1),
+                    "short read|corrupt profile")
+            << "prefix of " << keep << " bytes";
+    }
+    std::remove(path.c_str());
+}
+
+TEST(ProfileDeath, LoadRejectsTrailingGarbage)
+{
+    std::string path = ::testing::TempDir() + "/trailing.hbbp";
+    profiledeath::saveSampleProfile(path);
+    FILE *f = fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    fputs("extra", f);
+    fclose(f);
+    EXPECT_EXIT(ProfileData::load(path), ::testing::ExitedWithCode(1),
+                "trailing garbage");
+    std::remove(path.c_str());
+}
+
+TEST(ProfileDeath, LoadRejectsImplausibleSampleCount)
+{
+    // Corrupt the EBS sample count (u64 straight after the 4-byte
+    // module-map count; this profile has no modules) to claim ~1e18
+    // records: load must fail the plausibility check instead of
+    // reserving petabytes.
+    std::string path = ::testing::TempDir() + "/huge_count.hbbp";
+    ProfileData pd;
+    pd.sim_periods = {1009, 101};
+    pd.paper_periods = {100'000'007, 10'000'019};
+    pd.save(path);
+    const long ebs_count_offset = 8 + 4 + 4 * 8 + 1 + 5 * 8 + 8 + 4;
+    FILE *f = fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    fseek(f, ebs_count_offset, SEEK_SET);
+    uint64_t huge = 0x0de0b6b3a7640000ULL; // 1e18.
+    fwrite(&huge, sizeof(huge), 1, f);
+    fclose(f);
+    EXPECT_EXIT(ProfileData::load(path), ::testing::ExitedWithCode(1),
+                "claims .* EBS sample records");
+    std::remove(path.c_str());
+}
+
+TEST(ProfileDeath, LoadRejectsInvalidEnumValues)
+{
+    // The runtime-class byte sits right after the four period words.
+    std::string path = ::testing::TempDir() + "/bad_enum.hbbp";
+    profiledeath::saveSampleProfile(path);
+    const long runtime_class_offset = 8 + 4 + 4 * 8;
+    FILE *f = fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    fseek(f, runtime_class_offset, SEEK_SET);
+    fputc(0x7f, f);
+    fclose(f);
+    EXPECT_EXIT(ProfileData::load(path), ::testing::ExitedWithCode(1),
+                "invalid runtime class value 127");
+    std::remove(path.c_str());
+}
+
 TEST(Collector, ProducesBothSampleKindsAndMmaps)
 {
     auto kp = testutil::makeKernelProgram(300'000);

@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Tests for the fleet profiling subsystem: the thread pool, profile
+ * merge semantics, sharded parallel collection (including the
+ * determinism and accuracy guarantees), the content-addressed profile
+ * store, and the batch driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "analysis/error.hh"
+#include "fleet/batch.hh"
+#include "fleet/merge.hh"
+#include "fleet/shard.hh"
+#include "fleet/store.hh"
+#include "support/thread_pool.hh"
+#include "tests/helpers.hh"
+#include "tools/registry.hh"
+
+namespace hbbp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 100; i++)
+        pool.submit([&done] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    pool.submit([&done] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 1);
+    pool.submit([&done] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 2);
+}
+
+TEST(ThreadPool, ParallelForFillsEverySlot)
+{
+    for (unsigned jobs : {1u, 4u}) {
+        std::vector<int> slots(64, 0);
+        parallelFor(slots.size(), jobs,
+                    [&](size_t i) { slots[i] = static_cast<int>(i) + 1; });
+        for (size_t i = 0; i < slots.size(); i++)
+            EXPECT_EQ(slots[i], static_cast<int>(i) + 1);
+    }
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Merge semantics.
+// ---------------------------------------------------------------------------
+
+ProfileData
+smallProfile(uint64_t tag)
+{
+    ProfileData pd;
+    pd.sim_periods = {1009, 101};
+    pd.paper_periods = {100'000'007, 10'000'019};
+    pd.runtime_class = RuntimeClass::MinutesMany;
+    pd.features = {1000 + tag, 2000 + tag, 30 + tag, 40 + tag, 5 + tag};
+    pd.pmi_count = 10 + tag;
+    pd.mmaps.push_back({"app.bin", 0x400000, 0x1000, false});
+    pd.ebs.push_back({0x400000 + tag, tag, Ring::User});
+    LbrStackSample stack;
+    stack.entries = {{0x400100 + tag, 0x400200 + tag}};
+    stack.cycle = tag;
+    stack.eventing_ip = 0x400300 + tag;
+    pd.lbr.push_back(stack);
+    return pd;
+}
+
+TEST(Merge, ConcatenatesSamplesAndSumsCounts)
+{
+    ProfileData a = smallProfile(1);
+    ProfileData b = smallProfile(2);
+    ProfileData m = mergeProfiles({a, b});
+
+    ASSERT_EQ(m.ebs.size(), 2u);
+    EXPECT_EQ(m.ebs[0], a.ebs[0]);
+    EXPECT_EQ(m.ebs[1], b.ebs[0]);
+    ASSERT_EQ(m.lbr.size(), 2u);
+    EXPECT_EQ(m.lbr[0], a.lbr[0]);
+    EXPECT_EQ(m.lbr[1], b.lbr[0]);
+
+    EXPECT_EQ(m.pmi_count, a.pmi_count + b.pmi_count);
+    EXPECT_EQ(m.features.cycles, a.features.cycles + b.features.cycles);
+    EXPECT_EQ(m.features.instructions,
+              a.features.instructions + b.features.instructions);
+    EXPECT_EQ(m.features.block_entries,
+              a.features.block_entries + b.features.block_entries);
+    EXPECT_EQ(m.features.taken_branches,
+              a.features.taken_branches + b.features.taken_branches);
+    EXPECT_EQ(m.features.simd_instructions,
+              a.features.simd_instructions + b.features.simd_instructions);
+
+    // Periods and runtime class carry through unchanged.
+    EXPECT_EQ(m.sim_periods, a.sim_periods);
+    EXPECT_EQ(m.paper_periods, a.paper_periods);
+    EXPECT_EQ(m.runtime_class, a.runtime_class);
+}
+
+TEST(Merge, ReconcilesModuleMaps)
+{
+    ProfileData a = smallProfile(1);
+    ProfileData b = smallProfile(2);
+    b.mmaps.push_back({"extra.ko", 0xffffffff81000000ULL, 0x2000, true});
+    ProfileData m = mergeProfiles({a, b});
+    // The shared record dedupes; the new one appends after it.
+    ASSERT_EQ(m.mmaps.size(), 2u);
+    EXPECT_EQ(m.mmaps[0].name, "app.bin");
+    EXPECT_EQ(m.mmaps[1].name, "extra.ko");
+}
+
+TEST(Merge, CompatibilityExplainsMismatch)
+{
+    ProfileData a = smallProfile(1);
+    ProfileData b = smallProfile(2);
+    std::string why;
+    EXPECT_TRUE(mergeCompatible(a, b, &why));
+    b.sim_periods.ebs = 997;
+    EXPECT_FALSE(mergeCompatible(a, b, &why));
+    EXPECT_NE(why.find("sampling periods"), std::string::npos);
+}
+
+using MergeDeath = ::testing::Test;
+
+TEST(MergeDeath, RejectsEmptyInput)
+{
+    EXPECT_EXIT(mergeProfiles({}), ::testing::ExitedWithCode(1),
+                "empty profile list");
+}
+
+TEST(MergeDeath, RejectsPeriodMismatch)
+{
+    ProfileData a = smallProfile(1);
+    ProfileData b = smallProfile(2);
+    b.sim_periods.lbr = 97;
+    EXPECT_EXIT(mergeProfiles({a, b}), ::testing::ExitedWithCode(1),
+                "sampling periods differ");
+}
+
+TEST(MergeDeath, RejectsRuntimeClassMismatch)
+{
+    ProfileData a = smallProfile(1);
+    ProfileData b = smallProfile(2);
+    b.runtime_class = RuntimeClass::Seconds;
+    b.paper_periods = a.paper_periods; // Isolate the class mismatch.
+    EXPECT_EXIT(mergeProfiles({a, b}), ::testing::ExitedWithCode(1),
+                "runtime classes differ");
+}
+
+TEST(MergeDeath, RejectsConflictingModulePlacement)
+{
+    ProfileData a = smallProfile(1);
+    ProfileData b = smallProfile(2);
+    b.mmaps[0].base = 0x500000;
+    EXPECT_EXIT(mergeProfiles({a, b}), ::testing::ExitedWithCode(1),
+                "mapped at");
+}
+
+// ---------------------------------------------------------------------------
+// Sharded collection.
+// ---------------------------------------------------------------------------
+
+CollectorConfig
+loopCollectorConfig(uint64_t budget)
+{
+    CollectorConfig cc;
+    cc.runtime_class = RuntimeClass::Seconds;
+    cc.max_instructions = budget;
+    cc.seed = 7;
+    return cc;
+}
+
+TEST(Shard, ConfigSplitsBudgetAndReseeds)
+{
+    CollectorConfig base = loopCollectorConfig(1'000'003);
+    uint64_t total_budget = 0;
+    std::vector<uint64_t> seeds;
+    for (uint32_t i = 0; i < 4; i++) {
+        CollectorConfig cc = shardConfig(base, i, 4);
+        total_budget += cc.max_instructions;
+        seeds.push_back(cc.seed);
+        EXPECT_NE(cc.seed, base.seed);
+        EXPECT_NE(cc.pmu.seed, base.pmu.seed);
+        // Other options pass through untouched.
+        EXPECT_EQ(cc.runtime_class, base.runtime_class);
+        EXPECT_EQ(cc.period_scale, base.period_scale);
+    }
+    EXPECT_EQ(total_budget, base.max_instructions);
+    // Streams are pairwise distinct.
+    for (size_t i = 0; i < seeds.size(); i++)
+        for (size_t j = i + 1; j < seeds.size(); j++)
+            EXPECT_NE(seeds[i], seeds[j]);
+}
+
+TEST(Shard, UnboundedBudgetStaysUnbounded)
+{
+    CollectorConfig base = loopCollectorConfig(UINT64_MAX);
+    CollectorConfig cc = shardConfig(base, 1, 4);
+    EXPECT_EQ(cc.max_instructions, UINT64_MAX);
+}
+
+TEST(Shard, SingleShardIsPlainCollection)
+{
+    auto lp = testutil::makeLoopProgram(50'000);
+    CollectorConfig cc = loopCollectorConfig(400'000);
+    ShardPlan plan{1, 1};
+    ProfileData sharded =
+        collectSharded(*lp.program, MachineConfig{}, cc, plan);
+    ProfileData plain =
+        Collector::collect(*lp.program, MachineConfig{}, cc);
+    EXPECT_EQ(sharded, plain);
+}
+
+TEST(Shard, JobsDoNotChangeTheMergedProfile)
+{
+    auto lp = testutil::makeLoopProgram(50'000);
+    CollectorConfig cc = loopCollectorConfig(400'000);
+    ProfileData serial = collectSharded(*lp.program, MachineConfig{},
+                                        cc, ShardPlan{4, 1});
+    ProfileData parallel = collectSharded(*lp.program, MachineConfig{},
+                                          cc, ShardPlan{4, 4});
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(Shard, MergedProfileIsByteIdenticalAcrossJobCounts)
+{
+    Workload w = requireWorkloadByName("test40");
+    w.max_instructions = 1'000'000;
+    CollectorConfig cc;
+    cc.runtime_class = w.runtime_class;
+    cc.max_instructions = w.max_instructions;
+    cc.seed = w.exec_seed;
+
+    auto bytes = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    };
+    std::string p1 = ::testing::TempDir() + "/shard_j1.hbbp";
+    std::string p4 = ::testing::TempDir() + "/shard_j4.hbbp";
+    collectSharded(*w.program, MachineConfig{}, cc, ShardPlan{4, 1})
+        .save(p1);
+    collectSharded(*w.program, MachineConfig{}, cc, ShardPlan{4, 4})
+        .save(p4);
+    std::string b1 = bytes(p1);
+    EXPECT_FALSE(b1.empty());
+    EXPECT_EQ(b1, bytes(p4));
+    std::remove(p1.c_str());
+    std::remove(p4.c_str());
+}
+
+TEST(Shard, ShardProfilesMergeLikeCollectSharded)
+{
+    auto lp = testutil::makeLoopProgram(50'000);
+    CollectorConfig cc = loopCollectorConfig(400'000);
+    ShardPlan plan{3, 2};
+    std::vector<ProfileData> shards =
+        collectShards(*lp.program, MachineConfig{}, cc, plan);
+    ASSERT_EQ(shards.size(), 3u);
+    EXPECT_EQ(mergeProfiles(shards),
+              collectSharded(*lp.program, MachineConfig{}, cc, plan));
+}
+
+/**
+ * The accuracy contract: analyzing the merged shards must agree with a
+ * single-run analysis. Shards use different RNG streams over the same
+ * (statistically stationary) workload, so the HBBP mixes agree within
+ * sampling tolerance, not exactly.
+ */
+TEST(Shard, MergedShardAnalysisMatchesSingleRunWithinTolerance)
+{
+    Workload w = requireWorkloadByName("test40");
+    CollectorConfig cc;
+    cc.runtime_class = w.runtime_class;
+    cc.max_instructions = w.max_instructions;
+    cc.seed = w.exec_seed;
+
+    ProfileData single =
+        Collector::collect(*w.program, MachineConfig{}, cc);
+    ProfileData merged = collectSharded(*w.program, MachineConfig{}, cc,
+                                        ShardPlan{4, 4});
+
+    Analyzer analyzer;
+    Counter<Mnemonic> ref =
+        analyzer.analyze(*w.program, single).hbbpMix().mnemonicCounts();
+    Counter<Mnemonic> got =
+        analyzer.analyze(*w.program, merged).hbbpMix().mnemonicCounts();
+
+    // Same total work (budgets split exactly), so compare the paper's
+    // average weighted error between the two estimates.
+    double err = avgWeightedError(ref, got);
+    EXPECT_LT(err, 0.05) << "merged-shard mix drifted " << err
+                         << " from the single-run mix";
+}
+
+// ---------------------------------------------------------------------------
+// Content-addressed store.
+// ---------------------------------------------------------------------------
+
+std::string
+freshStoreDir(const char *tag)
+{
+    std::string dir = ::testing::TempDir() + "/hbbp_store_" + tag;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+TEST(Store, KeyIsStableAndOptionSensitive)
+{
+    ProfileKey key{"test40", loopCollectorConfig(1'000'000), 4, MachineConfig{}};
+    EXPECT_EQ(key.hash(), key.hash());
+
+    ProfileKey other = key;
+    other.workload = "kernelbench";
+    EXPECT_NE(other.hash(), key.hash());
+
+    other = key;
+    other.config.seed++;
+    EXPECT_NE(other.hash(), key.hash());
+
+    other = key;
+    other.shards = 8;
+    EXPECT_NE(other.hash(), key.hash());
+
+    other = key;
+    other.config.max_instructions++;
+    EXPECT_NE(other.hash(), key.hash());
+
+    other = key;
+    other.config.pmu.quirk.enabled = false;
+    EXPECT_NE(other.hash(), key.hash());
+
+    other = key;
+    other.machine.mem_extra_cycles = 2;
+    EXPECT_NE(other.hash(), key.hash());
+}
+
+TEST(Store, InsertThenLookupRoundTrips)
+{
+    ProfileStore store(freshStoreDir("roundtrip"));
+    ProfileKey key{"synthetic", loopCollectorConfig(1000), 1, MachineConfig{}};
+    EXPECT_FALSE(store.contains(key));
+    EXPECT_EQ(store.lookup(key), std::nullopt);
+
+    ProfileData pd = smallProfile(3);
+    store.insert(key, pd);
+    EXPECT_TRUE(store.contains(key));
+    EXPECT_EQ(store.entryCount(), 1u);
+    std::optional<ProfileData> loaded = store.lookup(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, pd);
+}
+
+TEST(Store, GetOrCollectMissesThenHits)
+{
+    ProfileStore store(freshStoreDir("getorcollect"));
+    auto lp = testutil::makeLoopProgram(20'000);
+    ProfileKey key{"loop", loopCollectorConfig(150'000), 2, MachineConfig{}};
+
+    bool hit = true;
+    ProfileData first = store.getOrCollect(key, *lp.program, 2, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_EQ(store.entryCount(), 1u);
+
+    ProfileData second = store.getOrCollect(key, *lp.program, 2, &hit);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(store.entryCount(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Batch driver.
+// ---------------------------------------------------------------------------
+
+TEST(Batch, AggregatesDeterministicallyAcrossJobCounts)
+{
+    std::vector<std::string> workloads{"fitter_sse", "clforward_before"};
+    BatchConfig bc;
+    bc.shards = 2;
+
+    bc.jobs = 1;
+    BatchResult serial = runBatch(workloads, bc);
+    bc.jobs = 4;
+    BatchResult parallel = runBatch(workloads, bc);
+
+    ASSERT_EQ(serial.entries.size(), 2u);
+    ASSERT_EQ(parallel.entries.size(), 2u);
+    for (size_t i = 0; i < serial.entries.size(); i++) {
+        EXPECT_EQ(serial.entries[i].workload,
+                  parallel.entries[i].workload);
+        EXPECT_EQ(serial.entries[i].instructions,
+                  parallel.entries[i].instructions);
+        EXPECT_EQ(serial.entries[i].ebs_samples,
+                  parallel.entries[i].ebs_samples);
+        EXPECT_EQ(serial.entries[i].lbr_stacks,
+                  parallel.entries[i].lbr_stacks);
+    }
+    for (const auto &[mn, count] : serial.aggregate.items())
+        EXPECT_DOUBLE_EQ(parallel.aggregate.get(mn), count) << name(mn);
+    EXPECT_EQ(serial.aggregate.size(), parallel.aggregate.size());
+}
+
+TEST(Batch, UsesTheStoreAcrossRuns)
+{
+    std::string dir = freshStoreDir("batch");
+    std::vector<std::string> workloads{"fitter_sse"};
+    BatchConfig bc;
+    bc.shards = 2;
+    bc.jobs = 2;
+    bc.store_dir = dir;
+
+    BatchResult cold = runBatch(workloads, bc);
+    EXPECT_EQ(cold.cache_hits, 0u);
+    BatchResult warm = runBatch(workloads, bc);
+    EXPECT_EQ(warm.cache_hits, 1u);
+    EXPECT_TRUE(warm.entries[0].cache_hit);
+    for (const auto &[mn, count] : cold.aggregate.items())
+        EXPECT_DOUBLE_EQ(warm.aggregate.get(mn), count) << name(mn);
+}
+
+TEST(Batch, TablesSummarizeEveryWorkload)
+{
+    BatchConfig bc;
+    BatchResult res = runBatch({"fitter_sse", "clforward_before"}, bc);
+    EXPECT_EQ(res.summaryTable().rowCount(), 2u);
+    EXPECT_GT(res.aggregateMixTable().rowCount(), 5u);
+    EXPECT_EQ(res.aggregateMixTable(3).rowCount(), 3u);
+}
+
+using BatchDeath = ::testing::Test;
+
+TEST(BatchDeath, UnknownWorkloadDiesWithSuggestion)
+{
+    EXPECT_EXIT(runBatch({"test4"}, BatchConfig{}),
+                ::testing::ExitedWithCode(1), "did you mean test40");
+}
+
+TEST(BatchDeath, EmptyWorkloadListDies)
+{
+    EXPECT_EXIT(runBatch({}, BatchConfig{}),
+                ::testing::ExitedWithCode(1), "at least one workload");
+}
+
+} // namespace
+} // namespace hbbp

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "analysis/analyzer.hh"
 #include "tests/helpers.hh"
 
@@ -140,6 +142,72 @@ TEST_P(FuzzedPrograms, MapMatchesExecutionAndStreamsWalk)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzedPrograms,
                          ::testing::Range<uint64_t>(1, 21));
+
+/** A randomized ProfileData exercising every field of the format. */
+ProfileData
+randomProfile(uint64_t seed)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 17);
+    ProfileData pd;
+    pd.runtime_class = static_cast<RuntimeClass>(rng.nextBelow(3));
+    pd.paper_periods = paperPeriods(pd.runtime_class);
+    pd.sim_periods = scaledPeriods(pd.runtime_class,
+                                   1000 + rng.nextBelow(1'000'000));
+    pd.features = {rng.next() >> 20, rng.next() >> 20, rng.next() >> 30,
+                   rng.next() >> 30, rng.next() >> 34};
+    pd.pmi_count = rng.nextBelow(100'000);
+
+    size_t n_mmaps = rng.nextBelow(5);
+    for (size_t i = 0; i < n_mmaps; i++) {
+        MmapRecord m;
+        m.name = format("mod_%zu.bin", i);
+        m.base = rng.next() & 0x7fffffffff000ULL;
+        m.size = 0x1000 + rng.nextBelow(1 << 20);
+        m.kernel = rng.chance(0.3);
+        pd.mmaps.push_back(std::move(m));
+    }
+    size_t n_ebs = rng.nextBelow(200);
+    for (size_t i = 0; i < n_ebs; i++) {
+        EbsSample s;
+        s.ip = rng.next();
+        s.cycle = rng.next() >> 10;
+        s.ring = rng.chance(0.2) ? Ring::Kernel : Ring::User;
+        pd.ebs.push_back(s);
+    }
+    size_t n_lbr = rng.nextBelow(100);
+    for (size_t i = 0; i < n_lbr; i++) {
+        LbrStackSample s;
+        size_t depth = rng.nextBelow(17);
+        for (size_t j = 0; j < depth; j++)
+            s.entries.push_back({rng.next(), rng.next()});
+        s.cycle = rng.next() >> 10;
+        s.ring = rng.chance(0.2) ? Ring::Kernel : Ring::User;
+        s.eventing_ip = rng.next();
+        pd.lbr.push_back(std::move(s));
+    }
+    return pd;
+}
+
+/**
+ * Serialization property: any profile — including empty sample lists,
+ * kernel rings and maximal-depth LBR stacks — survives save/load
+ * exactly. Guards the fleet store and merge paths, which round-trip
+ * profiles constantly.
+ */
+TEST(ProfileRoundTrip, RandomizedProfilesSurviveSaveLoad)
+{
+    for (uint64_t seed = 1; seed <= 25; seed++) {
+        ProfileData pd = randomProfile(seed);
+        std::string path =
+            ::testing::TempDir() +
+            format("/prop_profile_%llu.hbbp",
+                   static_cast<unsigned long long>(seed));
+        pd.save(path);
+        ProfileData loaded = ProfileData::load(path);
+        EXPECT_EQ(loaded, pd) << "seed " << seed;
+        std::remove(path.c_str());
+    }
+}
 
 } // namespace
 } // namespace hbbp

@@ -8,6 +8,8 @@
 
 #include <cmath>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "hbbp/version.hh"
 #include "support/histogram.hh"
@@ -344,6 +346,49 @@ TEST(LoggingDeath, FatalExits)
 {
     EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
                 "fatal: bad config");
+}
+
+TEST(Strings, EditDistance)
+{
+    EXPECT_EQ(editDistance("", ""), 0u);
+    EXPECT_EQ(editDistance("abc", "abc"), 0u);
+    EXPECT_EQ(editDistance("", "abc"), 3u);
+    EXPECT_EQ(editDistance("abc", ""), 3u);
+    EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+    EXPECT_EQ(editDistance("test40", "test4"), 1u);
+    EXPECT_EQ(editDistance("flaws", "lawn"), 2u);
+    // Symmetry.
+    EXPECT_EQ(editDistance("sitting", "kitten"),
+              editDistance("kitten", "sitting"));
+}
+
+TEST(Strings, ClosestMatches)
+{
+    std::vector<std::string> names{"test40", "kernelbench",
+                                   "fitter_sse", "fitter_x87",
+                                   "clforward_before"};
+    // Nearest first.
+    std::vector<std::string> near = closestMatches("test4", names);
+    ASSERT_FALSE(near.empty());
+    EXPECT_EQ(near[0], "test40");
+
+    // Case-insensitive.
+    near = closestMatches("TEST40", names);
+    ASSERT_FALSE(near.empty());
+    EXPECT_EQ(near[0], "test40");
+
+    // Result-count cap.
+    near = closestMatches("fitter_ss", names, 1);
+    ASSERT_EQ(near.size(), 1u);
+    EXPECT_EQ(near[0], "fitter_sse");
+
+    // Garbage far from everything suggests nothing.
+    EXPECT_TRUE(closestMatches("zzzzzzzzzzzz", names).empty());
+
+    // Exact match is its own best suggestion.
+    near = closestMatches("kernelbench", names);
+    ASSERT_FALSE(near.empty());
+    EXPECT_EQ(near[0], "kernelbench");
 }
 
 TEST(Version, ConfiguredAndCoherent)
