@@ -11,7 +11,9 @@
  *    aggregate.
  *
  * Output is machine-readable JSON on stdout (one object), so CI can
- * archive and diff runs. Pass --human for the table view instead.
+ * archive and diff runs. Pass --human for the table view instead, and
+ * --quick for a CI-sized run (smaller workload list, fewer job
+ * counts).
  */
 
 #include <chrono>
@@ -60,23 +62,30 @@ struct MergePoint
 int
 main(int argc, char **argv)
 {
-    bool human = false;
-    for (int i = 1; i < argc; i++)
+    bool human = false, quick = false;
+    for (int i = 1; i < argc; i++) {
         if (std::strcmp(argv[i], "--human") == 0)
             human = true;
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
 
     // A mixed list: branchy, kernel-heavy and vector-heavy codes, twice
-    // over so there is enough fan-out to keep 8 workers busy.
+    // over so there is enough fan-out to keep 8 workers busy (--quick
+    // keeps one rep and stops at 4 jobs for CI smoke runs).
     std::vector<std::string> workloads;
-    for (int rep = 0; rep < 2; rep++)
+    for (int rep = 0; rep < (quick ? 1 : 2); rep++)
         for (const char *w :
              {"test40", "kernelbench", "fitter_sse", "fitter_avx_fix",
               "clforward_before", "clforward_after"})
             workloads.push_back(w);
 
+    std::vector<unsigned> job_counts =
+        quick ? std::vector<unsigned>{1, 4}
+              : std::vector<unsigned>{1, 2, 4, 8};
     std::vector<BatchPoint> batch_points;
     double base_seconds = 0.0;
-    for (unsigned jobs : {1u, 2u, 4u, 8u}) {
+    for (unsigned jobs : job_counts) {
         BatchConfig bc;
         bc.shards = 2;
         bc.jobs = jobs;
@@ -92,12 +101,13 @@ main(int argc, char **argv)
         batch_points.push_back(p);
     }
 
-    // Merge throughput: fold 16 shards of one big collection.
+    // Merge throughput: fold 16 shards of one big collection (8 shards
+    // of a regular-sized one under --quick).
     Workload w = requireWorkloadByName("test40");
     CollectorConfig cc = collectorConfigFor(w);
-    cc.max_instructions = w.max_instructions * 4;
+    cc.max_instructions = w.max_instructions * (quick ? 1 : 4);
     ShardPlan plan;
-    plan.shards = 16;
+    plan.shards = quick ? 8 : 16;
     plan.jobs = ThreadPool::defaultThreadCount();
     std::vector<ProfileData> shards =
         collectShards(*w.program, MachineConfig{}, cc, plan);
@@ -130,6 +140,7 @@ main(int argc, char **argv)
     }
 
     std::printf("{\n  \"bench\": \"scale_batch\",\n");
+    std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
     std::printf("  \"workloads\": %zu,\n", workloads.size());
     std::printf("  \"shards_per_workload\": 2,\n");
     std::printf("  \"batch\": [\n");

@@ -1,47 +1,38 @@
 #include "collect/profile.hh"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 #include "support/logging.hh"
+#include "support/rng.hh"
 
 namespace hbbp {
 
 namespace {
 
 constexpr uint64_t kMagic = 0x48424250'50524f46ULL; // "HBBPPROF"
-constexpr uint32_t kVersion = 2;
+/** Current format: header carries a payload length and checksum. */
+constexpr uint32_t kVersion = 3;
+/** Legacy pre-checksum format (payload layout is identical). */
+constexpr uint32_t kLegacyVersion = 2;
 
-class Writer
+/** Serializes the payload into a memory buffer (for checksumming). */
+class ByteWriter
 {
   public:
-    explicit Writer(const std::string &path)
-        : file_(std::fopen(path.c_str(), "wb")), path_(path)
-    {
-        if (!file_)
-            fatal("cannot open '%s' for writing", path.c_str());
-    }
-
-    ~Writer()
-    {
-        if (file_)
-            std::fclose(file_);
-    }
-
-    Writer(const Writer &) = delete;
-    Writer &operator=(const Writer &) = delete;
-
     void
     raw(const void *data, size_t size)
     {
-        if (std::fwrite(data, 1, size, file_) != size)
-            fatal("short write to '%s'", path_.c_str());
+        buf_.append(static_cast<const char *>(data), size);
     }
 
     void u8(uint8_t v) { raw(&v, sizeof(v)); }
     void u32(uint32_t v) { raw(&v, sizeof(v)); }
     void u64(uint64_t v) { raw(&v, sizeof(v)); }
-    void f64(double v) { raw(&v, sizeof(v)); }
 
     void
     str(const std::string &s)
@@ -50,45 +41,34 @@ class Writer
         raw(s.data(), s.size());
     }
 
+    const std::string &bytes() const { return buf_; }
+
   private:
-    std::FILE *file_;
-    std::string path_;
+    std::string buf_;
 };
 
-class Reader
+/** Parses the payload out of a memory buffer. */
+class ByteReader
 {
   public:
-    explicit Reader(const std::string &path)
-        : file_(std::fopen(path.c_str(), "rb")), path_(path)
+    ByteReader(const std::string &buf, const std::string &path)
+        : buf_(buf), path_(path)
     {
-        if (!file_)
-            fatal("cannot open '%s' for reading", path.c_str());
-        std::fseek(file_, 0, SEEK_END);
-        size_ = std::ftell(file_);
-        std::fseek(file_, 0, SEEK_SET);
     }
-
-    ~Reader()
-    {
-        if (file_)
-            std::fclose(file_);
-    }
-
-    Reader(const Reader &) = delete;
-    Reader &operator=(const Reader &) = delete;
 
     void
     raw(void *data, size_t size)
     {
-        if (std::fread(data, 1, size, file_) != size)
+        if (size > buf_.size() - pos_)
             fatal("short read from '%s' (corrupt profile?)",
                   path_.c_str());
+        std::memcpy(data, buf_.data() + pos_, size);
+        pos_ += size;
     }
 
     uint8_t u8() { uint8_t v; raw(&v, sizeof(v)); return v; }
     uint32_t u32() { uint32_t v; raw(&v, sizeof(v)); return v; }
     uint64_t u64() { uint64_t v; raw(&v, sizeof(v)); return v; }
-    double f64() { double v; raw(&v, sizeof(v)); return v; }
 
     std::string
     str()
@@ -103,17 +83,14 @@ class Reader
     }
 
     /**
-     * Validate an element count against the bytes left in the file:
+     * Validate an element count against the bytes left in the payload:
      * a corrupt count must die with a diagnostic here, not OOM in a
      * reserve() or spin reading garbage.
      */
     uint64_t
     count(uint64_t n, size_t min_elem_bytes, const char *what)
     {
-        long pos = std::ftell(file_);
-        uint64_t left = pos < 0 || size_ < pos
-                            ? 0
-                            : static_cast<uint64_t>(size_ - pos);
+        uint64_t left = buf_.size() - pos_;
         if (n > left / min_elem_bytes)
             fatal("'%s' claims %llu %s records but only %llu bytes "
                   "remain (corrupt profile?)",
@@ -122,20 +99,66 @@ class Reader
         return n;
     }
 
-    /** fatal() unless the whole file has been consumed. */
+    /** fatal() unless the whole payload has been consumed. */
     void
     expectEof()
     {
-        if (std::fgetc(file_) != EOF)
+        if (pos_ != buf_.size())
             fatal("trailing garbage at the end of '%s' (corrupt "
                   "profile?)", path_.c_str());
     }
 
   private:
-    std::FILE *file_;
-    std::string path_;
-    long size_ = 0;
+    const std::string &buf_;
+    size_t pos_ = 0;
+    const std::string &path_;
 };
+
+std::string
+serializeBody(const ProfileData &pd)
+{
+    ByteWriter w;
+    w.u64(pd.sim_periods.ebs);
+    w.u64(pd.sim_periods.lbr);
+    w.u64(pd.paper_periods.ebs);
+    w.u64(pd.paper_periods.lbr);
+    w.u8(static_cast<uint8_t>(pd.runtime_class));
+
+    w.u64(pd.features.cycles);
+    w.u64(pd.features.instructions);
+    w.u64(pd.features.block_entries);
+    w.u64(pd.features.taken_branches);
+    w.u64(pd.features.simd_instructions);
+    w.u64(pd.pmi_count);
+
+    w.u32(static_cast<uint32_t>(pd.mmaps.size()));
+    for (const MmapRecord &m : pd.mmaps) {
+        w.str(m.name);
+        w.u64(m.base);
+        w.u64(m.size);
+        w.u8(m.kernel ? 1 : 0);
+    }
+
+    w.u64(pd.ebs.size());
+    for (const EbsSample &s : pd.ebs) {
+        w.u64(s.ip);
+        w.u64(s.cycle);
+        w.u8(static_cast<uint8_t>(s.ring));
+    }
+
+    w.u64(pd.lbr.size());
+    for (const LbrStackSample &s : pd.lbr) {
+        w.u8(static_cast<uint8_t>(s.entries.size()));
+        for (const LbrEntry &e : s.entries) {
+            w.u64(e.source);
+            w.u64(e.target);
+        }
+        w.u64(s.cycle);
+        w.u8(static_cast<uint8_t>(s.ring));
+        w.u64(s.eventing_ip);
+    }
+    return w.bytes();
+}
 
 /** Cast a byte to an enum after range-checking it. */
 template <typename E>
@@ -149,67 +172,10 @@ checkedEnum(uint8_t raw, uint8_t max, const char *what,
     return static_cast<E>(raw);
 }
 
-} // namespace
-
-void
-ProfileData::save(const std::string &path) const
-{
-    Writer w(path);
-    w.u64(kMagic);
-    w.u32(kVersion);
-
-    w.u64(sim_periods.ebs);
-    w.u64(sim_periods.lbr);
-    w.u64(paper_periods.ebs);
-    w.u64(paper_periods.lbr);
-    w.u8(static_cast<uint8_t>(runtime_class));
-
-    w.u64(features.cycles);
-    w.u64(features.instructions);
-    w.u64(features.block_entries);
-    w.u64(features.taken_branches);
-    w.u64(features.simd_instructions);
-    w.u64(pmi_count);
-
-    w.u32(static_cast<uint32_t>(mmaps.size()));
-    for (const MmapRecord &m : mmaps) {
-        w.str(m.name);
-        w.u64(m.base);
-        w.u64(m.size);
-        w.u8(m.kernel ? 1 : 0);
-    }
-
-    w.u64(ebs.size());
-    for (const EbsSample &s : ebs) {
-        w.u64(s.ip);
-        w.u64(s.cycle);
-        w.u8(static_cast<uint8_t>(s.ring));
-    }
-
-    w.u64(lbr.size());
-    for (const LbrStackSample &s : lbr) {
-        w.u8(static_cast<uint8_t>(s.entries.size()));
-        for (const LbrEntry &e : s.entries) {
-            w.u64(e.source);
-            w.u64(e.target);
-        }
-        w.u64(s.cycle);
-        w.u8(static_cast<uint8_t>(s.ring));
-        w.u64(s.eventing_ip);
-    }
-}
-
 ProfileData
-ProfileData::load(const std::string &path)
+parseBody(const std::string &body, const std::string &path)
 {
-    Reader r(path);
-    if (r.u64() != kMagic)
-        fatal("'%s' is not an HBBP profile", path.c_str());
-    uint32_t version = r.u32();
-    if (version != kVersion)
-        fatal("'%s' has unsupported profile version %u", path.c_str(),
-              version);
-
+    ByteReader r(body, path);
     ProfileData pd;
     pd.sim_periods.ebs = r.u64();
     pd.sim_periods.lbr = r.u64();
@@ -271,6 +237,207 @@ ProfileData::load(const std::string &path)
     }
     r.expectEof();
     return pd;
+}
+
+std::string
+readWholeFile(const std::string &path, std::string *why)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        *why = format("cannot open '%s' for reading", path.c_str());
+        return {};
+    }
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::string bytes(size > 0 ? static_cast<size_t>(size) : 0, '\0');
+    size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (got != bytes.size()) {
+        *why = format("short read from '%s' (corrupt profile?)",
+                      path.c_str());
+        return {};
+    }
+    return bytes;
+}
+
+/** The header fields and payload of a profile file. */
+struct ProbedProfile
+{
+    uint32_t version = 0;
+    uint64_t checksum = 0; ///< Derived from the payload for legacy files.
+    std::string body;
+};
+
+/**
+ * Read and validate @p path down to a verified payload. With
+ * @p allow_legacy the version-2 (pre-checksum) format and stale
+ * version-3 checksums are accepted — the migration path. Returns
+ * std::nullopt with *@p why set on any failure.
+ */
+std::optional<ProbedProfile>
+probe(const std::string &path, bool allow_legacy, std::string *why)
+{
+    why->clear();
+    std::string bytes = readWholeFile(path, why);
+    if (!why->empty())
+        return std::nullopt;
+    auto fail = [&](std::string reason) {
+        *why = std::move(reason);
+        return std::nullopt;
+    };
+    if (bytes.size() < 12)
+        return fail(format("short read from '%s' (corrupt profile?)",
+                           path.c_str()));
+    ProbedProfile p;
+    uint64_t magic;
+    std::memcpy(&magic, bytes.data(), sizeof(magic));
+    if (magic != kMagic)
+        return fail(format("'%s' is not an HBBP profile", path.c_str()));
+    std::memcpy(&p.version, bytes.data() + 8, sizeof(p.version));
+
+    if (p.version == kLegacyVersion) {
+        p.body = bytes.substr(12);
+        p.checksum = fnv1a(p.body);
+        if (!allow_legacy)
+            return fail(format(
+                "'%s' is profile format version %u, which predates "
+                "payload checksums — re-collect it or run `hbbp-tool "
+                "migrate` to upgrade it",
+                path.c_str(), p.version));
+        return p;
+    }
+    if (p.version != kVersion)
+        return fail(format(
+            "'%s' has unsupported profile version %u (this build reads "
+            "versions %u and %u) — re-collect it or run `hbbp-tool "
+            "migrate` from a matching build",
+            path.c_str(), p.version, kLegacyVersion, kVersion));
+
+    if (bytes.size() < 28)
+        return fail(format("short read from '%s' (corrupt profile?)",
+                           path.c_str()));
+    uint64_t payload_len, stored;
+    std::memcpy(&payload_len, bytes.data() + 12, sizeof(payload_len));
+    std::memcpy(&stored, bytes.data() + 20, sizeof(stored));
+    uint64_t have = bytes.size() - 28;
+    if (have < payload_len)
+        return fail(format(
+            "'%s' is truncated: header promises a %llu-byte payload but "
+            "only %llu bytes follow (corrupt profile?)",
+            path.c_str(), static_cast<unsigned long long>(payload_len),
+            static_cast<unsigned long long>(have)));
+    if (have > payload_len)
+        return fail(format("trailing garbage at the end of '%s' "
+                           "(corrupt profile?)", path.c_str()));
+    p.body = bytes.substr(28);
+    p.checksum = fnv1a(p.body);
+    if (p.checksum != stored && !allow_legacy)
+        return fail(format(
+            "payload checksum mismatch in '%s': header says %016llx but "
+            "the payload hashes to %016llx — the checksum is stale or "
+            "the profile is corrupt; re-collect it or run `hbbp-tool "
+            "migrate` to rewrite it",
+            path.c_str(), static_cast<unsigned long long>(stored),
+            static_cast<unsigned long long>(p.checksum)));
+    return p;
+}
+
+} // namespace
+
+void
+ProfileData::save(const std::string &path, uint64_t *checksum_out) const
+{
+    std::string body = serializeBody(*this);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    uint32_t version = kVersion;
+    uint64_t payload_len = body.size();
+    uint64_t checksum = fnv1a(body);
+    if (checksum_out)
+        *checksum_out = checksum;
+    bool ok = std::fwrite(&kMagic, sizeof(kMagic), 1, f) == 1 &&
+              std::fwrite(&version, sizeof(version), 1, f) == 1 &&
+              std::fwrite(&payload_len, sizeof(payload_len), 1, f) == 1 &&
+              std::fwrite(&checksum, sizeof(checksum), 1, f) == 1 &&
+              std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    if (std::fclose(f) != 0 || !ok)
+        fatal("short write to '%s'", path.c_str());
+}
+
+void
+ProfileData::saveAtomically(const std::string &path,
+                            uint64_t *checksum_out) const
+{
+    // The tmp name must be unique per writer: two threads or processes
+    // racing to the same final path (store inserts, same-shard
+    // exports) would otherwise interleave writes into one temp file
+    // and rename a corrupt profile into place.
+    static std::atomic<uint64_t> tmp_serial{0};
+    std::string tmp = format(
+        "%s.tmp.%ld.%llu", path.c_str(), static_cast<long>(::getpid()),
+        static_cast<unsigned long long>(
+            tmp_serial.fetch_add(1, std::memory_order_relaxed)));
+    save(tmp, checksum_out);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot move '%s' into place at '%s'", tmp.c_str(),
+              path.c_str());
+}
+
+uint64_t
+ProfileData::payloadChecksum() const
+{
+    return fnv1a(serializeBody(*this));
+}
+
+ProfileData
+ProfileData::load(const std::string &path)
+{
+    std::string why;
+    std::optional<ProbedProfile> p =
+        probe(path, /*allow_legacy=*/false, &why);
+    if (!p)
+        fatal("%s", why.c_str());
+    return parseBody(p->body, path);
+}
+
+ProfileData
+ProfileData::loadAnyVersion(const std::string &path, uint32_t *version_out)
+{
+    std::string why;
+    std::optional<ProbedProfile> p =
+        probe(path, /*allow_legacy=*/true, &why);
+    if (!p)
+        fatal("%s", why.c_str());
+    if (version_out)
+        *version_out = p->version;
+    return parseBody(p->body, path);
+}
+
+std::optional<ProfileData>
+ProfileData::tryLoad(const std::string &path, std::string *why,
+                     uint64_t *checksum_out)
+{
+    std::string local;
+    std::optional<ProbedProfile> p =
+        probe(path, /*allow_legacy=*/false, why ? why : &local);
+    if (!p)
+        return std::nullopt;
+    if (checksum_out)
+        *checksum_out = p->checksum;
+    return parseBody(p->body, path);
+}
+
+std::optional<uint64_t>
+probeProfileChecksum(const std::string &path, std::string *why)
+{
+    std::string local;
+    std::optional<ProbedProfile> p =
+        probe(path, /*allow_legacy=*/false, why ? why : &local);
+    if (!p)
+        return std::nullopt;
+    return p->checksum;
 }
 
 } // namespace hbbp

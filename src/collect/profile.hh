@@ -14,6 +14,7 @@
 #define HBBP_COLLECT_PROFILE_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -57,14 +58,75 @@ struct ProfileData
     /** PMIs delivered during collection. */
     uint64_t pmi_count = 0;
 
-    /** Serialize to @p path; fatal() on I/O errors. */
-    void save(const std::string &path) const;
+    /**
+     * Serialize to @p path; fatal() on I/O errors. @p checksum_out,
+     * when non-null, receives the payload checksum as a by-product —
+     * callers that need both (shard export) serialize once instead of
+     * paying payloadChecksum() again.
+     */
+    void save(const std::string &path,
+              uint64_t *checksum_out = nullptr) const;
 
-    /** Deserialize from @p path; fatal() on I/O or format errors. */
+    /**
+     * save() through a uniquely named temp file renamed into place, so
+     * a crashed or failed writer never leaves a truncated or corrupt
+     * profile at @p path — the required form wherever @p path may
+     * already hold data worth keeping or other processes may read it
+     * concurrently (the profile store, shard export, migration).
+     */
+    void saveAtomically(const std::string &path,
+                        uint64_t *checksum_out = nullptr) const;
+
+    /**
+     * Deserialize from @p path; fatal() on I/O or format errors,
+     * including a payload-checksum mismatch (stale or corrupt file) and
+     * legacy pre-checksum format versions — the diagnostic suggests
+     * re-collecting or `hbbp-tool migrate`.
+     */
     static ProfileData load(const std::string &path);
+
+    /**
+     * The migration loader: additionally accepts the legacy version-2
+     * (pre-checksum) format and current-version files whose stored
+     * checksum is stale, re-deriving the checksum from the payload.
+     * @p version_out, when non-null, reports the on-disk format
+     * version. Used by `hbbp-tool migrate`.
+     */
+    static ProfileData loadAnyVersion(const std::string &path,
+                                      uint32_t *version_out = nullptr);
+
+    /**
+     * Non-fatal load(): returns std::nullopt with *@p why set when the
+     * file is unreadable, a legacy version, truncated or fails its
+     * checksum; @p checksum_out, when non-null, receives the verified
+     * payload checksum. Structural corruption *behind* a valid
+     * checksum (practically, a crafted file) still fatal()s. One file
+     * read serves validation and parsing — the aggregation import
+     * path.
+     */
+    static std::optional<ProfileData>
+    tryLoad(const std::string &path, std::string *why,
+            uint64_t *checksum_out = nullptr);
+
+    /**
+     * Stable FNV-1a checksum of the serialized payload. Identical
+     * profiles hash identically on every host, so shard manifests use
+     * this for duplicate detection and transfer integrity.
+     */
+    uint64_t payloadChecksum() const;
 
     bool operator==(const ProfileData &other) const = default;
 };
+
+/**
+ * Cheap integrity probe of a profile file: validates the header (magic,
+ * version, payload length) and that the stored checksum matches the
+ * payload bytes, without building a ProfileData. Returns the checksum,
+ * or std::nullopt with *@p why describing the failure (including a
+ * `hbbp-tool migrate` hint for legacy-version files).
+ */
+std::optional<uint64_t> probeProfileChecksum(const std::string &path,
+                                             std::string *why);
 
 } // namespace hbbp
 

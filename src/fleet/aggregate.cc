@@ -1,0 +1,256 @@
+#include "fleet/aggregate.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "fleet/merge.hh"
+#include "support/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace hbbp {
+
+namespace {
+
+/** A profile carrying only the merge-compatibility fields. */
+ProfileData
+compatReference(const ProfileData &pd)
+{
+    ProfileData ref;
+    ref.sim_periods = pd.sim_periods;
+    ref.paper_periods = pd.paper_periods;
+    ref.runtime_class = pd.runtime_class;
+    return ref;
+}
+
+} // namespace
+
+bool
+IncrementalAggregator::addShard(const ShardManifest &manifest,
+                                ProfileData profile, std::string *why)
+{
+    auto reject = [&](size_t *stat, std::string reason) {
+        (*stat)++;
+        if (why)
+            *why = std::move(reason);
+        return false;
+    };
+
+    if (seen_checksums_.count(manifest.checksum))
+        return reject(
+            &stats_.duplicates,
+            format("duplicate shard: checksum %016llx from host '%s' "
+                   "is already aggregated",
+                   static_cast<unsigned long long>(manifest.checksum),
+                   manifest.host.c_str()));
+
+    // The aggregate is analyzed against one program: folding another
+    // workload's samples in would silently bias every estimate, the
+    // exact failure the paper's period-compatibility rule guards
+    // against one level down.
+    if (!workload_.empty() && manifest.workload != workload_)
+        return reject(
+            &stats_.incompatible,
+            format("incompatible shard from host '%s': workload '%s' "
+                   "does not match the aggregate's workload '%s'",
+                   manifest.host.c_str(), manifest.workload.c_str(),
+                   workload_.c_str()));
+
+    std::string compat_why;
+    if (compat_ref_ &&
+        !mergeCompatible(*compat_ref_, profile, &compat_why))
+        return reject(
+            &stats_.incompatible,
+            format("incompatible shard from host '%s' (workload '%s', "
+                   "seq %u): %s — shards must be collected with "
+                   "identical sampling periods and runtime class",
+                   manifest.host.c_str(), manifest.workload.c_str(),
+                   manifest.seq, compat_why.c_str()));
+
+    // Reconcile the module map here, before anything is folded: a
+    // conflicting placement inside mergeInto() is fatal(), which would
+    // take down a long-running aggregator over one bad shard.
+    for (const MmapRecord &rec : profile.mmaps) {
+        for (const MmapRecord &have : mmaps_) {
+            if (have.name != rec.name)
+                continue;
+            if (!(have == rec))
+                return reject(
+                    &stats_.incompatible,
+                    format("incompatible shard from host '%s': module "
+                           "'%s' mapped at %#llx+%#llx here but "
+                           "%#llx+%#llx in the aggregate",
+                           manifest.host.c_str(), rec.name.c_str(),
+                           static_cast<unsigned long long>(rec.base),
+                           static_cast<unsigned long long>(rec.size),
+                           static_cast<unsigned long long>(have.base),
+                           static_cast<unsigned long long>(have.size)));
+            break;
+        }
+    }
+
+    HostState &hs = hosts_[manifest.host];
+    // The checksum differs (or we'd have caught it above), so two
+    // different collections claim the same slot — likely a
+    // re-collection with changed options; refuse to guess which wins.
+    if (manifest.seq < hs.next_seq || hs.pending.count(manifest.seq))
+        return reject(
+            &stats_.duplicates,
+            format("host '%s' already delivered a different shard for "
+                   "sequence %u",
+                   manifest.host.c_str(), manifest.seq));
+
+    if (!compat_ref_) {
+        compat_ref_ = compatReference(profile);
+        workload_ = manifest.workload;
+    }
+    for (const MmapRecord &rec : profile.mmaps) {
+        bool known = false;
+        for (const MmapRecord &have : mmaps_)
+            if (have.name == rec.name) {
+                known = true;
+                break;
+            }
+        if (!known)
+            mmaps_.push_back(rec);
+    }
+    seen_checksums_.insert(manifest.checksum);
+    if (manifest.seq == hs.next_seq) {
+        // Move rather than copy: arrivals are the import hot path and
+        // the sample vectors dominate the profile's size.
+        if (!hs.partial)
+            hs.partial = std::move(profile);
+        else
+            mergeInto(*hs.partial, profile);
+        hs.next_seq++;
+        // Drain any out-of-order arrivals that are now contiguous.
+        auto it = hs.pending.begin();
+        while (it != hs.pending.end() && it->first == hs.next_seq) {
+            accumulateInto(hs.partial, it->second);
+            hs.next_seq++;
+            it = hs.pending.erase(it);
+        }
+    } else {
+        hs.pending.emplace(manifest.seq, std::move(profile));
+    }
+
+    stats_.accepted++;
+    epoch_++;
+    return true;
+}
+
+std::optional<ShardManifest>
+IncrementalAggregator::importFile(const std::string &manifest_path,
+                                  std::string *why)
+{
+    std::string local_why;
+    std::optional<ImportedShard> shard =
+        importShard(manifest_path, &local_why);
+    if (!shard) {
+        stats_.malformed++;
+        if (why)
+            *why = std::move(local_why);
+        return std::nullopt;
+    }
+    if (!addShard(shard->manifest, std::move(shard->profile),
+                  why ? why : &local_why))
+        return std::nullopt;
+    return shard->manifest;
+}
+
+const ProfileData &
+IncrementalAggregator::aggregate()
+{
+    if (hosts_.empty())
+        fatal("no shards have been aggregated");
+    if (cached_aggregate_ && aggregate_epoch_ == epoch_)
+        return *cached_aggregate_;
+
+    // Canonical fold: hosts in sorted id order (the map's order), each
+    // host's folded partial first, then any out-of-order leftovers in
+    // sequence order. With gap-free sequences the leftovers are empty
+    // and every shard was folded exactly once, on arrival.
+    std::optional<ProfileData> agg;
+    for (const auto &[host, hs] : hosts_) {
+        if (hs.partial)
+            accumulateInto(agg, *hs.partial);
+        if (!hs.pending.empty())
+            warn("host '%s' has gaps in its shard sequence (next "
+                 "expected %u); folding %zu pending shard(s) in "
+                 "sequence order",
+                 host.c_str(), hs.next_seq, hs.pending.size());
+        for (const auto &[seq, pd] : hs.pending)
+            accumulateInto(agg, pd);
+    }
+    cached_aggregate_ = std::move(agg);
+    aggregate_epoch_ = epoch_;
+    stats_.rebuilds++;
+    return *cached_aggregate_;
+}
+
+const Counter<Mnemonic> &
+IncrementalAggregator::analyzeWith(const Program &prog,
+                                   const Analyzer &analyzer)
+{
+    if (cached_mix_ && analysis_epoch_ == epoch_)
+        return *cached_mix_;
+    cached_mix_ =
+        analyzer.analyze(prog, aggregate()).hbbpMix().mnemonicCounts();
+    analysis_epoch_ = epoch_;
+    stats_.analyses++;
+    return *cached_mix_;
+}
+
+size_t
+watchAndAggregate(IncrementalAggregator &agg, const std::string &dir,
+                  const WatchOptions &options)
+{
+    using clock = std::chrono::steady_clock;
+    clock::time_point deadline =
+        clock::now() + std::chrono::milliseconds(options.timeout_ms);
+    std::set<std::string> judged;
+    size_t accepted = 0;
+
+    for (;;) {
+        std::vector<std::string> fresh;
+        std::error_code ec;
+        for (const fs::directory_entry &e :
+             fs::directory_iterator(dir, ec)) {
+            if (e.path().extension() != ".manifest")
+                continue;
+            std::string path = e.path().string();
+            if (!judged.count(path))
+                fresh.push_back(path);
+        }
+        if (ec)
+            fatal("cannot scan watch directory '%s': %s", dir.c_str(),
+                  ec.message().c_str());
+        std::sort(fresh.begin(), fresh.end());
+        for (const std::string &path : fresh) {
+            judged.insert(path);
+            std::string why;
+            std::optional<ShardManifest> m = agg.importFile(path, &why);
+            if (m) {
+                accepted++;
+                if (options.on_accept)
+                    options.on_accept(*m);
+            } else {
+                warn("skipping shard '%s': %s", path.c_str(),
+                     why.c_str());
+            }
+        }
+        if (options.expect == 0 ||
+            agg.stats().accepted >= options.expect)
+            break;
+        if (clock::now() >= deadline)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.poll_ms));
+    }
+    return accepted;
+}
+
+} // namespace hbbp

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Incremental multi-host aggregation.
+ *
+ * Shards from N collector hosts arrive in whatever order the transport
+ * delivers them; the aggregator folds each one into a cached per-host
+ * partial aggregate on arrival, detects duplicate deliveries by payload
+ * checksum, rejects incompatible collections (mixed sampling periods or
+ * runtime classes) with a diagnostic, and invalidates downstream
+ * analysis whenever a new shard lands — so re-analysis runs exactly
+ * once per arrival, never more. The final aggregate folds hosts in
+ * sorted host-id order and each host's shards in sequence order, so
+ * the result is byte-identical no matter what order shards arrived in
+ * — and identical to a one-shot mergeProfiles() over the same shards.
+ *
+ * watchAndAggregate() is the transport stand-in: it polls a drop
+ * directory for shard manifests (the multi-host simulation; a network
+ * transport would enqueue the same imports), skipping files it has
+ * already judged.
+ */
+
+#ifndef HBBP_FLEET_AGGREGATE_HH
+#define HBBP_FLEET_AGGREGATE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "fleet/manifest.hh"
+#include "isa/mnemonic.hh"
+#include "support/histogram.hh"
+
+namespace hbbp {
+
+/** What the aggregator has seen and done (the invalidation proof). */
+struct AggregatorStats
+{
+    size_t accepted = 0;     ///< Shards folded into the aggregate.
+    size_t duplicates = 0;   ///< Rejected: checksum already aggregated.
+    size_t incompatible = 0; ///< Rejected: periods/class mismatch.
+    size_t malformed = 0;    ///< Rejected: unreadable manifest/profile.
+    size_t analyses = 0;     ///< Analysis recomputations (not cache hits).
+    size_t rebuilds = 0;     ///< Aggregate recomputations (not cache hits).
+};
+
+/** Folds arriving shards into one canonical-order aggregate. */
+class IncrementalAggregator
+{
+  public:
+    /**
+     * Fold an arrived shard in. Returns false with *@p why set when
+     * the shard is a duplicate (payload checksum already aggregated),
+     * collides with an existing (host, seq) slot, or is incompatible
+     * with the shards aggregated so far — a different workload,
+     * mismatched sampling periods / runtime class, or a conflicting
+     * module placement; stats() records which.
+     */
+    bool addShard(const ShardManifest &manifest, ProfileData profile,
+                  std::string *why = nullptr);
+
+    /**
+     * importShard() the manifest at @p manifest_path and fold it in.
+     * Returns the manifest on acceptance; std::nullopt with *@p why
+     * set otherwise (unreadable files count into stats().malformed,
+     * rejected shards into duplicates/incompatible).
+     */
+    std::optional<ShardManifest>
+    importFile(const std::string &manifest_path,
+               std::string *why = nullptr);
+
+    /**
+     * The aggregate of everything accepted so far, in canonical order
+     * (hosts sorted by id, shards by sequence within each host).
+     * Cached until the next accepted shard invalidates it; fatal()
+     * when no shards have been accepted.
+     */
+    const ProfileData &aggregate();
+
+    /**
+     * HBBP mnemonic mix of aggregate() analyzed against @p prog with
+     * @p analyzer. Cached: recomputed only when a new shard has
+     * arrived since the last call (stats().analyses counts the
+     * recomputations).
+     */
+    const Counter<Mnemonic> &analyzeWith(const Program &prog,
+                                         const Analyzer &analyzer);
+
+    const AggregatorStats &stats() const { return stats_; }
+
+    /** Accepted shard count (== stats().accepted). */
+    size_t shardCount() const { return stats_.accepted; }
+
+    /** Distinct hosts that have contributed accepted shards. */
+    size_t hostCount() const { return hosts_.size(); }
+
+  private:
+    /** One host's arrival state. */
+    struct HostState
+    {
+        /** Shards folded so far, in sequence order. */
+        std::optional<ProfileData> partial;
+        /** Next sequence number the partial is waiting for. */
+        uint32_t next_seq = 0;
+        /** Out-of-order arrivals, folded once the gap fills. */
+        std::map<uint32_t, ProfileData> pending;
+    };
+
+    std::map<std::string, HostState> hosts_; ///< Sorted by host id.
+    std::set<uint64_t> seen_checksums_;
+    /** Periods/class of the first accepted shard (compat reference). */
+    std::optional<ProfileData> compat_ref_;
+    /** Workload of the first accepted shard; mixing is refused. */
+    std::string workload_;
+    /**
+     * Module map reconciled across every accepted shard. Conflicting
+     * placements are caught here, at the acceptance gate, so the merge
+     * folds (which fatal() on conflicts) can never hit one.
+     */
+    std::vector<MmapRecord> mmaps_;
+
+    uint64_t epoch_ = 0; ///< Bumped per accepted shard.
+    std::optional<ProfileData> cached_aggregate_;
+    uint64_t aggregate_epoch_ = UINT64_MAX;
+    std::optional<Counter<Mnemonic>> cached_mix_;
+    uint64_t analysis_epoch_ = UINT64_MAX;
+
+    AggregatorStats stats_;
+};
+
+/** Drop-directory watch parameters. */
+struct WatchOptions
+{
+    /**
+     * Stop once this many shards have been accepted; 0 means scan the
+     * directory once and return without waiting.
+     */
+    size_t expect = 0;
+    /** Give up waiting after this long. */
+    int timeout_ms = 10'000;
+    /** Poll interval between directory scans. */
+    int poll_ms = 50;
+    /** Called after each accepted shard (e.g. to trigger analysis). */
+    std::function<void(const ShardManifest &)> on_accept;
+};
+
+/**
+ * Poll @p dir for `*.manifest` files and import each new one into
+ * @p agg (scan order is sorted, so a fixed directory state aggregates
+ * deterministically). Returns the number of accepted shards; inspect
+ * agg.stats() for rejections. Files are judged once — a manifest that
+ * fails to import is skipped on later scans, never retried.
+ */
+size_t watchAndAggregate(IncrementalAggregator &agg,
+                         const std::string &dir,
+                         const WatchOptions &options = {});
+
+} // namespace hbbp
+
+#endif // HBBP_FLEET_AGGREGATE_HH

@@ -1,0 +1,347 @@
+#include "fleet/manifest.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/rng.hh"
+#include "support/strings.hh"
+
+namespace fs = std::filesystem;
+
+namespace hbbp {
+
+const char *
+name(ShardStatus status)
+{
+    switch (status) {
+    case ShardStatus::Complete: return "complete";
+    case ShardStatus::Partial: return "partial";
+    }
+    panic("invalid ShardStatus %d", static_cast<int>(status));
+}
+
+namespace {
+
+constexpr const char *kManifestTag = "hbbp-shard-manifest";
+
+/** Parse an unsigned decimal field value; false on malformed input. */
+bool
+parseU64(const std::string &value, uint64_t *out)
+{
+    if (value.empty() || value[0] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (*end != '\0' || errno == ERANGE)
+        return false;
+    *out = v;
+    return true;
+}
+
+/** Parse a bare-hex-digits field value; false on malformed input. */
+bool
+parseHex64(const std::string &value, uint64_t *out)
+{
+    // Bare hex digits only: strtoull alone would wrap "-1" to 2^64-1
+    // and accept an "0x" prefix, turning malformed fields into
+    // plausible-looking garbage values.
+    if (value.empty() || value.size() > 16)
+        return false;
+    for (char c : value)
+        if (!std::isxdigit(static_cast<unsigned char>(c)))
+            return false;
+    *out = std::strtoull(value.c_str(), nullptr, 16);
+    return true;
+}
+
+/** Write @p text to @p path atomically (temp file + rename). */
+void
+writeAtomically(const std::string &path, const std::string &text)
+{
+    static std::atomic<uint64_t> tmp_serial{0};
+    std::string tmp = format(
+        "%s.tmp.%ld.%llu", path.c_str(), static_cast<long>(::getpid()),
+        static_cast<unsigned long long>(
+            tmp_serial.fetch_add(1, std::memory_order_relaxed)));
+    std::ofstream out(tmp, std::ios::binary);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    // close() before the check: a full disk often only surfaces when
+    // the buffered bytes are flushed, and renaming an unflushed file
+    // would publish a truncated manifest.
+    out.close();
+    if (!out)
+        fatal("cannot write '%s'", tmp.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot move '%s' into place", tmp.c_str());
+}
+
+} // namespace
+
+std::string
+ShardManifest::render() const
+{
+    return format("%s %u\n"
+                  "host=%s\n"
+                  "workload=%s\n"
+                  "seq=%u\n"
+                  "options=%016llx\n"
+                  "checksum=%016llx\n"
+                  "profile=%s\n"
+                  "status=%s\n",
+                  kManifestTag, version, host.c_str(), workload.c_str(),
+                  seq, static_cast<unsigned long long>(options_hash),
+                  static_cast<unsigned long long>(checksum),
+                  profile_file.c_str(), name(status));
+}
+
+void
+ShardManifest::save(const std::string &path) const
+{
+    writeAtomically(path, render());
+}
+
+std::optional<ShardManifest>
+ShardManifest::parse(const std::string &text, std::string *why)
+{
+    auto fail = [&](std::string reason) {
+        if (why)
+            *why = std::move(reason);
+        return std::nullopt;
+    };
+
+    std::vector<std::string> lines = split(text, '\n');
+    if (lines.empty() || lines[0].empty())
+        return fail("truncated manifest: missing header line");
+    std::vector<std::string> header = split(lines[0], ' ');
+    if (header.size() != 2 || header[0] != kManifestTag)
+        return fail(format("not a shard manifest (header line '%s')",
+                           lines[0].c_str()));
+    uint64_t version;
+    if (!parseU64(header[1], &version))
+        return fail(format("malformed manifest version '%s'",
+                           header[1].c_str()));
+    if (version != kManifestVersion)
+        return fail(format(
+            "unsupported manifest version %llu (this build reads "
+            "version %u) — re-export the shard with a matching build",
+            static_cast<unsigned long long>(version), kManifestVersion));
+
+    ShardManifest m;
+    m.version = static_cast<uint32_t>(version);
+    bool have_host = false, have_workload = false, have_seq = false;
+    bool have_options = false, have_checksum = false;
+    bool have_profile = false, have_status = false;
+    for (size_t i = 1; i < lines.size(); i++) {
+        if (lines[i].empty())
+            continue;
+        size_t eq = lines[i].find('=');
+        if (eq == std::string::npos)
+            return fail(format("malformed manifest line '%s'",
+                               lines[i].c_str()));
+        std::string key = lines[i].substr(0, eq);
+        std::string value = lines[i].substr(eq + 1);
+        if (key == "host") {
+            m.host = value;
+            have_host = !value.empty();
+        } else if (key == "workload") {
+            m.workload = value;
+            have_workload = !value.empty();
+        } else if (key == "seq") {
+            uint64_t seq;
+            if (!parseU64(value, &seq) || seq > UINT32_MAX)
+                return fail(format("malformed seq value '%s'",
+                                   value.c_str()));
+            m.seq = static_cast<uint32_t>(seq);
+            have_seq = true;
+        } else if (key == "options") {
+            if (!parseHex64(value, &m.options_hash))
+                return fail(format("malformed options hash '%s'",
+                                   value.c_str()));
+            have_options = true;
+        } else if (key == "checksum") {
+            if (!parseHex64(value, &m.checksum))
+                return fail(format("malformed checksum '%s'",
+                                   value.c_str()));
+            have_checksum = true;
+        } else if (key == "profile") {
+            m.profile_file = value;
+            have_profile = !value.empty();
+        } else if (key == "status") {
+            if (value == name(ShardStatus::Complete))
+                m.status = ShardStatus::Complete;
+            else if (value == name(ShardStatus::Partial))
+                m.status = ShardStatus::Partial;
+            else
+                return fail(format("unknown shard status '%s'",
+                                   value.c_str()));
+            have_status = true;
+        }
+        // Unknown keys are ignored: minor-version additions stay
+        // readable by older aggregators.
+    }
+    if (!have_host)
+        return fail("truncated manifest: missing 'host' field");
+    if (!have_workload)
+        return fail("truncated manifest: missing 'workload' field");
+    if (!have_seq)
+        return fail("truncated manifest: missing 'seq' field");
+    if (!have_options)
+        return fail("truncated manifest: missing 'options' field");
+    if (!have_checksum)
+        return fail("truncated manifest: missing 'checksum' field");
+    if (!have_profile)
+        return fail("truncated manifest: missing 'profile' field");
+    if (!have_status)
+        return fail("truncated manifest: missing 'status' field");
+    return m;
+}
+
+std::optional<ShardManifest>
+ShardManifest::tryLoad(const std::string &path, std::string *why)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (why)
+            *why = format("cannot open '%s' for reading", path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::optional<ShardManifest> m = parse(text.str(), why);
+    if (!m && why)
+        *why = format("'%s': %s", path.c_str(), why->c_str());
+    return m;
+}
+
+ShardManifest
+ShardManifest::load(const std::string &path)
+{
+    std::string why;
+    std::optional<ShardManifest> m = tryLoad(path, &why);
+    if (!m)
+        fatal("%s", why.c_str());
+    return *m;
+}
+
+uint64_t
+hostStreamSeed(uint64_t base, const std::string &host, uint32_t seq)
+{
+    // Hash the host name, then the same golden-ratio mixing as
+    // shardStreamSeed so per-host streams stay far apart and distinct
+    // from the unsharded base seed.
+    return splitmix64(base + fnv1a(host) +
+                      (uint64_t(seq) + 1) * 0x9e3779b97f4a7c15ULL);
+}
+
+std::string
+exportShard(const ProfileData &profile, const std::string &host,
+            const std::string &workload, uint32_t seq,
+            uint64_t options_hash, const std::string &dir,
+            ShardManifest *manifest_out)
+{
+    if (host.empty() ||
+        host.find_first_of(" \t\n/") != std::string::npos)
+        fatal("invalid host id '%s' (must be non-empty, without "
+              "whitespace or '/')", host.c_str());
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        fatal("cannot create export directory '%s': %s", dir.c_str(),
+              ec.message().c_str());
+
+    ShardManifest m;
+    m.host = host;
+    m.workload = workload;
+    m.seq = seq;
+    m.options_hash = options_hash;
+
+    // The final file name embeds the checksum, which save() reports as
+    // a by-product — write to a temp name first so the payload is
+    // serialized exactly once, then rename. Profile first, manifest
+    // last: an aggregator that sees the manifest is guaranteed a
+    // complete profile beside it (and the watcher only globs
+    // *.manifest, so the temp name is never picked up).
+    std::string tmp = format("%s/.export-%s-%u.tmp.%ld", dir.c_str(),
+                             host.c_str(), seq,
+                             static_cast<long>(::getpid()));
+    profile.save(tmp, &m.checksum);
+    std::string base = format(
+        "%s-%u-%016llx", host.c_str(), seq,
+        static_cast<unsigned long long>(m.checksum));
+    m.profile_file = base + ".hbbp";
+    std::string profile_path = dir + "/" + m.profile_file;
+    if (std::rename(tmp.c_str(), profile_path.c_str()) != 0)
+        fatal("cannot move '%s' into place at '%s'", tmp.c_str(),
+              profile_path.c_str());
+
+    std::string manifest_path = dir + "/" + base + ".manifest";
+    m.save(manifest_path);
+    if (manifest_out)
+        *manifest_out = std::move(m);
+    return manifest_path;
+}
+
+std::optional<ImportedShard>
+importShard(const std::string &manifest_path, std::string *why)
+{
+    std::optional<ShardManifest> m =
+        ShardManifest::tryLoad(manifest_path, why);
+    if (!m)
+        return std::nullopt;
+    auto fail = [&](std::string reason) {
+        if (why)
+            *why = std::move(reason);
+        return std::nullopt;
+    };
+
+    if (m->status != ShardStatus::Complete)
+        return fail(format(
+            "'%s' is marked status=%s: the exporter is still streaming "
+            "this shard; aggregating it now would bake truncated data "
+            "into the fleet mix",
+            manifest_path.c_str(), name(m->status)));
+
+    std::string profile_path =
+        (fs::path(manifest_path).parent_path() / m->profile_file)
+            .string();
+    std::error_code ec;
+    if (!fs::exists(profile_path, ec))
+        return fail(format(
+            "'%s' references missing profile file '%s'",
+            manifest_path.c_str(), m->profile_file.c_str()));
+
+    // One read serves header validation, checksum verification and
+    // parsing — imports are the aggregation hot path.
+    std::string load_why;
+    uint64_t checksum = 0;
+    std::optional<ProfileData> profile =
+        ProfileData::tryLoad(profile_path, &load_why, &checksum);
+    if (!profile)
+        return fail(load_why);
+    if (checksum != m->checksum)
+        return fail(format(
+            "shard checksum mismatch: manifest '%s' promises %016llx "
+            "but '%s' hashes to %016llx (stale manifest or corrupt "
+            "transfer?)",
+            manifest_path.c_str(),
+            static_cast<unsigned long long>(m->checksum),
+            profile_path.c_str(),
+            static_cast<unsigned long long>(checksum)));
+
+    ImportedShard shard;
+    shard.manifest = std::move(*m);
+    shard.profile = std::move(*profile);
+    return shard;
+}
+
+} // namespace hbbp

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The shard manifest — the unit of multi-host profile exchange.
+ *
+ * A collector host exports its profile as a *shard*: the serialized
+ * ProfileData plus a small versioned text manifest describing where it
+ * came from (host id, workload, sequence number — the aggregator
+ * refuses to mix workloads), what produced it (the collection-options
+ * hash, for provenance: host-derived seeds make it differ across
+ * hosts by design), and what its payload hashes to (so transfers are
+ * integrity-checked and duplicate deliveries are detected). The
+ * manifest is written last and renamed into place, so a manifest's
+ * presence guarantees the profile beside it is complete — aggregators
+ * can watch a drop directory without racing exporters.
+ */
+
+#ifndef HBBP_FLEET_MANIFEST_HH
+#define HBBP_FLEET_MANIFEST_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "collect/profile.hh"
+
+namespace hbbp {
+
+/** Manifest text format version this build reads and writes. */
+constexpr uint32_t kManifestVersion = 1;
+
+/** Lifecycle of an exported shard. */
+enum class ShardStatus : uint8_t {
+    Complete, ///< The profile beside the manifest is whole.
+    Partial,  ///< Reserved: an exporter streaming an open collection.
+};
+
+const char *name(ShardStatus status);
+
+/** Everything an aggregator needs to know about one exported shard. */
+struct ShardManifest
+{
+    uint32_t version = kManifestVersion;
+    /** Collector host id (any non-empty label without whitespace). */
+    std::string host;
+    /** Workload the profile was collected from. */
+    std::string workload;
+    /** Shard sequence number within the host's export stream. */
+    uint32_t seq = 0;
+    /**
+     * ProfileKey::hash() of the collection options used — provenance
+     * for debugging a surprising aggregate, not a compatibility gate
+     * (host-derived seeds make it differ across hosts by design; the
+     * aggregator gates on workload and merge compatibility instead).
+     */
+    uint64_t options_hash = 0;
+    /** ProfileData::payloadChecksum() of the exported profile. */
+    uint64_t checksum = 0;
+    /** Profile file name, relative to the manifest's directory. */
+    std::string profile_file;
+    ShardStatus status = ShardStatus::Complete;
+
+    bool operator==(const ShardManifest &other) const = default;
+
+    /** The manifest text (the exact bytes save() writes). */
+    std::string render() const;
+
+    /** Write atomically (temp file + rename) to @p path. */
+    void save(const std::string &path) const;
+
+    /**
+     * Parse a manifest out of @p text. Returns std::nullopt with
+     * *@p why describing the failure on truncated input, unknown
+     * versions, missing fields or malformed values.
+     */
+    static std::optional<ShardManifest> parse(const std::string &text,
+                                              std::string *why);
+
+    /** parse() applied to the contents of @p path. */
+    static std::optional<ShardManifest> tryLoad(const std::string &path,
+                                                std::string *why);
+
+    /** tryLoad() that fatal()s with the diagnostic instead. */
+    static ShardManifest load(const std::string &path);
+};
+
+/**
+ * Deterministic seed for @p host's export stream, mixing the host name
+ * and @p seq into @p base the way shardStreamSeed() mixes shard
+ * indices. Distinct hosts collect with distinct (but reproducible)
+ * streams, so re-running an export is idempotent while two hosts never
+ * produce byte-identical shards.
+ */
+uint64_t hostStreamSeed(uint64_t base, const std::string &host,
+                        uint32_t seq);
+
+/**
+ * Export @p profile into @p dir as a shard: writes
+ * `<host>-<seq>-<checksum>.hbbp` then the matching `.manifest`
+ * (manifest last, both atomically; the payload is serialized exactly
+ * once). Returns the manifest path; *@p manifest_out, when non-null,
+ * receives the written manifest.
+ */
+std::string exportShard(const ProfileData &profile,
+                        const std::string &host,
+                        const std::string &workload, uint32_t seq,
+                        uint64_t options_hash, const std::string &dir,
+                        ShardManifest *manifest_out = nullptr);
+
+/** A shard pulled back out of a drop directory. */
+struct ImportedShard
+{
+    ShardManifest manifest;
+    ProfileData profile;
+};
+
+/**
+ * Import the shard described by the manifest at @p manifest_path:
+ * parse the manifest, locate the profile beside it, verify the
+ * profile's header and payload checksum, and check it matches the
+ * checksum the manifest promises. Returns std::nullopt with *@p why on
+ * any failure (truncated manifest, missing or corrupt profile file,
+ * checksum disagreement, legacy profile versions needing migration).
+ */
+std::optional<ImportedShard> importShard(const std::string &manifest_path,
+                                         std::string *why);
+
+} // namespace hbbp
+
+#endif // HBBP_FLEET_MANIFEST_HH

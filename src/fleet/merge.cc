@@ -70,6 +70,15 @@ mergeInto(ProfileData &into, const ProfileData &shard)
     into.pmi_count += shard.pmi_count;
 }
 
+void
+accumulateInto(std::optional<ProfileData> &into, const ProfileData &shard)
+{
+    if (!into)
+        into = shard;
+    else
+        mergeInto(*into, shard);
+}
+
 ProfileData
 mergeProfiles(const std::vector<ProfileData> &shards)
 {

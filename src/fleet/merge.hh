@@ -16,6 +16,7 @@
 #ifndef HBBP_FLEET_MERGE_HH
 #define HBBP_FLEET_MERGE_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,15 @@ ProfileData mergeProfiles(const std::vector<ProfileData> &shards);
 
 /** Merge @p shard into @p into (same rules as mergeProfiles). */
 void mergeInto(ProfileData &into, const ProfileData &shard);
+
+/**
+ * Fold @p shard into the running aggregate @p into, initializing it
+ * from the first shard. The incremental-fold primitive: a stream of
+ * compatible shards accumulated this way equals mergeProfiles() over
+ * the same stream in the same order.
+ */
+void accumulateInto(std::optional<ProfileData> &into,
+                    const ProfileData &shard);
 
 } // namespace hbbp
 

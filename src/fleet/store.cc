@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "support/logging.hh"
+#include "support/rng.hh"
 
 namespace fs = std::filesystem;
 
@@ -36,13 +37,7 @@ ProfileKey::describe() const
 uint64_t
 ProfileKey::hash() const
 {
-    // FNV-1a, 64-bit.
-    uint64_t h = 0xcbf29ce484222325ULL;
-    for (char c : describe()) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ULL;
-    }
-    return h;
+    return fnv1a(describe());
 }
 
 ProfileStore::ProfileStore(std::string dir) : dir_(std::move(dir))
@@ -73,27 +68,70 @@ ProfileStore::lookup(const ProfileKey &key) const
 {
     if (!contains(key))
         return std::nullopt;
-    return ProfileData::load(pathFor(key));
+    // A cache treats an unreadable entry — legacy format version,
+    // stale checksum, truncation — as a miss to be re-collected and
+    // overwritten, never a fatal error.
+    std::string why;
+    std::optional<ProfileData> pd =
+        ProfileData::tryLoad(pathFor(key), &why);
+    if (!pd)
+        warn("ignoring unreadable profile store entry (%s)",
+             why.c_str());
+    return pd;
 }
 
 void
 ProfileStore::insert(const ProfileKey &key,
                      const ProfileData &profile) const
 {
-    // The tmp name must be unique per writer: concurrent collectors of
-    // the same key (two batch tasks, two processes) would otherwise
-    // interleave writes into one file and rename a corrupt profile
-    // into place.
+    profile.saveAtomically(pathFor(key));
+}
+
+std::string
+ProfileStore::pathForChecksum(uint64_t checksum) const
+{
+    // A distinct prefix keeps checksum-addressed shards from ever
+    // colliding with a key-addressed collection cache entry.
+    return format("%s/shard-%016llx.hbbp", dir_.c_str(),
+                  static_cast<unsigned long long>(checksum));
+}
+
+bool
+ProfileStore::containsChecksum(uint64_t checksum) const
+{
+    std::error_code ec;
+    return fs::exists(pathForChecksum(checksum), ec);
+}
+
+void
+ProfileStore::insertByChecksum(uint64_t checksum,
+                               const ProfileData &profile) const
+{
+    profile.saveAtomically(pathForChecksum(checksum));
+}
+
+void
+ProfileStore::depositFileByChecksum(uint64_t checksum,
+                                    const std::string &src_path) const
+{
+    // Same unique-temp-then-rename discipline as saveAtomically: two
+    // depositors racing to the same checksum must never interleave
+    // into one temp file and publish a corrupt entry.
     static std::atomic<uint64_t> tmp_serial{0};
-    std::string path = pathFor(key);
+    std::string dst = pathForChecksum(checksum);
     std::string tmp = format(
-        "%s.tmp.%ld.%llu", path.c_str(),
-        static_cast<long>(::getpid()),
+        "%s.tmp.%ld.%llu", dst.c_str(), static_cast<long>(::getpid()),
         static_cast<unsigned long long>(
             tmp_serial.fetch_add(1, std::memory_order_relaxed)));
-    profile.save(tmp);
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        fatal("cannot move '%s' into the profile store", tmp.c_str());
+    std::error_code ec;
+    fs::copy_file(src_path, tmp, fs::copy_options::overwrite_existing,
+                  ec);
+    if (ec)
+        fatal("cannot deposit '%s' into the profile store: %s",
+              src_path.c_str(), ec.message().c_str());
+    if (std::rename(tmp.c_str(), dst.c_str()) != 0)
+        fatal("cannot move '%s' into place at '%s'", tmp.c_str(),
+              dst.c_str());
 }
 
 ProfileData

@@ -57,7 +57,12 @@ class ProfileStore
     /** True when a profile for @p key is cached. */
     bool contains(const ProfileKey &key) const;
 
-    /** Load the cached profile for @p key, or nullopt on a miss. */
+    /**
+     * Load the cached profile for @p key, or nullopt on a miss. An
+     * entry that can no longer be read — a legacy format version, a
+     * stale checksum, truncation — is a miss (with a warn()), so a
+     * store carried across format bumps heals by re-collection.
+     */
     std::optional<ProfileData> lookup(const ProfileKey &key) const;
 
     /** Cache @p profile under @p key (atomic rename into place). */
@@ -72,6 +77,31 @@ class ProfileStore
     ProfileData getOrCollect(const ProfileKey &key, const Program &prog,
                              unsigned jobs,
                              bool *cache_hit = nullptr) const;
+
+    /**
+     * Path a shard with payload checksum @p checksum lives at. The
+     * aggregation side of the store: collectors address entries by
+     * ProfileKey (what to collect), a central aggregation store
+     * addresses imported shards by what they contain.
+     */
+    std::string pathForChecksum(uint64_t checksum) const;
+
+    /** True when a shard with @p checksum is cached. */
+    bool containsChecksum(uint64_t checksum) const;
+
+    /** Cache @p profile under its payload @p checksum (atomically). */
+    void insertByChecksum(uint64_t checksum,
+                          const ProfileData &profile) const;
+
+    /**
+     * insertByChecksum() from already-serialized bytes: copy the
+     * profile file at @p src_path into the store (temp file + rename,
+     * like every store write). For callers that verified the bytes
+     * elsewhere (the aggregation import path) and should not pay a
+     * re-parse + re-serialize just to deposit them.
+     */
+    void depositFileByChecksum(uint64_t checksum,
+                               const std::string &src_path) const;
 
     /** Keys of every cached entry are not recoverable; count files. */
     size_t entryCount() const;

@@ -15,6 +15,18 @@ splitmix64(uint64_t x)
     return x ^ (x >> 31);
 }
 
+uint64_t
+fnv1a(const void *data, size_t len)
+{
+    const unsigned char *bytes = static_cast<const unsigned char *>(data);
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (size_t i = 0; i < len; i++) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
 namespace {
 
 inline uint64_t

@@ -11,7 +11,9 @@
 #ifndef HBBP_SUPPORT_RNG_HH
 #define HBBP_SUPPORT_RNG_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 
 namespace hbbp {
 
@@ -55,6 +57,21 @@ class Rng
 
 /** splitmix64 step; also useful as a cheap deterministic hash. */
 uint64_t splitmix64(uint64_t x);
+
+/**
+ * FNV-1a 64-bit hash — the repository's stable content hash. It is a
+ * wire-compatibility contract: profile payload checksums (and thus
+ * shard manifests and duplicate detection) hash with this on every
+ * host, so there must be exactly one implementation.
+ */
+uint64_t fnv1a(const void *data, size_t len);
+
+/** fnv1a() over a byte string. */
+inline uint64_t
+fnv1a(const std::string &bytes)
+{
+    return fnv1a(bytes.data(), bytes.size());
+}
 
 /** Deterministic 64-bit hash of an address (used for PMU quirk selection). */
 inline uint64_t

@@ -10,6 +10,12 @@
  *   hbbp-tool merge   -o <profile> <in1> <in2> ...
  *   hbbp-tool batch   <w1,w2,...|all> [--jobs N] [--shards N]
  *                     [--store DIR] [--top N] [--csv]
+ *   hbbp-tool export  <workload> --host ID --export-dir DIR [--seq N]
+ *                     [--jobs N] [--shards N] [--store DIR]
+ *   hbbp-tool aggregate --watch-dir DIR [-o <profile>] [--expect N]
+ *                     [--timeout-ms N] [--analyze <workload>]
+ *                     [--store DIR]
+ *   hbbp-tool migrate <profile-in> [-o <profile-out>]
  *   hbbp-tool analyze <workload> -i <profile> [options]
  *   hbbp-tool report  <workload> [-i <profile>] [options]
  *
@@ -17,6 +23,18 @@
  *   --jobs N                worker threads (default 1)
  *   --shards N              shards per collection (default: jobs)
  *   --store DIR             content-addressed profile cache directory
+ *
+ * export options (the simulated-host collector):
+ *   --host ID               host id stamped into the shard manifest
+ *   --export-dir DIR        drop directory shards are exported into
+ *   --seq N                 shard sequence number (default 0)
+ *
+ * aggregate options (the central aggregation side):
+ *   --watch-dir DIR         drop directory to poll for shard manifests
+ *   --expect N              wait until N shards have been accepted
+ *   --timeout-ms N          give up waiting after N ms (default 10000)
+ *   --analyze WORKLOAD      re-analyze after every accepted shard
+ *   --store DIR             central store imported shards are copied to
  *
  * analyze/report options:
  *   --source hbbp|ebs|lbr   data source for the mix (default hbbp)
@@ -43,7 +61,9 @@
 #include <vector>
 
 #include "analysis/report.hh"
+#include "fleet/aggregate.hh"
 #include "fleet/batch.hh"
+#include "fleet/manifest.hh"
 #include "fleet/merge.hh"
 #include "fleet/shard.hh"
 #include "fleet/store.hh"
@@ -75,6 +95,13 @@ struct CliOptions
     uint32_t shards = 0; ///< 0 = default to jobs.
     std::string function;
     bool csv = false;
+    std::string host;             ///< export: simulated host id.
+    std::string export_dir;       ///< export: shard drop directory.
+    uint32_t seq = 0;             ///< export: shard sequence number.
+    std::string watch_dir;        ///< aggregate: directory to poll.
+    size_t expect = 0;            ///< aggregate: shards to wait for.
+    int timeout_ms = 10'000;      ///< aggregate: watch deadline.
+    std::string analyze_workload; ///< aggregate: per-arrival analysis.
 };
 
 [[noreturn]] void
@@ -89,6 +116,15 @@ usage()
                  "       hbbp-tool batch <w1,w2,...|all> [--jobs N] "
                  "[--shards N] [--store DIR]\n"
                  "                 [--top N] [--csv]\n"
+                 "       hbbp-tool export <workload> --host ID "
+                 "--export-dir DIR [--seq N]\n"
+                 "                 [--jobs N] [--shards N] [--store DIR]\n"
+                 "       hbbp-tool aggregate --watch-dir DIR "
+                 "[-o <profile>] [--expect N]\n"
+                 "                 [--timeout-ms N] [--analyze "
+                 "<workload>] [--store DIR]\n"
+                 "       hbbp-tool migrate <profile-in> "
+                 "[-o <profile-out>]\n"
                  "       hbbp-tool analyze <workload> -i <profile> "
                  "[--source hbbp|ebs|lbr] [--cutoff N]\n"
                  "                 [--no-bias-rule] [--patch-kernel] "
@@ -106,7 +142,11 @@ parse(int argc, char **argv)
         usage();
     opts.command = argv[1];
     int i = 2;
-    if (opts.command != "list" && opts.command != "merge") {
+    // merge takes positional profiles, aggregate only flags; every
+    // other command (but list) leads with a positional argument — a
+    // workload name, or the input profile for migrate.
+    if (opts.command != "list" && opts.command != "merge" &&
+        opts.command != "aggregate") {
         if (i >= argc)
             usage();
         opts.workload = argv[i++];
@@ -175,6 +215,22 @@ parse(int argc, char **argv)
             opts.function = need_value("--function");
         else if (arg == "--csv")
             opts.csv = true;
+        else if (arg == "--host")
+            opts.host = need_value("--host");
+        else if (arg == "--export-dir")
+            opts.export_dir = need_value("--export-dir");
+        else if (arg == "--seq")
+            opts.seq = static_cast<uint32_t>(
+                need_count("--seq", UINT32_MAX));
+        else if (arg == "--watch-dir")
+            opts.watch_dir = need_value("--watch-dir");
+        else if (arg == "--expect")
+            opts.expect = static_cast<size_t>(need_count("--expect"));
+        else if (arg == "--timeout-ms")
+            opts.timeout_ms = static_cast<int>(
+                need_count("--timeout-ms", INT_MAX));
+        else if (arg == "--analyze")
+            opts.analyze_workload = need_value("--analyze");
         else if (!arg.empty() && arg[0] == '-')
             fatal("unknown option '%s'", arg.c_str());
         else if (opts.command == "merge")
@@ -297,6 +353,128 @@ cmdBatch(const CliOptions &opts)
     return 0;
 }
 
+/**
+ * The simulated-host collector: collect (host-seeded, so distinct
+ * hosts produce distinct but reproducible profiles) and export the
+ * result as a shard into a drop directory.
+ */
+int
+cmdExport(const CliOptions &opts)
+{
+    if (opts.host.empty())
+        fatal("export requires --host <id>");
+    if (opts.export_dir.empty())
+        fatal("export requires --export-dir <dir>");
+    Workload w = requireWorkloadByName(opts.workload);
+    CollectorConfig cc = collectorConfigFor(w);
+    cc.seed = hostStreamSeed(cc.seed, opts.host, opts.seq);
+    cc.pmu.seed = hostStreamSeed(cc.pmu.seed ^ 0x5851f42d4c957f2dULL,
+                                 opts.host, opts.seq);
+
+    ShardPlan plan;
+    plan.shards = opts.shards;
+    plan.jobs = opts.jobs;
+    ProfileKey key{w.name, cc, plan.shards, MachineConfig{}};
+
+    ProfileData pd;
+    bool cache_hit = false;
+    if (!opts.store_dir.empty()) {
+        ProfileStore store(opts.store_dir);
+        pd = store.getOrCollect(key, *w.program, plan.jobs, &cache_hit);
+    } else {
+        pd = collectSharded(*w.program, MachineConfig{}, cc, plan);
+    }
+
+    ShardManifest manifest;
+    std::string manifest_path =
+        exportShard(pd, opts.host, w.name, opts.seq, key.hash(),
+                    opts.export_dir, &manifest);
+    std::printf("exported shard host=%s seq=%u workload=%s "
+                "checksum=%016llx (%zu EBS samples + %zu LBR stacks%s) "
+                "-> %s\n",
+                opts.host.c_str(), opts.seq, w.name.c_str(),
+                static_cast<unsigned long long>(manifest.checksum),
+                pd.ebs.size(), pd.lbr.size(),
+                cache_hit ? ", store hit" : "", manifest_path.c_str());
+    return 0;
+}
+
+/**
+ * The central aggregation side: poll a drop directory for shards from
+ * N hosts, fold them in as they arrive, and optionally re-analyze per
+ * arrival and persist the canonical aggregate.
+ */
+int
+cmdAggregate(const CliOptions &opts)
+{
+    if (opts.watch_dir.empty())
+        fatal("aggregate requires --watch-dir <dir>");
+
+    std::optional<ProfileStore> central;
+    if (!opts.store_dir.empty())
+        central.emplace(opts.store_dir);
+
+    std::optional<Workload> aw;
+    if (!opts.analyze_workload.empty())
+        aw = requireWorkloadByName(opts.analyze_workload);
+    Analyzer analyzer;
+
+    IncrementalAggregator agg;
+    WatchOptions wo;
+    wo.expect = opts.expect;
+    wo.timeout_ms = opts.timeout_ms;
+    wo.on_accept = [&](const ShardManifest &m) {
+        // The shard's bytes were already verified during import, so
+        // deposit the file as-is instead of re-parsing it.
+        if (central && !central->containsChecksum(m.checksum))
+            central->depositFileByChecksum(
+                m.checksum, opts.watch_dir + "/" + m.profile_file);
+        if (aw)
+            agg.analyzeWith(*aw->program, analyzer);
+    };
+    watchAndAggregate(agg, opts.watch_dir, wo);
+
+    const AggregatorStats &st = agg.stats();
+    if (opts.expect > 0 && st.accepted < opts.expect)
+        fatal("timed out after %d ms waiting for %zu shards in '%s' "
+              "(accepted %zu, duplicates %zu, incompatible %zu, "
+              "malformed %zu)",
+              opts.timeout_ms, opts.expect, opts.watch_dir.c_str(),
+              st.accepted, st.duplicates, st.incompatible,
+              st.malformed);
+    if (!opts.profile_out.empty())
+        agg.aggregate().save(opts.profile_out);
+
+    std::printf("aggregate: accepted=%zu duplicates=%zu "
+                "incompatible=%zu malformed=%zu analyses=%zu "
+                "rebuilds=%zu hosts=%zu%s%s\n",
+                st.accepted, st.duplicates, st.incompatible,
+                st.malformed, st.analyses, st.rebuilds, agg.hostCount(),
+                opts.profile_out.empty() ? "" : " -> ",
+                opts.profile_out.c_str());
+    return 0;
+}
+
+/** Rewrite a legacy or stale-checksum profile in the current format. */
+int
+cmdMigrate(const CliOptions &opts)
+{
+    // The positional argument slot carries the input path here.
+    const std::string &in = opts.workload;
+    std::string out = opts.profile_out.empty() ? in : opts.profile_out;
+    uint32_t version = 0;
+    ProfileData pd = ProfileData::loadAnyVersion(in, &version);
+    // Atomic: with no -o this overwrites the input, which may be the
+    // only copy of the legacy profile — a failed write must not
+    // destroy it.
+    pd.saveAtomically(out);
+    std::printf("migrated %s (format version %u, checksum %016llx) "
+                "-> %s\n", in.c_str(), version,
+                static_cast<unsigned long long>(pd.payloadChecksum()),
+                out.c_str());
+    return 0;
+}
+
 int
 cmdAnalyze(const CliOptions &opts, bool full_report)
 {
@@ -375,6 +553,12 @@ main(int argc, char **argv)
         return cmdMerge(opts);
     if (opts.command == "batch")
         return cmdBatch(opts);
+    if (opts.command == "export")
+        return cmdExport(opts);
+    if (opts.command == "aggregate")
+        return cmdAggregate(opts);
+    if (opts.command == "migrate")
+        return cmdMigrate(opts);
     if (opts.command == "analyze")
         return cmdAnalyze(opts, /*full_report=*/false);
     if (opts.command == "report")

@@ -7,11 +7,31 @@
 #ifndef HBBP_TESTS_HELPERS_HH
 #define HBBP_TESTS_HELPERS_HH
 
+#include <fstream>
+#include <iterator>
 #include <memory>
+#include <string>
 
 #include "hbbp/hbbp.hh"
 
 namespace hbbp::testutil {
+
+/** Whole file as bytes (for corruption/tamper tests). */
+inline std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+/** Overwrite @p path with @p bytes. */
+inline void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
 
 /**
  * A single-function program:

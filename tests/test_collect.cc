@@ -7,6 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
 
 #include "collect/collector.hh"
@@ -185,6 +188,44 @@ truncateFile(const std::string &path, long keep)
     fclose(f);
 }
 
+// The version-3 header: magic u64, version u32, payload length u64,
+// payload checksum u64.
+constexpr long kHeaderBytes = 8 + 4 + 8 + 8;
+
+/**
+ * Recompute the header checksum from the payload bytes (with the
+ * shipped fnv1a — the wire contract has exactly one implementation).
+ * Tamper tests use this after corrupting payload fields so the deeper
+ * validation layers (count plausibility, enum ranges) are reached
+ * instead of the checksum tripping first.
+ */
+void
+fixChecksum(const std::string &path)
+{
+    std::string bytes = testutil::readFile(path);
+    ASSERT_GE(bytes.size(), static_cast<size_t>(kHeaderBytes));
+    uint64_t h = fnv1a(bytes.data() + kHeaderBytes,
+                       bytes.size() - kHeaderBytes);
+    std::memcpy(bytes.data() + 20, &h, sizeof(h));
+    testutil::writeFile(path, bytes);
+}
+
+/**
+ * Rewrite @p path as a legacy version-2 profile: same payload, but the
+ * 12-byte pre-checksum header (magic + version only).
+ */
+void
+downgradeToVersion2(const std::string &path)
+{
+    std::string bytes = testutil::readFile(path);
+    ASSERT_GE(bytes.size(), static_cast<size_t>(kHeaderBytes));
+    uint32_t v2 = 2;
+    std::string legacy = bytes.substr(0, 8);
+    legacy.append(reinterpret_cast<const char *>(&v2), sizeof(v2));
+    legacy.append(bytes.substr(kHeaderBytes));
+    testutil::writeFile(path, legacy);
+}
+
 } // namespace profiledeath
 
 TEST(ProfileDeath, LoadRejectsTruncationAtEveryPrefixLength)
@@ -231,13 +272,15 @@ TEST(ProfileDeath, LoadRejectsImplausibleSampleCount)
     pd.sim_periods = {1009, 101};
     pd.paper_periods = {100'000'007, 10'000'019};
     pd.save(path);
-    const long ebs_count_offset = 8 + 4 + 4 * 8 + 1 + 5 * 8 + 8 + 4;
+    const long ebs_count_offset =
+        profiledeath::kHeaderBytes + 4 * 8 + 1 + 5 * 8 + 8 + 4;
     FILE *f = fopen(path.c_str(), "rb+");
     ASSERT_NE(f, nullptr);
     fseek(f, ebs_count_offset, SEEK_SET);
     uint64_t huge = 0x0de0b6b3a7640000ULL; // 1e18.
     fwrite(&huge, sizeof(huge), 1, f);
     fclose(f);
+    profiledeath::fixChecksum(path);
     EXPECT_EXIT(ProfileData::load(path), ::testing::ExitedWithCode(1),
                 "claims .* EBS sample records");
     std::remove(path.c_str());
@@ -248,14 +291,106 @@ TEST(ProfileDeath, LoadRejectsInvalidEnumValues)
     // The runtime-class byte sits right after the four period words.
     std::string path = ::testing::TempDir() + "/bad_enum.hbbp";
     profiledeath::saveSampleProfile(path);
-    const long runtime_class_offset = 8 + 4 + 4 * 8;
+    const long runtime_class_offset = profiledeath::kHeaderBytes + 4 * 8;
     FILE *f = fopen(path.c_str(), "rb+");
     ASSERT_NE(f, nullptr);
     fseek(f, runtime_class_offset, SEEK_SET);
     fputc(0x7f, f);
     fclose(f);
+    profiledeath::fixChecksum(path);
     EXPECT_EXIT(ProfileData::load(path), ::testing::ExitedWithCode(1),
                 "invalid runtime class value 127");
+    std::remove(path.c_str());
+}
+
+TEST(ProfileDeath, LoadRejectsStaleChecksumWithMigrateHint)
+{
+    // Payload corruption that the structural checks can't see (an IP
+    // byte flip) must still die on the checksum, and the diagnostic
+    // must point at the way out.
+    std::string path = ::testing::TempDir() + "/stale_checksum.hbbp";
+    profiledeath::saveSampleProfile(path);
+    long size = profiledeath::fileSize(path);
+    FILE *f = fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    fseek(f, size - 5, SEEK_SET);
+    fputc(0x5a, f);
+    fclose(f);
+    EXPECT_EXIT(ProfileData::load(path), ::testing::ExitedWithCode(1),
+                "checksum mismatch.*hbbp-tool migrate");
+    std::remove(path.c_str());
+}
+
+TEST(ProfileDeath, LoadRejectsLegacyVersionWithMigrateHint)
+{
+    // A version-2 (pre-checksum) profile has a valid header but no
+    // checksum field: load must refuse it explicitly, not parse bytes
+    // at the wrong offsets, and the error must name the migration.
+    std::string path = ::testing::TempDir() + "/legacy_v2.hbbp";
+    profiledeath::saveSampleProfile(path);
+    profiledeath::downgradeToVersion2(path);
+    EXPECT_EXIT(ProfileData::load(path), ::testing::ExitedWithCode(1),
+                "version 2.*hbbp-tool migrate");
+    std::remove(path.c_str());
+}
+
+TEST(ProfileDeath, LoadRejectsFutureVersion)
+{
+    std::string path = ::testing::TempDir() + "/future_version.hbbp";
+    profiledeath::saveSampleProfile(path);
+    FILE *f = fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    fseek(f, 8, SEEK_SET);
+    uint32_t v = 99;
+    fwrite(&v, sizeof(v), 1, f);
+    fclose(f);
+    EXPECT_EXIT(ProfileData::load(path), ::testing::ExitedWithCode(1),
+                "unsupported profile version 99");
+    std::remove(path.c_str());
+}
+
+TEST(Profile, MigrationLoaderReadsLegacyVersion2)
+{
+    // loadAnyVersion is `hbbp-tool migrate`'s reader: a downgraded
+    // profile round-trips to exactly the original data, and re-saving
+    // it yields a current-version file load() accepts again.
+    std::string path = ::testing::TempDir() + "/migrate_me.hbbp";
+    profiledeath::saveSampleProfile(path);
+    ProfileData original = ProfileData::load(path);
+    profiledeath::downgradeToVersion2(path);
+
+    uint32_t version = 0;
+    ProfileData legacy = ProfileData::loadAnyVersion(path, &version);
+    EXPECT_EQ(version, 2u);
+    EXPECT_EQ(legacy, original);
+    EXPECT_EQ(legacy.payloadChecksum(), original.payloadChecksum());
+
+    legacy.save(path);
+    EXPECT_EQ(ProfileData::load(path), original);
+    std::remove(path.c_str());
+}
+
+TEST(Profile, PayloadChecksumIsContentStable)
+{
+    ProfileData a;
+    a.sim_periods = {1009, 101};
+    a.paper_periods = {100'000'007, 10'000'019};
+    a.ebs.push_back({0x400123, 999, Ring::User});
+    ProfileData b = a;
+    EXPECT_EQ(a.payloadChecksum(), b.payloadChecksum());
+    b.ebs[0].ip++;
+    EXPECT_NE(a.payloadChecksum(), b.payloadChecksum());
+
+    // Stable across a save/load round trip, and probeProfileChecksum
+    // agrees without parsing.
+    std::string path = ::testing::TempDir() + "/checksum_stable.hbbp";
+    a.save(path);
+    EXPECT_EQ(ProfileData::load(path).payloadChecksum(),
+              a.payloadChecksum());
+    std::string why;
+    std::optional<uint64_t> probed = probeProfileChecksum(path, &why);
+    ASSERT_TRUE(probed.has_value()) << why;
+    EXPECT_EQ(*probed, a.payloadChecksum());
     std::remove(path.c_str());
 }
 
