@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Shard transport scaling benchmark.
+ *
+ * Measures the two ShardTransport implementations moving a fleet's
+ * shards into one aggregator as host counts grow: the socket push
+ * path (chunked frames to a ShardListener, acked per frame) against
+ * the drop-directory path (write files, poll the directory). The
+ * socket path pays per-frame round trips but needs no shared
+ * filesystem and no polling latency; the drop-dir path is one write
+ * plus a scan. Both must produce byte-identical aggregates — the
+ * bench fails loudly if they ever disagree.
+ *
+ * Output is machine-readable JSON on stdout (one object), so CI can
+ * archive and diff runs. Pass --human for the table view, --quick for
+ * a CI-sized run.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hh"
+#include "fleet/aggregate.hh"
+#include "fleet/manifest.hh"
+#include "fleet/merge.hh"
+#include "fleet/shard.hh"
+#include "fleet/transport.hh"
+
+using namespace hbbp;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    using namespace std::chrono;
+    return duration_cast<duration<double>>(steady_clock::now() - start)
+        .count();
+}
+
+/** One transport timing point. */
+struct TransportPoint
+{
+    size_t hosts = 0;
+    size_t chunks_per_shard = 0;
+    uint64_t samples = 0;
+    double socket_seconds = 0.0;
+    double dropdir_seconds = 0.0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool human = false, quick = false;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--human") == 0)
+            human = true;
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    std::vector<size_t> host_counts =
+        quick ? std::vector<size_t>{2, 4}
+              : std::vector<size_t>{2, 4, 8, 16};
+    constexpr size_t kChunks = 2;
+    Workload w = requireWorkloadByName("test40");
+    CollectorConfig base_cc = collectorConfigFor(w);
+    if (quick)
+        base_cc.max_instructions = w.max_instructions / 4;
+
+    std::string dir =
+        (std::filesystem::temp_directory_path() / "hbbp_scale_transport")
+            .string();
+
+    std::vector<TransportPoint> points;
+    for (size_t n_hosts : host_counts) {
+        // Host-seeded collections, chunked the way `push --chunks`
+        // streams them; prepared up front so both transports move the
+        // same bytes.
+        std::vector<ShardManifest> manifests(n_hosts);
+        std::vector<std::vector<std::string>> chunk_bytes(n_hosts);
+        std::vector<ProfileData> merged(n_hosts);
+        for (size_t h = 0; h < n_hosts; h++) {
+            std::string host = format("host%03zu", h);
+            CollectorConfig cc = base_cc;
+            cc.seed = hostStreamSeed(cc.seed, host, 0);
+            ShardPlan plan;
+            plan.shards = kChunks;
+            plan.jobs = 1;
+            std::vector<ProfileData> parts =
+                collectShards(*w.program, MachineConfig{}, cc, plan);
+            merged[h] = mergeProfiles(parts);
+            manifests[h].host = host;
+            manifests[h].workload = w.name;
+            manifests[h].checksum = merged[h].payloadChecksum();
+            for (const ProfileData &part : parts)
+                chunk_bytes[h].push_back(part.serialize());
+        }
+        ProfileData reference = mergeProfiles(merged);
+
+        TransportPoint p;
+        p.hosts = n_hosts;
+        p.chunks_per_shard = kChunks;
+        p.samples = reference.ebs.size() + reference.lbr.size();
+
+        // Socket push: every host streams its chunks concurrently.
+        auto start = std::chrono::steady_clock::now();
+        {
+            IncrementalAggregator agg;
+            ShardListener listener(0);
+            ListenOptions lo;
+            lo.expect = n_hosts;
+            std::thread server(
+                [&] { listener.serve(agg, lo); });
+            std::vector<std::thread> senders;
+            for (size_t h = 0; h < n_hosts; h++)
+                senders.emplace_back([&, h] {
+                    SocketTransportOptions so;
+                    so.port = listener.port();
+                    SocketTransport t(so);
+                    SendResult res =
+                        t.sendShard(manifests[h], chunk_bytes[h]);
+                    if (!res.ok)
+                        fatal("socket push failed: %s",
+                              res.error.c_str());
+                });
+            for (std::thread &t : senders)
+                t.join();
+            server.join();
+            if (!(agg.aggregate() == reference))
+                fatal("socket aggregate disagrees at %zu hosts",
+                      n_hosts);
+        }
+        p.socket_seconds = secondsSince(start);
+
+        // Drop directory: every host writes, one watcher folds.
+        std::filesystem::remove_all(dir);
+        start = std::chrono::steady_clock::now();
+        {
+            IncrementalAggregator agg;
+            std::vector<std::thread> senders;
+            for (size_t h = 0; h < n_hosts; h++)
+                senders.emplace_back([&, h] {
+                    DropDirTransport t(dir);
+                    SendResult res =
+                        t.sendShard(manifests[h], chunk_bytes[h]);
+                    if (!res.ok)
+                        fatal("drop-dir push failed: %s",
+                              res.error.c_str());
+                });
+            for (std::thread &t : senders)
+                t.join();
+            WatchOptions wo;
+            wo.expect = n_hosts;
+            watchAndAggregate(agg, dir, wo);
+            if (!(agg.aggregate() == reference))
+                fatal("drop-dir aggregate disagrees at %zu hosts",
+                      n_hosts);
+        }
+        p.dropdir_seconds = secondsSince(start);
+        points.push_back(p);
+    }
+    std::filesystem::remove_all(dir);
+
+    if (human) {
+        bench::headline("Shard transport scaling",
+                        "fleet extension (no paper analogue)");
+        TextTable table({"hosts", "chunks", "samples", "socket s",
+                         "drop-dir s"});
+        for (size_t col = 0; col < 5; col++)
+            table.setAlign(col, Align::Right);
+        for (const TransportPoint &p : points)
+            table.addRow({format("%zu", p.hosts),
+                          format("%zu", p.chunks_per_shard),
+                          format("%llu", static_cast<unsigned long long>(
+                                             p.samples)),
+                          format("%.4f", p.socket_seconds),
+                          format("%.4f", p.dropdir_seconds)});
+        std::printf("%s\n", table.render().c_str());
+        return 0;
+    }
+
+    std::printf("{\n  \"bench\": \"scale_transport\",\n");
+    std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+    std::printf("  \"points\": [\n");
+    for (size_t i = 0; i < points.size(); i++) {
+        const TransportPoint &p = points[i];
+        std::printf("    {\"hosts\": %zu, \"chunks_per_shard\": %zu, "
+                    "\"samples\": %llu, \"socket_seconds\": %.6f, "
+                    "\"dropdir_seconds\": %.6f}%s\n",
+                    p.hosts, p.chunks_per_shard,
+                    static_cast<unsigned long long>(p.samples),
+                    p.socket_seconds, p.dropdir_seconds,
+                    i + 1 < points.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+}

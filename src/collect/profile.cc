@@ -1,12 +1,10 @@
 #include "collect/profile.hh"
 
-#include <unistd.h>
-
-#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 
+#include "support/bytes.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 
@@ -19,100 +17,6 @@ constexpr uint64_t kMagic = 0x48424250'50524f46ULL; // "HBBPPROF"
 constexpr uint32_t kVersion = 3;
 /** Legacy pre-checksum format (payload layout is identical). */
 constexpr uint32_t kLegacyVersion = 2;
-
-/** Serializes the payload into a memory buffer (for checksumming). */
-class ByteWriter
-{
-  public:
-    void
-    raw(const void *data, size_t size)
-    {
-        buf_.append(static_cast<const char *>(data), size);
-    }
-
-    void u8(uint8_t v) { raw(&v, sizeof(v)); }
-    void u32(uint32_t v) { raw(&v, sizeof(v)); }
-    void u64(uint64_t v) { raw(&v, sizeof(v)); }
-
-    void
-    str(const std::string &s)
-    {
-        u32(static_cast<uint32_t>(s.size()));
-        raw(s.data(), s.size());
-    }
-
-    const std::string &bytes() const { return buf_; }
-
-  private:
-    std::string buf_;
-};
-
-/** Parses the payload out of a memory buffer. */
-class ByteReader
-{
-  public:
-    ByteReader(const std::string &buf, const std::string &path)
-        : buf_(buf), path_(path)
-    {
-    }
-
-    void
-    raw(void *data, size_t size)
-    {
-        if (size > buf_.size() - pos_)
-            fatal("short read from '%s' (corrupt profile?)",
-                  path_.c_str());
-        std::memcpy(data, buf_.data() + pos_, size);
-        pos_ += size;
-    }
-
-    uint8_t u8() { uint8_t v; raw(&v, sizeof(v)); return v; }
-    uint32_t u32() { uint32_t v; raw(&v, sizeof(v)); return v; }
-    uint64_t u64() { uint64_t v; raw(&v, sizeof(v)); return v; }
-
-    std::string
-    str()
-    {
-        uint32_t n = u32();
-        if (n > (1u << 20))
-            fatal("implausible string length %u in '%s'", n,
-                  path_.c_str());
-        std::string s(n, '\0');
-        raw(s.data(), n);
-        return s;
-    }
-
-    /**
-     * Validate an element count against the bytes left in the payload:
-     * a corrupt count must die with a diagnostic here, not OOM in a
-     * reserve() or spin reading garbage.
-     */
-    uint64_t
-    count(uint64_t n, size_t min_elem_bytes, const char *what)
-    {
-        uint64_t left = buf_.size() - pos_;
-        if (n > left / min_elem_bytes)
-            fatal("'%s' claims %llu %s records but only %llu bytes "
-                  "remain (corrupt profile?)",
-                  path_.c_str(), static_cast<unsigned long long>(n),
-                  what, static_cast<unsigned long long>(left));
-        return n;
-    }
-
-    /** fatal() unless the whole payload has been consumed. */
-    void
-    expectEof()
-    {
-        if (pos_ != buf_.size())
-            fatal("trailing garbage at the end of '%s' (corrupt "
-                  "profile?)", path_.c_str());
-    }
-
-  private:
-    const std::string &buf_;
-    size_t pos_ = 0;
-    const std::string &path_;
-};
 
 std::string
 serializeBody(const ProfileData &pd)
@@ -167,15 +71,16 @@ checkedEnum(uint8_t raw, uint8_t max, const char *what,
             const std::string &path)
 {
     if (raw > max)
-        fatal("invalid %s value %u in '%s' (corrupt profile?)", what,
-              raw, path.c_str());
+        throw ByteParseError(format(
+            "invalid %s value %u in '%s' (corrupt profile?)", what,
+            raw, path.c_str()));
     return static_cast<E>(raw);
 }
 
 ProfileData
 parseBody(const std::string &body, const std::string &path)
 {
-    ByteReader r(body, path);
+    ByteReader r(body, path, "profile");
     ProfileData pd;
     pd.sim_periods.ebs = r.u64();
     pd.sim_periods.lbr = r.u64();
@@ -239,28 +144,6 @@ parseBody(const std::string &body, const std::string &path)
     return pd;
 }
 
-std::string
-readWholeFile(const std::string &path, std::string *why)
-{
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f) {
-        *why = format("cannot open '%s' for reading", path.c_str());
-        return {};
-    }
-    std::fseek(f, 0, SEEK_END);
-    long size = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
-    std::string bytes(size > 0 ? static_cast<size_t>(size) : 0, '\0');
-    size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
-    std::fclose(f);
-    if (got != bytes.size()) {
-        *why = format("short read from '%s' (corrupt profile?)",
-                      path.c_str());
-        return {};
-    }
-    return bytes;
-}
-
 /** The header fields and payload of a profile file. */
 struct ProbedProfile
 {
@@ -270,30 +153,29 @@ struct ProbedProfile
 };
 
 /**
- * Read and validate @p path down to a verified payload. With
- * @p allow_legacy the version-2 (pre-checksum) format and stale
- * version-3 checksums are accepted — the migration path. Returns
- * std::nullopt with *@p why set on any failure.
+ * Validate serialized profile @p bytes down to a verified payload;
+ * @p context names the source in diagnostics. With @p allow_legacy the
+ * version-2 (pre-checksum) format and stale version-3 checksums are
+ * accepted — the migration path. Returns std::nullopt with *@p why set
+ * on any failure.
  */
 std::optional<ProbedProfile>
-probe(const std::string &path, bool allow_legacy, std::string *why)
+probeBytes(const std::string &bytes, const std::string &context,
+           bool allow_legacy, std::string *why)
 {
     why->clear();
-    std::string bytes = readWholeFile(path, why);
-    if (!why->empty())
-        return std::nullopt;
     auto fail = [&](std::string reason) {
         *why = std::move(reason);
         return std::nullopt;
     };
     if (bytes.size() < 12)
         return fail(format("short read from '%s' (corrupt profile?)",
-                           path.c_str()));
+                           context.c_str()));
     ProbedProfile p;
     uint64_t magic;
     std::memcpy(&magic, bytes.data(), sizeof(magic));
     if (magic != kMagic)
-        return fail(format("'%s' is not an HBBP profile", path.c_str()));
+        return fail(format("'%s' is not an HBBP profile", context.c_str()));
     std::memcpy(&p.version, bytes.data() + 8, sizeof(p.version));
 
     if (p.version == kLegacyVersion) {
@@ -304,7 +186,7 @@ probe(const std::string &path, bool allow_legacy, std::string *why)
                 "'%s' is profile format version %u, which predates "
                 "payload checksums — re-collect it or run `hbbp-tool "
                 "migrate` to upgrade it",
-                path.c_str(), p.version));
+                context.c_str(), p.version));
         return p;
     }
     if (p.version != kVersion)
@@ -312,11 +194,11 @@ probe(const std::string &path, bool allow_legacy, std::string *why)
             "'%s' has unsupported profile version %u (this build reads "
             "versions %u and %u) — re-collect it or run `hbbp-tool "
             "migrate` from a matching build",
-            path.c_str(), p.version, kLegacyVersion, kVersion));
+            context.c_str(), p.version, kLegacyVersion, kVersion));
 
     if (bytes.size() < 28)
         return fail(format("short read from '%s' (corrupt profile?)",
-                           path.c_str()));
+                           context.c_str()));
     uint64_t payload_len, stored;
     std::memcpy(&payload_len, bytes.data() + 12, sizeof(payload_len));
     std::memcpy(&stored, bytes.data() + 20, sizeof(stored));
@@ -325,11 +207,11 @@ probe(const std::string &path, bool allow_legacy, std::string *why)
         return fail(format(
             "'%s' is truncated: header promises a %llu-byte payload but "
             "only %llu bytes follow (corrupt profile?)",
-            path.c_str(), static_cast<unsigned long long>(payload_len),
+            context.c_str(), static_cast<unsigned long long>(payload_len),
             static_cast<unsigned long long>(have)));
     if (have > payload_len)
         return fail(format("trailing garbage at the end of '%s' "
-                           "(corrupt profile?)", path.c_str()));
+                           "(corrupt profile?)", context.c_str()));
     p.body = bytes.substr(28);
     p.checksum = fnv1a(p.body);
     if (p.checksum != stored && !allow_legacy)
@@ -338,30 +220,83 @@ probe(const std::string &path, bool allow_legacy, std::string *why)
             "the payload hashes to %016llx — the checksum is stale or "
             "the profile is corrupt; re-collect it or run `hbbp-tool "
             "migrate` to rewrite it",
-            path.c_str(), static_cast<unsigned long long>(stored),
+            context.c_str(), static_cast<unsigned long long>(stored),
             static_cast<unsigned long long>(p.checksum)));
     return p;
 }
 
+/**
+ * probeBytes() applied to the contents of @p path. *@p io_failed,
+ * when non-null, distinguishes an I/O-level failure (open/read — no
+ * verdict on the bytes) from a content-level one.
+ */
+std::optional<ProbedProfile>
+probe(const std::string &path, bool allow_legacy, std::string *why,
+      bool *io_failed = nullptr)
+{
+    if (io_failed)
+        *io_failed = false;
+    std::string bytes = readFileBytes(path, why);
+    if (!why->empty()) {
+        if (io_failed)
+            *io_failed = true;
+        return std::nullopt;
+    }
+    return probeBytes(bytes, path, allow_legacy, why);
+}
+
 } // namespace
+
+std::string
+ProfileData::serialize(uint64_t *checksum_out) const
+{
+    std::string body = serializeBody(*this);
+    uint64_t checksum = fnv1a(body);
+    if (checksum_out)
+        *checksum_out = checksum;
+    ByteWriter w;
+    w.u64(kMagic);
+    w.u32(kVersion);
+    w.u64(body.size());
+    w.u64(checksum);
+    std::string bytes = w.bytes();
+    bytes += body;
+    return bytes;
+}
+
+std::optional<ProfileData>
+ProfileData::parse(const std::string &bytes, const std::string &context,
+                   std::string *why, uint64_t *checksum_out)
+{
+    std::string local;
+    std::string *out = why ? why : &local;
+    std::optional<ProbedProfile> p =
+        probeBytes(bytes, context, /*allow_legacy=*/false, out);
+    if (!p)
+        return std::nullopt;
+    if (checksum_out)
+        *checksum_out = p->checksum;
+    // The checksum is computed by whoever produced the bytes, so on
+    // untrusted input (a transport frame) it proves nothing about
+    // structure: a crafted payload must be a parse failure here, not
+    // a process death.
+    try {
+        return parseBody(p->body, context);
+    } catch (const ByteParseError &e) {
+        *out = e.what();
+        return std::nullopt;
+    }
+}
 
 void
 ProfileData::save(const std::string &path, uint64_t *checksum_out) const
 {
-    std::string body = serializeBody(*this);
+    std::string bytes = serialize(checksum_out);
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
         fatal("cannot open '%s' for writing", path.c_str());
-    uint32_t version = kVersion;
-    uint64_t payload_len = body.size();
-    uint64_t checksum = fnv1a(body);
-    if (checksum_out)
-        *checksum_out = checksum;
-    bool ok = std::fwrite(&kMagic, sizeof(kMagic), 1, f) == 1 &&
-              std::fwrite(&version, sizeof(version), 1, f) == 1 &&
-              std::fwrite(&payload_len, sizeof(payload_len), 1, f) == 1 &&
-              std::fwrite(&checksum, sizeof(checksum), 1, f) == 1 &&
-              std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    bool ok =
+        std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
     if (std::fclose(f) != 0 || !ok)
         fatal("short write to '%s'", path.c_str());
 }
@@ -370,19 +305,7 @@ void
 ProfileData::saveAtomically(const std::string &path,
                             uint64_t *checksum_out) const
 {
-    // The tmp name must be unique per writer: two threads or processes
-    // racing to the same final path (store inserts, same-shard
-    // exports) would otherwise interleave writes into one temp file
-    // and rename a corrupt profile into place.
-    static std::atomic<uint64_t> tmp_serial{0};
-    std::string tmp = format(
-        "%s.tmp.%ld.%llu", path.c_str(), static_cast<long>(::getpid()),
-        static_cast<unsigned long long>(
-            tmp_serial.fetch_add(1, std::memory_order_relaxed)));
-    save(tmp, checksum_out);
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        fatal("cannot move '%s' into place at '%s'", tmp.c_str(),
-              path.c_str());
+    writeFileAtomically(path, serialize(checksum_out));
 }
 
 uint64_t
@@ -399,7 +322,11 @@ ProfileData::load(const std::string &path)
         probe(path, /*allow_legacy=*/false, &why);
     if (!p)
         fatal("%s", why.c_str());
-    return parseBody(p->body, path);
+    try {
+        return parseBody(p->body, path);
+    } catch (const ByteParseError &e) {
+        fatal("%s", e.what());
+    }
 }
 
 ProfileData
@@ -412,21 +339,31 @@ ProfileData::loadAnyVersion(const std::string &path, uint32_t *version_out)
         fatal("%s", why.c_str());
     if (version_out)
         *version_out = p->version;
-    return parseBody(p->body, path);
+    try {
+        return parseBody(p->body, path);
+    } catch (const ByteParseError &e) {
+        fatal("%s", e.what());
+    }
 }
 
 std::optional<ProfileData>
 ProfileData::tryLoad(const std::string &path, std::string *why,
-                     uint64_t *checksum_out)
+                     uint64_t *checksum_out, bool *io_failed)
 {
     std::string local;
+    std::string *out = why ? why : &local;
     std::optional<ProbedProfile> p =
-        probe(path, /*allow_legacy=*/false, why ? why : &local);
+        probe(path, /*allow_legacy=*/false, out, io_failed);
     if (!p)
         return std::nullopt;
     if (checksum_out)
         *checksum_out = p->checksum;
-    return parseBody(p->body, path);
+    try {
+        return parseBody(p->body, path);
+    } catch (const ByteParseError &e) {
+        *out = e.what();
+        return std::nullopt;
+    }
 }
 
 std::optional<uint64_t>

@@ -59,6 +59,28 @@ struct ProfileData
     uint64_t pmi_count = 0;
 
     /**
+     * The exact bytes save() writes (header, payload length, checksum,
+     * payload) as a memory buffer — the unit the shard transport
+     * frames carry. @p checksum_out, when non-null, receives the
+     * payload checksum as a by-product, so callers that need both
+     * (shard export, transport send) serialize exactly once.
+     */
+    std::string serialize(uint64_t *checksum_out = nullptr) const;
+
+    /**
+     * tryLoad() over in-memory bytes — the receiving end of
+     * serialize(). @p context names the source (a peer address, a
+     * frame) in diagnostics. Returns std::nullopt with *@p why set on
+     * legacy versions, truncation, a checksum mismatch, or structural
+     * corruption behind a self-consistent checksum — the bytes may
+     * come from an untrusted peer whose checksum proves nothing, so
+     * nothing here is allowed to take the process down.
+     */
+    static std::optional<ProfileData>
+    parse(const std::string &bytes, const std::string &context,
+          std::string *why, uint64_t *checksum_out = nullptr);
+
+    /**
      * Serialize to @p path; fatal() on I/O errors. @p checksum_out,
      * when non-null, receives the payload checksum as a by-product —
      * callers that need both (shard export) serialize once instead of
@@ -97,16 +119,19 @@ struct ProfileData
 
     /**
      * Non-fatal load(): returns std::nullopt with *@p why set when the
-     * file is unreadable, a legacy version, truncated or fails its
-     * checksum; @p checksum_out, when non-null, receives the verified
-     * payload checksum. Structural corruption *behind* a valid
-     * checksum (practically, a crafted file) still fatal()s. One file
-     * read serves validation and parsing — the aggregation import
-     * path.
+     * file is unreadable, a legacy version, truncated, fails its
+     * checksum, or is structurally corrupt behind a valid checksum;
+     * @p checksum_out, when non-null, receives the verified payload
+     * checksum. *@p io_failed, when non-null, reports whether the
+     * failure was at the I/O level (could not open or read the file —
+     * says nothing about the bytes) rather than a verdict on the
+     * content; cache eviction keys off it. One file read serves
+     * validation and parsing — the aggregation import path.
      */
     static std::optional<ProfileData>
     tryLoad(const std::string &path, std::string *why,
-            uint64_t *checksum_out = nullptr);
+            uint64_t *checksum_out = nullptr,
+            bool *io_failed = nullptr);
 
     /**
      * Stable FNV-1a checksum of the serialized payload. Identical

@@ -98,7 +98,50 @@ class IncrementalAggregator
     /** Distinct hosts that have contributed accepted shards. */
     size_t hostCount() const { return hosts_.size(); }
 
+    /** Count a shard the transport rejected before addShard() ran. */
+    void noteMalformed() { stats_.malformed++; }
+
+    /**
+     * True when a shard with this payload checksum is already
+     * aggregated — how a transport tells a re-delivery (confirm it,
+     * the sender succeeded) from a rejection (fail it loudly).
+     */
+    bool
+    hasChecksum(uint64_t checksum) const
+    {
+        return seen_checksums_.count(checksum) != 0;
+    }
+
+    /**
+     * Persist everything acceptance depends on — the per-host partial
+     * aggregates (with their out-of-order pending shards), the
+     * seen-checksum set, the compatibility reference, the reconciled
+     * module map and the cumulative stats — to @p path as a versioned,
+     * checksummed binary state file (atomic write, like every on-disk
+     * artifact here). A fresh aggregator restored from the file and
+     * fed the remaining shards produces an aggregate byte-identical to
+     * one that never restarted.
+     */
+    void saveState(const std::string &path) const;
+
+    /**
+     * Restore a *fresh* aggregator from a saveState() file. Returns
+     * false with *@p why set when the file is missing, unreadable, a
+     * foreign or unsupported format, fails its checksum, or is
+     * structurally corrupt behind a valid checksum — all of it a cold
+     * start, never a crash: the shards can always be re-imported.
+     */
+    bool restoreState(const std::string &path,
+                      std::string *why = nullptr);
+
+    /** Shards carried in by restoreState() (0 on a cold start). */
+    size_t restoredShards() const { return restored_; }
+
   private:
+    /** restoreState()'s checksummed-payload parse (throws on damage). */
+    void parseStateBody(const std::string &body,
+                        const std::string &path);
+
     /** One host's arrival state. */
     struct HostState
     {
@@ -129,6 +172,7 @@ class IncrementalAggregator
     std::optional<Counter<Mnemonic>> cached_mix_;
     uint64_t analysis_epoch_ = UINT64_MAX;
 
+    size_t restored_ = 0; ///< Shards carried in by restoreState().
     AggregatorStats stats_;
 };
 
@@ -136,11 +180,17 @@ class IncrementalAggregator
 struct WatchOptions
 {
     /**
-     * Stop once this many shards have been accepted; 0 means scan the
-     * directory once and return without waiting.
+     * Stop once this many shards have been accepted (counting any
+     * restoreState() carry-in); 0 means scan the directory once and
+     * return without waiting.
      */
     size_t expect = 0;
-    /** Give up waiting after this long. */
+    /**
+     * Give up after this long with no successful import. An *idle*
+     * timeout, not a wall-clock deadline: every accepted shard resets
+     * it, so a slow-but-steady trickle from many hosts is never
+     * aborted mid-stream — only a genuinely stalled transport is.
+     */
     int timeout_ms = 10'000;
     /** Poll interval between directory scans. */
     int poll_ms = 50;

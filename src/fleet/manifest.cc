@@ -2,7 +2,6 @@
 
 #include <unistd.h>
 
-#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <cstdio>
@@ -11,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/bytes.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/strings.hh"
@@ -37,12 +37,20 @@ constexpr const char *kManifestTag = "hbbp-shard-manifest";
 bool
 parseU64(const std::string &value, uint64_t *out)
 {
-    if (value.empty() || value[0] == '-')
+    // Bare decimal digits only, like the hex path below: strtoull
+    // alone skips leading whitespace and accepts '+'/'-' signs (" -1"
+    // wraps to 2^64-1), turning malformed fields into plausible
+    // garbage values.
+    if (value.empty())
         return false;
+    for (char c : value)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
     errno = 0;
-    char *end = nullptr;
-    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
-    if (*end != '\0' || errno == ERANGE)
+    unsigned long long v = std::strtoull(value.c_str(), nullptr, 10);
+    // Overflow saturates to ULLONG_MAX; only errno tells it apart
+    // from a genuine 2^64-1.
+    if (errno == ERANGE)
         return false;
     *out = v;
     return true;
@@ -62,27 +70,6 @@ parseHex64(const std::string &value, uint64_t *out)
             return false;
     *out = std::strtoull(value.c_str(), nullptr, 16);
     return true;
-}
-
-/** Write @p text to @p path atomically (temp file + rename). */
-void
-writeAtomically(const std::string &path, const std::string &text)
-{
-    static std::atomic<uint64_t> tmp_serial{0};
-    std::string tmp = format(
-        "%s.tmp.%ld.%llu", path.c_str(), static_cast<long>(::getpid()),
-        static_cast<unsigned long long>(
-            tmp_serial.fetch_add(1, std::memory_order_relaxed)));
-    std::ofstream out(tmp, std::ios::binary);
-    out.write(text.data(), static_cast<std::streamsize>(text.size()));
-    // close() before the check: a full disk often only surfaces when
-    // the buffered bytes are flushed, and renaming an unflushed file
-    // would publish a truncated manifest.
-    out.close();
-    if (!out)
-        fatal("cannot write '%s'", tmp.c_str());
-    if (std::rename(tmp.c_str(), path.c_str()) != 0)
-        fatal("cannot move '%s' into place", tmp.c_str());
 }
 
 } // namespace
@@ -107,7 +94,7 @@ ShardManifest::render() const
 void
 ShardManifest::save(const std::string &path) const
 {
-    writeAtomically(path, render());
+    writeFileAtomically(path, render());
 }
 
 std::optional<ShardManifest>
@@ -244,51 +231,54 @@ hostStreamSeed(uint64_t base, const std::string &host, uint32_t seq)
 }
 
 std::string
-exportShard(const ProfileData &profile, const std::string &host,
-            const std::string &workload, uint32_t seq,
-            uint64_t options_hash, const std::string &dir,
-            ShardManifest *manifest_out)
+writeShardFiles(ShardManifest m, const std::string &bytes,
+                const std::string &dir, ShardManifest *manifest_out)
 {
-    if (host.empty() ||
-        host.find_first_of(" \t\n/") != std::string::npos)
+    if (m.host.empty() ||
+        m.host.find_first_of(" \t\n/") != std::string::npos)
         fatal("invalid host id '%s' (must be non-empty, without "
-              "whitespace or '/')", host.c_str());
+              "whitespace or '/')", m.host.c_str());
     std::error_code ec;
     fs::create_directories(dir, ec);
     if (ec)
         fatal("cannot create export directory '%s': %s", dir.c_str(),
               ec.message().c_str());
 
-    ShardManifest m;
-    m.host = host;
-    m.workload = workload;
-    m.seq = seq;
-    m.options_hash = options_hash;
-
-    // The final file name embeds the checksum, which save() reports as
-    // a by-product — write to a temp name first so the payload is
-    // serialized exactly once, then rename. Profile first, manifest
-    // last: an aggregator that sees the manifest is guaranteed a
-    // complete profile beside it (and the watcher only globs
-    // *.manifest, so the temp name is never picked up).
-    std::string tmp = format("%s/.export-%s-%u.tmp.%ld", dir.c_str(),
-                             host.c_str(), seq,
-                             static_cast<long>(::getpid()));
-    profile.save(tmp, &m.checksum);
+    // Profile first, manifest last (each through a unique temp name +
+    // rename): an aggregator that sees the manifest is guaranteed a
+    // complete profile beside it, and the watcher only globs
+    // *.manifest, so temp names are never picked up.
     std::string base = format(
-        "%s-%u-%016llx", host.c_str(), seq,
+        "%s-%u-%016llx", m.host.c_str(), m.seq,
         static_cast<unsigned long long>(m.checksum));
     m.profile_file = base + ".hbbp";
-    std::string profile_path = dir + "/" + m.profile_file;
-    if (std::rename(tmp.c_str(), profile_path.c_str()) != 0)
-        fatal("cannot move '%s' into place at '%s'", tmp.c_str(),
-              profile_path.c_str());
+    m.status = ShardStatus::Complete;
+    writeFileAtomically(dir + "/" + m.profile_file, bytes);
 
     std::string manifest_path = dir + "/" + base + ".manifest";
     m.save(manifest_path);
     if (manifest_out)
         *manifest_out = std::move(m);
     return manifest_path;
+}
+
+std::string
+exportShard(const ProfileData &profile, const std::string &host,
+            const std::string &workload, uint32_t seq,
+            uint64_t options_hash, const std::string &dir,
+            ShardManifest *manifest_out)
+{
+    ShardManifest m;
+    m.host = host;
+    m.workload = workload;
+    m.seq = seq;
+    m.options_hash = options_hash;
+
+    // The final file name embeds the checksum, which serialize()
+    // reports as a by-product — the payload is serialized exactly
+    // once.
+    std::string bytes = profile.serialize(&m.checksum);
+    return writeShardFiles(std::move(m), bytes, dir, manifest_out);
 }
 
 std::optional<ImportedShard>

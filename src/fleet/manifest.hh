@@ -94,11 +94,22 @@ uint64_t hostStreamSeed(uint64_t base, const std::string &host,
                         uint32_t seq);
 
 /**
- * Export @p profile into @p dir as a shard: writes
- * `<host>-<seq>-<checksum>.hbbp` then the matching `.manifest`
- * (manifest last, both atomically; the payload is serialized exactly
- * once). Returns the manifest path; *@p manifest_out, when non-null,
- * receives the written manifest.
+ * Publish an already-serialized shard into @p dir: writes
+ * `<host>-<seq>-<checksum>.hbbp` (the bytes as-is) then the matching
+ * `.manifest` (manifest last, both atomically, so a watcher that sees
+ * the manifest is guaranteed a complete profile beside it). @p m names
+ * the shard; its profile_file and status are set here. fatal() on an
+ * invalid host id or I/O failure. Returns the manifest path;
+ * *@p manifest_out, when non-null, receives the written manifest.
+ */
+std::string writeShardFiles(ShardManifest m, const std::string &bytes,
+                            const std::string &dir,
+                            ShardManifest *manifest_out = nullptr);
+
+/**
+ * Export @p profile into @p dir as a shard via writeShardFiles() (the
+ * payload is serialized exactly once). Returns the manifest path;
+ * *@p manifest_out, when non-null, receives the written manifest.
  */
 std::string exportShard(const ProfileData &profile,
                         const std::string &host,

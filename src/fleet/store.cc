@@ -70,13 +70,29 @@ ProfileStore::lookup(const ProfileKey &key) const
         return std::nullopt;
     // A cache treats an unreadable entry — legacy format version,
     // stale checksum, truncation — as a miss to be re-collected and
-    // overwritten, never a fatal error.
+    // overwritten, never a fatal error. Evict the dead file while
+    // we're here: misses under the same key overwrite it anyway, but a
+    // format bump strands entries under every *other* key, and without
+    // eviction the whole stale store leaks on disk forever.
     std::string why;
+    bool io_failed = false;
     std::optional<ProfileData> pd =
-        ProfileData::tryLoad(pathFor(key), &why);
-    if (!pd)
-        warn("ignoring unreadable profile store entry (%s)",
-             why.c_str());
+        ProfileData::tryLoad(pathFor(key), &why, nullptr, &io_failed);
+    if (!pd) {
+        // Only the entry's *content* condemns it. An I/O-level
+        // failure (fd exhaustion, a transient permission hiccup, a
+        // flaky mount) says nothing about the bytes — deleting on
+        // that would throw away a perfectly good entry.
+        if (io_failed) {
+            warn("ignoring unreadable profile store entry (%s)",
+                 why.c_str());
+        } else {
+            warn("evicting stale profile store entry (%s)",
+                 why.c_str());
+            std::error_code ec;
+            fs::remove(pathFor(key), ec);
+        }
+    }
     return pd;
 }
 

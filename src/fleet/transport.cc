@@ -1,0 +1,804 @@
+#include "fleet/transport.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "fleet/merge.hh"
+#include "support/bytes.hh"
+#include "support/logging.hh"
+
+namespace hbbp {
+
+namespace {
+
+// One frame on the wire: a fixed header, the manifest text, then the
+// chunk payload (a self-validating serialized profile). Everything is
+// length-prefixed so the receiver never scans for delimiters in
+// binary data.
+//
+//   u64 magic          kFrameMagic
+//   u32 manifest_len   bytes of manifest text following the header
+//   u32 chunk_index    0-based position of this chunk in the shard
+//   u32 chunk_count    total chunks in the shard (>= 1)
+//   u64 payload_len    bytes of chunk payload after the manifest
+constexpr uint64_t kFrameMagic = 0x48425053'46524d31ULL; // "HBPSFRM1"
+constexpr size_t kFrameHeaderBytes = 28;
+constexpr uint32_t kMaxManifestBytes = 1u << 20;
+constexpr uint64_t kMaxPayloadBytes = 1ull << 30;
+
+/** The receiver's one-byte answer to each frame. */
+enum class AckCode : uint8_t {
+    ChunkAccepted = 0, ///< Partial chunk verified and staged.
+    ShardAccepted = 1, ///< Final chunk folded; the shard is aggregated.
+    Duplicate = 2,     ///< Payload already aggregated (retried send).
+    Rejected = 3,      ///< Permanent: retrying cannot succeed.
+    Incomplete = 4,    ///< Final chunk, but staged chunks are missing
+                       ///< (receiver restarted): resend from chunk 0.
+};
+
+/** Ack wire format: u8 code, u32 reason_len, reason bytes. */
+constexpr size_t kAckHeaderBytes = 5;
+
+int64_t
+nowMs()
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * write() all of @p data, polling for writability, giving up after
+ * @p timeout_ms of no progress; false on error or timeout. The bound
+ * matters on the listener side: one peer that stops draining its
+ * socket must cost one closed connection, not a wedged serve() loop.
+ */
+bool
+writeAll(int fd, const void *data, size_t size,
+         int timeout_ms = 10'000)
+{
+    using clock = std::chrono::steady_clock;
+    clock::time_point deadline =
+        clock::now() + std::chrono::milliseconds(timeout_ms);
+    const char *p = static_cast<const char *>(data);
+    while (size > 0) {
+        ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+        if (n > 0) {
+            p += n;
+            size -= static_cast<size_t>(n);
+            deadline =
+                clock::now() + std::chrono::milliseconds(timeout_ms);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (clock::now() >= deadline)
+                return false;
+            struct pollfd pfd = {fd, POLLOUT, 0};
+            if (::poll(&pfd, 1, 100) < 0 && errno != EINTR)
+                return false;
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+/** read() exactly @p size bytes (blocking fd); false on EOF/error. */
+bool
+readFull(int fd, void *data, size_t size)
+{
+    char *p = static_cast<char *>(data);
+    while (size > 0) {
+        ssize_t n = ::recv(fd, p, size, 0);
+        if (n > 0) {
+            p += n;
+            size -= static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+void
+setIoTimeout(int fd, int timeout_ms)
+{
+    struct timeval tv;
+    tv.tv_sec = timeout_ms / 1'000;
+    tv.tv_usec = (timeout_ms % 1'000) * 1'000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+std::string
+renderFrame(const ShardManifest &manifest, uint32_t chunk_index,
+            uint32_t chunk_count, const std::string &payload)
+{
+    // The manifest rides in every frame with the status the *frame*
+    // represents: partial while the stream is open, complete on the
+    // final chunk — the same state machine a drop directory would see
+    // as manifest rewrites.
+    ShardManifest framed = manifest;
+    framed.status = chunk_index + 1 < chunk_count
+                        ? ShardStatus::Partial
+                        : ShardStatus::Complete;
+    // No file travels with a socket frame, but the manifest format
+    // requires the field: synthesize the name a drop-dir export would
+    // have used (a receiver-side deposit may reuse it).
+    if (framed.profile_file.empty())
+        framed.profile_file = format(
+            "%s-%u-%016llx.hbbp", framed.host.c_str(), framed.seq,
+            static_cast<unsigned long long>(framed.checksum));
+    std::string text = framed.render();
+    ByteWriter w;
+    w.u64(kFrameMagic);
+    w.u32(static_cast<uint32_t>(text.size()));
+    w.u32(chunk_index);
+    w.u32(chunk_count);
+    w.u64(payload.size());
+    std::string frame = w.bytes();
+    frame += text;
+    frame += payload;
+    return frame;
+}
+
+/**
+ * Merge parsed chunks in index order into one shard profile, checking
+ * compatibility first: a buggy sender streaming incompatible chunks
+ * must earn a rejection ack, not fatal() the listener via mergeInto().
+ */
+std::optional<ProfileData>
+tryMergeChunks(std::vector<ProfileData> chunks, std::string *why)
+{
+    // Module maps accumulate across the stream, so every chunk must be
+    // checked against every record seen so far — not just chunk 0 —
+    // or a conflict between two later chunks would slip through to
+    // mergeInto()'s fatal().
+    std::vector<MmapRecord> seen = chunks[0].mmaps;
+    for (size_t i = 1; i < chunks.size(); i++) {
+        if (!mergeCompatible(chunks[0], chunks[i], why))
+            return std::nullopt;
+        for (const MmapRecord &rec : chunks[i].mmaps) {
+            bool known = false;
+            for (const MmapRecord &have : seen) {
+                if (have.name != rec.name)
+                    continue;
+                if (!(have == rec)) {
+                    *why = format(
+                        "chunks disagree about module '%s' placement",
+                        rec.name.c_str());
+                    return std::nullopt;
+                }
+                known = true;
+                break;
+            }
+            if (!known)
+                seen.push_back(rec);
+        }
+    }
+    ProfileData merged = std::move(chunks[0]);
+    for (size_t i = 1; i < chunks.size(); i++)
+        mergeInto(merged, chunks[i]);
+    return merged;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// DropDirTransport.
+// ---------------------------------------------------------------------------
+
+SendResult
+DropDirTransport::sendShard(const ShardManifest &manifest,
+                            const std::vector<std::string> &chunks)
+{
+    SendResult res;
+    res.attempts = 1;
+    if (chunks.empty()) {
+        res.error = "no chunks to send";
+        return res;
+    }
+
+    // A directory has no streaming: reassemble locally and publish one
+    // complete shard, exactly like exportShard() always did.
+    std::string bytes;
+    uint64_t checksum = 0;
+    if (chunks.size() == 1) {
+        std::string why;
+        std::optional<ProfileData> pd =
+            ProfileData::parse(chunks[0], "push chunk 0", &why,
+                               &checksum);
+        if (!pd) {
+            res.error = why;
+            return res;
+        }
+        bytes = chunks[0];
+    } else {
+        std::vector<ProfileData> parsed;
+        for (size_t i = 0; i < chunks.size(); i++) {
+            std::string why;
+            std::optional<ProfileData> pd = ProfileData::parse(
+                chunks[i], format("push chunk %zu", i), &why);
+            if (!pd) {
+                res.error = why;
+                return res;
+            }
+            parsed.push_back(std::move(*pd));
+        }
+        std::string why;
+        std::optional<ProfileData> merged =
+            tryMergeChunks(std::move(parsed), &why);
+        if (!merged) {
+            res.error = why;
+            return res;
+        }
+        bytes = merged->serialize(&checksum);
+    }
+    if (checksum != manifest.checksum) {
+        res.error = format(
+            "chunk payload hashes to %016llx but the manifest promises "
+            "%016llx", static_cast<unsigned long long>(checksum),
+            static_cast<unsigned long long>(manifest.checksum));
+        return res;
+    }
+
+    std::string base = format(
+        "%s-%u-%016llx", manifest.host.c_str(), manifest.seq,
+        static_cast<unsigned long long>(manifest.checksum));
+    std::error_code ec;
+    res.duplicate =
+        std::filesystem::exists(dir_ + "/" + base + ".manifest", ec);
+    writeShardFiles(manifest, bytes, dir_);
+    res.ok = true;
+    return res;
+}
+
+// ---------------------------------------------------------------------------
+// SocketTransport (the sender).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Connect to host:port; -1 with *@p why on failure. */
+int
+connectTo(const std::string &host, uint16_t port, int io_timeout_ms,
+          std::string *why)
+{
+    struct addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo *addrs = nullptr;
+    std::string service = format("%u", port);
+    int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                           &addrs);
+    if (rc != 0) {
+        *why = format("cannot resolve '%s': %s", host.c_str(),
+                      ::gai_strerror(rc));
+        return -1;
+    }
+    int fd = -1;
+    for (struct addrinfo *a = addrs; a; a = a->ai_next) {
+        fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, a->ai_addr, a->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(addrs);
+    if (fd < 0) {
+        *why = format("cannot connect to %s:%u: %s", host.c_str(),
+                      port, std::strerror(errno));
+        return -1;
+    }
+    setIoTimeout(fd, io_timeout_ms);
+    return fd;
+}
+
+/** Read one ack; false on connection trouble. */
+bool
+readAck(int fd, AckCode *code, std::string *reason)
+{
+    uint8_t raw_code;
+    uint32_t reason_len;
+    char header[kAckHeaderBytes];
+    if (!readFull(fd, header, sizeof(header)))
+        return false;
+    std::memcpy(&raw_code, header, 1);
+    std::memcpy(&reason_len, header + 1, 4);
+    if (raw_code > static_cast<uint8_t>(AckCode::Incomplete) ||
+        reason_len > kMaxManifestBytes)
+        return false;
+    reason->assign(reason_len, '\0');
+    if (reason_len > 0 && !readFull(fd, reason->data(), reason_len))
+        return false;
+    *code = static_cast<AckCode>(raw_code);
+    return true;
+}
+
+} // namespace
+
+SendResult
+SocketTransport::sendShard(const ShardManifest &manifest,
+                           const std::vector<std::string> &chunks)
+{
+    SendResult res;
+    if (chunks.empty()) {
+        res.error = "no chunks to send";
+        return res;
+    }
+    uint32_t chunk_count = static_cast<uint32_t>(chunks.size());
+    uint32_t acked = 0; // Chunks the receiver has confirmed staged.
+    int backoff_ms = options_.backoff_ms;
+
+    while (res.attempts < options_.max_attempts) {
+        if (res.attempts > 0) {
+            // Bounded exponential backoff between connection attempts:
+            // a briefly absent listener (restarting aggregator) is the
+            // expected case, a permanently absent one gives up loudly.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff_ms));
+            backoff_ms = std::min(backoff_ms * 2,
+                                  options_.max_backoff_ms);
+        }
+        res.attempts++;
+        std::string why;
+        int fd = connectTo(options_.host, options_.port,
+                           options_.io_timeout_ms, &why);
+        if (fd < 0) {
+            res.error = why;
+            continue;
+        }
+
+        bool rewound = false; // Only honor one Incomplete per attempt.
+        bool conn_dead = false;
+        for (uint32_t i = acked; i < chunk_count && !conn_dead;) {
+            std::string frame =
+                renderFrame(manifest, i, chunk_count, chunks[i]);
+            if (!writeAll(fd, frame.data(), frame.size(),
+                          options_.io_timeout_ms)) {
+                res.error = format("connection to %s:%u lost "
+                                   "mid-frame (chunk %u/%u)",
+                                   options_.host.c_str(),
+                                   options_.port, i, chunk_count);
+                conn_dead = true;
+                break;
+            }
+            AckCode code;
+            std::string reason;
+            if (!readAck(fd, &code, &reason)) {
+                res.error = format(
+                    "no acknowledgement from %s:%u for chunk %u/%u",
+                    options_.host.c_str(), options_.port, i,
+                    chunk_count);
+                conn_dead = true;
+                break;
+            }
+            switch (code) {
+            case AckCode::ChunkAccepted:
+                acked = ++i;
+                if (fail_after_chunks >= 0 &&
+                    acked >= static_cast<uint32_t>(fail_after_chunks)) {
+                    // Test hook: die the way a crashing collector
+                    // does — mid-stream, without cleanup.
+                    ::close(fd);
+                    ::_exit(3);
+                }
+                break;
+            case AckCode::ShardAccepted:
+                ::close(fd);
+                res.ok = true;
+                return res;
+            case AckCode::Duplicate:
+                ::close(fd);
+                res.ok = true;
+                res.duplicate = true;
+                return res;
+            case AckCode::Incomplete:
+                // The receiver restarted and lost our staged chunks;
+                // resend the stream from the top (duplicates of
+                // anything it still has are acked idempotently).
+                if (rewound) {
+                    res.error = format(
+                        "receiver at %s:%u reports an incomplete "
+                        "stream even after a full resend",
+                        options_.host.c_str(), options_.port);
+                    conn_dead = true;
+                    break;
+                }
+                rewound = true;
+                acked = 0;
+                i = 0;
+                break;
+            case AckCode::Rejected:
+                // Permanent: the same bytes would be rejected again.
+                ::close(fd);
+                res.error = format("shard rejected by %s:%u: %s",
+                                   options_.host.c_str(),
+                                   options_.port, reason.c_str());
+                return res;
+            }
+        }
+        ::close(fd);
+    }
+    res.error = format("giving up after %d attempt%s: %s",
+                       res.attempts, res.attempts == 1 ? "" : "s",
+                       res.error.c_str());
+    return res;
+}
+
+// ---------------------------------------------------------------------------
+// ShardListener (the receiver).
+// ---------------------------------------------------------------------------
+
+ShardListener::ShardListener(uint16_t port,
+                             const std::string &bind_addr)
+{
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        fatal("cannot create listen socket: %s", std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1)
+        fatal("invalid listen address '%s' (expected an IPv4 address "
+              "like 0.0.0.0)", bind_addr.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("cannot bind to %s:%u: %s", bind_addr.c_str(), port,
+              std::strerror(errno));
+    if (::listen(listen_fd_, 16) != 0)
+        fatal("cannot listen on %s:%u: %s", bind_addr.c_str(), port,
+              std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_,
+                      reinterpret_cast<struct sockaddr *>(&addr),
+                      &len) != 0)
+        fatal("cannot read back the listen port: %s",
+              std::strerror(errno));
+    port_ = ntohs(addr.sin_port);
+    ::fcntl(listen_fd_, F_SETFL, O_NONBLOCK);
+}
+
+ShardListener::~ShardListener()
+{
+    if (listen_fd_ >= 0)
+        ::close(listen_fd_);
+}
+
+namespace {
+
+/** Chunks staged for one (host, seq) slot awaiting its final frame. */
+struct StagedShard
+{
+    uint32_t chunk_count = 0;
+    std::map<uint32_t, ProfileData> chunks;
+    /** Per-chunk payload checksums, for idempotent re-delivery. */
+    std::map<uint32_t, uint64_t> checksums;
+};
+
+/** One sender connection's receive state. */
+struct Conn
+{
+    int fd = -1;
+    std::string buf; ///< Bytes received but not yet framed.
+};
+
+/** A decoded frame header. */
+struct FrameHeader
+{
+    uint32_t manifest_len = 0;
+    uint32_t chunk_index = 0;
+    uint32_t chunk_count = 0;
+    uint64_t payload_len = 0;
+};
+
+/** Decode and sanity-check a header at @p off; false = violation. */
+bool
+decodeHeader(const std::string &buf, size_t off, FrameHeader *h)
+{
+    uint64_t magic;
+    std::memcpy(&magic, buf.data() + off, 8);
+    std::memcpy(&h->manifest_len, buf.data() + off + 8, 4);
+    std::memcpy(&h->chunk_index, buf.data() + off + 12, 4);
+    std::memcpy(&h->chunk_count, buf.data() + off + 16, 4);
+    std::memcpy(&h->payload_len, buf.data() + off + 20, 8);
+    return magic == kFrameMagic && h->manifest_len > 0 &&
+           h->manifest_len <= kMaxManifestBytes &&
+           h->payload_len <= kMaxPayloadBytes && h->chunk_count >= 1 &&
+           h->chunk_index < h->chunk_count;
+}
+
+bool
+sendAck(int fd, AckCode code, const std::string &reason = {})
+{
+    ByteWriter w;
+    w.u8(static_cast<uint8_t>(code));
+    w.u32(static_cast<uint32_t>(reason.size()));
+    std::string bytes = w.bytes();
+    bytes += reason;
+    return writeAll(fd, bytes.data(), bytes.size());
+}
+
+} // namespace
+
+size_t
+ShardListener::serve(IncrementalAggregator &agg,
+                     const ListenOptions &options)
+{
+    std::vector<Conn> conns;
+    std::map<std::pair<std::string, uint32_t>, StagedShard> staging;
+    size_t accepted = 0;
+    int64_t last_progress = nowMs();
+    bool done = options.expect > 0 &&
+                agg.stats().accepted >= options.expect;
+
+    // Process one complete frame at @p off in conn.buf. Returns the
+    // ack outcome; a Rejected ack also counts the shard into the
+    // aggregator's malformed/incompatible stats.
+    auto processFrame = [&](Conn &conn, size_t off,
+                            const FrameHeader &h) -> bool {
+        std::string manifest_text =
+            conn.buf.substr(off + kFrameHeaderBytes, h.manifest_len);
+        std::string payload = conn.buf.substr(
+            off + kFrameHeaderBytes + h.manifest_len,
+            static_cast<size_t>(h.payload_len));
+        std::string peer = format("frame from fd %d", conn.fd);
+
+        std::string why;
+        std::optional<ShardManifest> m =
+            ShardManifest::parse(manifest_text, &why);
+        if (!m) {
+            agg.noteMalformed();
+            return sendAck(conn.fd, AckCode::Rejected,
+                           format("malformed manifest: %s",
+                                  why.c_str()));
+        }
+        auto key = std::make_pair(m->host, m->seq);
+        bool final_chunk = h.chunk_index + 1 == h.chunk_count;
+        if ((m->status == ShardStatus::Complete) != final_chunk) {
+            // A stream this confused is dead; drop anything it staged
+            // so a clean retry starts fresh instead of leaking here.
+            staging.erase(key);
+            agg.noteMalformed();
+            return sendAck(
+                conn.fd, AckCode::Rejected,
+                format("chunk %u/%u carries status=%s", h.chunk_index,
+                       h.chunk_count, name(m->status)));
+        }
+
+        // Every chunk is verified on receipt: a corrupted transfer is
+        // caught here, per frame, not after the whole stream landed.
+        uint64_t chunk_checksum = 0;
+        std::optional<ProfileData> chunk = ProfileData::parse(
+            payload, peer, &why, &chunk_checksum);
+        if (!chunk) {
+            staging.erase(key);
+            agg.noteMalformed();
+            return sendAck(conn.fd, AckCode::Rejected,
+                           format("chunk payload invalid: %s",
+                                  why.c_str()));
+        }
+
+        StagedShard &staged = staging[key];
+        if (staged.chunk_count == 0)
+            staged.chunk_count = h.chunk_count;
+        if (staged.chunk_count != h.chunk_count) {
+            staging.erase(key);
+            agg.noteMalformed();
+            return sendAck(
+                conn.fd, AckCode::Rejected,
+                format("chunk count changed mid-stream (%u then %u)",
+                       staged.chunk_count, h.chunk_count));
+        }
+        auto seen = staged.checksums.find(h.chunk_index);
+        if (seen != staged.checksums.end() &&
+            seen->second != chunk_checksum) {
+            // A *different* payload under an index we already hold:
+            // the staged stream is from an abandoned earlier push
+            // (the host re-collected and started over). The old
+            // stream can never finalize — its sender is gone — so
+            // restart the slot with the new stream rather than
+            // permanently rejecting every retry of the live one.
+            staged.chunks.clear();
+            staged.checksums.clear();
+            staged.chunk_count = h.chunk_count;
+            seen = staged.checksums.end();
+        }
+        if (seen != staged.checksums.end()) {
+            // Idempotent re-delivery (a sender retrying from chunk 0
+            // after a crash): confirm and move on.
+            if (!final_chunk) {
+                last_progress = nowMs();
+                return sendAck(conn.fd, AckCode::ChunkAccepted);
+            }
+        } else {
+            staged.checksums[h.chunk_index] = chunk_checksum;
+            staged.chunks.emplace(h.chunk_index, std::move(*chunk));
+        }
+        if (!final_chunk) {
+            last_progress = nowMs();
+            return sendAck(conn.fd, AckCode::ChunkAccepted);
+        }
+
+        // Final chunk: the stream must be gap-free before assembly.
+        if (staged.chunks.size() != staged.chunk_count) {
+            // Likely our restart, not the sender's fault: tell it to
+            // resend from the top rather than rejecting outright.
+            return sendAck(
+                conn.fd, AckCode::Incomplete,
+                format("%zu of %u chunks staged",
+                       staged.chunks.size(), staged.chunk_count));
+        }
+        std::vector<ProfileData> parts;
+        parts.reserve(staged.chunks.size());
+        for (auto &[idx, pd] : staged.chunks)
+            parts.push_back(std::move(pd));
+        staging.erase(key);
+        std::optional<ProfileData> merged =
+            tryMergeChunks(std::move(parts), &why);
+        if (!merged) {
+            agg.noteMalformed();
+            return sendAck(conn.fd, AckCode::Rejected,
+                           format("chunks do not assemble: %s",
+                                  why.c_str()));
+        }
+        uint64_t merged_checksum = merged->payloadChecksum();
+        if (merged_checksum != m->checksum) {
+            agg.noteMalformed();
+            return sendAck(
+                conn.fd, AckCode::Rejected,
+                format("assembled payload hashes to %016llx but the "
+                       "manifest promises %016llx",
+                       static_cast<unsigned long long>(merged_checksum),
+                       static_cast<unsigned long long>(m->checksum)));
+        }
+
+        ProfileData for_accept;
+        const ProfileData *accept_ref = nullptr;
+        if (options.on_accept) {
+            for_accept = *merged; // addShard consumes the profile.
+            accept_ref = &for_accept;
+        }
+        if (!agg.addShard(*m, std::move(*merged), &why)) {
+            // Only a payload already aggregated is confirmed back as a
+            // duplicate (the retried sender genuinely succeeded). A
+            // (host, seq) slot conflict also lands in the duplicate
+            // *stats*, but the sender's data was dropped — that must
+            // fail loudly, not read as success.
+            if (agg.hasChecksum(m->checksum))
+                return sendAck(conn.fd, AckCode::Duplicate);
+            return sendAck(conn.fd, AckCode::Rejected, why);
+        }
+        accepted++;
+        last_progress = nowMs();
+        // Callback before the ack: a sender that saw success may rely
+        // on the checkpoint/deposit having happened.
+        if (options.on_accept)
+            options.on_accept(*m, *accept_ref);
+        return sendAck(conn.fd, AckCode::ShardAccepted);
+    };
+
+    while (!done) {
+        std::vector<struct pollfd> pfds;
+        pfds.push_back({listen_fd_, POLLIN, 0});
+        for (const Conn &c : conns)
+            pfds.push_back({c.fd, POLLIN, 0});
+        int rc = ::poll(pfds.data(), pfds.size(), 50);
+        if (rc < 0 && errno != EINTR)
+            fatal("poll() failed in shard listener: %s",
+                  std::strerror(errno));
+
+        if (pfds[0].revents & POLLIN) {
+            for (;;) {
+                int fd = ::accept(listen_fd_, nullptr, nullptr);
+                if (fd < 0)
+                    break;
+                ::fcntl(fd, F_SETFL, O_NONBLOCK);
+                conns.push_back(Conn{fd, {}});
+            }
+        }
+
+        for (size_t ci = 0; ci < conns.size();) {
+            Conn &conn = conns[ci];
+            bool peer_gone = false, close_conn = false;
+            for (;;) {
+                char chunk[65536];
+                ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+                if (n > 0) {
+                    conn.buf.append(chunk, static_cast<size_t>(n));
+                    // Bytes on the wire are progress too: a frame
+                    // whose transfer alone outlasts the idle timeout
+                    // must not be aborted mid-receive.
+                    last_progress = nowMs();
+                    continue;
+                }
+                if (n < 0 &&
+                    (errno == EAGAIN || errno == EWOULDBLOCK))
+                    break;
+                if (n < 0 && errno == EINTR)
+                    continue;
+                // EOF or error. Complete frames already buffered are
+                // still processed below — a sender that transmitted
+                // its final frame and died before reading the ack
+                // delivered real data; only a half-received frame
+                // dies with the connection. Staged chunks survive
+                // for the retry either way.
+                peer_gone = true;
+                break;
+            }
+
+            // Consume frames at a moving offset and compact the
+            // buffer once per poll round: erasing the front per frame
+            // would re-copy everything still queued behind it.
+            size_t consumed = 0;
+            while (!close_conn &&
+                   conn.buf.size() - consumed >= kFrameHeaderBytes) {
+                FrameHeader h;
+                if (!decodeHeader(conn.buf, consumed, &h)) {
+                    warn("closing shard sender connection: malformed "
+                         "frame header");
+                    close_conn = true;
+                    break;
+                }
+                size_t frame_len = kFrameHeaderBytes + h.manifest_len +
+                                   static_cast<size_t>(h.payload_len);
+                if (conn.buf.size() - consumed < frame_len)
+                    break;
+                if (!processFrame(conn, consumed, h)) {
+                    close_conn = true;
+                    break;
+                }
+                consumed += frame_len;
+                if (options.expect > 0 &&
+                    agg.stats().accepted >= options.expect) {
+                    done = true;
+                    break;
+                }
+            }
+            if (consumed > 0)
+                conn.buf.erase(0, consumed);
+
+            if (close_conn || peer_gone) {
+                ::close(conn.fd);
+                conns.erase(conns.begin() + ci);
+            } else {
+                ci++;
+            }
+        }
+
+        if (!done && options.idle_timeout_ms >= 0 &&
+            nowMs() - last_progress >= options.idle_timeout_ms)
+            break;
+    }
+
+    for (const Conn &c : conns)
+        ::close(c.fd);
+    return accepted;
+}
+
+} // namespace hbbp

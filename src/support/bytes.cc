@@ -1,0 +1,105 @@
+#include "support/bytes.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+void
+ByteReader::raw(void *data, size_t size)
+{
+    if (size > buf_.size() - pos_)
+        throw ByteParseError(format("short read from '%s' (corrupt "
+                                    "%s?)", context_.c_str(), what_));
+    std::memcpy(data, buf_.data() + pos_, size);
+    pos_ += size;
+}
+
+std::string
+ByteReader::str()
+{
+    uint32_t n = u32();
+    if (n > (1u << 20))
+        throw ByteParseError(format("implausible string length %u in "
+                                    "'%s'", n, context_.c_str()));
+    std::string s(n, '\0');
+    raw(s.data(), n);
+    return s;
+}
+
+uint64_t
+ByteReader::count(uint64_t n, size_t min_elem_bytes, const char *name)
+{
+    uint64_t left = buf_.size() - pos_;
+    if (n > left / min_elem_bytes)
+        throw ByteParseError(format(
+            "'%s' claims %llu %s records but only %llu bytes remain "
+            "(corrupt %s?)",
+            context_.c_str(), static_cast<unsigned long long>(n), name,
+            static_cast<unsigned long long>(left), what_));
+    return n;
+}
+
+void
+ByteReader::expectEof()
+{
+    if (pos_ != buf_.size())
+        throw ByteParseError(format("trailing garbage at the end of "
+                                    "'%s' (corrupt %s?)",
+                                    context_.c_str(), what_));
+}
+
+std::string
+readFileBytes(const std::string &path, std::string *why)
+{
+    why->clear();
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        *why = format("cannot open '%s' for reading", path.c_str());
+        return {};
+    }
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::string bytes(size > 0 ? static_cast<size_t>(size) : 0, '\0');
+    size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    if (got != bytes.size()) {
+        *why = format("short read from '%s'", path.c_str());
+        return {};
+    }
+    return bytes;
+}
+
+void
+writeFileAtomically(const std::string &path, const std::string &bytes)
+{
+    // The tmp name must be unique per writer: two threads or processes
+    // racing to the same final path would otherwise interleave writes
+    // into one temp file and rename a corrupt artifact into place.
+    static std::atomic<uint64_t> tmp_serial{0};
+    std::string tmp = format(
+        "%s.tmp.%ld.%llu", path.c_str(), static_cast<long>(::getpid()),
+        static_cast<unsigned long long>(
+            tmp_serial.fetch_add(1, std::memory_order_relaxed)));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        fatal("cannot open '%s' for writing", tmp.c_str());
+    // fclose() flushes: a full disk often only surfaces when the
+    // buffered bytes hit it, and renaming an unflushed file would
+    // publish a truncated artifact.
+    bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) ==
+              bytes.size();
+    if (std::fclose(f) != 0 || !ok)
+        fatal("cannot write '%s'", tmp.c_str());
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        fatal("cannot move '%s' into place at '%s'", tmp.c_str(),
+              path.c_str());
+}
+
+} // namespace hbbp

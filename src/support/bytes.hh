@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Binary serialization primitives shared by every on-disk and on-wire
+ * format in the repository (profile files, aggregator state, shard
+ * transport frames).
+ *
+ * ByteWriter serializes into a memory buffer so payloads can be
+ * checksummed before anything touches a file or socket; ByteReader
+ * parses back out with bounds checks that throw ByteParseError (with
+ * a diagnostic naming the source) instead of reading garbage — every
+ * caller decides whether that means fatal() (trusted local files) or
+ * a rejection (untrusted input). The file helpers implement the
+ * repository-wide write discipline: unique temp file + rename, so a
+ * crashed writer never publishes a truncated artifact.
+ */
+
+#ifndef HBBP_SUPPORT_BYTES_HH
+#define HBBP_SUPPORT_BYTES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hbbp {
+
+/** Serializes a payload into a memory buffer (for checksumming). */
+class ByteWriter
+{
+  public:
+    void
+    raw(const void *data, size_t size)
+    {
+        buf_.append(static_cast<const char *>(data), size);
+    }
+
+    void u8(uint8_t v) { raw(&v, sizeof(v)); }
+    void u32(uint32_t v) { raw(&v, sizeof(v)); }
+    void u64(uint64_t v) { raw(&v, sizeof(v)); }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        raw(s.data(), s.size());
+    }
+
+    const std::string &bytes() const { return buf_; }
+
+  private:
+    std::string buf_;
+};
+
+/**
+ * A structural parse failure: a count, length or enum that cannot be
+ * right even though any outer checksum matched. Callers parsing
+ * *trusted* local files catch it and fatal(); callers parsing
+ * untrusted input (network frames) catch it and reject the source —
+ * a crafted payload must never take the process down.
+ */
+class ByteParseError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Parses a payload out of a memory buffer. @p context names the source
+ * (a path, a peer address) and @p what the format ("profile",
+ * "aggregator state") in diagnostics. All structural failures throw
+ * ByteParseError.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const std::string &buf, const std::string &context,
+               const char *what = "data")
+        : buf_(buf), context_(context), what_(what)
+    {
+    }
+
+    void raw(void *data, size_t size);
+
+    uint8_t u8() { uint8_t v; raw(&v, sizeof(v)); return v; }
+    uint32_t u32() { uint32_t v; raw(&v, sizeof(v)); return v; }
+    uint64_t u64() { uint64_t v; raw(&v, sizeof(v)); return v; }
+
+    std::string str();
+
+    /**
+     * Validate an element count against the bytes left in the payload:
+     * a corrupt count must throw with a diagnostic here, not OOM in a
+     * reserve() or spin reading garbage.
+     */
+    uint64_t count(uint64_t n, size_t min_elem_bytes, const char *name);
+
+    /** Throws unless the whole payload has been consumed. */
+    void expectEof();
+
+  private:
+    const std::string &buf_;
+    size_t pos_ = 0;
+    const std::string &context_;
+    const char *what_;
+};
+
+/**
+ * Whole file as bytes. On failure returns an empty string with *@p why
+ * set (and *@p why cleared on success, so callers can test it).
+ */
+std::string readFileBytes(const std::string &path, std::string *why);
+
+/**
+ * Write @p bytes to @p path atomically: a uniquely named temp file
+ * (two writers racing to one path never interleave) renamed into
+ * place. fatal() on I/O errors — a full disk must not publish a
+ * truncated file.
+ */
+void writeFileAtomically(const std::string &path,
+                         const std::string &bytes);
+
+} // namespace hbbp
+
+#endif // HBBP_SUPPORT_BYTES_HH

@@ -12,9 +12,13 @@
  *                     [--store DIR] [--top N] [--csv]
  *   hbbp-tool export  <workload> --host ID --export-dir DIR [--seq N]
  *                     [--jobs N] [--shards N] [--store DIR]
- *   hbbp-tool aggregate --watch-dir DIR [-o <profile>] [--expect N]
- *                     [--timeout-ms N] [--analyze <workload>]
- *                     [--store DIR]
+ *   hbbp-tool push    <workload> --host ID (--to HOST:PORT |
+ *                     --export-dir DIR) [--seq N] [--chunks N]
+ *                     [--retries N] [--jobs N] [-o <profile>]
+ *   hbbp-tool aggregate (--watch-dir DIR | --listen PORT)
+ *                     [-o <profile>] [--expect N] [--timeout-ms N]
+ *                     [--analyze <workload>] [--store DIR]
+ *                     [--state FILE] [--port-file FILE]
  *   hbbp-tool migrate <profile-in> [-o <profile-out>]
  *   hbbp-tool analyze <workload> -i <profile> [options]
  *   hbbp-tool report  <workload> [-i <profile>] [options]
@@ -29,10 +33,27 @@
  *   --export-dir DIR        drop directory shards are exported into
  *   --seq N                 shard sequence number (default 0)
  *
+ * push options (export, but over a pluggable shard transport):
+ *   --to HOST:PORT          push to an `aggregate --listen` socket
+ *   --export-dir DIR        use the drop-directory transport instead
+ *   --chunks N              stream the shard as N status=partial
+ *                           chunks finalized by a complete frame
+ *   --retries N             socket connection attempts (default 5)
+ *   -o <profile>            also save the collected profile locally
+ *
  * aggregate options (the central aggregation side):
  *   --watch-dir DIR         drop directory to poll for shard manifests
+ *   --listen PORT           accept socket pushes on PORT (0 picks an
+ *                           ephemeral port)
+ *   --bind ADDR             listen address (default 127.0.0.1; pass
+ *                           0.0.0.0 to accept remote collectors)
+ *   --port-file FILE        write the bound port here (for scripts)
+ *   --state FILE            checkpoint aggregator state per accepted
+ *                           shard; restored on startup, so a restarted
+ *                           job resumes instead of re-importing
  *   --expect N              wait until N shards have been accepted
- *   --timeout-ms N          give up waiting after N ms (default 10000)
+ *   --timeout-ms N          give up after N ms with no new import
+ *                           (an idle timeout, default 10000)
  *   --analyze WORKLOAD      re-analyze after every accepted shard
  *   --store DIR             central store imported shards are copied to
  *
@@ -49,6 +70,7 @@
  */
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <climits>
 #include <cstdint>
@@ -60,6 +82,8 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "analysis/report.hh"
 #include "fleet/aggregate.hh"
 #include "fleet/batch.hh"
@@ -67,7 +91,9 @@
 #include "fleet/merge.hh"
 #include "fleet/shard.hh"
 #include "fleet/store.hh"
+#include "fleet/transport.hh"
 #include "hbbp/version.hh"
+#include "support/bytes.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "tools/profiler.hh"
@@ -95,12 +121,20 @@ struct CliOptions
     uint32_t shards = 0; ///< 0 = default to jobs.
     std::string function;
     bool csv = false;
-    std::string host;             ///< export: simulated host id.
-    std::string export_dir;       ///< export: shard drop directory.
-    uint32_t seq = 0;             ///< export: shard sequence number.
+    std::string host;             ///< export/push: simulated host id.
+    std::string export_dir;       ///< export/push: shard drop directory.
+    uint32_t seq = 0;             ///< export/push: shard sequence number.
+    std::string to;               ///< push: HOST:PORT to stream to.
+    uint32_t chunks = 1;          ///< push: frames to stream the shard as.
+    int retries = 5;              ///< push: socket connection attempts.
+    int fail_after = -1;          ///< push: test hook, die after N chunks.
     std::string watch_dir;        ///< aggregate: directory to poll.
+    int listen_port = -1;         ///< aggregate: socket port (-1 = off).
+    std::string bind_addr = "127.0.0.1"; ///< aggregate: listen address.
+    std::string port_file;        ///< aggregate: bound-port report file.
+    std::string state_file;       ///< aggregate: checkpoint/restore path.
     size_t expect = 0;            ///< aggregate: shards to wait for.
-    int timeout_ms = 10'000;      ///< aggregate: watch deadline.
+    int timeout_ms = 10'000;      ///< aggregate: idle timeout.
     std::string analyze_workload; ///< aggregate: per-arrival analysis.
 };
 
@@ -119,10 +153,16 @@ usage()
                  "       hbbp-tool export <workload> --host ID "
                  "--export-dir DIR [--seq N]\n"
                  "                 [--jobs N] [--shards N] [--store DIR]\n"
-                 "       hbbp-tool aggregate --watch-dir DIR "
-                 "[-o <profile>] [--expect N]\n"
-                 "                 [--timeout-ms N] [--analyze "
-                 "<workload>] [--store DIR]\n"
+                 "       hbbp-tool push <workload> --host ID "
+                 "(--to HOST:PORT | --export-dir DIR)\n"
+                 "                 [--seq N] [--chunks N] [--retries N] "
+                 "[--jobs N] [-o <profile>]\n"
+                 "       hbbp-tool aggregate (--watch-dir DIR | "
+                 "--listen PORT) [-o <profile>]\n"
+                 "                 [--expect N] [--timeout-ms N] "
+                 "[--analyze <workload>] [--store DIR]\n"
+                 "                 [--state FILE] [--port-file FILE] "
+                 "[--bind ADDR]\n"
                  "       hbbp-tool migrate <profile-in> "
                  "[-o <profile-out>]\n"
                  "       hbbp-tool analyze <workload> -i <profile> "
@@ -222,8 +262,28 @@ parse(int argc, char **argv)
         else if (arg == "--seq")
             opts.seq = static_cast<uint32_t>(
                 need_count("--seq", UINT32_MAX));
+        else if (arg == "--to")
+            opts.to = need_value("--to");
+        else if (arg == "--chunks")
+            opts.chunks = static_cast<uint32_t>(
+                need_count("--chunks", UINT32_MAX));
+        else if (arg == "--retries")
+            opts.retries = static_cast<int>(
+                need_count("--retries", INT_MAX));
+        else if (arg == "--fail-after")
+            opts.fail_after = static_cast<int>(
+                need_count("--fail-after", INT_MAX));
         else if (arg == "--watch-dir")
             opts.watch_dir = need_value("--watch-dir");
+        else if (arg == "--listen")
+            opts.listen_port = static_cast<int>(
+                need_count("--listen", UINT16_MAX));
+        else if (arg == "--bind")
+            opts.bind_addr = need_value("--bind");
+        else if (arg == "--port-file")
+            opts.port_file = need_value("--port-file");
+        else if (arg == "--state")
+            opts.state_file = need_value("--state");
         else if (arg == "--expect")
             opts.expect = static_cast<size_t>(need_count("--expect"));
         else if (arg == "--timeout-ms")
@@ -400,15 +460,116 @@ cmdExport(const CliOptions &opts)
 }
 
 /**
- * The central aggregation side: poll a drop directory for shards from
- * N hosts, fold them in as they arrive, and optionally re-analyze per
- * arrival and persist the canonical aggregate.
+ * Export's sibling over the pluggable transport layer: collect
+ * host-seeded, then *push* the shard — to an `aggregate --listen`
+ * socket (optionally streamed as N partial chunks) or through the
+ * drop-directory transport.
+ */
+int
+cmdPush(const CliOptions &opts)
+{
+    if (opts.host.empty())
+        fatal("push requires --host <id>");
+    if (opts.to.empty() == opts.export_dir.empty())
+        fatal("push requires exactly one of --to <host:port> or "
+              "--export-dir <dir>");
+    if (opts.chunks == 0)
+        fatal("--chunks must be >= 1");
+    Workload w = requireWorkloadByName(opts.workload);
+    CollectorConfig cc = collectorConfigFor(w);
+    cc.seed = hostStreamSeed(cc.seed, opts.host, opts.seq);
+    cc.pmu.seed = hostStreamSeed(cc.pmu.seed ^ 0x5851f42d4c957f2dULL,
+                                 opts.host, opts.seq);
+
+    // The chunk is the streaming unit: collect --chunks shards whose
+    // in-order merge is the shard profile, so long collections can
+    // deliver incrementally as each chunk finishes.
+    ShardPlan plan;
+    plan.shards = opts.chunks;
+    plan.jobs = opts.jobs;
+    ProfileKey key{w.name, cc, plan.shards, MachineConfig{}};
+    std::vector<ProfileData> parts =
+        collectShards(*w.program, MachineConfig{}, cc, plan);
+    ProfileData merged = mergeProfiles(parts);
+
+    ShardManifest manifest;
+    manifest.host = opts.host;
+    manifest.workload = w.name;
+    manifest.seq = opts.seq;
+    manifest.options_hash = key.hash();
+
+    std::vector<std::string> chunks;
+    if (opts.chunks == 1) {
+        chunks.push_back(merged.serialize(&manifest.checksum));
+    } else {
+        // Chunked mode sends the parts; the merged profile only
+        // contributes its checksum, so skip serializing its bytes.
+        manifest.checksum = merged.payloadChecksum();
+        chunks.reserve(parts.size());
+        for (const ProfileData &part : parts)
+            chunks.push_back(part.serialize());
+    }
+    if (!opts.profile_out.empty())
+        merged.save(opts.profile_out);
+
+    SendResult res;
+    if (!opts.to.empty()) {
+        size_t colon = opts.to.rfind(':');
+        if (colon == std::string::npos || colon + 1 >= opts.to.size())
+            fatal("--to expects HOST:PORT, got '%s'", opts.to.c_str());
+        SocketTransportOptions so;
+        so.host = opts.to.substr(0, colon);
+        // Bare digits only: strtoul would skip whitespace and accept
+        // signs, the exact laxity the manifest parser rejects.
+        std::string port_str = opts.to.substr(colon + 1);
+        unsigned long port = 0;
+        bool digits = port_str.size() <= 5;
+        for (char c : port_str)
+            if (!std::isdigit(static_cast<unsigned char>(c)))
+                digits = false;
+        if (digits)
+            port = std::strtoul(port_str.c_str(), nullptr, 10);
+        if (!digits || port == 0 || port > UINT16_MAX)
+            fatal("invalid port in '%s'", opts.to.c_str());
+        so.port = static_cast<uint16_t>(port);
+        so.max_attempts = std::max(opts.retries, 1);
+        SocketTransport transport(so);
+        transport.fail_after_chunks = opts.fail_after;
+        res = transport.sendShard(manifest, chunks);
+    } else {
+        DropDirTransport transport(opts.export_dir);
+        res = transport.sendShard(manifest, chunks);
+    }
+    if (!res.ok)
+        fatal("push failed: %s", res.error.c_str());
+
+    std::printf("pushed shard host=%s seq=%u workload=%s "
+                "checksum=%016llx (%zu chunk%s, %d attempt%s%s) "
+                "-> %s\n",
+                opts.host.c_str(), opts.seq, w.name.c_str(),
+                static_cast<unsigned long long>(manifest.checksum),
+                chunks.size(), chunks.size() == 1 ? "" : "s",
+                res.attempts, res.attempts == 1 ? "" : "s",
+                res.duplicate ? ", duplicate" : "",
+                opts.to.empty() ? opts.export_dir.c_str()
+                                : opts.to.c_str());
+    return 0;
+}
+
+/**
+ * The central aggregation side: fold shards from N hosts as they
+ * arrive — polled out of a drop directory or pushed to a listening
+ * socket — optionally re-analyzing per arrival, checkpointing
+ * restorable state per arrival, and persisting the canonical
+ * aggregate.
  */
 int
 cmdAggregate(const CliOptions &opts)
 {
-    if (opts.watch_dir.empty())
-        fatal("aggregate requires --watch-dir <dir>");
+    bool listening = opts.listen_port >= 0;
+    if (opts.watch_dir.empty() == !listening)
+        fatal("aggregate requires exactly one of --watch-dir <dir> or "
+              "--listen <port>");
 
     std::optional<ProfileStore> central;
     if (!opts.store_dir.empty())
@@ -420,26 +581,80 @@ cmdAggregate(const CliOptions &opts)
     Analyzer analyzer;
 
     IncrementalAggregator agg;
-    WatchOptions wo;
-    wo.expect = opts.expect;
-    wo.timeout_ms = opts.timeout_ms;
-    wo.on_accept = [&](const ShardManifest &m) {
-        // The shard's bytes were already verified during import, so
-        // deposit the file as-is instead of re-parsing it.
-        if (central && !central->containsChecksum(m.checksum))
-            central->depositFileByChecksum(
-                m.checksum, opts.watch_dir + "/" + m.profile_file);
+    if (!opts.state_file.empty()) {
+        std::string why;
+        if (agg.restoreState(opts.state_file, &why)) {
+            std::printf("restored aggregator state from %s: "
+                        "%zu shard%s across %zu host%s\n",
+                        opts.state_file.c_str(), agg.restoredShards(),
+                        agg.restoredShards() == 1 ? "" : "s",
+                        agg.hostCount(),
+                        agg.hostCount() == 1 ? "" : "s");
+        } else if (std::filesystem::exists(opts.state_file)) {
+            // A present-but-unreadable state file is a cold start, not
+            // a crash: the shards can always be re-imported.
+            warn("ignoring aggregator state: %s", why.c_str());
+        }
+    }
+    // Checkpoint after every accepted shard (and the per-arrival
+    // analysis/deposit), before the arrival is acknowledged: a killed
+    // aggregator restarted with the same --state resumes from its
+    // partials instead of re-importing the fleet.
+    auto per_accept = [&](const ShardManifest &m,
+                          const ProfileData *profile) {
+        if (central && !central->containsChecksum(m.checksum)) {
+            if (profile)
+                central->insertByChecksum(m.checksum, *profile);
+            else
+                central->depositFileByChecksum(
+                    m.checksum, opts.watch_dir + "/" + m.profile_file);
+        }
         if (aw)
             agg.analyzeWith(*aw->program, analyzer);
+        // Full-state rewrite per accept: O(aggregate size) I/O each
+        // arrival, which is fine at simulated-fleet scale but the
+        // first thing to revisit for very large fleets (see ROADMAP:
+        // incremental state journaling).
+        if (!opts.state_file.empty())
+            agg.saveState(opts.state_file);
     };
-    watchAndAggregate(agg, opts.watch_dir, wo);
+
+    if (listening) {
+        ShardListener listener(
+            static_cast<uint16_t>(opts.listen_port), opts.bind_addr);
+        std::printf("listening on %s:%u\n", opts.bind_addr.c_str(),
+                    listener.port());
+        std::fflush(stdout);
+        if (!opts.port_file.empty())
+            writeFileAtomically(opts.port_file,
+                                format("%u\n", listener.port()));
+        ListenOptions lo;
+        lo.expect = opts.expect;
+        lo.idle_timeout_ms = opts.timeout_ms;
+        lo.on_accept = [&](const ShardManifest &m,
+                           const ProfileData &pd) {
+            per_accept(m, &pd);
+        };
+        listener.serve(agg, lo);
+    } else {
+        WatchOptions wo;
+        wo.expect = opts.expect;
+        wo.timeout_ms = opts.timeout_ms;
+        wo.on_accept = [&](const ShardManifest &m) {
+            // The shard's bytes were already verified during import,
+            // so the deposit copies the file instead of re-parsing it.
+            per_accept(m, nullptr);
+        };
+        watchAndAggregate(agg, opts.watch_dir, wo);
+    }
 
     const AggregatorStats &st = agg.stats();
     if (opts.expect > 0 && st.accepted < opts.expect)
-        fatal("timed out after %d ms waiting for %zu shards in '%s' "
-              "(accepted %zu, duplicates %zu, incompatible %zu, "
+        fatal("no shard for %d ms while waiting for %zu shards via "
+              "'%s' (accepted %zu, duplicates %zu, incompatible %zu, "
               "malformed %zu)",
-              opts.timeout_ms, opts.expect, opts.watch_dir.c_str(),
+              opts.timeout_ms, opts.expect,
+              listening ? "--listen" : opts.watch_dir.c_str(),
               st.accepted, st.duplicates, st.incompatible,
               st.malformed);
     if (!opts.profile_out.empty())
@@ -447,9 +662,10 @@ cmdAggregate(const CliOptions &opts)
 
     std::printf("aggregate: accepted=%zu duplicates=%zu "
                 "incompatible=%zu malformed=%zu analyses=%zu "
-                "rebuilds=%zu hosts=%zu%s%s\n",
+                "rebuilds=%zu restored=%zu hosts=%zu%s%s\n",
                 st.accepted, st.duplicates, st.incompatible,
-                st.malformed, st.analyses, st.rebuilds, agg.hostCount(),
+                st.malformed, st.analyses, st.rebuilds,
+                agg.restoredShards(), agg.hostCount(),
                 opts.profile_out.empty() ? "" : " -> ",
                 opts.profile_out.c_str());
     return 0;
@@ -555,6 +771,8 @@ main(int argc, char **argv)
         return cmdBatch(opts);
     if (opts.command == "export")
         return cmdExport(opts);
+    if (opts.command == "push")
+        return cmdPush(opts);
     if (opts.command == "aggregate")
         return cmdAggregate(opts);
     if (opts.command == "migrate")

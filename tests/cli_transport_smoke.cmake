@@ -1,0 +1,179 @@
+# Multi-process smoke test for the socket shard transport (run via
+# ctest):
+#
+#   Phase 1: three hbbp-tool push senders run CONCURRENTLY against one
+#   `aggregate --listen` process. One sender (hostB) is killed
+#   mid-stream (after 2 of its 3 chunk frames, via the --fail-after
+#   test hook) and retried; the retry resumes through idempotent chunk
+#   re-delivery. The aggregate must be byte-identical to a single-run
+#   `hbbp-tool merge` of the same shards.
+#
+#   Phase 2: an aggregator with --state is killed (SIGKILL) after two
+#   accepted shards — its per-accept checkpoint is the only survivor —
+#   and a restarted aggregator with the same --state resumes from the
+#   cached partials (restored=2 in the import-count stats, only hostC
+#   is newly imported) and produces the same bytes again.
+#
+# Invoked as:
+#   cmake -DHBBP_TOOL=<hbbp-tool> -DWORK_DIR=<scratch dir> \
+#         -P cli_transport_smoke.cmake
+
+cmake_minimum_required(VERSION 3.20)
+
+if(NOT DEFINED HBBP_TOOL OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR "pass -DHBBP_TOOL=... and -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(dump_logs)
+    set(logs "")
+    file(GLOB log_files "${WORK_DIR}/*.log")
+    foreach(log_file IN LISTS log_files)
+        file(READ "${log_file}" log)
+        get_filename_component(log_name "${log_file}" NAME)
+        string(APPEND logs "--- ${log_name} ---\n${log}")
+    endforeach()
+    set(ALL_LOGS "${logs}" PARENT_SCOPE)
+endfunction()
+
+# --- phase 1: three concurrent pushers, one killed and retried ------------
+# The listener picks an ephemeral port and reports it through
+# --port-file; every sender waits for that file. All orchestration
+# (backgrounding, wait, exit codes) lives in one sh script because
+# CMake cannot background processes itself.
+set(phase1_script "
+dir='${WORK_DIR}'
+tool='${HBBP_TOOL}'
+\"$tool\" aggregate --listen 0 --port-file \"$dir/port1\" --expect 3 \\
+    --timeout-ms 120000 -o \"$dir/agg1.profile\" > \"$dir/agg1.log\" 2>&1 &
+aggpid=$!
+i=0
+while [ ! -s \"$dir/port1\" ]; do
+    i=$((i+1)); [ $i -gt 200 ] && echo 'listener never published its port' && exit 1
+    sleep 0.1
+done
+port=$(cat \"$dir/port1\")
+\"$tool\" push test40 --host hostA --to 127.0.0.1:$port --chunks 2 \\
+    --retries 20 -o \"$dir/a.profile\" > \"$dir/pushA.log\" 2>&1 &
+pa=$!
+\"$tool\" push test40 --host hostC --to 127.0.0.1:$port --chunks 1 \\
+    --retries 20 -o \"$dir/c.profile\" > \"$dir/pushC.log\" 2>&1 &
+pc=$!
+\"$tool\" push test40 --host hostB --to 127.0.0.1:$port --chunks 3 \\
+    --fail-after 2 > \"$dir/pushB_crash.log\" 2>&1 &
+pb=$!
+rc=0
+wait $pa || rc=1
+wait $pc || rc=1
+wait $pb
+crash_rc=$?
+if [ $crash_rc -ne 3 ]; then
+    echo \"expected the crashing sender to exit 3, got $crash_rc\"
+    rc=1
+fi
+# The retry: same host, same seq, same chunking — the receiver confirms
+# the chunks it already staged and the stream finalizes.
+\"$tool\" push test40 --host hostB --to 127.0.0.1:$port --chunks 3 \\
+    --retries 20 -o \"$dir/b.profile\" > \"$dir/pushB.log\" 2>&1 || rc=1
+wait $aggpid || rc=1
+exit $rc
+")
+execute_process(COMMAND sh -c "${phase1_script}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    dump_logs()
+    message(FATAL_ERROR "phase 1 (concurrent pushes) failed (exit ${rc})\n${ALL_LOGS}")
+endif()
+
+file(READ "${WORK_DIR}/agg1.log" agg1_log)
+if(NOT agg1_log MATCHES "accepted=3 duplicates=0 incompatible=0 malformed=0")
+    message(FATAL_ERROR "unexpected phase-1 aggregate stats: ${agg1_log}")
+endif()
+if(NOT agg1_log MATCHES "hosts=3")
+    message(FATAL_ERROR "expected 3 hosts: ${agg1_log}")
+endif()
+
+# Byte-identical to a one-shot merge in canonical host order.
+execute_process(COMMAND "${HBBP_TOOL}" merge -o "${WORK_DIR}/merged.profile"
+    "${WORK_DIR}/a.profile" "${WORK_DIR}/b.profile" "${WORK_DIR}/c.profile"
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "merge failed (exit ${rc})")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORK_DIR}/agg1.profile" "${WORK_DIR}/merged.profile"
+    RESULT_VARIABLE differs)
+if(differs)
+    message(FATAL_ERROR "pushed aggregate is not byte-identical to the single-run merge")
+endif()
+
+# --- phase 2: kill the aggregator mid-run, resume from --state ------------
+# A push only returns success after its shard is accepted AND the
+# per-accept state checkpoint was written (the ack is sent last), so
+# once both pushes return, SIGKILL leaves a state file covering
+# exactly hostA and hostB.
+set(phase2_script "
+dir='${WORK_DIR}'
+tool='${HBBP_TOOL}'
+\"$tool\" aggregate --listen 0 --port-file \"$dir/port2\" \\
+    --state \"$dir/agg.state\" --expect 99 --timeout-ms 120000 \\
+    > \"$dir/agg2a.log\" 2>&1 &
+aggpid=$!
+i=0
+while [ ! -s \"$dir/port2\" ]; do
+    i=$((i+1)); [ $i -gt 200 ] && echo 'listener never published its port' && exit 1
+    sleep 0.1
+done
+port=$(cat \"$dir/port2\")
+\"$tool\" push test40 --host hostA --to 127.0.0.1:$port --chunks 2 \\
+    --retries 20 > \"$dir/push2A.log\" 2>&1 || exit 1
+\"$tool\" push test40 --host hostB --to 127.0.0.1:$port --chunks 3 \\
+    --retries 20 > \"$dir/push2B.log\" 2>&1 || exit 1
+kill -9 $aggpid 2>/dev/null
+wait $aggpid 2>/dev/null
+# The restarted aggregator resumes from the checkpointed partials and
+# only needs hostC to finish the fleet.
+\"$tool\" aggregate --listen 0 --port-file \"$dir/port3\" \\
+    --state \"$dir/agg.state\" --expect 3 --timeout-ms 120000 \\
+    -o \"$dir/agg2.profile\" > \"$dir/agg2b.log\" 2>&1 &
+agg2pid=$!
+i=0
+while [ ! -s \"$dir/port3\" ]; do
+    i=$((i+1)); [ $i -gt 200 ] && echo 'restarted listener never published its port' && exit 1
+    sleep 0.1
+done
+port=$(cat \"$dir/port3\")
+\"$tool\" push test40 --host hostC --to 127.0.0.1:$port --chunks 1 \\
+    --retries 20 > \"$dir/push2C.log\" 2>&1 || exit 1
+wait $agg2pid || exit 1
+exit 0
+")
+execute_process(COMMAND sh -c "${phase2_script}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    dump_logs()
+    message(FATAL_ERROR "phase 2 (kill + resume) failed (exit ${rc})\n${ALL_LOGS}")
+endif()
+
+file(READ "${WORK_DIR}/agg2b.log" agg2_log)
+# The import-count proof of resumption: two shards were restored from
+# state (not re-imported), exactly one was newly accepted on top.
+if(NOT agg2_log MATCHES "restored aggregator state from .* 2 shards across 2 hosts")
+    message(FATAL_ERROR "restarted aggregator did not restore state: ${agg2_log}")
+endif()
+if(NOT agg2_log MATCHES "accepted=3 duplicates=0 incompatible=0 malformed=0")
+    message(FATAL_ERROR "unexpected resumed aggregate stats: ${agg2_log}")
+endif()
+if(NOT agg2_log MATCHES "restored=2")
+    message(FATAL_ERROR "expected restored=2 in the stats line: ${agg2_log}")
+endif()
+
+# The resumed run yields the same bytes as phase 1's uninterrupted run.
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORK_DIR}/agg2.profile" "${WORK_DIR}/merged.profile"
+    RESULT_VARIABLE differs2)
+if(differs2)
+    message(FATAL_ERROR "resumed aggregate is not byte-identical to the single-run merge")
+endif()
+
+message(STATUS "transport smoke OK: 3 concurrent pushes (one crash + retry) -> byte-identical aggregate; kill -9 + --state resume -> same bytes")

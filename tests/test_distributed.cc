@@ -185,6 +185,40 @@ TEST(Manifest, ParseRejectsMalformedValues)
               std::string::npos);
 }
 
+TEST(Manifest, ParseRejectsNonCanonicalDecimalValues)
+{
+    // Regression: the decimal parser leaned on strtoull, which skips
+    // leading whitespace and accepts '+'/'-' signs (" -1" wraps to
+    // 2^64-1) and saturates on overflow — each of these used to slip
+    // through as a plausible-looking value.
+    ShardManifest m = manifestFor(shardProfile(1), "hostA");
+    auto mutate_seq = [&](const std::string &to) {
+        std::string text = m.render();
+        size_t pos = text.find("seq=0");
+        EXPECT_NE(pos, std::string::npos);
+        text.replace(pos, 5, "seq=" + to);
+        std::string why;
+        EXPECT_EQ(ShardManifest::parse(text, &why), std::nullopt)
+            << "seq=" << to << " parsed";
+        EXPECT_NE(why.find("malformed seq"), std::string::npos)
+            << "seq=" << to << ": " << why;
+    };
+    mutate_seq("-1");
+    mutate_seq(" -1");
+    mutate_seq("+1");
+    mutate_seq(" 7");
+    mutate_seq("\t7");
+    mutate_seq("18446744073709551616"); // 2^64: saturates in strtoull.
+
+    // The same rules hold for the version field in the header line.
+    std::string text = m.render();
+    size_t pos = text.find(" 1\n");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 3, " -1\n");
+    std::string why;
+    EXPECT_EQ(ShardManifest::parse(text, &why), std::nullopt);
+}
+
 TEST(Manifest, TryLoadReportsMissingFile)
 {
     std::string why;
@@ -588,6 +622,42 @@ TEST(Watch, MixedVersionShardSetsImportOnlyCurrentFormat)
     EXPECT_EQ(agg.aggregate(), good);
 }
 
+TEST(Watch, SlowButSteadyTrickleOutlivesTheIdleTimeout)
+{
+    // Regression: --timeout-ms used to be a deadline from watch start,
+    // so a trickle of shards each arriving well within the timeout
+    // would still be aborted mid-stream once the *total* run outlasted
+    // it. It is an idle timeout now: every accepted import resets it.
+    std::string dir = freshDir("watch_trickle");
+    constexpr int kShards = 4;
+    constexpr int kGapMs = 350;
+
+    std::thread trickle([&] {
+        for (int i = 0; i < kShards; i++) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(kGapMs));
+            exportShard(shardProfile(100 + i), format("host%d", i),
+                        "test40", 0, 1, dir);
+        }
+    });
+
+    IncrementalAggregator agg;
+    WatchOptions wo;
+    wo.expect = kShards;
+    // Under the old start-measured semantics this watch dies at
+    // 1200 ms with about three of the four shards (the last arrives
+    // around 1400 ms); with idle semantics every 350 ms arrival
+    // resets the clock and the full stream lands. The 850 ms slack
+    // between gap and timeout keeps loaded CI runners (TSan, -j)
+    // from turning an overslept exporter into a flake.
+    wo.timeout_ms = 1200;
+    wo.poll_ms = 20;
+    size_t accepted = watchAndAggregate(agg, dir, wo);
+    trickle.join();
+    EXPECT_EQ(accepted, static_cast<size_t>(kShards));
+    EXPECT_EQ(agg.stats().accepted, static_cast<size_t>(kShards));
+}
+
 TEST(Watch, TimesOutGracefullyWhenShardsNeverArrive)
 {
     std::string dir = freshDir("watch_timeout");
@@ -704,6 +774,38 @@ TEST(Store, UnreadableEntriesAreCacheMisses)
     std::optional<ProfileData> healed = store.lookup(key);
     ASSERT_TRUE(healed.has_value());
     EXPECT_EQ(*healed, pd);
+}
+
+TEST(Store, UnreadableEntriesAreEvictedNotLeaked)
+{
+    // Regression: unreadable entries were treated as misses but the
+    // dead files stayed behind — after a format bump the entire old
+    // store leaked on disk forever (nothing would ever overwrite
+    // entries whose keys are no longer requested). A failed load now
+    // unlinks the entry.
+    std::string dir = freshDir("evict_store");
+    ProfileStore store(dir);
+    CollectorConfig cc;
+    ProfileKey stale_key{"loop", cc, 1, MachineConfig{}};
+    cc.seed = 99;
+    ProfileKey other_stale{"loop2", cc, 1, MachineConfig{}};
+
+    writeFile(store.pathFor(stale_key), "HBBPPROFxxxx not really");
+    writeFile(store.pathFor(other_stale), "legacy junk");
+    EXPECT_EQ(store.entryCount(), 2u);
+
+    EXPECT_EQ(store.lookup(stale_key), std::nullopt);
+    EXPECT_EQ(store.entryCount(), 1u);
+    EXPECT_FALSE(store.contains(stale_key));
+
+    EXPECT_EQ(store.lookup(other_stale), std::nullopt);
+    EXPECT_EQ(store.entryCount(), 0u);
+
+    // A healthy entry is not collateral damage.
+    ProfileData pd = shardProfile(1);
+    store.insert(stale_key, pd);
+    EXPECT_EQ(store.lookup(stale_key), pd);
+    EXPECT_EQ(store.entryCount(), 1u);
 }
 
 } // namespace
