@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Hierarchical relay aggregation scaling benchmark.
+ *
+ * Measures a fleet's shards reaching one root aggregate two ways as
+ * host counts grow: flat (every host pushes straight to the root
+ * listener, the PR-4 topology) against a depth-2 tree (hosts split
+ * across two relay nodes that fold locally and push partial
+ * aggregates upstream). The tree pays an extra hop but the root folds
+ * a handful of aggregate arrivals instead of every collector's
+ * stream — the shape that keeps a root alive at fleet scale. Both
+ * topologies must produce byte-identical aggregates; the bench fails
+ * loudly if they ever disagree.
+ *
+ * Output is machine-readable JSON on stdout (one object), so CI can
+ * archive and diff runs. Pass --human for the table view, --quick for
+ * a CI-sized run.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hh"
+#include "fleet/aggregate.hh"
+#include "fleet/manifest.hh"
+#include "fleet/merge.hh"
+#include "fleet/relay.hh"
+#include "fleet/shard.hh"
+#include "fleet/transport.hh"
+
+using namespace hbbp;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    using namespace std::chrono;
+    return duration_cast<duration<double>>(steady_clock::now() - start)
+        .count();
+}
+
+/** One topology timing point. */
+struct RelayPoint
+{
+    size_t hosts = 0;
+    size_t relays = 0;
+    uint64_t samples = 0;
+    double flat_seconds = 0.0;
+    double tree_seconds = 0.0;
+    size_t root_arrivals_flat = 0;
+    size_t root_arrivals_tree = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool human = false, quick = false;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--human") == 0)
+            human = true;
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    std::vector<size_t> host_counts =
+        quick ? std::vector<size_t>{2, 4}
+              : std::vector<size_t>{2, 4, 8, 16};
+    constexpr size_t kRelays = 2;
+    Workload w = requireWorkloadByName("test40");
+    CollectorConfig base_cc = collectorConfigFor(w);
+    if (quick)
+        base_cc.max_instructions = w.max_instructions / 4;
+
+    std::vector<RelayPoint> points;
+    for (size_t n_hosts : host_counts) {
+        // Host-seeded collections prepared up front so both
+        // topologies move the same bytes.
+        std::vector<ShardManifest> manifests(n_hosts);
+        std::vector<std::string> shard_bytes(n_hosts);
+        std::vector<ProfileData> profiles(n_hosts);
+        for (size_t h = 0; h < n_hosts; h++) {
+            std::string host = format("host%03zu", h);
+            CollectorConfig cc = base_cc;
+            cc.seed = hostStreamSeed(cc.seed, host, 0);
+            ShardPlan plan;
+            plan.shards = 1;
+            plan.jobs = 1;
+            profiles[h] = collectSharded(*w.program, MachineConfig{},
+                                         cc, plan);
+            manifests[h].host = host;
+            manifests[h].workload = w.name;
+            shard_bytes[h] =
+                profiles[h].serialize(&manifests[h].checksum);
+        }
+        ProfileData reference = mergeProfiles(profiles);
+
+        RelayPoint p;
+        p.hosts = n_hosts;
+        p.relays = kRelays;
+        p.samples = reference.ebs.size() + reference.lbr.size();
+
+        auto push_to = [&](size_t h, uint16_t port) {
+            SocketTransportOptions so;
+            so.port = port;
+            SocketTransport t(so);
+            SendResult res =
+                t.sendShard(manifests[h], {shard_bytes[h]});
+            if (!res.ok)
+                fatal("push failed: %s", res.error.c_str());
+        };
+
+        // Flat: every host dials the root.
+        auto start = std::chrono::steady_clock::now();
+        {
+            IncrementalAggregator agg;
+            ShardListener listener(0);
+            ListenOptions lo;
+            lo.expect = n_hosts;
+            std::thread server([&] { listener.serve(agg, lo); });
+            std::vector<std::thread> senders;
+            for (size_t h = 0; h < n_hosts; h++)
+                senders.emplace_back(
+                    [&, h] { push_to(h, listener.port()); });
+            for (std::thread &t : senders)
+                t.join();
+            server.join();
+            p.root_arrivals_flat = agg.stats().accepted;
+            if (!(agg.aggregate() == reference))
+                fatal("flat aggregate disagrees at %zu hosts", n_hosts);
+        }
+        p.flat_seconds = secondsSince(start);
+
+        // Tree: hosts split across relays, relays push partials up.
+        start = std::chrono::steady_clock::now();
+        {
+            IncrementalAggregator agg;
+            ShardListener root(0);
+            ListenOptions lo;
+            lo.expect = n_hosts; // Covered leaves, via the relays.
+            std::thread server([&] { root.serve(agg, lo); });
+
+            std::vector<std::unique_ptr<RelayNode>> relays;
+            std::vector<std::thread> relay_threads;
+            for (size_t r = 0; r < kRelays; r++) {
+                RelayOptions ro;
+                ro.upstream_port = root.port();
+                ro.relay_id = format("relay%zu", r);
+                // Each relay serves its slice of the fleet.
+                ro.expect = n_hosts / kRelays +
+                            (r < n_hosts % kRelays ? 1 : 0);
+                relays.push_back(std::make_unique<RelayNode>(ro));
+            }
+            for (size_t r = 0; r < kRelays; r++)
+                relay_threads.emplace_back([&, r] {
+                    RelayStats rs = relays[r]->run();
+                    if (!rs.upstream_ok)
+                        fatal("relay flush failed: %s",
+                              rs.error.c_str());
+                });
+            std::vector<std::thread> senders;
+            for (size_t h = 0; h < n_hosts; h++)
+                senders.emplace_back([&, h] {
+                    push_to(h, relays[h % kRelays]->port());
+                });
+            for (std::thread &t : senders)
+                t.join();
+            for (std::thread &t : relay_threads)
+                t.join();
+            server.join();
+            p.root_arrivals_tree = agg.stats().accepted;
+            if (!(agg.aggregate() == reference))
+                fatal("tree aggregate disagrees at %zu hosts", n_hosts);
+        }
+        p.tree_seconds = secondsSince(start);
+        points.push_back(p);
+    }
+
+    if (human) {
+        bench::headline("Relay tree scaling",
+                        "fleet extension (no paper analogue)");
+        TextTable table({"hosts", "relays", "samples", "flat s",
+                         "tree s", "root arrivals flat/tree"});
+        for (size_t col = 0; col < 6; col++)
+            table.setAlign(col, Align::Right);
+        for (const RelayPoint &p : points)
+            table.addRow(
+                {format("%zu", p.hosts), format("%zu", p.relays),
+                 format("%llu",
+                        static_cast<unsigned long long>(p.samples)),
+                 format("%.4f", p.flat_seconds),
+                 format("%.4f", p.tree_seconds),
+                 format("%zu/%zu", p.root_arrivals_flat,
+                        p.root_arrivals_tree)});
+        std::printf("%s\n", table.render().c_str());
+        return 0;
+    }
+
+    std::printf("{\n  \"bench\": \"scale_relay\",\n");
+    std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+    std::printf("  \"points\": [\n");
+    for (size_t i = 0; i < points.size(); i++) {
+        const RelayPoint &p = points[i];
+        std::printf(
+            "    {\"hosts\": %zu, \"relays\": %zu, \"samples\": %llu, "
+            "\"flat_seconds\": %.6f, \"tree_seconds\": %.6f, "
+            "\"root_arrivals_flat\": %zu, "
+            "\"root_arrivals_tree\": %zu}%s\n",
+            p.hosts, p.relays,
+            static_cast<unsigned long long>(p.samples),
+            p.flat_seconds, p.tree_seconds, p.root_arrivals_flat,
+            p.root_arrivals_tree,
+            i + 1 < points.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+}

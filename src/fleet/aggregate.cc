@@ -33,9 +33,11 @@ compatReference(const ProfileData &pd)
 // magic, format version, payload length, payload checksum — so a
 // truncated or corrupt state file is detected before anything is
 // trusted, and a restarted aggregator falls back to a cold start
-// instead of resuming from garbage.
+// instead of resuming from garbage. Version 2 added the relay fields
+// (max level seen, aggregate/superseded arrival counts); version-1
+// files from pre-relay builds restore as a cold start.
 constexpr uint64_t kStateMagic = 0x48424250'41474753ULL; // "HBBPAGGS"
-constexpr uint32_t kStateVersion = 1;
+constexpr uint32_t kStateVersion = 2;
 
 /** Embed a serialized profile (self-validating bytes) in the state. */
 void
@@ -177,6 +179,188 @@ IncrementalAggregator::addShard(const ShardManifest &manifest,
     return true;
 }
 
+bool
+IncrementalAggregator::addAggregateShard(const ShardManifest &manifest,
+                                         std::vector<ProfileData> partials,
+                                         std::string *why)
+{
+    auto reject = [&](size_t *stat, std::string reason) {
+        (*stat)++;
+        if (why)
+            *why = std::move(reason);
+        return false;
+    };
+
+    if (manifest.level == 0 || manifest.covered.empty())
+        return reject(
+            &stats_.malformed,
+            format("shard from '%s' is not an aggregate (level %u, %zu "
+                   "covered hosts)", manifest.host.c_str(),
+                   manifest.level, manifest.covered.size()));
+    if (manifest.covered.size() != partials.size())
+        return reject(
+            &stats_.malformed,
+            format("aggregate from '%s' covers %zu hosts but carries "
+                   "%zu partials", manifest.host.c_str(),
+                   manifest.covered.size(), partials.size()));
+    if (seen_checksums_.count(manifest.checksum))
+        return reject(
+            &stats_.duplicates,
+            format("duplicate aggregate: checksum %016llx from relay "
+                   "'%s' is already folded",
+                   static_cast<unsigned long long>(manifest.checksum),
+                   manifest.host.c_str()));
+    if (!workload_.empty() && manifest.workload != workload_)
+        return reject(
+            &stats_.incompatible,
+            format("incompatible aggregate from relay '%s': workload "
+                   "'%s' does not match the aggregate's workload '%s'",
+                   manifest.host.c_str(), manifest.workload.c_str(),
+                   workload_.c_str()));
+
+    // Nothing below may mutate state until the whole arrival is
+    // judged: a rejection must leave the aggregator exactly as it was.
+    const ProfileData &ref = compat_ref_ ? *compat_ref_ : partials[0];
+    std::vector<MmapRecord> fresh_mmaps;
+    for (size_t i = 0; i < partials.size(); i++) {
+        std::string compat_why;
+        if (!mergeCompatible(ref, partials[i], &compat_why))
+            return reject(
+                &stats_.incompatible,
+                format("incompatible aggregate from relay '%s' "
+                       "(host '%s'): %s — shards must be collected "
+                       "with identical sampling periods and runtime "
+                       "class", manifest.host.c_str(),
+                       manifest.covered[i].host.c_str(),
+                       compat_why.c_str()));
+        for (const MmapRecord &rec : partials[i].mmaps) {
+            bool known = false;
+            for (const std::vector<MmapRecord> *have_list :
+                 {&mmaps_, &fresh_mmaps}) {
+                for (const MmapRecord &have : *have_list) {
+                    if (have.name != rec.name)
+                        continue;
+                    if (!(have == rec))
+                        return reject(
+                            &stats_.incompatible,
+                            format("incompatible aggregate from relay "
+                                   "'%s': module '%s' mapped at "
+                                   "%#llx+%#llx here but %#llx+%#llx "
+                                   "in the aggregate",
+                                   manifest.host.c_str(),
+                                   rec.name.c_str(),
+                                   static_cast<unsigned long long>(
+                                       rec.base),
+                                   static_cast<unsigned long long>(
+                                       rec.size),
+                                   static_cast<unsigned long long>(
+                                       have.base),
+                                   static_cast<unsigned long long>(
+                                       have.size)));
+                    known = true;
+                    break;
+                }
+                if (known)
+                    break;
+            }
+            if (!known)
+                fresh_mmaps.push_back(rec);
+        }
+    }
+
+    bool folds_anything = false;
+    for (const HostCoverage &hc : manifest.covered) {
+        auto it = hosts_.find(hc.host);
+        if (it == hosts_.end() || hc.count > it->second.next_seq) {
+            folds_anything = true;
+            break;
+        }
+    }
+    // The payload is accounted for either way: a later re-delivery of
+    // this exact flush must confirm back as a duplicate, not fail.
+    seen_checksums_.insert(manifest.checksum);
+    if (!folds_anything) {
+        stats_.superseded++;
+        if (why)
+            *why = format(
+                "aggregate from relay '%s' is entirely superseded: "
+                "every covered host's fold already reaches at least "
+                "as far", manifest.host.c_str());
+        return false;
+    }
+
+    if (!compat_ref_) {
+        compat_ref_ = compatReference(partials[0]);
+        workload_ = manifest.workload;
+    }
+    for (MmapRecord &rec : fresh_mmaps)
+        mmaps_.push_back(std::move(rec));
+    for (size_t i = 0; i < partials.size(); i++) {
+        const HostCoverage &hc = manifest.covered[i];
+        HostState &hs = hosts_[hc.host];
+        // Supersede, never merge: the arriving fold *contains* every
+        // leaf shard [0, count) — each host reports through exactly
+        // one relay path, so our shorter prefix is a strict subset of
+        // the same bytes, and replacing it wholesale is what keeps the
+        // root byte-identical to flat ingestion.
+        if (hc.count <= hs.next_seq)
+            continue;
+        hs.partial = std::move(partials[i]);
+        hs.next_seq = hc.count;
+        auto it = hs.pending.begin();
+        while (it != hs.pending.end() && it->first < hs.next_seq)
+            it = hs.pending.erase(it); // Retired: the fold covers them.
+        while (it != hs.pending.end() && it->first == hs.next_seq) {
+            accumulateInto(hs.partial, it->second);
+            hs.next_seq++;
+            it = hs.pending.erase(it);
+        }
+    }
+
+    stats_.accepted++;
+    stats_.aggregates++;
+    max_level_ = std::max(max_level_, manifest.level);
+    epoch_++;
+    return true;
+}
+
+size_t
+IncrementalAggregator::coveredShards() const
+{
+    size_t n = 0;
+    for (const auto &[host, hs] : hosts_)
+        n += hs.next_seq + hs.pending.size();
+    return n;
+}
+
+PartialExport
+IncrementalAggregator::exportPartials() const
+{
+    PartialExport ex;
+    ex.workload = workload_;
+    std::optional<ProfileData> fold;
+    for (const auto &[host, hs] : hosts_) {
+        if (hs.partial) {
+            HostPartial hp;
+            hp.host = host;
+            hp.covered = hs.next_seq;
+            hp.bytes = hs.partial->serialize();
+            ex.partials.push_back(std::move(hp));
+            accumulateInto(fold, *hs.partial);
+        }
+        for (const auto &[seq, pd] : hs.pending) {
+            OrphanShard orphan;
+            orphan.host = host;
+            orphan.seq = seq;
+            orphan.bytes = pd.serialize(&orphan.checksum);
+            ex.orphans.push_back(std::move(orphan));
+        }
+    }
+    if (fold)
+        ex.checksum = fold->payloadChecksum();
+    return ex;
+}
+
 std::optional<ShardManifest>
 IncrementalAggregator::importFile(const std::string &manifest_path,
                                   std::string *why)
@@ -266,6 +450,9 @@ IncrementalAggregator::saveState(const std::string &path) const
     w.u64(stats_.duplicates);
     w.u64(stats_.incompatible);
     w.u64(stats_.malformed);
+    w.u64(stats_.aggregates);
+    w.u64(stats_.superseded);
+    w.u32(max_level_);
     w.u32(static_cast<uint32_t>(hosts_.size()));
     for (const auto &[host, hs] : hosts_) {
         w.str(host);
@@ -388,6 +575,9 @@ IncrementalAggregator::parseStateBody(const std::string &body,
     stats_.duplicates = r.u64();
     stats_.incompatible = r.u64();
     stats_.malformed = r.u64();
+    stats_.aggregates = r.u64();
+    stats_.superseded = r.u64();
+    max_level_ = r.u32();
     uint32_t n_hosts = static_cast<uint32_t>(r.count(r.u32(), 9, "host"));
     for (uint32_t i = 0; i < n_hosts; i++) {
         std::string host = r.str();
@@ -448,8 +638,11 @@ watchAndAggregate(IncrementalAggregator &agg, const std::string &dir,
                      why.c_str());
             }
         }
+        // Covered leaf shards, not arrivals: with relays in the
+        // transport path one arrival can account for many collectors,
+        // and "the fleet is complete" means coverage either way.
         if (options.expect == 0 ||
-            agg.stats().accepted >= options.expect)
+            agg.coveredShards() >= options.expect)
             break;
         if (clock::now() - last_import >= idle_limit)
             break;

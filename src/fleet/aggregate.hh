@@ -46,6 +46,47 @@ struct AggregatorStats
     size_t malformed = 0;    ///< Rejected: unreadable manifest/profile.
     size_t analyses = 0;     ///< Analysis recomputations (not cache hits).
     size_t rebuilds = 0;     ///< Aggregate recomputations (not cache hits).
+    size_t aggregates = 0;   ///< Accepted arrivals that were partial
+                             ///< aggregates (manifest level >= 1).
+    size_t superseded = 0;   ///< Aggregate arrivals whose whole coverage
+                             ///< was already surpassed (folded nothing).
+};
+
+/**
+ * One host's transportable partial: the fold of that host's leaf
+ * shards with sequence numbers [0, covered), serialized.
+ */
+struct HostPartial
+{
+    std::string host;
+    uint32_t covered = 0;
+    std::string bytes;
+};
+
+/**
+ * An out-of-order leaf shard stranded behind a sequence gap. It cannot
+ * ride inside an aggregate (coverage is a gap-free prefix), so a relay
+ * forwards it upstream verbatim as the leaf shard it is.
+ */
+struct OrphanShard
+{
+    std::string host;
+    uint32_t seq = 0;
+    uint64_t checksum = 0;
+    std::string bytes;
+};
+
+/** Everything a relay needs to push its state upstream. */
+struct PartialExport
+{
+    /** Per-host contiguous partials, sorted by host id. */
+    std::vector<HostPartial> partials;
+    /** Pending out-of-order leaf shards, forwarded as-is. */
+    std::vector<OrphanShard> orphans;
+    /** Payload checksum of the partials folded in order — what the
+     * aggregate-shard manifest promises. */
+    uint64_t checksum = 0;
+    std::string workload;
 };
 
 /** Folds arriving shards into one canonical-order aggregate. */
@@ -62,6 +103,30 @@ class IncrementalAggregator
      */
     bool addShard(const ShardManifest &manifest, ProfileData profile,
                   std::string *why = nullptr);
+
+    /**
+     * Fold an arrived *aggregate* shard in: @p partials are the
+     * per-host folds aligned with @p manifest.covered (one per entry,
+     * same order). Each host's coverage splices into that host's state
+     * independently — arriving coverage [0, n) *supersedes* what we
+     * hold when n exceeds the host's folded prefix (replacing the
+     * partial wholesale, retiring any pending shards it now covers)
+     * and is skipped when it does not, so re-deliveries, restarted
+     * relays and growing flushes fold idempotently and the root
+     * aggregate is byte-identical to flat ingestion of the same leaf
+     * shards regardless of tree shape or arrival order.
+     *
+     * Returns false with *@p why set when the arrival is a duplicate
+     * (payload checksum already seen), entirely superseded (every
+     * host's coverage already surpassed — counted separately in
+     * stats().superseded), malformed (coverage/partials disagree) or
+     * incompatible. Duplicate and superseded arrivals record the
+     * checksum as seen, so hasChecksum() lets a transport confirm
+     * them back to the sender as successes.
+     */
+    bool addAggregateShard(const ShardManifest &manifest,
+                           std::vector<ProfileData> partials,
+                           std::string *why = nullptr);
 
     /**
      * importShard() the manifest at @p manifest_path and fold it in.
@@ -97,6 +162,32 @@ class IncrementalAggregator
 
     /** Distinct hosts that have contributed accepted shards. */
     size_t hostCount() const { return hosts_.size(); }
+
+    /**
+     * Leaf shards the aggregate accounts for: each host's folded
+     * prefix plus its pending out-of-order arrivals. Equal to
+     * stats().accepted when every arrival was a leaf shard; with
+     * aggregate arrivals it counts what they *cover*, which is what a
+     * fleet-completeness wait (`--expect`) actually means.
+     */
+    size_t coveredShards() const;
+
+    /**
+     * Deepest aggregation level folded in so far: 0 after only leaf
+     * shards, N after an aggregate shard of level N. A relay stamps
+     * its own exports one level above this.
+     */
+    uint32_t maxLevelSeen() const { return max_level_; }
+
+    /**
+     * Snapshot the per-host state in transportable form: sorted
+     * per-host partials (serialized, with their coverage counts and
+     * the folded checksum an aggregate-shard manifest promises) plus
+     * any pending out-of-order leaf shards re-serialized for verbatim
+     * forwarding. Empty partials and orphans when nothing has been
+     * accepted.
+     */
+    PartialExport exportPartials() const;
 
     /** Count a shard the transport rejected before addShard() ran. */
     void noteMalformed() { stats_.malformed++; }
@@ -137,6 +228,14 @@ class IncrementalAggregator
     /** Shards carried in by restoreState() (0 on a cold start). */
     size_t restoredShards() const { return restored_; }
 
+    /**
+     * Mark everything accepted so far as restored rather than newly
+     * imported — the journal-replay path's equivalent of the count
+     * restoreState() sets, so `restored=` reporting stays truthful
+     * when a checkpoint is topped up from an append-only journal.
+     */
+    void markRestored() { restored_ = stats_.accepted; }
+
   private:
     /** restoreState()'s checksummed-payload parse (throws on damage). */
     void parseStateBody(const std::string &body,
@@ -166,6 +265,7 @@ class IncrementalAggregator
      */
     std::vector<MmapRecord> mmaps_;
 
+    uint32_t max_level_ = 0; ///< Deepest manifest level accepted.
     uint64_t epoch_ = 0; ///< Bumped per accepted shard.
     std::optional<ProfileData> cached_aggregate_;
     uint64_t aggregate_epoch_ = UINT64_MAX;
@@ -180,8 +280,9 @@ class IncrementalAggregator
 struct WatchOptions
 {
     /**
-     * Stop once this many shards have been accepted (counting any
-     * restoreState() carry-in); 0 means scan the directory once and
+     * Stop once this many leaf shards are covered (counting any
+     * restoreState() carry-in; equal to the accepted count when every
+     * arrival is a leaf shard); 0 means scan the directory once and
      * return without waiting.
      */
     size_t expect = 0;

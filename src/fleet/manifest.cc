@@ -19,6 +19,13 @@ namespace fs = std::filesystem;
 
 namespace hbbp {
 
+bool
+validHostId(const std::string &host)
+{
+    return !host.empty() &&
+           host.find_first_of(" \t\n/,:") == std::string::npos;
+}
+
 const char *
 name(ShardStatus status)
 {
@@ -72,23 +79,88 @@ parseHex64(const std::string &value, uint64_t *out)
     return true;
 }
 
+/** Parse a `hosts=hostA:2,hostB:1` coverage list; false on damage. */
+bool
+parseCoverage(const std::string &value,
+              std::vector<HostCoverage> *out, std::string *why)
+{
+    for (const std::string &entry : split(value, ',')) {
+        size_t colon = entry.rfind(':');
+        if (colon == std::string::npos) {
+            *why = format("malformed hosts entry '%s'", entry.c_str());
+            return false;
+        }
+        HostCoverage hc;
+        hc.host = entry.substr(0, colon);
+        uint64_t count;
+        if (!validHostId(hc.host) ||
+            !parseU64(entry.substr(colon + 1), &count) || count == 0 ||
+            count > UINT32_MAX) {
+            *why = format("malformed hosts entry '%s'", entry.c_str());
+            return false;
+        }
+        hc.count = static_cast<uint32_t>(count);
+        // Sorted and duplicate-free, so coverage order is canonical
+        // and chunk i always means covered[i]'s partial.
+        if (!out->empty() && out->back().host >= hc.host) {
+            *why = format(
+                "hosts list is not sorted and duplicate-free at '%s'",
+                hc.host.c_str());
+            return false;
+        }
+        out->push_back(std::move(hc));
+    }
+    if (out->empty()) {
+        *why = "empty hosts list";
+        return false;
+    }
+    return true;
+}
+
 } // namespace
+
+size_t
+ShardManifest::coveredShardCount() const
+{
+    if (covered.empty())
+        return 1;
+    size_t n = 0;
+    for (const HostCoverage &hc : covered)
+        n += hc.count;
+    return n;
+}
 
 std::string
 ShardManifest::render() const
 {
-    return format("%s %u\n"
-                  "host=%s\n"
-                  "workload=%s\n"
-                  "seq=%u\n"
-                  "options=%016llx\n"
-                  "checksum=%016llx\n"
-                  "profile=%s\n"
-                  "status=%s\n",
-                  kManifestTag, version, host.c_str(), workload.c_str(),
-                  seq, static_cast<unsigned long long>(options_hash),
-                  static_cast<unsigned long long>(checksum),
-                  profile_file.c_str(), name(status));
+    // Leaf shards keep the version-1 text byte-for-byte: a fleet can
+    // upgrade its relays before (or after) its aggregation root, and
+    // collectors never need to move at all.
+    uint32_t written = level > 0 || !covered.empty()
+                           ? kManifestVersionAggregate
+                           : kManifestVersion;
+    std::string text =
+        format("%s %u\n"
+               "host=%s\n"
+               "workload=%s\n"
+               "seq=%u\n"
+               "options=%016llx\n"
+               "checksum=%016llx\n"
+               "profile=%s\n"
+               "status=%s\n",
+               kManifestTag, written, host.c_str(), workload.c_str(),
+               seq, static_cast<unsigned long long>(options_hash),
+               static_cast<unsigned long long>(checksum),
+               profile_file.c_str(), name(status));
+    if (written >= kManifestVersionAggregate) {
+        text += format("level=%u\n", level);
+        text += "hosts=";
+        for (size_t i = 0; i < covered.size(); i++)
+            text += format("%s%s:%u", i == 0 ? "" : ",",
+                           covered[i].host.c_str(), covered[i].count);
+        text += "\n";
+    }
+    return text;
 }
 
 void
@@ -117,17 +189,21 @@ ShardManifest::parse(const std::string &text, std::string *why)
     if (!parseU64(header[1], &version))
         return fail(format("malformed manifest version '%s'",
                            header[1].c_str()));
-    if (version != kManifestVersion)
+    if (version != kManifestVersion &&
+        version != kManifestVersionAggregate)
         return fail(format(
             "unsupported manifest version %llu (this build reads "
-            "version %u) — re-export the shard with a matching build",
-            static_cast<unsigned long long>(version), kManifestVersion));
+            "versions %u-%u) — re-export the shard with a matching "
+            "build",
+            static_cast<unsigned long long>(version), kManifestVersion,
+            kManifestVersionAggregate));
 
     ShardManifest m;
     m.version = static_cast<uint32_t>(version);
     bool have_host = false, have_workload = false, have_seq = false;
     bool have_options = false, have_checksum = false;
     bool have_profile = false, have_status = false;
+    bool have_level = false, have_hosts = false;
     for (size_t i = 1; i < lines.size(); i++) {
         if (lines[i].empty())
             continue;
@@ -138,6 +214,15 @@ ShardManifest::parse(const std::string &text, std::string *why)
         std::string key = lines[i].substr(0, eq);
         std::string value = lines[i].substr(eq + 1);
         if (key == "host") {
+            // Validated at the parse chokepoint, not just the drop-dir
+            // writer: a socket-pushed shard whose host id holds ','
+            // or ':' would fold fine here and then render an
+            // unparseable `hosts=` coverage line one level up — an
+            // acked shard that can never reach the root.
+            if (!value.empty() && !validHostId(value))
+                return fail(format(
+                    "malformed host id '%s' (must be without "
+                    "whitespace, '/', ',' or ':')", value.c_str()));
             m.host = value;
             have_host = !value.empty();
         } else if (key == "workload") {
@@ -172,6 +257,21 @@ ShardManifest::parse(const std::string &text, std::string *why)
                 return fail(format("unknown shard status '%s'",
                                    value.c_str()));
             have_status = true;
+        } else if (key == "level" &&
+                   version >= kManifestVersionAggregate) {
+            uint64_t level;
+            if (!parseU64(value, &level) || level == 0 ||
+                level > UINT32_MAX)
+                return fail(format("malformed level value '%s'",
+                                   value.c_str()));
+            m.level = static_cast<uint32_t>(level);
+            have_level = true;
+        } else if (key == "hosts" &&
+                   version >= kManifestVersionAggregate) {
+            std::string cover_why;
+            if (!parseCoverage(value, &m.covered, &cover_why))
+                return fail(std::move(cover_why));
+            have_hosts = true;
         }
         // Unknown keys are ignored: minor-version additions stay
         // readable by older aggregators.
@@ -190,6 +290,14 @@ ShardManifest::parse(const std::string &text, std::string *why)
         return fail("truncated manifest: missing 'profile' field");
     if (!have_status)
         return fail("truncated manifest: missing 'status' field");
+    // An aggregate manifest travels level and coverage together: the
+    // fold semantics need the covered set, the level needs to be
+    // explainable, and half of either is a damaged export.
+    if (version >= kManifestVersionAggregate &&
+        have_level != have_hosts)
+        return fail(format(
+            "truncated manifest: aggregate shards need both 'level' "
+            "and 'hosts' (got %s only)", have_level ? "level" : "hosts"));
     return m;
 }
 
@@ -234,10 +342,9 @@ std::string
 writeShardFiles(ShardManifest m, const std::string &bytes,
                 const std::string &dir, ShardManifest *manifest_out)
 {
-    if (m.host.empty() ||
-        m.host.find_first_of(" \t\n/") != std::string::npos)
+    if (!validHostId(m.host))
         fatal("invalid host id '%s' (must be non-empty, without "
-              "whitespace or '/')", m.host.c_str());
+              "whitespace, '/', ',' or ':')", m.host.c_str());
     std::error_code ec;
     fs::create_directories(dir, ec);
     if (ec)
@@ -300,6 +407,16 @@ importShard(const std::string &manifest_path, std::string *why)
             "this shard; aggregating it now would bake truncated data "
             "into the fleet mix",
             manifest_path.c_str(), name(m->status)));
+
+    // An aggregate shard's payload is one chunk *per covered host* —
+    // a single profile file cannot carry the per-host split the
+    // supersede fold needs, so aggregates travel over the socket
+    // transport only.
+    if (m->level > 0 || !m->covered.empty())
+        return fail(format(
+            "'%s' is a level-%u aggregate shard: aggregates travel "
+            "over the socket transport (relay --to), not drop "
+            "directories", manifest_path.c_str(), m->level));
 
     std::string profile_path =
         (fs::path(manifest_path).parent_path() / m->profile_file)

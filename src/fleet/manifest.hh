@@ -12,6 +12,13 @@
  * manifest is written last and renamed into place, so a manifest's
  * presence guarantees the profile beside it is complete — aggregators
  * can watch a drop directory without racing exporters.
+ *
+ * Version 2 makes *partial aggregates* first-class shards: a relay
+ * node that folded shards from N downstream hosts exports the fold
+ * with `level` >= 1 and a `hosts=` line naming the covered hosts and
+ * how many of each host's leaf shards the fold contains. Leaf shards
+ * keep rendering in the version-1 text, so aggregation points built
+ * before relays existed still read every collector's output.
  */
 
 #ifndef HBBP_FLEET_MANIFEST_HH
@@ -20,13 +27,29 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "collect/profile.hh"
 
 namespace hbbp {
 
-/** Manifest text format version this build reads and writes. */
+/** Manifest text version written for leaf (level-0) shards. */
 constexpr uint32_t kManifestVersion = 1;
+
+/** Manifest text version written for aggregate (level >= 1) shards. */
+constexpr uint32_t kManifestVersionAggregate = 2;
+
+/**
+ * One covered host inside an aggregate shard: the fold contains leaf
+ * shards with sequence numbers [0, count) from this host.
+ */
+struct HostCoverage
+{
+    std::string host;
+    uint32_t count = 0;
+
+    bool operator==(const HostCoverage &other) const = default;
+};
 
 /** Lifecycle of an exported shard. */
 enum class ShardStatus : uint8_t {
@@ -35,6 +58,15 @@ enum class ShardStatus : uint8_t {
 };
 
 const char *name(ShardStatus status);
+
+/**
+ * A usable host id: non-empty, no whitespace or '/' (ids become file
+ * names), no ',' or ':' (ids are list elements in `hosts=` coverage
+ * lines). Enforced wherever a host id enters the system — manifest
+ * parse, drop-dir export, the push CLI — so a shard that folds
+ * anywhere can always be re-exported one level up.
+ */
+bool validHostId(const std::string &host);
 
 /** Everything an aggregator needs to know about one exported shard. */
 struct ShardManifest
@@ -58,10 +90,35 @@ struct ShardManifest
     /** Profile file name, relative to the manifest's directory. */
     std::string profile_file;
     ShardStatus status = ShardStatus::Complete;
+    /**
+     * Aggregation level: 0 for a leaf collector shard, N >= 1 for a
+     * partial aggregate pushed by a relay whose deepest input was
+     * level N-1. Levels exist for observability and sanity checks —
+     * the fold semantics depend only on `covered`.
+     */
+    uint32_t level = 0;
+    /**
+     * For level >= 1: the hosts this aggregate covers, sorted by host
+     * id with no duplicates, each count >= 1. The payload travels as
+     * one chunk per entry, in this order — each chunk is that host's
+     * folded partial — so a receiver can splice per-host partials into
+     * its own per-host state and stay byte-identical to flat
+     * aggregation no matter how the tree was shaped. Empty for leaf
+     * shards.
+     */
+    std::vector<HostCoverage> covered;
 
     bool operator==(const ShardManifest &other) const = default;
 
-    /** The manifest text (the exact bytes save() writes). */
+    /** Total leaf shards the manifest accounts for (1 for a leaf). */
+    size_t coveredShardCount() const;
+
+    /**
+     * The manifest text (the exact bytes save() writes). Leaf shards
+     * render as version 1 — byte-identical to what pre-relay builds
+     * wrote — and aggregate shards as version 2 with the `level` and
+     * `hosts` lines appended.
+     */
     std::string render() const;
 
     /** Write atomically (temp file + rename) to @p path. */

@@ -1,0 +1,130 @@
+#include "fleet/relay.hh"
+
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+RelayNode::RelayNode(RelayOptions options)
+    : options_(std::move(options)),
+      listener_(options_.listen_port, options_.bind_addr)
+{
+    if (!options_.state_file.empty() && options_.journal_every > 0)
+        journal_.emplace(options_.state_file, options_.journal_every);
+}
+
+bool
+RelayNode::flushUpstream(std::string *why, int max_attempts)
+{
+    std::string local;
+    std::string *out = why ? why : &local;
+    PartialExport ex = agg_.exportPartials();
+    if (ex.partials.empty() && ex.orphans.empty())
+        return true;
+
+    SocketTransportOptions so;
+    so.host = options_.upstream_host;
+    so.port = options_.upstream_port;
+    so.max_attempts = max_attempts > 0
+                          ? max_attempts
+                          : std::max(options_.upstream_retries, 1);
+    so.backoff_ms = options_.upstream_backoff_ms;
+    SocketTransport transport(so);
+
+    if (!ex.partials.empty() &&
+        ex.checksum != last_flushed_checksum_) {
+        ShardManifest m;
+        m.version = kManifestVersionAggregate;
+        m.host = options_.relay_id;
+        m.workload = ex.workload;
+        m.seq = flush_seq_;
+        m.checksum = ex.checksum;
+        // One level above the deepest input: leaf-only relays export
+        // level 1, a relay-of-relays exports one deeper, and so on.
+        m.level = agg_.maxLevelSeen() + 1;
+        std::vector<std::string> chunks;
+        chunks.reserve(ex.partials.size());
+        for (HostPartial &hp : ex.partials) {
+            m.covered.push_back({hp.host, hp.covered});
+            chunks.push_back(std::move(hp.bytes));
+        }
+        SendResult res = transport.sendShard(m, chunks);
+        if (!res.ok) {
+            stats_.flush_failures++;
+            *out = res.error;
+            return false;
+        }
+        // A duplicate ack means the upstream already holds this exact
+        // coverage (a retried or restarted flush) — success either way.
+        stats_.flushes++;
+        last_flushed_checksum_ = ex.checksum;
+        flush_seq_++;
+    }
+
+    for (OrphanShard &orphan : ex.orphans) {
+        if (forwarded_orphans_.count(orphan.checksum))
+            continue;
+        ShardManifest m;
+        m.host = orphan.host;
+        m.workload = ex.workload;
+        m.seq = orphan.seq;
+        m.checksum = orphan.checksum;
+        SendResult res = transport.sendShard(m, {orphan.bytes});
+        if (!res.ok) {
+            stats_.flush_failures++;
+            *out = format("forwarding orphan shard %s/%u: %s",
+                          orphan.host.c_str(), orphan.seq,
+                          res.error.c_str());
+            return false;
+        }
+        forwarded_orphans_.insert(orphan.checksum);
+        stats_.orphans_forwarded++;
+    }
+    accepted_since_flush_ = 0;
+    return true;
+}
+
+RelayStats
+RelayNode::run()
+{
+    stats_.restored =
+        restoreAggregatorState(agg_, journal_, options_.state_file);
+
+    ListenOptions lo;
+    lo.expect = options_.expect;
+    lo.idle_timeout_ms = options_.idle_timeout_ms;
+    lo.on_accept = [&](const ShardManifest &m, const ProfileData &,
+                       const std::vector<std::string> &chunks) {
+        // Persist before the downstream ack (the sender's success
+        // must imply durability), exactly like `aggregate --state`.
+        if (journal_)
+            journal_->record(agg_, m, chunks);
+        else if (!options_.state_file.empty())
+            agg_.saveState(options_.state_file);
+        accepted_since_flush_++;
+        if (options_.flush_every > 0 &&
+            accepted_since_flush_ >= options_.flush_every) {
+            std::string why;
+            // A failed flush is buffering, not an error: the partial
+            // stays here and the next trigger (or the final flush)
+            // retries a strictly fresher superset of it. One attempt
+            // only — this runs before the downstream ack, and a dead
+            // upstream must not turn the serve loop's accepts into
+            // retry loops that time downstream senders out.
+            if (!flushUpstream(&why, /*max_attempts=*/1))
+                warn("upstream flush failed, buffering: %s",
+                     why.c_str());
+        }
+    };
+    stats_.accepted = listener_.serve(agg_, lo);
+    stats_.covered = agg_.coveredShards();
+
+    std::string why;
+    stats_.upstream_ok = flushUpstream(&why);
+    if (!stats_.upstream_ok)
+        stats_.error = why;
+    return stats_;
+}
+
+} // namespace hbbp

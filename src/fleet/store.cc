@@ -2,9 +2,12 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <vector>
 
 #include "support/logging.hh"
 #include "support/rng.hh"
@@ -167,6 +170,97 @@ ProfileStore::getOrCollect(const ProfileKey &key, const Program &prog,
     if (cache_hit)
         *cache_hit = false;
     return pd;
+}
+
+ProfileStore::GcResult
+ProfileStore::gc(const GcOptions &options) const
+{
+    struct Entry
+    {
+        std::string path;
+        fs::file_time_type mtime;
+        uint64_t size = 0;
+    };
+    std::vector<Entry> entries;
+    GcResult res;
+    std::error_code ec;
+    for (const fs::directory_entry &e :
+         fs::directory_iterator(dir_, ec)) {
+        if (e.path().extension() != ".hbbp")
+            continue;
+        Entry entry;
+        entry.path = e.path().string();
+        entry.mtime = fs::last_write_time(e.path(), ec);
+        if (ec)
+            continue; // Vanished mid-scan (concurrent gc/depositor).
+        entry.size = fs::file_size(e.path(), ec);
+        if (ec)
+            continue;
+        res.scanned++;
+        res.bytes_before += entry.size;
+        entries.push_back(std::move(entry));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime < b.mtime ||
+                         (a.mtime == b.mtime && a.path < b.path);
+              });
+
+    res.bytes_after = res.bytes_before;
+    auto evict = [&](const Entry &entry) {
+        std::error_code rm_ec;
+        fs::remove(entry.path, rm_ec);
+        if (rm_ec) {
+            // Counting a failed remove as freed space would let the
+            // size pass stop early and report an under-budget store
+            // that is still over the bound.
+            warn("cannot evict profile store entry '%s': %s",
+                 entry.path.c_str(), rm_ec.message().c_str());
+            return;
+        }
+        // A vanished entry is someone else's eviction — either way it
+        // no longer takes up space.
+        res.evicted++;
+        res.bytes_after -= entry.size;
+    };
+
+    size_t next = 0;
+    if (options.max_age_s >= 0) {
+        // An "effectively unlimited" age like 1e11 seconds would
+        // overflow the file clock's rep when subtracted (the clock's
+        // epoch may itself sit far from now — libstdc++ uses 2174),
+        // wrapping the cutoff into the future and evicting the
+        // *entire* store. Guard every step: a cutoff that would fall
+        // before representable time means nothing can be that old.
+        using file_dur = fs::file_time_type::duration;
+        auto now_d =
+            fs::file_time_type::clock::now().time_since_epoch();
+        int64_t max_sec =
+            std::chrono::duration_cast<std::chrono::seconds>(
+                file_dur::max())
+                .count();
+        bool cutoff_ok = false;
+        fs::file_time_type cutoff{};
+        if (options.max_age_s <= max_sec) {
+            file_dur age =
+                std::chrono::duration_cast<file_dur>(
+                    std::chrono::seconds(options.max_age_s));
+            if (now_d >= file_dur::min() + age) {
+                cutoff = fs::file_time_type(now_d - age);
+                cutoff_ok = true;
+            }
+        }
+        // Oldest-first order means the age pass consumes a prefix.
+        while (cutoff_ok && next < entries.size() &&
+               entries[next].mtime < cutoff)
+            evict(entries[next++]);
+    }
+    if (options.max_bytes >= 0) {
+        while (next < entries.size() &&
+               res.bytes_after > static_cast<uint64_t>(options.max_bytes))
+            evict(entries[next++]);
+    }
+    return res;
 }
 
 size_t

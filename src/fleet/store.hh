@@ -106,6 +106,35 @@ class ProfileStore
     /** Keys of every cached entry are not recoverable; count files. */
     size_t entryCount() const;
 
+    /** Garbage-collection bounds; negative bounds are unlimited. */
+    struct GcOptions
+    {
+        /** Evict entries last written more than this many seconds
+         * ago. */
+        int64_t max_age_s = -1;
+        /** Then evict oldest-first until the store fits this size. */
+        int64_t max_bytes = -1;
+    };
+
+    /** What gc() scanned and reclaimed. */
+    struct GcResult
+    {
+        size_t scanned = 0;
+        size_t evicted = 0;
+        uint64_t bytes_before = 0;
+        uint64_t bytes_after = 0;
+    };
+
+    /**
+     * Age- and size-bounded eviction, oldest entry first (by file
+     * modification time — a re-inserted entry is young again). The
+     * store is a cache: an evicted entry turns the next lookup() into
+     * a clean miss to re-collect, never an error. Entries that vanish
+     * mid-scan (a concurrent gc or depositor) are skipped, not
+     * failures.
+     */
+    GcResult gc(const GcOptions &options) const;
+
     /** Store root directory. */
     const std::string &dir() const { return dir_; }
 

@@ -200,6 +200,19 @@ tryMergeChunks(std::vector<ProfileData> chunks, std::string *why)
     return merged;
 }
 
+/**
+ * tryMergeChunks() without consuming @p chunks — for the aggregate
+ * path, where the per-host partials are still needed after their fold
+ * was checksum-verified.
+ */
+std::optional<ProfileData>
+mergeChunksPreserving(const std::vector<ProfileData> &chunks,
+                      std::string *why)
+{
+    std::vector<ProfileData> copies = chunks;
+    return tryMergeChunks(std::move(copies), why);
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -214,6 +227,13 @@ DropDirTransport::sendShard(const ShardManifest &manifest,
     res.attempts = 1;
     if (chunks.empty()) {
         res.error = "no chunks to send";
+        return res;
+    }
+    if (manifest.level > 0 || !manifest.covered.empty()) {
+        res.error = format(
+            "aggregate shards (level %u) travel over the socket "
+            "transport: a drop-directory file cannot carry the "
+            "per-host chunk split their fold needs", manifest.level);
         return res;
     }
 
@@ -277,6 +297,44 @@ DropDirTransport::sendShard(const ShardManifest &manifest,
 
 namespace {
 
+/**
+ * connect() with a deadline: non-blocking connect polled for
+ * completion within @p timeout_ms. A blackholed peer (packets
+ * dropped, not refused) must cost one bounded attempt, not the
+ * kernel's multi-minute default — senders retry on their own
+ * schedule, and a relay flushes from inside its accept path.
+ */
+int
+connectWithDeadline(int fd, const struct sockaddr *addr,
+                    socklen_t addrlen, int timeout_ms)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, addr, addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+        struct pollfd pfd = {fd, POLLOUT, 0};
+        rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc == 1) {
+            int err = 0;
+            socklen_t len = sizeof(err);
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+            if (err == 0) {
+                rc = 0;
+            } else {
+                errno = err;
+                rc = -1;
+            }
+        } else {
+            if (rc == 0)
+                errno = ETIMEDOUT;
+            rc = -1;
+        }
+    }
+    if (rc == 0)
+        ::fcntl(fd, F_SETFL, flags);
+    return rc;
+}
+
 /** Connect to host:port; -1 with *@p why on failure. */
 int
 connectTo(const std::string &host, uint16_t port, int io_timeout_ms,
@@ -299,7 +357,8 @@ connectTo(const std::string &host, uint16_t port, int io_timeout_ms,
         fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
         if (fd < 0)
             continue;
-        if (::connect(fd, a->ai_addr, a->ai_addrlen) == 0)
+        if (connectWithDeadline(fd, a->ai_addr, a->ai_addrlen,
+                                io_timeout_ms) == 0)
             break;
         ::close(fd);
         fd = -1;
@@ -499,6 +558,13 @@ struct StagedShard
     std::map<uint32_t, ProfileData> chunks;
     /** Per-chunk payload checksums, for idempotent re-delivery. */
     std::map<uint32_t, uint64_t> checksums;
+    /**
+     * Raw chunk payloads, kept only for aggregate shards: their
+     * per-host split must reach the accept callback (journaling)
+     * verbatim, and re-serializing each partial would pay the cost
+     * twice.
+     */
+    std::map<uint32_t, std::string> bytes;
 };
 
 /** One sender connection's receive state. */
@@ -555,7 +621,7 @@ ShardListener::serve(IncrementalAggregator &agg,
     size_t accepted = 0;
     int64_t last_progress = nowMs();
     bool done = options.expect > 0 &&
-                agg.stats().accepted >= options.expect;
+                agg.coveredShards() >= options.expect;
 
     // Process one complete frame at @p off in conn.buf. Returns the
     // ack outcome; a Rejected ack also counts the shard into the
@@ -580,6 +646,17 @@ ShardListener::serve(IncrementalAggregator &agg,
         }
         auto key = std::make_pair(m->host, m->seq);
         bool final_chunk = h.chunk_index + 1 == h.chunk_count;
+        bool is_aggregate = m->level > 0;
+        // An aggregate's chunks ARE its covered hosts' partials, one
+        // each in coverage order — any other count cannot be spliced.
+        if (is_aggregate && h.chunk_count != m->covered.size()) {
+            staging.erase(key);
+            agg.noteMalformed();
+            return sendAck(
+                conn.fd, AckCode::Rejected,
+                format("aggregate covers %zu hosts but streams %u "
+                       "chunks", m->covered.size(), h.chunk_count));
+        }
         if ((m->status == ShardStatus::Complete) != final_chunk) {
             // A stream this confused is dead; drop anything it staged
             // so a clean retry starts fresh instead of leaking here.
@@ -626,6 +703,7 @@ ShardListener::serve(IncrementalAggregator &agg,
             // permanently rejecting every retry of the live one.
             staged.chunks.clear();
             staged.checksums.clear();
+            staged.bytes.clear();
             staged.chunk_count = h.chunk_count;
             seen = staged.checksums.end();
         }
@@ -639,6 +717,8 @@ ShardListener::serve(IncrementalAggregator &agg,
         } else {
             staged.checksums[h.chunk_index] = chunk_checksum;
             staged.chunks.emplace(h.chunk_index, std::move(*chunk));
+            if (is_aggregate)
+                staged.bytes.emplace(h.chunk_index, payload);
         }
         if (!final_chunk) {
             last_progress = nowMs();
@@ -658,9 +738,17 @@ ShardListener::serve(IncrementalAggregator &agg,
         parts.reserve(staged.chunks.size());
         for (auto &[idx, pd] : staged.chunks)
             parts.push_back(std::move(pd));
+        std::vector<std::string> raw_chunks;
+        raw_chunks.reserve(staged.bytes.size());
+        for (auto &[idx, bytes] : staged.bytes)
+            raw_chunks.push_back(std::move(bytes));
+        uint32_t chunk_count = staged.chunk_count;
         staging.erase(key);
+        // The aggregate path still needs the per-host partials after
+        // the fold is verified, so its merge works on copies.
         std::optional<ProfileData> merged =
-            tryMergeChunks(std::move(parts), &why);
+            is_aggregate ? mergeChunksPreserving(parts, &why)
+                         : tryMergeChunks(std::move(parts), &why);
         if (!merged) {
             agg.noteMalformed();
             return sendAck(conn.fd, AckCode::Rejected,
@@ -680,16 +768,28 @@ ShardListener::serve(IncrementalAggregator &agg,
 
         ProfileData for_accept;
         const ProfileData *accept_ref = nullptr;
+        std::vector<std::string> accept_bytes;
         if (options.on_accept) {
-            for_accept = *merged; // addShard consumes the profile.
+            for_accept = *merged; // The fold consumes the profile.
             accept_ref = &for_accept;
+            if (is_aggregate)
+                accept_bytes = std::move(raw_chunks);
+            else if (chunk_count == 1)
+                accept_bytes.push_back(std::move(payload));
+            else
+                accept_bytes.push_back(for_accept.serialize());
         }
-        if (!agg.addShard(*m, std::move(*merged), &why)) {
-            // Only a payload already aggregated is confirmed back as a
-            // duplicate (the retried sender genuinely succeeded). A
-            // (host, seq) slot conflict also lands in the duplicate
-            // *stats*, but the sender's data was dropped — that must
-            // fail loudly, not read as success.
+        bool folded =
+            is_aggregate
+                ? agg.addAggregateShard(*m, std::move(parts), &why)
+                : agg.addShard(*m, std::move(*merged), &why);
+        if (!folded) {
+            // Only a payload already accounted for is confirmed back
+            // as a duplicate (the retried sender genuinely succeeded;
+            // for aggregates that includes an entirely superseded
+            // flush). A (host, seq) slot conflict also lands in the
+            // duplicate *stats*, but the sender's data was dropped —
+            // that must fail loudly, not read as success.
             if (agg.hasChecksum(m->checksum))
                 return sendAck(conn.fd, AckCode::Duplicate);
             return sendAck(conn.fd, AckCode::Rejected, why);
@@ -699,7 +799,7 @@ ShardListener::serve(IncrementalAggregator &agg,
         // Callback before the ack: a sender that saw success may rely
         // on the checkpoint/deposit having happened.
         if (options.on_accept)
-            options.on_accept(*m, *accept_ref);
+            options.on_accept(*m, *accept_ref, accept_bytes);
         return sendAck(conn.fd, AckCode::ShardAccepted);
     };
 
@@ -775,7 +875,7 @@ ShardListener::serve(IncrementalAggregator &agg,
                 }
                 consumed += frame_len;
                 if (options.expect > 0 &&
-                    agg.stats().accepted >= options.expect) {
+                    agg.coveredShards() >= options.expect) {
                     done = true;
                     break;
                 }

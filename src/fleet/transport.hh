@@ -82,6 +82,8 @@ class DropDirTransport : public ShardTransport
      * beside it (both atomic, manifest last — see exportShard()).
      * Multi-chunk shards are merged locally first: a directory has no
      * streaming, so the "transport" degenerates to one complete file.
+     * Aggregate shards (manifest level >= 1) are refused: a single
+     * file cannot carry the per-host chunk split their fold needs.
      */
     SendResult sendShard(const ShardManifest &manifest,
                          const std::vector<std::string> &chunks) override;
@@ -142,8 +144,10 @@ class SocketTransport : public ShardTransport
 struct ListenOptions
 {
     /**
-     * Stop once this many shards have been accepted, counting any
-     * restoreState() carry-in; 0 means serve until the idle timeout.
+     * Stop once this many leaf shards are covered, counting any
+     * restoreState() carry-in (equal to the accepted count when every
+     * arrival is a leaf shard; an aggregate arrival covers all of its
+     * hosts' leaves at once); 0 means serve until the idle timeout.
      */
     size_t expect = 0;
     /**
@@ -155,9 +159,15 @@ struct ListenOptions
     /**
      * Called after each accepted shard — after the aggregator folded
      * it but *before* the ack goes out, so a sender's success implies
-     * the callback (state checkpoint, store deposit) completed.
+     * the callback (state checkpoint, store deposit) completed. The
+     * third argument is the shard in transportable form — the
+     * assembled serialized shard for a leaf, the per-host partial
+     * chunks (aligned with manifest.covered) for an aggregate — so a
+     * journaling callback can record the arrival verbatim without
+     * re-deriving it.
      */
-    std::function<void(const ShardManifest &, const ProfileData &)>
+    std::function<void(const ShardManifest &, const ProfileData &,
+                       const std::vector<std::string> &)>
         on_accept;
 };
 

@@ -19,6 +19,12 @@
  *                     [-o <profile>] [--expect N] [--timeout-ms N]
  *                     [--analyze <workload>] [--store DIR]
  *                     [--state FILE] [--port-file FILE]
+ *                     [--journal-every N]
+ *   hbbp-tool relay   --listen PORT --to HOST:PORT [--relay-id ID]
+ *                     [--flush-every N] [--expect N] [--timeout-ms N]
+ *                     [--state FILE] [--journal-every N] [--retries N]
+ *                     [--bind ADDR] [--port-file FILE]
+ *   hbbp-tool store   gc --store DIR [--max-age-s N] [--max-bytes N]
  *   hbbp-tool migrate <profile-in> [-o <profile-out>]
  *   hbbp-tool analyze <workload> -i <profile> [options]
  *   hbbp-tool report  <workload> [-i <profile>] [options]
@@ -51,11 +57,34 @@
  *   --state FILE            checkpoint aggregator state per accepted
  *                           shard; restored on startup, so a restarted
  *                           job resumes instead of re-importing
- *   --expect N              wait until N shards have been accepted
+ *   --expect N              wait until N leaf shards are covered (an
+ *                           aggregate arrival covers all of its hosts'
+ *                           leaves at once)
  *   --timeout-ms N          give up after N ms with no new import
  *                           (an idle timeout, default 10000)
  *   --analyze WORKLOAD      re-analyze after every accepted shard
  *   --store DIR             central store imported shards are copied to
+ *   --journal-every N       with --state: append O(shard) journal
+ *                           records per accept and rewrite the full
+ *                           checkpoint every N records (default 32;
+ *                           0 rewrites the checkpoint on every accept)
+ *
+ * relay options (a fan-in tree node: listen downstream, fold, push the
+ * partial aggregate upstream as a first-class shard):
+ *   --listen PORT           downstream port collectors/relays dial
+ *   --to HOST:PORT          upstream aggregation point (relay or root)
+ *   --relay-id ID           host id stamped on upstream aggregates
+ *                           (default relay-<pid>: sibling relays must
+ *                           not share an id)
+ *   --flush-every N         push upstream every N accepted arrivals
+ *                           (0: only on exit)
+ *   --expect N              leaf shards to wait for downstream
+ *   --state FILE            checkpoint+journal, as for aggregate
+ *   --retries N             upstream connection attempts per flush
+ *
+ * store gc options (bounded eviction, oldest entries first):
+ *   --max-age-s N           evict entries older than N seconds
+ *   --max-bytes N           then evict until the store fits N bytes
  *
  * analyze/report options:
  *   --source hbbp|ebs|lbr   data source for the mix (default hbbp)
@@ -68,6 +97,8 @@
  *   --function NAME         print annotated disassembly of NAME
  *   --csv                   render pivots as CSV
  */
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
@@ -87,8 +118,10 @@
 #include "analysis/report.hh"
 #include "fleet/aggregate.hh"
 #include "fleet/batch.hh"
+#include "fleet/journal.hh"
 #include "fleet/manifest.hh"
 #include "fleet/merge.hh"
+#include "fleet/relay.hh"
 #include "fleet/shard.hh"
 #include "fleet/store.hh"
 #include "fleet/transport.hh"
@@ -133,9 +166,14 @@ struct CliOptions
     std::string bind_addr = "127.0.0.1"; ///< aggregate: listen address.
     std::string port_file;        ///< aggregate: bound-port report file.
     std::string state_file;       ///< aggregate: checkpoint/restore path.
-    size_t expect = 0;            ///< aggregate: shards to wait for.
-    int timeout_ms = 10'000;      ///< aggregate: idle timeout.
+    size_t expect = 0;            ///< aggregate/relay: coverage to wait for.
+    int timeout_ms = 10'000;      ///< aggregate/relay: idle timeout.
     std::string analyze_workload; ///< aggregate: per-arrival analysis.
+    size_t journal_every = 32;    ///< aggregate/relay: compact threshold.
+    size_t flush_every = 0;       ///< relay: upstream flush cadence.
+    std::string relay_id;         ///< relay: upstream host id.
+    int64_t max_age_s = -1;       ///< store gc: age bound.
+    int64_t max_bytes = -1;       ///< store gc: size bound.
 };
 
 [[noreturn]] void
@@ -162,7 +200,15 @@ usage()
                  "                 [--expect N] [--timeout-ms N] "
                  "[--analyze <workload>] [--store DIR]\n"
                  "                 [--state FILE] [--port-file FILE] "
-                 "[--bind ADDR]\n"
+                 "[--bind ADDR] [--journal-every N]\n"
+                 "       hbbp-tool relay --listen PORT --to HOST:PORT "
+                 "[--relay-id ID]\n"
+                 "                 [--flush-every N] [--expect N] "
+                 "[--timeout-ms N] [--state FILE]\n"
+                 "                 [--journal-every N] [--retries N] "
+                 "[--bind ADDR] [--port-file FILE]\n"
+                 "       hbbp-tool store gc --store DIR "
+                 "[--max-age-s N] [--max-bytes N]\n"
                  "       hbbp-tool migrate <profile-in> "
                  "[-o <profile-out>]\n"
                  "       hbbp-tool analyze <workload> -i <profile> "
@@ -182,11 +228,12 @@ parse(int argc, char **argv)
         usage();
     opts.command = argv[1];
     int i = 2;
-    // merge takes positional profiles, aggregate only flags; every
-    // other command (but list) leads with a positional argument — a
-    // workload name, or the input profile for migrate.
+    // merge takes positional profiles; aggregate and relay only
+    // flags; every other command (but list) leads with a positional
+    // argument — a workload name, the input profile for migrate, or
+    // the action for store.
     if (opts.command != "list" && opts.command != "merge" &&
-        opts.command != "aggregate") {
+        opts.command != "aggregate" && opts.command != "relay") {
         if (i >= argc)
             usage();
         opts.workload = argv[i++];
@@ -291,6 +338,20 @@ parse(int argc, char **argv)
                 need_count("--timeout-ms", INT_MAX));
         else if (arg == "--analyze")
             opts.analyze_workload = need_value("--analyze");
+        else if (arg == "--journal-every")
+            opts.journal_every =
+                static_cast<size_t>(need_count("--journal-every"));
+        else if (arg == "--flush-every")
+            opts.flush_every =
+                static_cast<size_t>(need_count("--flush-every"));
+        else if (arg == "--relay-id")
+            opts.relay_id = need_value("--relay-id");
+        else if (arg == "--max-age-s")
+            opts.max_age_s = static_cast<int64_t>(
+                need_count("--max-age-s", INT64_MAX));
+        else if (arg == "--max-bytes")
+            opts.max_bytes = static_cast<int64_t>(
+                need_count("--max-bytes", INT64_MAX));
         else if (!arg.empty() && arg[0] == '-')
             fatal("unknown option '%s'", arg.c_str());
         else if (opts.command == "merge")
@@ -303,6 +364,30 @@ parse(int argc, char **argv)
     if (opts.shards == 0)
         opts.shards = std::max(opts.jobs, 1u);
     return opts;
+}
+
+/** Split a HOST:PORT flag value; fatal() on malformed input. */
+void
+parseHostPort(const std::string &value, const char *flag,
+              std::string *host, uint16_t *port)
+{
+    size_t colon = value.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= value.size())
+        fatal("%s expects HOST:PORT, got '%s'", flag, value.c_str());
+    *host = value.substr(0, colon);
+    // Bare digits only: strtoul would skip whitespace and accept
+    // signs, the exact laxity the manifest parser rejects.
+    std::string port_str = value.substr(colon + 1);
+    unsigned long parsed = 0;
+    bool digits = port_str.size() <= 5;
+    for (char c : port_str)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            digits = false;
+    if (digits)
+        parsed = std::strtoul(port_str.c_str(), nullptr, 10);
+    if (!digits || parsed == 0 || parsed > UINT16_MAX)
+        fatal("invalid port in '%s'", value.c_str());
+    *port = static_cast<uint16_t>(parsed);
 }
 
 MixDim
@@ -470,6 +555,10 @@ cmdPush(const CliOptions &opts)
 {
     if (opts.host.empty())
         fatal("push requires --host <id>");
+    // Fail here, not as a listener rejection after the collection ran.
+    if (!validHostId(opts.host))
+        fatal("invalid host id '%s' (must be non-empty, without "
+              "whitespace, '/', ',' or ':')", opts.host.c_str());
     if (opts.to.empty() == opts.export_dir.empty())
         fatal("push requires exactly one of --to <host:port> or "
               "--export-dir <dir>");
@@ -514,24 +603,8 @@ cmdPush(const CliOptions &opts)
 
     SendResult res;
     if (!opts.to.empty()) {
-        size_t colon = opts.to.rfind(':');
-        if (colon == std::string::npos || colon + 1 >= opts.to.size())
-            fatal("--to expects HOST:PORT, got '%s'", opts.to.c_str());
         SocketTransportOptions so;
-        so.host = opts.to.substr(0, colon);
-        // Bare digits only: strtoul would skip whitespace and accept
-        // signs, the exact laxity the manifest parser rejects.
-        std::string port_str = opts.to.substr(colon + 1);
-        unsigned long port = 0;
-        bool digits = port_str.size() <= 5;
-        for (char c : port_str)
-            if (!std::isdigit(static_cast<unsigned char>(c)))
-                digits = false;
-        if (digits)
-            port = std::strtoul(port_str.c_str(), nullptr, 10);
-        if (!digits || port == 0 || port > UINT16_MAX)
-            fatal("invalid port in '%s'", opts.to.c_str());
-        so.port = static_cast<uint16_t>(port);
+        parseHostPort(opts.to, "--to", &so.host, &so.port);
         so.max_attempts = std::max(opts.retries, 1);
         SocketTransport transport(so);
         transport.fail_after_chunks = opts.fail_after;
@@ -581,27 +654,26 @@ cmdAggregate(const CliOptions &opts)
     Analyzer analyzer;
 
     IncrementalAggregator agg;
-    if (!opts.state_file.empty()) {
-        std::string why;
-        if (agg.restoreState(opts.state_file, &why)) {
-            std::printf("restored aggregator state from %s: "
-                        "%zu shard%s across %zu host%s\n",
-                        opts.state_file.c_str(), agg.restoredShards(),
-                        agg.restoredShards() == 1 ? "" : "s",
-                        agg.hostCount(),
-                        agg.hostCount() == 1 ? "" : "s");
-        } else if (std::filesystem::exists(opts.state_file)) {
-            // A present-but-unreadable state file is a cold start, not
-            // a crash: the shards can always be re-imported.
-            warn("ignoring aggregator state: %s", why.c_str());
-        }
-    }
-    // Checkpoint after every accepted shard (and the per-arrival
+    std::optional<StateJournal> journal;
+    if (!opts.state_file.empty() && opts.journal_every > 0)
+        journal.emplace(opts.state_file, opts.journal_every);
+    if (restoreAggregatorState(agg, journal, opts.state_file) > 0)
+        std::printf("restored aggregator state from %s: "
+                    "%zu shard%s across %zu host%s\n",
+                    opts.state_file.c_str(), agg.restoredShards(),
+                    agg.restoredShards() == 1 ? "" : "s",
+                    agg.hostCount(),
+                    agg.hostCount() == 1 ? "" : "s");
+    // Persist after every accepted shard (and the per-arrival
     // analysis/deposit), before the arrival is acknowledged: a killed
     // aggregator restarted with the same --state resumes from its
-    // partials instead of re-importing the fleet.
+    // partials instead of re-importing the fleet. With journaling
+    // (the default) each accept appends one O(shard) record and the
+    // full checkpoint is rewritten every --journal-every accepts;
+    // --journal-every 0 keeps the PR-4 full rewrite per accept.
     auto per_accept = [&](const ShardManifest &m,
-                          const ProfileData *profile) {
+                          const ProfileData *profile,
+                          const std::vector<std::string> *chunks) {
         if (central && !central->containsChecksum(m.checksum)) {
             if (profile)
                 central->insertByChecksum(m.checksum, *profile);
@@ -611,12 +683,29 @@ cmdAggregate(const CliOptions &opts)
         }
         if (aw)
             agg.analyzeWith(*aw->program, analyzer);
-        // Full-state rewrite per accept: O(aggregate size) I/O each
-        // arrival, which is fine at simulated-fleet scale but the
-        // first thing to revisit for very large fleets (see ROADMAP:
-        // incremental state journaling).
-        if (!opts.state_file.empty())
+        if (opts.state_file.empty())
+            return;
+        if (journal && chunks) {
+            journal->record(agg, m, *chunks);
+        } else if (journal) {
+            // Watch-dir import: the shard's verified bytes are the
+            // file beside its manifest; journal them as-is. If they
+            // vanished mid-run, fall back to a full checkpoint —
+            // durability must not depend on the drop dir's hygiene.
+            std::string why;
+            std::string bytes = readFileBytes(
+                opts.watch_dir + "/" + m.profile_file, &why);
+            if (why.empty()) {
+                journal->record(agg, m, {std::move(bytes)});
+            } else {
+                warn("cannot journal shard '%s' (%s); writing a full "
+                     "checkpoint instead", m.profile_file.c_str(),
+                     why.c_str());
+                journal->compact(agg);
+            }
+        } else {
             agg.saveState(opts.state_file);
+        }
     };
 
     if (listening) {
@@ -632,8 +721,9 @@ cmdAggregate(const CliOptions &opts)
         lo.expect = opts.expect;
         lo.idle_timeout_ms = opts.timeout_ms;
         lo.on_accept = [&](const ShardManifest &m,
-                           const ProfileData &pd) {
-            per_accept(m, &pd);
+                           const ProfileData &pd,
+                           const std::vector<std::string> &chunks) {
+            per_accept(m, &pd, &chunks);
         };
         listener.serve(agg, lo);
     } else {
@@ -643,31 +733,122 @@ cmdAggregate(const CliOptions &opts)
         wo.on_accept = [&](const ShardManifest &m) {
             // The shard's bytes were already verified during import,
             // so the deposit copies the file instead of re-parsing it.
-            per_accept(m, nullptr);
+            per_accept(m, nullptr, nullptr);
         };
         watchAndAggregate(agg, opts.watch_dir, wo);
     }
 
     const AggregatorStats &st = agg.stats();
-    if (opts.expect > 0 && st.accepted < opts.expect)
+    if (opts.expect > 0 && agg.coveredShards() < opts.expect)
         fatal("no shard for %d ms while waiting for %zu shards via "
-              "'%s' (accepted %zu, duplicates %zu, incompatible %zu, "
-              "malformed %zu)",
+              "'%s' (covered %zu, accepted %zu, duplicates %zu, "
+              "incompatible %zu, malformed %zu)",
               opts.timeout_ms, opts.expect,
               listening ? "--listen" : opts.watch_dir.c_str(),
-              st.accepted, st.duplicates, st.incompatible,
-              st.malformed);
+              agg.coveredShards(), st.accepted, st.duplicates,
+              st.incompatible, st.malformed);
     if (!opts.profile_out.empty())
         agg.aggregate().save(opts.profile_out);
 
     std::printf("aggregate: accepted=%zu duplicates=%zu "
                 "incompatible=%zu malformed=%zu analyses=%zu "
-                "rebuilds=%zu restored=%zu hosts=%zu%s%s\n",
+                "rebuilds=%zu restored=%zu hosts=%zu covered=%zu "
+                "aggregates=%zu superseded=%zu%s%s\n",
                 st.accepted, st.duplicates, st.incompatible,
                 st.malformed, st.analyses, st.rebuilds,
                 agg.restoredShards(), agg.hostCount(),
+                agg.coveredShards(), st.aggregates, st.superseded,
                 opts.profile_out.empty() ? "" : " -> ",
                 opts.profile_out.c_str());
+    return 0;
+}
+
+/**
+ * A fan-in tree node: serve collectors (or deeper relays) downstream,
+ * fold their shards, push the partial aggregate upstream as a
+ * first-class shard. The root of the tree is a plain
+ * `aggregate --listen`.
+ */
+int
+cmdRelay(const CliOptions &opts)
+{
+    if (opts.listen_port < 0)
+        fatal("relay requires --listen <port>");
+    if (opts.to.empty())
+        fatal("relay requires --to <host:port>");
+
+    RelayOptions ro;
+    ro.listen_port = static_cast<uint16_t>(opts.listen_port);
+    ro.bind_addr = opts.bind_addr;
+    parseHostPort(opts.to, "--to", &ro.upstream_host,
+                  &ro.upstream_port);
+    // The relay id becomes the upstream manifest's host id: hold it
+    // to the same rules as --host, and fail here rather than as a
+    // rejection of every flush after collectors were already acked.
+    if (!opts.relay_id.empty() && !validHostId(opts.relay_id))
+        fatal("invalid --relay-id '%s' (must be without whitespace, "
+              "'/', ',' or ':')", opts.relay_id.c_str());
+    // Unique by default: two sibling relays sharing one id would also
+    // share the upstream's per-(host, seq) staging slot, and their
+    // interleaved multi-chunk flushes would clobber each other.
+    ro.relay_id = opts.relay_id.empty()
+                      ? format("relay-%ld", static_cast<long>(::getpid()))
+                      : opts.relay_id;
+    ro.flush_every = opts.flush_every;
+    ro.expect = opts.expect;
+    ro.idle_timeout_ms = opts.timeout_ms;
+    ro.state_file = opts.state_file;
+    ro.journal_every = opts.journal_every;
+    ro.upstream_retries = std::max(opts.retries, 1);
+
+    RelayNode relay(std::move(ro));
+    std::printf("relaying %s:%u -> %s\n", opts.bind_addr.c_str(),
+                relay.port(), opts.to.c_str());
+    std::fflush(stdout);
+    if (!opts.port_file.empty())
+        writeFileAtomically(opts.port_file,
+                            format("%u\n", relay.port()));
+
+    RelayStats rs = relay.run();
+    std::printf("relay: accepted=%zu covered=%zu restored=%zu "
+                "flushes=%zu flush_failures=%zu orphans=%zu "
+                "upstream_ok=%d\n",
+                rs.accepted, rs.covered, rs.restored, rs.flushes,
+                rs.flush_failures, rs.orphans_forwarded,
+                rs.upstream_ok ? 1 : 0);
+    // Order matters: the final flush already ran, so these exits lose
+    // nothing that --state does not hold.
+    if (!rs.upstream_ok)
+        fatal("final upstream flush failed: %s", rs.error.c_str());
+    if (opts.expect > 0 && rs.covered < opts.expect)
+        fatal("no shard for %d ms while waiting to cover %zu shards "
+              "(covered %zu)", opts.timeout_ms, opts.expect,
+              rs.covered);
+    return 0;
+}
+
+/** Store maintenance: `hbbp-tool store gc` bounded eviction. */
+int
+cmdStore(const CliOptions &opts)
+{
+    // The positional argument slot carries the action here.
+    if (opts.workload != "gc")
+        fatal("unknown store action '%s' (expected: gc)",
+              opts.workload.c_str());
+    if (opts.store_dir.empty())
+        fatal("store gc requires --store <dir>");
+    if (opts.max_age_s < 0 && opts.max_bytes < 0)
+        fatal("store gc requires --max-age-s and/or --max-bytes "
+              "(unbounded gc would evict nothing)");
+
+    ProfileStore store(opts.store_dir);
+    ProfileStore::GcResult res =
+        store.gc({opts.max_age_s, opts.max_bytes});
+    std::printf("store gc: scanned=%zu evicted=%zu bytes_before=%llu "
+                "bytes_after=%llu\n",
+                res.scanned, res.evicted,
+                static_cast<unsigned long long>(res.bytes_before),
+                static_cast<unsigned long long>(res.bytes_after));
     return 0;
 }
 
@@ -775,6 +956,10 @@ main(int argc, char **argv)
         return cmdPush(opts);
     if (opts.command == "aggregate")
         return cmdAggregate(opts);
+    if (opts.command == "relay")
+        return cmdRelay(opts);
+    if (opts.command == "store")
+        return cmdStore(opts);
     if (opts.command == "migrate")
         return cmdMigrate(opts);
     if (opts.command == "analyze")

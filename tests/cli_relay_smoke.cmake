@@ -1,0 +1,200 @@
+# Multi-process smoke test for hierarchical relay aggregation (run via
+# ctest):
+#
+#   Phase 1: a depth-2 fan-in tree — four hbbp-tool push collectors ->
+#   two relay processes -> one `aggregate --listen` root, everything
+#   CONCURRENT. The root aggregate must be byte-identical to a flat
+#   single-run `hbbp-tool merge` of the same four shards, and the root
+#   must report exactly two aggregate arrivals covering four hosts.
+#
+#   Phase 2: the same tree, but relay1 runs with --state and
+#   --flush-every 1 and is SIGKILLed after accepting (and flushing)
+#   hostA. The restarted relay1 resumes from its journaled state
+#   (restored=1), takes hostB, and its final flush supersedes the
+#   earlier partial one at the root — which ends byte-identical to the
+#   flat merge again.
+#
+# Invoked as:
+#   cmake -DHBBP_TOOL=<hbbp-tool> -DWORK_DIR=<scratch dir> \
+#         -P cli_relay_smoke.cmake
+
+cmake_minimum_required(VERSION 3.20)
+
+if(NOT DEFINED HBBP_TOOL OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR "pass -DHBBP_TOOL=... and -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(dump_logs)
+    set(logs "")
+    file(GLOB log_files "${WORK_DIR}/*.log")
+    foreach(log_file IN LISTS log_files)
+        file(READ "${log_file}" log)
+        get_filename_component(log_name "${log_file}" NAME)
+        string(APPEND logs "--- ${log_name} ---\n${log}")
+    endforeach()
+    set(ALL_LOGS "${logs}" PARENT_SCOPE)
+endfunction()
+
+# --- phase 1: 4 collectors -> 2 relays -> 1 root, all concurrent ----------
+# Every process discovers its upstream through a port file; the shell
+# script holds the orchestration because CMake cannot background.
+set(phase1_script "
+dir='${WORK_DIR}'
+tool='${HBBP_TOOL}'
+waitport() {
+    i=0
+    while [ ! -s \"$1\" ]; do
+        i=$((i+1)); [ $i -gt 200 ] && echo \"$1 never appeared\" && exit 1
+        sleep 0.1
+    done
+}
+\"$tool\" aggregate --listen 0 --port-file \"$dir/root1.port\" --expect 4 \\
+    --timeout-ms 120000 -o \"$dir/root1.profile\" > \"$dir/root1.log\" 2>&1 &
+rootpid=$!
+waitport \"$dir/root1.port\"
+rp=$(cat \"$dir/root1.port\")
+\"$tool\" relay --listen 0 --port-file \"$dir/r1.port\" --to 127.0.0.1:$rp \\
+    --relay-id relay1 --expect 2 --timeout-ms 120000 > \"$dir/r1.log\" 2>&1 &
+r1pid=$!
+\"$tool\" relay --listen 0 --port-file \"$dir/r2.port\" --to 127.0.0.1:$rp \\
+    --relay-id relay2 --expect 2 --timeout-ms 120000 > \"$dir/r2.log\" 2>&1 &
+r2pid=$!
+waitport \"$dir/r1.port\"
+waitport \"$dir/r2.port\"
+p1=$(cat \"$dir/r1.port\")
+p2=$(cat \"$dir/r2.port\")
+\"$tool\" push test40 --host hostA --to 127.0.0.1:$p1 --retries 20 \\
+    -o \"$dir/a.profile\" > \"$dir/pushA.log\" 2>&1 &
+pa=$!
+\"$tool\" push test40 --host hostB --to 127.0.0.1:$p1 --retries 20 \\
+    -o \"$dir/b.profile\" > \"$dir/pushB.log\" 2>&1 &
+pb=$!
+\"$tool\" push test40 --host hostC --to 127.0.0.1:$p2 --retries 20 \\
+    -o \"$dir/c.profile\" > \"$dir/pushC.log\" 2>&1 &
+pc=$!
+\"$tool\" push test40 --host hostD --to 127.0.0.1:$p2 --retries 20 \\
+    -o \"$dir/d.profile\" > \"$dir/pushD.log\" 2>&1 &
+pd=$!
+rc=0
+wait $pa || rc=1
+wait $pb || rc=1
+wait $pc || rc=1
+wait $pd || rc=1
+wait $r1pid || rc=1
+wait $r2pid || rc=1
+wait $rootpid || rc=1
+exit $rc
+")
+execute_process(COMMAND sh -c "${phase1_script}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    dump_logs()
+    message(FATAL_ERROR "phase 1 (depth-2 tree) failed (exit ${rc})\n${ALL_LOGS}")
+endif()
+
+file(READ "${WORK_DIR}/root1.log" root1_log)
+# The tree's signature: two aggregate arrivals covering four hosts.
+if(NOT root1_log MATCHES "accepted=2 duplicates=0 incompatible=0 malformed=0")
+    message(FATAL_ERROR "unexpected phase-1 root stats: ${root1_log}")
+endif()
+if(NOT root1_log MATCHES "hosts=4 covered=4 aggregates=2")
+    message(FATAL_ERROR "expected 2 aggregates covering 4 hosts: ${root1_log}")
+endif()
+
+# Byte-identical to a flat one-shot merge of the same four shards.
+execute_process(COMMAND "${HBBP_TOOL}" merge -o "${WORK_DIR}/flat.profile"
+    "${WORK_DIR}/a.profile" "${WORK_DIR}/b.profile"
+    "${WORK_DIR}/c.profile" "${WORK_DIR}/d.profile"
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "flat merge failed (exit ${rc})")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORK_DIR}/root1.profile" "${WORK_DIR}/flat.profile"
+    RESULT_VARIABLE differs)
+if(differs)
+    message(FATAL_ERROR "tree aggregate is not byte-identical to the flat merge")
+endif()
+
+# --- phase 2: SIGKILL relay1 mid-run, resume from --state -----------------
+# relay1 flushes per accept, so once `push hostA` returns, the root
+# holds a coverage-{hostA} aggregate and relay1's journal holds the
+# shard — SIGKILL loses nothing. The restarted relay1 reports
+# restored=1, takes hostB, and its final flush supersedes the partial
+# one upstream.
+set(phase2_script "
+dir='${WORK_DIR}'
+tool='${HBBP_TOOL}'
+waitport() {
+    i=0
+    while [ ! -s \"$1\" ]; do
+        i=$((i+1)); [ $i -gt 200 ] && echo \"$1 never appeared\" && exit 1
+        sleep 0.1
+    done
+}
+\"$tool\" aggregate --listen 0 --port-file \"$dir/root2.port\" --expect 4 \\
+    --timeout-ms 120000 -o \"$dir/root2.profile\" > \"$dir/root2.log\" 2>&1 &
+rootpid=$!
+waitport \"$dir/root2.port\"
+rp=$(cat \"$dir/root2.port\")
+\"$tool\" relay --listen 0 --port-file \"$dir/r1a.port\" --to 127.0.0.1:$rp \\
+    --relay-id relay1 --flush-every 1 --state \"$dir/relay1.state\" \\
+    --expect 99 --timeout-ms 120000 > \"$dir/r1a.log\" 2>&1 &
+r1pid=$!
+\"$tool\" relay --listen 0 --port-file \"$dir/r2b.port\" --to 127.0.0.1:$rp \\
+    --relay-id relay2 --expect 2 --timeout-ms 120000 > \"$dir/r2b.log\" 2>&1 &
+r2pid=$!
+waitport \"$dir/r1a.port\"
+waitport \"$dir/r2b.port\"
+p1=$(cat \"$dir/r1a.port\")
+p2=$(cat \"$dir/r2b.port\")
+# hostA lands, is journaled, and is flushed upstream before the push
+# returns; then the relay dies the hard way.
+\"$tool\" push test40 --host hostA --to 127.0.0.1:$p1 --retries 20 \\
+    > \"$dir/push2A.log\" 2>&1 || exit 1
+kill -9 $r1pid 2>/dev/null
+wait $r1pid 2>/dev/null
+\"$tool\" relay --listen 0 --port-file \"$dir/r1b.port\" --to 127.0.0.1:$rp \\
+    --relay-id relay1 --state \"$dir/relay1.state\" --expect 2 \\
+    --timeout-ms 120000 > \"$dir/r1b.log\" 2>&1 &
+r1bpid=$!
+waitport \"$dir/r1b.port\"
+p1b=$(cat \"$dir/r1b.port\")
+rc=0
+\"$tool\" push test40 --host hostB --to 127.0.0.1:$p1b --retries 20 \\
+    > \"$dir/push2B.log\" 2>&1 || rc=1
+\"$tool\" push test40 --host hostC --to 127.0.0.1:$p2 --retries 20 \\
+    > \"$dir/push2C.log\" 2>&1 || rc=1
+\"$tool\" push test40 --host hostD --to 127.0.0.1:$p2 --retries 20 \\
+    > \"$dir/push2D.log\" 2>&1 || rc=1
+wait $r1bpid || rc=1
+wait $r2pid || rc=1
+wait $rootpid || rc=1
+exit $rc
+")
+execute_process(COMMAND sh -c "${phase2_script}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    dump_logs()
+    message(FATAL_ERROR "phase 2 (kill + resume) failed (exit ${rc})\n${ALL_LOGS}")
+endif()
+
+file(READ "${WORK_DIR}/r1b.log" r1b_log)
+if(NOT r1b_log MATCHES "restored=1")
+    message(FATAL_ERROR "restarted relay did not restore its journaled shard: ${r1b_log}")
+endif()
+file(READ "${WORK_DIR}/root2.log" root2_log)
+if(NOT root2_log MATCHES "covered=4")
+    message(FATAL_ERROR "resumed tree did not cover the fleet: ${root2_log}")
+endif()
+
+# Killing and resuming a relay must not change a byte of the result.
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORK_DIR}/root2.profile" "${WORK_DIR}/flat.profile"
+    RESULT_VARIABLE differs2)
+if(differs2)
+    message(FATAL_ERROR "resumed tree aggregate is not byte-identical to the flat merge")
+endif()
+
+message(STATUS "relay smoke OK: 4 collectors -> 2 relays -> 1 root byte-identical to flat; SIGKILL + --state resume -> same bytes")

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -392,6 +393,115 @@ TEST(Store, GetOrCollectMissesThenHits)
     EXPECT_TRUE(hit);
     EXPECT_EQ(second, first);
     EXPECT_EQ(store.entryCount(), 1u);
+}
+
+/** Push @p key's entry mtime @p seconds into the past. */
+void
+ageEntry(const ProfileStore &store, const ProfileKey &key,
+         int64_t seconds)
+{
+    std::filesystem::last_write_time(
+        store.pathFor(key), std::filesystem::file_time_type::clock::now() -
+                                std::chrono::seconds(seconds));
+}
+
+TEST(Store, GcEvictsByAgeOldestFirst)
+{
+    ProfileStore store(freshStoreDir("gc_age"));
+    ProfileKey old_key{"synthetic", loopCollectorConfig(1000), 1,
+                       MachineConfig{}};
+    ProfileKey new_key = old_key;
+    new_key.config.seed++;
+    store.insert(old_key, smallProfile(3));
+    store.insert(new_key, smallProfile(4));
+    ageEntry(store, old_key, 3'600);
+
+    // Unbounded gc is a no-op: nothing qualifies.
+    ProfileStore::GcResult res = store.gc({-1, -1});
+    EXPECT_EQ(res.scanned, 2u);
+    EXPECT_EQ(res.evicted, 0u);
+    EXPECT_EQ(store.entryCount(), 2u);
+
+    // Regression: an "effectively unlimited" age must also be a
+    // no-op — the naive cutoff subtraction overflows the file clock's
+    // rep (whose epoch may sit far from now) and used to wrap into
+    // the future, evicting *everything*.
+    res = store.gc({INT64_MAX, -1});
+    EXPECT_EQ(res.evicted, 0u);
+    res = store.gc({99'999'999'999, -1});
+    EXPECT_EQ(res.evicted, 0u);
+    EXPECT_EQ(store.entryCount(), 2u);
+
+    res = store.gc({/*max_age_s=*/60, /*max_bytes=*/-1});
+    EXPECT_EQ(res.scanned, 2u);
+    EXPECT_EQ(res.evicted, 1u);
+    EXPECT_LT(res.bytes_after, res.bytes_before);
+    EXPECT_EQ(store.entryCount(), 1u);
+
+    // The regression the satellite asks for: a gc'd entry is a clean
+    // cache miss to re-collect, never an error — and the survivor is
+    // still a hit.
+    EXPECT_EQ(store.lookup(old_key), std::nullopt);
+    std::optional<ProfileData> kept = store.lookup(new_key);
+    ASSERT_TRUE(kept.has_value());
+    EXPECT_EQ(*kept, smallProfile(4));
+}
+
+TEST(Store, GcEvictsBySizeUntilUnderTheBound)
+{
+    ProfileStore store(freshStoreDir("gc_size"));
+    std::vector<ProfileKey> keys;
+    for (uint64_t i = 0; i < 3; i++) {
+        ProfileKey key{"synthetic", loopCollectorConfig(1000), 1,
+                       MachineConfig{}};
+        key.config.seed = 100 + i;
+        store.insert(key, smallProfile(i + 1));
+        // Strictly older to strictly newer, so eviction order is
+        // deterministic.
+        ageEntry(store, key, static_cast<int64_t>(30 - i * 10));
+        keys.push_back(key);
+    }
+    uint64_t total = store.gc({-1, -1}).bytes_before;
+
+    // Bound that forces exactly the two oldest entries out.
+    uint64_t keep_one = total / 3;
+    ProfileStore::GcResult res =
+        store.gc({-1, static_cast<int64_t>(keep_one)});
+    EXPECT_EQ(res.evicted, 2u);
+    EXPECT_LE(res.bytes_after, keep_one);
+    EXPECT_EQ(store.entryCount(), 1u);
+    EXPECT_EQ(store.lookup(keys[0]), std::nullopt);
+    EXPECT_EQ(store.lookup(keys[1]), std::nullopt);
+    EXPECT_TRUE(store.lookup(keys[2]).has_value());
+
+    // max_bytes=0 empties the store; lookups stay clean misses.
+    store.insert(keys[0], smallProfile(7));
+    res = store.gc({-1, 0});
+    EXPECT_EQ(store.entryCount(), 0u);
+    EXPECT_EQ(res.bytes_after, 0u);
+    EXPECT_EQ(store.lookup(keys[0]), std::nullopt);
+}
+
+TEST(Store, GcAppliesAgeThenSizeAndSparesCheckedShards)
+{
+    // Both bounds compose, and checksum-addressed shard entries are
+    // governed by the same sweep (they are cache entries too).
+    ProfileStore store(freshStoreDir("gc_both"));
+    ProfileKey key{"synthetic", loopCollectorConfig(1000), 1,
+                   MachineConfig{}};
+    store.insert(key, smallProfile(1));
+    ProfileData shard = smallProfile(2);
+    store.insertByChecksum(shard.payloadChecksum(), shard);
+    std::filesystem::last_write_time(
+        store.pathForChecksum(shard.payloadChecksum()),
+        std::filesystem::file_time_type::clock::now() -
+            std::chrono::seconds(3'600));
+
+    ProfileStore::GcResult res = store.gc({60, -1});
+    EXPECT_EQ(res.scanned, 2u);
+    EXPECT_EQ(res.evicted, 1u);
+    EXPECT_FALSE(store.containsChecksum(shard.payloadChecksum()));
+    EXPECT_TRUE(store.lookup(key).has_value());
 }
 
 // ---------------------------------------------------------------------------

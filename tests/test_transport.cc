@@ -296,7 +296,11 @@ TEST(SocketTransport, PushesACompleteShardInOneFrame)
     std::vector<std::pair<std::string, size_t>> accepts;
     ListenOptions lo;
     lo.expect = 1;
-    lo.on_accept = [&](const ShardManifest &m, const ProfileData &pd) {
+    lo.on_accept = [&](const ShardManifest &m, const ProfileData &pd,
+                       const std::vector<std::string> &chunks) {
+        // The transportable form rides along for journaling hooks: a
+        // leaf shard arrives as one assembled serialized profile.
+        EXPECT_EQ(chunks.size(), 1u);
         accepts.emplace_back(m.host, pd.ebs.size());
     };
     h.start(lo);
@@ -970,7 +974,8 @@ TEST(AggregatorState, StatePersistsThroughTheListener)
         ListenerHarness h;
         ListenOptions lo;
         lo.expect = 1;
-        lo.on_accept = [&](const ShardManifest &, const ProfileData &) {
+        lo.on_accept = [&](const ShardManifest &, const ProfileData &,
+                           const std::vector<std::string> &) {
             h.agg.saveState(state);
         };
         h.start(lo);
