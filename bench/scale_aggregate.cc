@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bench/common.hh"
+#include "bench/foldbench.hh"
 #include "fleet/aggregate.hh"
 #include "fleet/manifest.hh"
 #include "fleet/merge.hh"
@@ -80,6 +81,7 @@ main(int argc, char **argv)
             .string();
 
     std::vector<AggPoint> points;
+    std::vector<ProfileData> fold_shards; // Largest round, for foldbench.
     for (size_t n_shards : shard_counts) {
         std::filesystem::remove_all(dir);
 
@@ -130,8 +132,13 @@ main(int argc, char **argv)
                         ? p.batch_rescan_seconds / p.incremental_seconds
                         : 0.0;
         points.push_back(p);
+        fold_shards = std::move(shards);
     }
     std::filesystem::remove_all(dir);
+
+    // Per-backend fold math on the largest shard set (foldbench.hh).
+    bench::FoldBench fb =
+        bench::runFoldBench(fold_shards, 4096, quick ? 500 : 2000);
 
     if (human) {
         bench::headline("Distributed aggregation scaling",
@@ -148,11 +155,17 @@ main(int argc, char **argv)
                           format("%.4f", p.batch_rescan_seconds),
                           format("%.1fx", p.speedup)});
         std::printf("%s\n", table.render().c_str());
+        for (const bench::FoldBackendPoint &p : fb.backends)
+            std::printf("fold[%s]: %.0f ns/fold, %.0f shards/s%s\n",
+                        p.name.c_str(), p.kernel_ns_per_fold,
+                        p.shards_per_s,
+                        p.name == fb.dispatch ? " (dispatch)" : "");
         return 0;
     }
 
     std::printf("{\n  \"bench\": \"scale_aggregate\",\n");
     std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+    std::printf("  %s,\n", bench::foldBenchJson(fb).c_str());
     std::printf("  \"points\": [\n");
     for (size_t i = 0; i < points.size(); i++) {
         const AggPoint &p = points[i];

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench/common.hh"
+#include "bench/foldbench.hh"
 #include "fleet/batch.hh"
 #include "fleet/merge.hh"
 #include "fleet/shard.hh"
@@ -120,6 +121,10 @@ main(int argc, char **argv)
     mp.samples = merged.ebs.size() + merged.lbr.size();
     mp.samples_per_sec = mp.seconds > 0 ? mp.samples / mp.seconds : 0.0;
 
+    // Per-backend fold math on the same shard set (see foldbench.hh).
+    bench::FoldBench fb =
+        bench::runFoldBench(shards, 4096, quick ? 500 : 2000);
+
     if (human) {
         bench::headline("Fleet batch scaling",
                         "fleet extension (no paper analogue)");
@@ -136,11 +141,17 @@ main(int argc, char **argv)
                     "(%.0f samples/sec)\n", mp.shards,
                     static_cast<unsigned long long>(mp.samples),
                     mp.seconds, mp.samples_per_sec);
+        for (const bench::FoldBackendPoint &p : fb.backends)
+            std::printf("fold[%s]: %.0f ns/fold, %.0f shards/s%s\n",
+                        p.name.c_str(), p.kernel_ns_per_fold,
+                        p.shards_per_s,
+                        p.name == fb.dispatch ? " (dispatch)" : "");
         return 0;
     }
 
     std::printf("{\n  \"bench\": \"scale_batch\",\n");
     std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+    std::printf("  %s,\n", bench::foldBenchJson(fb).c_str());
     std::printf("  \"workloads\": %zu,\n", workloads.size());
     std::printf("  \"shards_per_workload\": 2,\n");
     std::printf("  \"batch\": [\n");

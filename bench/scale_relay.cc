@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/common.hh"
+#include "bench/foldbench.hh"
 #include "fleet/aggregate.hh"
 #include "fleet/manifest.hh"
 #include "fleet/merge.hh"
@@ -80,6 +81,7 @@ main(int argc, char **argv)
         base_cc.max_instructions = w.max_instructions / 4;
 
     std::vector<RelayPoint> points;
+    std::vector<ProfileData> fold_profiles; // Largest round, foldbench.
     for (size_t n_hosts : host_counts) {
         // Host-seeded collections prepared up front so both
         // topologies move the same bytes.
@@ -181,7 +183,15 @@ main(int argc, char **argv)
         }
         p.tree_seconds = secondsSince(start);
         points.push_back(p);
+        fold_profiles = std::move(profiles);
     }
+
+    // Per-backend root fold on the largest host set (foldbench.hh):
+    // the root aggregate's bytes must be identical whatever backend
+    // folds it — the relay-tree equivalent of the flat/tree identity
+    // asserted above.
+    bench::FoldBench fb =
+        bench::runFoldBench(fold_profiles, 4096, quick ? 500 : 2000);
 
     if (human) {
         bench::headline("Relay tree scaling",
@@ -200,11 +210,17 @@ main(int argc, char **argv)
                  format("%zu/%zu", p.root_arrivals_flat,
                         p.root_arrivals_tree)});
         std::printf("%s\n", table.render().c_str());
+        for (const bench::FoldBackendPoint &p : fb.backends)
+            std::printf("fold[%s]: %.0f ns/fold, %.0f shards/s%s\n",
+                        p.name.c_str(), p.kernel_ns_per_fold,
+                        p.shards_per_s,
+                        p.name == fb.dispatch ? " (dispatch)" : "");
         return 0;
     }
 
     std::printf("{\n  \"bench\": \"scale_relay\",\n");
     std::printf("  \"quick\": %s,\n", quick ? "true" : "false");
+    std::printf("  %s,\n", bench::foldBenchJson(fb).c_str());
     std::printf("  \"points\": [\n");
     for (size_t i = 0; i < points.size(); i++) {
         const RelayPoint &p = points[i];

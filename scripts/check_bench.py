@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Gate a fresh scale-bench JSON against a committed BENCH_*.json baseline.
+
+Usage:
+    check_bench.py BASELINE FRESH [--tolerance X] [--speedup-floor Y]
+
+Checks, failing loudly (exit 1) on the first violation:
+
+  1. Structure: both files parse, name the same bench, and carry a
+     "fold" section with a per-backend list.
+  2. Bit stability: every backend in the fresh run reports
+     bytes_identical=true (the SIMD and scalar folds produced the same
+     aggregate bytes).
+  3. Dispatch sanity: the fresh run's scalar backend is present (it is
+     compiled unconditionally; its absence means the fold section is
+     broken).
+  4. Perf regression: for every backend present in BOTH files, the
+     fresh kernel_ns_per_fold must be within --tolerance of the
+     baseline (default 4.0 -- CI machines differ wildly from the
+     machine that recorded the baseline; the gate catches order-of-
+     magnitude regressions, e.g. a scalar fallback sneaking into a
+     SIMD backend, not single-digit noise). Backends in the baseline
+     but missing from the fresh run (different CPU) are skipped with a
+     warning.
+  5. SIMD win: when the fresh run has at least one SIMD backend, its
+     simd_speedup must be >= --speedup-floor (default 1.1): the
+     vectorized fold must actually beat scalar where SIMD exists.
+
+Defaults can be overridden via HBBP_BENCH_TOLERANCE and
+HBBP_BENCH_SPEEDUP_FLOOR for one-off noisy runners.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def warn(msg):
+    print(f"check_bench: warning: {msg}", file=sys.stderr)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {path}: {e}")
+
+
+def fold_backends(doc, path):
+    fold = doc.get("fold")
+    if not isinstance(fold, dict):
+        fail(f"{path} has no \"fold\" section")
+    backends = fold.get("backends")
+    if not isinstance(backends, list) or not backends:
+        fail(f"{path} has an empty fold.backends list")
+    return fold, {b["name"]: b for b in backends}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("HBBP_BENCH_TOLERANCE", "4.0")),
+        help="max allowed fresh/baseline kernel_ns_per_fold ratio",
+    )
+    ap.add_argument(
+        "--speedup-floor",
+        type=float,
+        default=float(os.environ.get("HBBP_BENCH_SPEEDUP_FLOOR", "1.1")),
+        help="min simd_speedup when a SIMD backend is usable",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    if base.get("bench") != fresh.get("bench"):
+        fail(
+            f"bench name mismatch: baseline is "
+            f"{base.get('bench')!r}, fresh is {fresh.get('bench')!r}"
+        )
+    bench = fresh.get("bench", "?")
+
+    base_fold, base_by_name = fold_backends(base, args.baseline)
+    fresh_fold, fresh_by_name = fold_backends(fresh, args.fresh)
+
+    if "scalar" not in fresh_by_name:
+        fail(f"{bench}: fresh run has no scalar backend")
+
+    for name, b in fresh_by_name.items():
+        if b.get("bytes_identical") is not True:
+            fail(
+                f"{bench}: backend {name} aggregate bytes differ "
+                f"from scalar (bytes_identical={b.get('bytes_identical')})"
+            )
+
+    for name, bb in base_by_name.items():
+        fb = fresh_by_name.get(name)
+        if fb is None:
+            warn(
+                f"{bench}: baseline backend {name} not usable on this "
+                f"machine; skipping its perf comparison"
+            )
+            continue
+        base_ns = bb.get("kernel_ns_per_fold", 0.0)
+        fresh_ns = fb.get("kernel_ns_per_fold", 0.0)
+        if base_ns <= 0.0 or fresh_ns <= 0.0:
+            fail(f"{bench}: backend {name} has non-positive ns_per_fold")
+        if fresh_ns > base_ns * args.tolerance:
+            fail(
+                f"{bench}: backend {name} regressed: "
+                f"{fresh_ns:.1f} ns/fold vs baseline {base_ns:.1f} "
+                f"(tolerance {args.tolerance}x)"
+            )
+        print(
+            f"check_bench: {bench}/{name}: {fresh_ns:.1f} ns/fold "
+            f"(baseline {base_ns:.1f}, ratio "
+            f"{fresh_ns / base_ns:.2f}, limit {args.tolerance}x)"
+        )
+
+    has_simd = any(n != "scalar" for n in fresh_by_name)
+    if has_simd:
+        speedup = fresh_fold.get("simd_speedup", 0.0)
+        if speedup < args.speedup_floor:
+            fail(
+                f"{bench}: simd_speedup {speedup:.3f} below floor "
+                f"{args.speedup_floor} with SIMD backends "
+                f"{sorted(n for n in fresh_by_name if n != 'scalar')}"
+            )
+        print(
+            f"check_bench: {bench}: simd_speedup {speedup:.3f} "
+            f"(floor {args.speedup_floor}), dispatch "
+            f"{fresh.get('vector_backend', '?')}"
+        )
+    else:
+        warn(f"{bench}: no SIMD backend on this machine; speedup floor skipped")
+
+    print(f"check_bench: {bench}: OK")
+
+
+if __name__ == "__main__":
+    main()

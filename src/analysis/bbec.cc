@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "support/logging.hh"
+#include "support/vectorops.hh"
 
 namespace hbbp {
 
@@ -167,8 +168,8 @@ BbecEstimator::estimate(const BlockMap &map,
         est.lbr_streams_discarded < est.lbr_streams_total) {
         lbr_scale /= 1.0 - est.discardFraction();
     }
-    for (size_t i = 0; i < n; i++)
-        est.lbr[i] = est.lbr_weight[i] * lbr_scale;
+    vecops::scaledCopy(est.lbr.data(), est.lbr_weight.data(), lbr_scale,
+                       n);
 
     // ---- Bias flags: blocks containing a biased branch, and blocks
     // whose LBR evidence substantially comes from biased samples.

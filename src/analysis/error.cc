@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "support/vectorops.hh"
 
 namespace hbbp {
 
@@ -38,14 +41,19 @@ avgWeightedError(const Counter<Mnemonic> &reference,
     double total_ref = reference.total();
     if (total_ref <= 0.0)
         return 0.0;
-    double sum = 0.0;
-    for (const auto &[mn, ref] : reference.items()) {
+    // Gather the per-mnemonic terms in sorted-key order and fold them
+    // with the bit-stable vecops reduction; accumulating in hash
+    // iteration order made the reported error depend on the standard
+    // library's bucket layout.
+    std::vector<double> terms;
+    terms.reserve(reference.size());
+    for (const auto &[mn, ref] : reference.sortedByKey()) {
         if (ref <= 0.0)
             continue;
         double err = std::abs(ref - measured.get(mn)) / ref;
-        sum += err * ref / total_ref;
+        terms.push_back(err * ref / total_ref);
     }
-    return sum;
+    return vecops::sum(terms);
 }
 
 double

@@ -5,6 +5,7 @@
 
 #include "support/logging.hh"
 #include "support/strings.hh"
+#include "support/vectorops.hh"
 
 namespace hbbp {
 
@@ -69,6 +70,10 @@ InstructionMix::InstructionMix(const BlockMap &map,
     if (bbec_.size() != map.blocks().size())
         panic("InstructionMix: %zu counts for %zu blocks", bbec_.size(),
               map.blocks().size());
+    block_sizes_.reserve(bbec_.size());
+    for (size_t i = 0; i < bbec_.size(); i++)
+        block_sizes_.push_back(static_cast<double>(
+            map_.block(static_cast<uint32_t>(i)).size()));
 }
 
 void
@@ -95,12 +100,10 @@ InstructionMix::forEach(
 double
 InstructionMix::totalInstructions() const
 {
-    double total = 0.0;
-    for (size_t i = 0; i < bbec_.size(); i++)
-        total += bbec_[i] *
-                 static_cast<double>(
-                     map_.block(static_cast<uint32_t>(i)).size());
-    return total;
+    // bbec · block_sizes through the dispatched bit-stable kernel:
+    // same bits on every backend, and SIMD-wide on the fleet-scale
+    // block maps where this dominates report generation.
+    return vecops::dot(bbec_.data(), block_sizes_.data(), bbec_.size());
 }
 
 Counter<Mnemonic>

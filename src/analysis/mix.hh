@@ -111,6 +111,10 @@ class InstructionMix
 
     const BlockMap &map_;
     std::vector<double> bbec_;
+    /** block(i).size() as doubles — the dot-product operand backing
+     *  totalInstructions(), cached so the hot path is one contiguous
+     *  vecops::dot instead of a per-block pointer chase. */
+    std::vector<double> block_sizes_;
 };
 
 } // namespace hbbp

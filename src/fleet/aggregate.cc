@@ -112,20 +112,15 @@ IncrementalAggregator::addShard(const ShardManifest &manifest,
     // take down a long-running aggregator over one bad shard.
     for (const MmapRecord &rec : profile.mmaps) {
         for (const MmapRecord &have : mmaps_) {
-            if (have.name != rec.name)
-                continue;
-            if (!(have == rec))
+            std::string conflict;
+            // Same-name placement mismatches and cross-name address
+            // overlaps both reject: one shared predicate with
+            // mergeInto(), minus its fatal() severity.
+            if (mmapRecordsConflict(have, rec, &conflict))
                 return reject(
                     &stats_.incompatible,
-                    format("incompatible shard from host '%s': module "
-                           "'%s' mapped at %#llx+%#llx here but "
-                           "%#llx+%#llx in the aggregate",
-                           manifest.host.c_str(), rec.name.c_str(),
-                           static_cast<unsigned long long>(rec.base),
-                           static_cast<unsigned long long>(rec.size),
-                           static_cast<unsigned long long>(have.base),
-                           static_cast<unsigned long long>(have.size)));
-            break;
+                    format("incompatible shard from host '%s': %s",
+                           manifest.host.c_str(), conflict.c_str()));
         }
     }
 
@@ -238,30 +233,17 @@ IncrementalAggregator::addAggregateShard(const ShardManifest &manifest,
             for (const std::vector<MmapRecord> *have_list :
                  {&mmaps_, &fresh_mmaps}) {
                 for (const MmapRecord &have : *have_list) {
-                    if (have.name != rec.name)
-                        continue;
-                    if (!(have == rec))
+                    std::string conflict;
+                    if (mmapRecordsConflict(have, rec, &conflict))
                         return reject(
                             &stats_.incompatible,
                             format("incompatible aggregate from relay "
-                                   "'%s': module '%s' mapped at "
-                                   "%#llx+%#llx here but %#llx+%#llx "
-                                   "in the aggregate",
+                                   "'%s': %s",
                                    manifest.host.c_str(),
-                                   rec.name.c_str(),
-                                   static_cast<unsigned long long>(
-                                       rec.base),
-                                   static_cast<unsigned long long>(
-                                       rec.size),
-                                   static_cast<unsigned long long>(
-                                       have.base),
-                                   static_cast<unsigned long long>(
-                                       have.size)));
-                    known = true;
-                    break;
+                                   conflict.c_str()));
+                    if (have.name == rec.name)
+                        known = true;
                 }
-                if (known)
-                    break;
             }
             if (!known)
                 fresh_mmaps.push_back(rec);

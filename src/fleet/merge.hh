@@ -16,6 +16,7 @@
 #ifndef HBBP_FLEET_MERGE_HH
 #define HBBP_FLEET_MERGE_HH
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -31,6 +32,25 @@ namespace hbbp {
  */
 bool mergeCompatible(const ProfileData &a, const ProfileData &b,
                      std::string *why = nullptr);
+
+/**
+ * True when two module-map records cannot coexist in one aggregate:
+ * either the same module name placed differently, or two *different*
+ * names whose [base, base+size) address ranges overlap — the latter
+ * used to merge silently and attribute one module's samples to the
+ * other. When true and @p why is non-null, *why holds a diagnostic.
+ */
+bool mmapRecordsConflict(const MmapRecord &have, const MmapRecord &rec,
+                         std::string *why = nullptr);
+
+/**
+ * Process-wide count of u64 feature-counter lanes (cycles,
+ * instructions, block entries, taken branches, SIMD instructions, PMI
+ * count) that saturated at UINT64_MAX during merges. Saturation warns
+ * once per process and is surfaced in the aggregate stats line; the
+ * pre-fix behavior was an unchecked += that silently wrapped.
+ */
+uint64_t saturatedFoldLanes();
 
 /**
  * Merge @p shards (in order) into one aggregate profile.

@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include "support/vectorops.hh"
+
 namespace hbbp {
 
 /** A keyed counter with double-valued weights. */
@@ -47,14 +49,19 @@ class Counter
         return values_.find(key) != values_.end();
     }
 
-    /** Sum of all values. */
+    /**
+     * Sum of all values, accumulated in sorted-key order through the
+     * bit-stable vecops reduction. Summing in unordered_map iteration
+     * order would make the result depend on the hash table's bucket
+     * layout — i.e. on the standard library, insertion history, and
+     * key type — which leaked into mix percentages and aggregate
+     * reports. Sorted-key gather plus the fixed-lane vecops::sum makes
+     * total() a pure function of the {key, value} set.
+     */
     double
     total() const
     {
-        double sum = 0.0;
-        for (const auto &[k, v] : values_)
-            sum += v;
-        return sum;
+        return vecops::sum(valuesByKey());
     }
 
     /** Number of distinct keys. */
@@ -63,7 +70,12 @@ class Counter
     /** True when no key has been recorded. */
     bool empty() const { return values_.empty(); }
 
-    /** Merge another counter into this one (scaled by @p scale). */
+    /**
+     * Merge another counter into this one (scaled by @p scale).
+     * Deterministic regardless of iteration order: each key's update
+     * is the single expression old + v * scale, so per-key results
+     * cannot depend on the order the other map is walked in.
+     */
     void
     merge(const Counter &other, double scale = 1.0)
     {
@@ -101,6 +113,31 @@ class Counter
     sorted() const
     {
         return top(values_.size());
+    }
+
+    /** All entries in increasing key order. */
+    std::vector<std::pair<Key, double>>
+    sortedByKey() const
+    {
+        std::vector<std::pair<Key, double>> entries(values_.begin(),
+                                                    values_.end());
+        std::sort(entries.begin(), entries.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        return entries;
+    }
+
+    /** All values in increasing key order (the deterministic span). */
+    std::vector<double>
+    valuesByKey() const
+    {
+        auto entries = sortedByKey();
+        std::vector<double> values;
+        values.reserve(entries.size());
+        for (const auto &[k, v] : entries)
+            values.push_back(v);
+        return values;
     }
 
     /** Underlying map (read-only). */

@@ -1,0 +1,178 @@
+/**
+ * AVX-512 vectorops backend — a guarded translation unit.
+ *
+ * Built with -mavx512f -ffp-contract=off when the compiler supports it;
+ * a nullptr-returning stub otherwise. Selected only by explicit request
+ * (HBBP_VECTOR_BACKEND=avx512 or setVectorBackend()) — never by the
+ * default policy, because 512-bit execution can downclock the core and
+ * erase the width win on short spans; the BENCH_scale_*.json trajectory
+ * records per-backend numbers so the preference stays a measurement,
+ * not a guess.
+ *
+ * Bit-stability contract: the scalar reference's eight stride-8 lanes
+ * map onto one 8-wide vector, folded by the same fixed tree; no FMA.
+ */
+
+#include "support/vectorops_tables.hh"
+
+#if defined(__AVX512F__)
+
+#include <cmath>
+#include <immintrin.h>
+
+// GCC 12's -Wmaybe-uninitialized fires a false positive inside
+// _mm512_set1_pd's builtin expansion (GCC PR105593).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace hbbp::detail {
+
+namespace {
+
+double
+reduceLanes(const double lane[8])
+{
+    return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+           ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+double
+avx512Sum(const double *x, size_t n)
+{
+    __m512d acc = _mm512_setzero_pd();
+    size_t nb = n & ~static_cast<size_t>(7);
+    for (size_t i = 0; i < nb; i += 8)
+        acc = _mm512_add_pd(acc, _mm512_loadu_pd(x + i));
+    double lane[8];
+    _mm512_storeu_pd(lane, acc);
+    for (size_t i = nb; i < n; i++)
+        lane[i - nb] += x[i];
+    return reduceLanes(lane);
+}
+
+double
+avx512Dot(const double *x, const double *y, size_t n)
+{
+    __m512d acc = _mm512_setzero_pd();
+    size_t nb = n & ~static_cast<size_t>(7);
+    for (size_t i = 0; i < nb; i += 8)
+        acc = _mm512_add_pd(
+            acc, _mm512_mul_pd(_mm512_loadu_pd(x + i),
+                               _mm512_loadu_pd(y + i)));
+    double lane[8];
+    _mm512_storeu_pd(lane, acc);
+    for (size_t i = nb; i < n; i++)
+        lane[i - nb] += x[i] * y[i];
+    return reduceLanes(lane);
+}
+
+void
+avx512Saxpy(double *y, double a, const double *x, size_t n)
+{
+    __m512d va = _mm512_set1_pd(a);
+    size_t nb = n & ~static_cast<size_t>(7);
+    for (size_t i = 0; i < nb; i += 8)
+        _mm512_storeu_pd(
+            y + i, _mm512_add_pd(_mm512_loadu_pd(y + i),
+                                 _mm512_mul_pd(va,
+                                               _mm512_loadu_pd(x + i))));
+    for (size_t i = nb; i < n; i++)
+        y[i] = y[i] + a * x[i];
+}
+
+void
+avx512Scale(double *x, double a, size_t n)
+{
+    __m512d va = _mm512_set1_pd(a);
+    size_t nb = n & ~static_cast<size_t>(7);
+    for (size_t i = 0; i < nb; i += 8)
+        _mm512_storeu_pd(
+            x + i, _mm512_mul_pd(_mm512_loadu_pd(x + i), va));
+    for (size_t i = nb; i < n; i++)
+        x[i] *= a;
+}
+
+void
+avx512ScaledCopy(double *dst, const double *src, double a, size_t n)
+{
+    __m512d va = _mm512_set1_pd(a);
+    size_t nb = n & ~static_cast<size_t>(7);
+    for (size_t i = 0; i < nb; i += 8)
+        _mm512_storeu_pd(
+            dst + i, _mm512_mul_pd(va, _mm512_loadu_pd(src + i)));
+    for (size_t i = nb; i < n; i++)
+        dst[i] = a * src[i];
+}
+
+double
+avx512Max(const double *x, size_t n)
+{
+    __m512d acc = _mm512_set1_pd(-HUGE_VAL);
+    size_t nb = n & ~static_cast<size_t>(7);
+    for (size_t i = 0; i < nb; i += 8)
+        acc = _mm512_max_pd(acc, _mm512_loadu_pd(x + i));
+    double lane[8];
+    _mm512_storeu_pd(lane, acc);
+    for (size_t i = nb; i < n; i++)
+        lane[i - nb] = lane[i - nb] > x[i] ? lane[i - nb] : x[i];
+    auto op = [](double u, double v) { return u > v ? u : v; };
+    return op(op(op(lane[0], lane[1]), op(lane[2], lane[3])),
+              op(op(lane[4], lane[5]), op(lane[6], lane[7])));
+}
+
+size_t
+avx512AccumulateSatU64(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    size_t saturated = 0;
+    size_t nb = n & ~static_cast<size_t>(7);
+    for (size_t i = 0; i < nb; i += 8) {
+        __m512i d = _mm512_loadu_si512(dst + i);
+        __m512i s = _mm512_loadu_si512(src + i);
+        __m512i r = _mm512_add_epi64(d, s);
+        // A wrapped unsigned sum is strictly below the addend.
+        __mmask8 wrapped = _mm512_cmplt_epu64_mask(r, s);
+        r = _mm512_mask_set1_epi64(r, wrapped, -1);
+        _mm512_storeu_si512(dst + i, r);
+        saturated += static_cast<size_t>(__builtin_popcount(wrapped));
+    }
+    for (size_t i = nb; i < n; i++) {
+        uint64_t r = dst[i] + src[i];
+        if (r < src[i]) {
+            r = UINT64_MAX;
+            saturated++;
+        }
+        dst[i] = r;
+    }
+    return saturated;
+}
+
+constexpr VectorOpsTable kAvx512Table = {
+    avx512Sum,  avx512Dot, avx512Saxpy,
+    avx512Scale, avx512ScaledCopy, avx512Max,
+    avx512AccumulateSatU64,
+};
+
+} // namespace
+
+const VectorOpsTable *
+vectorOpsAvx512Table()
+{
+    return &kAvx512Table;
+}
+
+} // namespace hbbp::detail
+
+#else // !__AVX512F__ — the stub half of the guarded TU.
+
+namespace hbbp::detail {
+
+const VectorOpsTable *
+vectorOpsAvx512Table()
+{
+    return nullptr;
+}
+
+} // namespace hbbp::detail
+
+#endif

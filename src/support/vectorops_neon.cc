@@ -1,0 +1,200 @@
+/**
+ * NEON vectorops backend — the aarch64 side of the dispatch seam.
+ *
+ * Guarded like the AVX TUs: real kernels on aarch64 (NEON is baseline
+ * there, so no extra compile flags are needed), a nullptr-returning
+ * stub on every other architecture. The same bit-stability contract
+ * applies — eight stride-8 lanes as four 2-wide vectors, the fixed
+ * reduction tree, no FMA (vmulq + vaddq, never vfmaq), and the max
+ * lane rule implemented as compare-and-select so NaN/tie behavior
+ * matches the scalar reference rather than vmaxq's IEEE semantics.
+ */
+
+#include "support/vectorops_tables.hh"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+#include <cmath>
+
+namespace hbbp::detail {
+
+namespace {
+
+double
+reduceLanes(const double lane[8])
+{
+    return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+           ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+double
+neonSum(const double *x, size_t n)
+{
+    float64x2_t a0 = vdupq_n_f64(0.0), a1 = vdupq_n_f64(0.0);
+    float64x2_t a2 = vdupq_n_f64(0.0), a3 = vdupq_n_f64(0.0);
+    size_t nb = n & ~static_cast<size_t>(7);
+    for (size_t i = 0; i < nb; i += 8) {
+        a0 = vaddq_f64(a0, vld1q_f64(x + i));
+        a1 = vaddq_f64(a1, vld1q_f64(x + i + 2));
+        a2 = vaddq_f64(a2, vld1q_f64(x + i + 4));
+        a3 = vaddq_f64(a3, vld1q_f64(x + i + 6));
+    }
+    double lane[8];
+    vst1q_f64(lane, a0);
+    vst1q_f64(lane + 2, a1);
+    vst1q_f64(lane + 4, a2);
+    vst1q_f64(lane + 6, a3);
+    for (size_t i = nb; i < n; i++)
+        lane[i - nb] += x[i];
+    return reduceLanes(lane);
+}
+
+double
+neonDot(const double *x, const double *y, size_t n)
+{
+    float64x2_t a0 = vdupq_n_f64(0.0), a1 = vdupq_n_f64(0.0);
+    float64x2_t a2 = vdupq_n_f64(0.0), a3 = vdupq_n_f64(0.0);
+    size_t nb = n & ~static_cast<size_t>(7);
+    for (size_t i = 0; i < nb; i += 8) {
+        a0 = vaddq_f64(a0, vmulq_f64(vld1q_f64(x + i),
+                                     vld1q_f64(y + i)));
+        a1 = vaddq_f64(a1, vmulq_f64(vld1q_f64(x + i + 2),
+                                     vld1q_f64(y + i + 2)));
+        a2 = vaddq_f64(a2, vmulq_f64(vld1q_f64(x + i + 4),
+                                     vld1q_f64(y + i + 4)));
+        a3 = vaddq_f64(a3, vmulq_f64(vld1q_f64(x + i + 6),
+                                     vld1q_f64(y + i + 6)));
+    }
+    double lane[8];
+    vst1q_f64(lane, a0);
+    vst1q_f64(lane + 2, a1);
+    vst1q_f64(lane + 4, a2);
+    vst1q_f64(lane + 6, a3);
+    for (size_t i = nb; i < n; i++)
+        lane[i - nb] += x[i] * y[i];
+    return reduceLanes(lane);
+}
+
+void
+neonSaxpy(double *y, double a, const double *x, size_t n)
+{
+    float64x2_t va = vdupq_n_f64(a);
+    size_t nb = n & ~static_cast<size_t>(1);
+    for (size_t i = 0; i < nb; i += 2)
+        vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i),
+                                   vmulq_f64(va, vld1q_f64(x + i))));
+    for (size_t i = nb; i < n; i++)
+        y[i] = y[i] + a * x[i];
+}
+
+void
+neonScale(double *x, double a, size_t n)
+{
+    float64x2_t va = vdupq_n_f64(a);
+    size_t nb = n & ~static_cast<size_t>(1);
+    for (size_t i = 0; i < nb; i += 2)
+        vst1q_f64(x + i, vmulq_f64(vld1q_f64(x + i), va));
+    for (size_t i = nb; i < n; i++)
+        x[i] *= a;
+}
+
+void
+neonScaledCopy(double *dst, const double *src, double a, size_t n)
+{
+    float64x2_t va = vdupq_n_f64(a);
+    size_t nb = n & ~static_cast<size_t>(1);
+    for (size_t i = 0; i < nb; i += 2)
+        vst1q_f64(dst + i, vmulq_f64(va, vld1q_f64(src + i)));
+    for (size_t i = nb; i < n; i++)
+        dst[i] = a * src[i];
+}
+
+/** lane = lane > x ? lane : x as compare-and-select. */
+float64x2_t
+maxLane(float64x2_t acc, float64x2_t v)
+{
+    return vbslq_f64(vcgtq_f64(acc, v), acc, v);
+}
+
+double
+neonMax(const double *x, size_t n)
+{
+    float64x2_t m0 = vdupq_n_f64(-HUGE_VAL), m1 = vdupq_n_f64(-HUGE_VAL);
+    float64x2_t m2 = vdupq_n_f64(-HUGE_VAL), m3 = vdupq_n_f64(-HUGE_VAL);
+    size_t nb = n & ~static_cast<size_t>(7);
+    for (size_t i = 0; i < nb; i += 8) {
+        m0 = maxLane(m0, vld1q_f64(x + i));
+        m1 = maxLane(m1, vld1q_f64(x + i + 2));
+        m2 = maxLane(m2, vld1q_f64(x + i + 4));
+        m3 = maxLane(m3, vld1q_f64(x + i + 6));
+    }
+    double lane[8];
+    vst1q_f64(lane, m0);
+    vst1q_f64(lane + 2, m1);
+    vst1q_f64(lane + 4, m2);
+    vst1q_f64(lane + 6, m3);
+    for (size_t i = nb; i < n; i++)
+        lane[i - nb] = lane[i - nb] > x[i] ? lane[i - nb] : x[i];
+    auto op = [](double u, double v) { return u > v ? u : v; };
+    return op(op(op(lane[0], lane[1]), op(lane[2], lane[3])),
+              op(op(lane[4], lane[5]), op(lane[6], lane[7])));
+}
+
+size_t
+neonAccumulateSatU64(uint64_t *dst, const uint64_t *src, size_t n)
+{
+    size_t saturated = 0;
+    size_t nb = n & ~static_cast<size_t>(1);
+    for (size_t i = 0; i < nb; i += 2) {
+        uint64x2_t d = vld1q_u64(dst + i);
+        uint64x2_t s = vld1q_u64(src + i);
+        uint64x2_t r = vaddq_u64(d, s);
+        // A wrapped unsigned sum is strictly below the addend; the
+        // all-ones compare mask OR-ed in clamps those lanes.
+        uint64x2_t wrapped = vcltq_u64(r, s);
+        r = vorrq_u64(r, wrapped);
+        vst1q_u64(dst + i, r);
+        saturated += (vgetq_lane_u64(wrapped, 0) ? 1 : 0) +
+                     (vgetq_lane_u64(wrapped, 1) ? 1 : 0);
+    }
+    for (size_t i = nb; i < n; i++) {
+        uint64_t r = dst[i] + src[i];
+        if (r < src[i]) {
+            r = UINT64_MAX;
+            saturated++;
+        }
+        dst[i] = r;
+    }
+    return saturated;
+}
+
+constexpr VectorOpsTable kNeonTable = {
+    neonSum,  neonDot, neonSaxpy,
+    neonScale, neonScaledCopy, neonMax,
+    neonAccumulateSatU64,
+};
+
+} // namespace
+
+const VectorOpsTable *
+vectorOpsNeonTable()
+{
+    return &kNeonTable;
+}
+
+} // namespace hbbp::detail
+
+#else // Not aarch64 — the stub half of the guarded TU.
+
+namespace hbbp::detail {
+
+const VectorOpsTable *
+vectorOpsNeonTable()
+{
+    return nullptr;
+}
+
+} // namespace hbbp::detail
+
+#endif

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Internal seam between the vectorops dispatcher and its guarded
+ * backend translation units. Each backend TU always defines its
+ * accessor; when the TU was compiled without the ISA (no -mavx2 /
+ * -mavx512f / no NEON), the accessor returns nullptr — the stub half
+ * of the guarded-TU idiom — so linkage never depends on compiler
+ * flags. Not part of the public vectorops API.
+ */
+
+#ifndef HBBP_SUPPORT_VECTOROPS_TABLES_HH
+#define HBBP_SUPPORT_VECTOROPS_TABLES_HH
+
+#include "support/vectorops.hh"
+
+namespace hbbp::detail {
+
+/** AVX2 kernel table; nullptr when built without -mavx2. */
+const VectorOpsTable *vectorOpsAvx2Table();
+
+/** AVX-512 kernel table; nullptr when built without -mavx512f. */
+const VectorOpsTable *vectorOpsAvx512Table();
+
+/** NEON kernel table; nullptr off aarch64. */
+const VectorOpsTable *vectorOpsNeonTable();
+
+} // namespace hbbp::detail
+
+#endif // HBBP_SUPPORT_VECTOROPS_TABLES_HH

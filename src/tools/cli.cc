@@ -753,11 +753,12 @@ cmdAggregate(const CliOptions &opts)
     std::printf("aggregate: accepted=%zu duplicates=%zu "
                 "incompatible=%zu malformed=%zu analyses=%zu "
                 "rebuilds=%zu restored=%zu hosts=%zu covered=%zu "
-                "aggregates=%zu superseded=%zu%s%s\n",
+                "aggregates=%zu superseded=%zu saturated=%llu%s%s\n",
                 st.accepted, st.duplicates, st.incompatible,
                 st.malformed, st.analyses, st.rebuilds,
                 agg.restoredShards(), agg.hostCount(),
                 agg.coveredShards(), st.aggregates, st.superseded,
+                static_cast<unsigned long long>(saturatedFoldLanes()),
                 opts.profile_out.empty() ? "" : " -> ",
                 opts.profile_out.c_str());
     return 0;
@@ -935,7 +936,12 @@ cmdAnalyze(const CliOptions &opts, bool full_report)
 int
 main(int argc, char **argv)
 {
-    setLogLevel(LogLevel::Quiet);
+    // Normal, not Quiet: every warn() in the library marks an
+    // exceptional condition a fleet operator needs to see (saturating
+    // counter clamps, damaged journals, unusable HBBP_VECTOR_BACKEND
+    // requests); nothing warns on the happy path, so normal runs stay
+    // as quiet as before.
+    setLogLevel(LogLevel::Normal);
     if (argc >= 2 && (std::strcmp(argv[1], "version") == 0 ||
                       std::strcmp(argv[1], "--version") == 0)) {
         std::printf("hbbp-tool %s\n", kVersion);

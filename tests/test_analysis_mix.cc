@@ -6,8 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
 #include "analysis/error.hh"
 #include "analysis/mix.hh"
+#include "analysis/report.hh"
+#include "support/vectorops.hh"
 #include "tests/helpers.hh"
 
 namespace hbbp {
@@ -146,6 +153,53 @@ TEST_F(MixFixture, ZeroCountBlocksSkipped)
     Counter<Mnemonic> counts = mix.mnemonicCounts();
     EXPECT_DOUBLE_EQ(counts.get(Mnemonic::MULPS), 0.0);
     EXPECT_DOUBLE_EQ(counts.get(Mnemonic::VMULPS), 4.0);
+}
+
+TEST_F(MixFixture, ReportBytesIdenticalAcrossVectorBackends)
+{
+    // Mix percentages used to depend on unordered_map iteration order
+    // (and hence on the standard library); with sorted-key gathering
+    // plus the bit-stable vecops reduction, the rendered report bytes
+    // must be identical on every dispatch backend.
+    InstructionMix mix(*map, {10.0, 4.0});
+    VectorBackend before = activeVectorBackend();
+
+    std::string why;
+    ASSERT_TRUE(setVectorBackend(VectorBackend::Scalar, &why)) << why;
+    std::string reference = Reporter(mix).summary();
+    EXPECT_FALSE(reference.empty());
+
+    for (VectorBackend b : usableVectorBackends()) {
+        ASSERT_TRUE(setVectorBackend(b, &why)) << why;
+        EXPECT_EQ(Reporter(mix).summary(), reference) << name(b);
+        EXPECT_EQ(InstructionMix(*map, {10.0, 4.0}).totalInstructions(),
+                  mix.totalInstructions())
+            << name(b);
+    }
+    ASSERT_TRUE(setVectorBackend(before));
+}
+
+TEST(MixDeterminism, MnemonicTotalsIndependentOfCounterHistory)
+{
+    // Build the same {mnemonic, count} set through two different
+    // insertion histories: the totals (and therefore every derived
+    // percentage) must agree bit for bit.
+    std::vector<std::pair<Mnemonic, double>> entries = {
+        {Mnemonic::MOV, 1.0e15}, {Mnemonic::ADD, 3.0},
+        {Mnemonic::MULPS, 1.0e-7}, {Mnemonic::JNZ, 12345.678},
+        {Mnemonic::VMULPS, 9.0e14}, {Mnemonic::SUB, 0.25},
+    };
+    Counter<Mnemonic> fwd, rev;
+    for (const auto &[mn, v] : entries)
+        fwd.add(mn, v);
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+        rev.add(it->first, it->second);
+
+    double tf = fwd.total(), tr = rev.total();
+    uint64_t bf, br;
+    std::memcpy(&bf, &tf, sizeof bf);
+    std::memcpy(&br, &tr, sizeof br);
+    EXPECT_EQ(bf, br);
 }
 
 TEST(MixDeath, SizeMismatchIsBug)

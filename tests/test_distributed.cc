@@ -492,6 +492,23 @@ TEST(Aggregator, RejectsConflictingModulePlacements)
     EXPECT_EQ(agg.aggregate(), a);
 }
 
+TEST(Aggregator, RejectsOverlappingModuleRanges)
+{
+    // A differently *named* module whose address range overlaps an
+    // accepted one is the same layout conflict — it used to slip past
+    // the same-name-only gate and silently cross-attribute samples.
+    ProfileData a = shardProfile(1), b = shardProfile(2);
+    b.mmaps[0] = {"other.bin", 0x400800, 0x1000, false};
+    IncrementalAggregator agg;
+    ASSERT_TRUE(agg.addShard(manifestFor(a, "hostA"), a));
+
+    std::string why;
+    EXPECT_FALSE(agg.addShard(manifestFor(b, "hostB"), b, &why));
+    EXPECT_NE(why.find("overlap"), std::string::npos) << why;
+    EXPECT_EQ(agg.stats().incompatible, 1u);
+    EXPECT_EQ(agg.aggregate(), a);
+}
+
 TEST(Aggregator, AggregateIsCachedUntilInvalidated)
 {
     ProfileData a = shardProfile(1), b = shardProfile(2);

@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -181,6 +182,78 @@ TEST(MergeDeath, RejectsConflictingModulePlacement)
     b.mmaps[0].base = 0x500000;
     EXPECT_EXIT(mergeProfiles({a, b}), ::testing::ExitedWithCode(1),
                 "mapped at");
+}
+
+TEST(MergeDeath, RejectsOverlappingDifferentlyNamedModules)
+{
+    // Two *differently named* modules whose [base, base+size) ranges
+    // overlap used to merge silently — samples landing in the shared
+    // range were attributed to whichever module happened to match
+    // first, corrupting block attribution.
+    ProfileData a = smallProfile(1);
+    ProfileData b = smallProfile(2);
+    b.mmaps[0] = {"other.bin", 0x400800, 0x1000, false};
+    EXPECT_EXIT(mergeProfiles({a, b}), ::testing::ExitedWithCode(1),
+                "overlap");
+}
+
+TEST(Merge, MmapConflictPredicate)
+{
+    MmapRecord app{"app.bin", 0x400000, 0x1000, false};
+    std::string why;
+
+    // Identical records coexist (the dedupe case).
+    EXPECT_FALSE(mmapRecordsConflict(app, app, &why));
+
+    // Same name, different placement.
+    MmapRecord moved{"app.bin", 0x500000, 0x1000, false};
+    EXPECT_TRUE(mmapRecordsConflict(app, moved, &why));
+    EXPECT_NE(why.find("app.bin"), std::string::npos) << why;
+
+    // Different names, overlapping ranges.
+    MmapRecord overlap{"other.bin", 0x400fff, 0x1000, false};
+    EXPECT_TRUE(mmapRecordsConflict(app, overlap, &why));
+    EXPECT_NE(why.find("overlap"), std::string::npos) << why;
+
+    // Adjacent ranges (end == base) do not overlap.
+    MmapRecord adjacent{"next.bin", 0x401000, 0x1000, false};
+    EXPECT_FALSE(mmapRecordsConflict(app, adjacent, &why));
+
+    // Zero-size records occupy no addresses.
+    MmapRecord empty{"vdso", 0x400800, 0, false};
+    EXPECT_FALSE(mmapRecordsConflict(app, empty, &why));
+
+    // A size that would wrap the address space still conflicts with
+    // anything above its base (treated as ending at the top).
+    MmapRecord wrapping{"huge.bin", 0xffffffffff000000ULL,
+                        UINT64_MAX, true};
+    MmapRecord high{"high.ko", 0xffffffffff800000ULL, 0x1000, true};
+    EXPECT_TRUE(mmapRecordsConflict(wrapping, high, &why));
+}
+
+TEST(Merge, FeatureCountersSaturateInsteadOfWrapping)
+{
+    // Near-UINT64_MAX counters used to wrap silently through the
+    // unchecked += fold; they must clamp at UINT64_MAX and count the
+    // event in the process-wide saturation tally.
+    uint64_t before = saturatedFoldLanes();
+    ProfileData a = smallProfile(1);
+    ProfileData b = smallProfile(2);
+    a.features.cycles = UINT64_MAX - 10;
+    b.features.cycles = 100;           // Saturates.
+    a.features.instructions = UINT64_MAX;
+    b.features.instructions = 1;       // Saturates.
+    a.pmi_count = UINT64_MAX - 1000;
+    b.pmi_count = 17;                  // Does not saturate.
+
+    ProfileData m = mergeProfiles({a, b});
+    EXPECT_EQ(m.features.cycles, UINT64_MAX);
+    EXPECT_EQ(m.features.instructions, UINT64_MAX);
+    EXPECT_EQ(m.pmi_count, UINT64_MAX - 1000 + 17);
+    // The untouched lanes still sum exactly.
+    EXPECT_EQ(m.features.block_entries,
+              a.features.block_entries + b.features.block_entries);
+    EXPECT_EQ(saturatedFoldLanes(), before + 2);
 }
 
 // ---------------------------------------------------------------------------
