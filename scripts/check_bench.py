@@ -25,9 +25,20 @@ Checks, failing loudly (exit 1) on the first violation:
   5. SIMD win: when the fresh run has at least one SIMD backend, its
      simd_speedup must be >= --speedup-floor (default 1.1): the
      vectorized fold must actually beat scalar where SIMD exists.
+  6. Telemetry overhead: when the fresh run carries a "telemetry"
+     section (scale_relay does), its overhead_pct -- the fold-path
+     cost of metrics enabled vs compiled-in-but-idle -- must stay
+     under --telemetry-overhead-max (default 2.0%%) plus the run's
+     own measured noise floor (telemetry.noise_pct, an A/A control
+     the bench computes by comparing two halves of the
+     telemetry-disabled samples; on a quiet machine it is ~0 and the
+     budget applies as-is). Benches without the section (and
+     baselines recorded before it existed) skip the gate with a
+     warning.
 
-Defaults can be overridden via HBBP_BENCH_TOLERANCE and
-HBBP_BENCH_SPEEDUP_FLOOR for one-off noisy runners.
+Defaults can be overridden via HBBP_BENCH_TOLERANCE,
+HBBP_BENCH_SPEEDUP_FLOOR and HBBP_BENCH_TELEMETRY_OVERHEAD_MAX for
+one-off noisy runners.
 """
 
 import argparse
@@ -78,6 +89,14 @@ def main():
         type=float,
         default=float(os.environ.get("HBBP_BENCH_SPEEDUP_FLOOR", "1.1")),
         help="min simd_speedup when a SIMD backend is usable",
+    )
+    ap.add_argument(
+        "--telemetry-overhead-max",
+        type=float,
+        default=float(
+            os.environ.get("HBBP_BENCH_TELEMETRY_OVERHEAD_MAX", "2.0")
+        ),
+        help="max telemetry.overhead_pct when the section is present",
     )
     args = ap.parse_args()
 
@@ -144,6 +163,33 @@ def main():
         )
     else:
         warn(f"{bench}: no SIMD backend on this machine; speedup floor skipped")
+
+    telemetry = fresh.get("telemetry")
+    if telemetry is None:
+        warn(f"{bench}: no telemetry section; overhead gate skipped")
+    else:
+        pct = telemetry.get("overhead_pct")
+        if not isinstance(pct, (int, float)):
+            fail(f"{bench}: telemetry section lacks a numeric overhead_pct")
+        # The bench's A/A control (disabled vs disabled) prices the
+        # runner's noise: an overhead smaller than that floor is not a
+        # resolvable signal, so the budget stretches by it.
+        noise = telemetry.get("noise_pct")
+        noise = noise if isinstance(noise, (int, float)) else 0.0
+        limit = args.telemetry_overhead_max + noise
+        if pct > limit:
+            fail(
+                f"{bench}: telemetry overhead {pct:.3f}% on the fold "
+                f"path exceeds the {args.telemetry_overhead_max}% budget "
+                f"+ {noise:.3f}% measured noise floor "
+                f"(enabled {telemetry.get('enabled_seconds')}s vs "
+                f"disabled {telemetry.get('disabled_seconds')}s)"
+            )
+        print(
+            f"check_bench: {bench}: telemetry overhead {pct:.3f}% "
+            f"(budget {args.telemetry_overhead_max}% + noise floor "
+            f"{noise:.3f}%)"
+        )
 
     print(f"check_bench: {bench}: OK")
 

@@ -11,6 +11,7 @@
 #include "support/bytes.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
+#include "support/telemetry.hh"
 
 namespace fs = std::filesystem;
 
@@ -63,6 +64,48 @@ takeProfile(ByteReader &r, const std::string &path)
     return std::move(*pd);
 }
 
+/** Steady-clock nanoseconds, for fold-time accounting. */
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Nanoseconds the aggregator spent folding shard payloads. */
+telemetry::Counter &
+foldNsCounter()
+{
+    static telemetry::Counter &c =
+        telemetry::counter("hbbp_agg_fold_ns_total");
+    return c;
+}
+
+/**
+ * Mirror a rejection into the matching telemetry counter. The reject
+ * lambdas already name the stats slot they bump; keying on that slot
+ * keeps the exit-line stats and the live metrics in lockstep without
+ * touching every reject site.
+ */
+void
+noteRejectMetric(const size_t *stat, const AggregatorStats *stats)
+{
+    static telemetry::Counter &dup =
+        telemetry::counter("hbbp_agg_duplicates_total");
+    static telemetry::Counter &incompatible =
+        telemetry::counter("hbbp_agg_incompatible_total");
+    static telemetry::Counter &malformed =
+        telemetry::counter("hbbp_agg_malformed_total");
+    if (stat == &stats->duplicates)
+        dup.add();
+    else if (stat == &stats->incompatible)
+        incompatible.add();
+    else if (stat == &stats->malformed)
+        malformed.add();
+}
+
 } // namespace
 
 bool
@@ -71,6 +114,7 @@ IncrementalAggregator::addShard(const ShardManifest &manifest,
 {
     auto reject = [&](size_t *stat, std::string reason) {
         (*stat)++;
+        noteRejectMetric(stat, &stats_);
         if (why)
             *why = std::move(reason);
         return false;
@@ -150,6 +194,7 @@ IncrementalAggregator::addShard(const ShardManifest &manifest,
             mmaps_.push_back(rec);
     }
     seen_checksums_.insert(manifest.checksum);
+    uint64_t fold_start = telemetry::enabled() ? nowNs() : 0;
     if (manifest.seq == hs.next_seq) {
         // Move rather than copy: arrivals are the import hot path and
         // the sample vectors dominate the profile's size.
@@ -168,6 +213,11 @@ IncrementalAggregator::addShard(const ShardManifest &manifest,
     } else {
         hs.pending.emplace(manifest.seq, std::move(profile));
     }
+    if (fold_start)
+        foldNsCounter().add(nowNs() - fold_start);
+    static telemetry::Counter &m_folded =
+        telemetry::counter("hbbp_agg_shards_folded_total");
+    m_folded.add();
 
     stats_.accepted++;
     epoch_++;
@@ -181,6 +231,7 @@ IncrementalAggregator::addAggregateShard(const ShardManifest &manifest,
 {
     auto reject = [&](size_t *stat, std::string reason) {
         (*stat)++;
+        noteRejectMetric(stat, &stats_);
         if (why)
             *why = std::move(reason);
         return false;
@@ -263,6 +314,9 @@ IncrementalAggregator::addAggregateShard(const ShardManifest &manifest,
     seen_checksums_.insert(manifest.checksum);
     if (!folds_anything) {
         stats_.superseded++;
+        static telemetry::Counter &m_superseded =
+            telemetry::counter("hbbp_agg_superseded_total");
+        m_superseded.add();
         if (why)
             *why = format(
                 "aggregate from relay '%s' is entirely superseded: "
@@ -271,6 +325,7 @@ IncrementalAggregator::addAggregateShard(const ShardManifest &manifest,
         return false;
     }
 
+    uint64_t fold_start = telemetry::enabled() ? nowNs() : 0;
     if (!compat_ref_) {
         compat_ref_ = compatReference(partials[0]);
         workload_ = manifest.workload;
@@ -298,6 +353,12 @@ IncrementalAggregator::addAggregateShard(const ShardManifest &manifest,
             it = hs.pending.erase(it);
         }
     }
+
+    if (fold_start)
+        foldNsCounter().add(nowNs() - fold_start);
+    static telemetry::Counter &m_agg_folded =
+        telemetry::counter("hbbp_agg_aggregates_folded_total");
+    m_agg_folded.add();
 
     stats_.accepted++;
     stats_.aggregates++;
@@ -374,6 +435,7 @@ IncrementalAggregator::aggregate()
     // host's folded partial first, then any out-of-order leftovers in
     // sequence order. With gap-free sequences the leftovers are empty
     // and every shard was folded exactly once, on arrival.
+    uint64_t fold_start = telemetry::enabled() ? nowNs() : 0;
     std::optional<ProfileData> agg;
     for (const auto &[host, hs] : hosts_) {
         if (hs.partial)
@@ -389,6 +451,14 @@ IncrementalAggregator::aggregate()
     cached_aggregate_ = std::move(agg);
     aggregate_epoch_ = epoch_;
     stats_.rebuilds++;
+    if (fold_start)
+        foldNsCounter().add(nowNs() - fold_start);
+    static telemetry::Counter &m_recomputes =
+        telemetry::counter("hbbp_agg_epoch_recomputes_total");
+    m_recomputes.add();
+    static telemetry::Gauge &m_saturated =
+        telemetry::gauge("hbbp_agg_saturated_lanes");
+    m_saturated.set(static_cast<int64_t>(saturatedFoldLanes()));
     return *cached_aggregate_;
 }
 

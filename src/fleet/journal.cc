@@ -9,6 +9,7 @@
 #include "support/bytes.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
+#include "support/telemetry.hh"
 
 namespace fs = std::filesystem;
 
@@ -165,8 +166,12 @@ StateJournal::restore(IncrementalAggregator &agg, std::string *why)
     // end, so damage left in place would strand every post-restart
     // record — acknowledged shards — behind bytes the next restore
     // refuses to cross. Rewrite the journal as the replayable prefix.
-    if (off < bytes.size())
+    if (off < bytes.size()) {
+        static telemetry::Counter &m_torn =
+            telemetry::counter("hbbp_journal_torn_tails_total");
+        m_torn.add();
         writeFileAtomically(journal_, bytes.substr(0, off));
+    }
     // Replayed records count against the compaction budget like the
     // appends they were, so a crash-looping aggregator still compacts.
     pending_records_ = replayed_;
@@ -198,6 +203,12 @@ StateJournal::record(IncrementalAggregator &agg,
     if (written != bytes.size() || !flushed)
         fatal("cannot append to state journal '%s' (disk full?)",
               journal_.c_str());
+    static telemetry::Counter &m_appends =
+        telemetry::counter("hbbp_journal_appends_total");
+    m_appends.add();
+    static telemetry::Counter &m_append_bytes =
+        telemetry::counter("hbbp_journal_append_bytes_total");
+    m_append_bytes.add(bytes.size());
     pending_records_++;
     if (pending_records_ >= compact_every_)
         compact(agg);
@@ -228,6 +239,9 @@ StateJournal::compact(IncrementalAggregator &agg)
     agg.saveState(checkpoint_);
     writeFileAtomically(journal_, "");
     pending_records_ = 0;
+    static telemetry::Counter &m_compactions =
+        telemetry::counter("hbbp_journal_compactions_total");
+    m_compactions.add();
 }
 
 } // namespace hbbp

@@ -160,6 +160,10 @@ ShardManifest::render() const
                            covered[i].host.c_str(), covered[i].count);
         text += "\n";
     }
+    // Optional trailing trace line: absent ids keep the rendered
+    // bytes identical to pre-tracing builds at every version.
+    if (!trace_ids.empty())
+        text += "trace=" + join(trace_ids, ",") + "\n";
     return text;
 }
 
@@ -272,6 +276,17 @@ ShardManifest::parse(const std::string &text, std::string *why)
             if (!parseCoverage(value, &m.covered, &cover_why))
                 return fail(std::move(cover_why));
             have_hosts = true;
+        } else if (key == "trace") {
+            // Optional at every version (tracing predates nothing a
+            // reader gates on). Ids are opaque tokens; reject only
+            // what would corrupt the comma-joined re-render.
+            for (const std::string &id : split(value, ',')) {
+                if (id.empty() ||
+                    id.find_first_of(" \t,") != std::string::npos)
+                    return fail(format("malformed trace id '%s'",
+                                       id.c_str()));
+                m.trace_ids.push_back(id);
+            }
         }
         // Unknown keys are ignored: minor-version additions stay
         // readable by older aggregators.
@@ -326,6 +341,13 @@ ShardManifest::load(const std::string &path)
     if (!m)
         fatal("%s", why.c_str());
     return *m;
+}
+
+std::string
+shardTraceId(const ShardManifest &m)
+{
+    return format("%s-%u-%016llx", m.host.c_str(), m.seq,
+                  static_cast<unsigned long long>(m.checksum));
 }
 
 uint64_t

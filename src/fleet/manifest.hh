@@ -107,6 +107,17 @@ struct ShardManifest
      * shards.
      */
     std::vector<HostCoverage> covered;
+    /**
+     * Optional shard-lifecycle trace ids (see shardTraceId()). A
+     * collector that pushes with --trace-log stamps its leaf shard
+     * with one id; relays stamp their aggregates with the sorted
+     * union of every stamped id they folded, so a root can attribute
+     * an arriving aggregate to the leaf shards inside it. Rendered as
+     * a trailing `trace=` line only when non-empty — unstamped leaf
+     * manifests stay byte-identical to the frozen version-1 text, and
+     * older parsers skip the key entirely (unknown keys are ignored).
+     */
+    std::vector<std::string> trace_ids;
 
     bool operator==(const ShardManifest &other) const = default;
 
@@ -149,6 +160,16 @@ struct ShardManifest
  */
 uint64_t hostStreamSeed(uint64_t base, const std::string &host,
                         uint32_t seq);
+
+/**
+ * The lifecycle trace id of a shard: `<host>-<seq>-<checksum hex>`.
+ * Deterministic, so every stage of the pipeline mints the same id for
+ * the same shard without coordination; unique per shard because the
+ * (host, seq) slot plus payload checksum is what the aggregator
+ * itself dedups on. Trace ids are opaque to every consumer — they are
+ * matched, never decomposed.
+ */
+std::string shardTraceId(const ShardManifest &m);
 
 /**
  * Publish an already-serialized shard into @p dir: writes

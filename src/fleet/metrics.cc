@@ -1,0 +1,211 @@
+#include "fleet/metrics.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/logging.hh"
+#include "support/telemetry.hh"
+
+namespace hbbp {
+
+namespace {
+
+constexpr int kIoTimeoutMs = 2000;
+/// Largest request head we bother reading before answering.
+constexpr size_t kMaxRequestBytes = 4096;
+
+void
+setIoTimeout(int fd, int timeout_ms)
+{
+    struct timeval tv = {};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool
+writeAll(int fd, const char *data, size_t len)
+{
+    size_t off = 0;
+    while (off < len) {
+        ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/**
+ * Drain the request head until a blank line or the size cap. The
+ * scrape response is the same whatever the path, so the only job here
+ * is to consume the client's request before answering — some clients
+ * treat an early response as an error.
+ */
+void
+drainRequest(int fd)
+{
+    char buf[512];
+    std::string head;
+    while (head.size() < kMaxRequestBytes) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return;
+        head.append(buf, static_cast<size_t>(n));
+        if (head.find("\r\n\r\n") != std::string::npos ||
+            head.find("\n\n") != std::string::npos)
+            return;
+    }
+}
+
+} // namespace
+
+MetricsServer::MetricsServer(uint16_t port)
+{
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        fatal("metrics: cannot create socket: %s", std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    if (::bind(listen_fd_, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("metrics: cannot bind port %u: %s", port,
+              std::strerror(errno));
+    if (::listen(listen_fd_, 16) != 0)
+        fatal("metrics: cannot listen: %s", std::strerror(errno));
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<struct sockaddr *>(&addr),
+                  &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { serveLoop(); });
+}
+
+MetricsServer::~MetricsServer()
+{
+    stop();
+}
+
+void
+MetricsServer::stop()
+{
+    if (listen_fd_ < 0)
+        return;
+    stop_.store(true, std::memory_order_relaxed);
+    // shutdown() wakes the poll; close happens after the join so the
+    // loop never polls a recycled fd.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (thread_.joinable())
+        thread_.join();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+}
+
+void
+MetricsServer::serveLoop()
+{
+    while (!stop_.load(std::memory_order_relaxed)) {
+        struct pollfd pfd = {listen_fd_, POLLIN, 0};
+        int rc = ::poll(&pfd, 1, 200);
+        if (rc < 0 && errno != EINTR)
+            break;
+        if (rc <= 0)
+            continue;
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        setIoTimeout(fd, kIoTimeoutMs);
+        drainRequest(fd);
+        std::string body = telemetry::registry().renderPrometheus();
+        std::string resp =
+            "HTTP/1.0 200 OK\r\n"
+            "Content-Type: text/plain; version=0.0.4\r\n"
+            "Content-Length: " + std::to_string(body.size()) + "\r\n"
+            "\r\n" + body;
+        writeAll(fd, resp.data(), resp.size());
+        ::close(fd);
+    }
+}
+
+bool
+fetchMetricsText(const std::string &host, uint16_t port,
+                 std::string *body, std::string *why)
+{
+    struct addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo *addrs = nullptr;
+    std::string service = std::to_string(port);
+    int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &addrs);
+    if (rc != 0) {
+        *why = format("cannot resolve '%s': %s", host.c_str(),
+                      ::gai_strerror(rc));
+        return false;
+    }
+    int fd = -1;
+    for (struct addrinfo *a = addrs; a; a = a->ai_next) {
+        fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (::connect(fd, a->ai_addr, a->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(addrs);
+    if (fd < 0) {
+        *why = format("cannot connect to %s:%u: %s", host.c_str(), port,
+                      std::strerror(errno));
+        return false;
+    }
+    setIoTimeout(fd, kIoTimeoutMs);
+    std::string req = "GET /metrics HTTP/1.0\r\nHost: " + host +
+                      "\r\n\r\n";
+    if (!writeAll(fd, req.data(), req.size())) {
+        *why = format("cannot send request: %s", std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    std::string resp;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        resp.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    if (resp.rfind("HTTP/", 0) != 0 ||
+        resp.find(" 200 ") == std::string::npos ||
+        resp.find(" 200 ") > resp.find("\r\n")) {
+        *why = format("bad response: %s",
+                      resp.substr(0, resp.find('\n')).c_str());
+        return false;
+    }
+    size_t split = resp.find("\r\n\r\n");
+    if (split == std::string::npos) {
+        *why = "response has no header/body split";
+        return false;
+    }
+    *body = resp.substr(split + 4);
+    return true;
+}
+
+} // namespace hbbp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Live metrics endpoint for fleet daemons.
+ *
+ * MetricsServer binds a TCP port (0 = ephemeral, like the shard
+ * listener) and serves the process telemetry registry in Prometheus
+ * text exposition format to any HTTP/1.x GET — `curl`,
+ * `hbbp-tool stats --from HOST:PORT`, or a real Prometheus scraper.
+ * It reuses the transport layer's non-blocking socket discipline but
+ * lives on its own port so the shard frame protocol (which opens with
+ * a binary magic, not "GET ") stays undisturbed.
+ *
+ * The server runs on a background thread; construction binds and
+ * starts serving, destruction (or stop()) shuts it down. Request
+ * handling is deliberately sequential — a scrape is a few kilobytes
+ * and the daemons' real work happens elsewhere.
+ */
+
+#ifndef HBBP_FLEET_METRICS_HH
+#define HBBP_FLEET_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace hbbp {
+
+class MetricsServer
+{
+  public:
+    /**
+     * Bind 127.0.0.1:`port` (0 picks an ephemeral port) and start
+     * serving. fatal()s if the socket cannot be bound.
+     */
+    explicit MetricsServer(uint16_t port);
+    ~MetricsServer();
+    MetricsServer(const MetricsServer &) = delete;
+    MetricsServer &operator=(const MetricsServer &) = delete;
+
+    /** The bound port (useful with port 0). */
+    uint16_t port() const { return port_; }
+
+    /** Stop serving and join the thread. Idempotent. */
+    void stop();
+
+  private:
+    void serveLoop();
+
+    int listen_fd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+/**
+ * Fetch the metrics body from a MetricsServer at host:port.
+ *
+ * Sends a plain HTTP/1.0 GET and returns the response body (headers
+ * stripped). Returns false and fills *why on connect/read failure or
+ * a non-200 status.
+ */
+bool fetchMetricsText(const std::string &host, uint16_t port,
+                      std::string *body, std::string *why);
+
+} // namespace hbbp
+
+#endif // HBBP_FLEET_METRICS_HH

@@ -12,6 +12,7 @@ RelayNode::RelayNode(RelayOptions options)
 {
     if (!options_.state_file.empty() && options_.journal_every > 0)
         journal_.emplace(options_.state_file, options_.journal_every);
+    trace_.open(options_.trace_log, "relay:" + options_.relay_id);
 }
 
 bool
@@ -32,6 +33,13 @@ RelayNode::flushUpstream(std::string *why, int max_attempts)
     so.backoff_ms = options_.upstream_backoff_ms;
     SocketTransport transport(so);
 
+    static telemetry::Counter &m_flushes =
+        telemetry::counter("hbbp_relay_flushes_total");
+    static telemetry::Counter &m_flush_failures =
+        telemetry::counter("hbbp_relay_flush_failures_total");
+    static telemetry::Counter &m_orphans =
+        telemetry::counter("hbbp_relay_orphans_forwarded_total");
+
     if (!ex.partials.empty() &&
         ex.checksum != last_flushed_checksum_) {
         ShardManifest m;
@@ -43,21 +51,39 @@ RelayNode::flushUpstream(std::string *why, int max_attempts)
         // One level above the deepest input: leaf-only relays export
         // level 1, a relay-of-relays exports one deeper, and so on.
         m.level = agg_.maxLevelSeen() + 1;
+        // The aggregate carries every stamped trace id it folded, so
+        // the next level up (or the root) can attribute the arrival
+        // back to individual collector shards.
+        m.trace_ids.assign(seen_trace_ids_.begin(),
+                           seen_trace_ids_.end());
         std::vector<std::string> chunks;
         chunks.reserve(ex.partials.size());
         for (HostPartial &hp : ex.partials) {
             m.covered.push_back({hp.host, hp.covered});
             chunks.push_back(std::move(hp.bytes));
         }
+        // Span the flush as it *starts*: the upstream's own accept
+        // span (root_fold or a parent's relay_accept) lands between
+        // our send and its ack, so logging afterwards would put this
+        // relay's span after its parent's and break the lifecycle's
+        // timestamp monotonicity. A failed flush leaves the span as a
+        // record of the attempt.
+        if (trace_.active()) {
+            std::string agg_id = shardTraceId(m);
+            for (const std::string &id : m.trace_ids)
+                trace_.span("relay_flush", id, "aggregate " + agg_id);
+        }
         SendResult res = transport.sendShard(m, chunks);
         if (!res.ok) {
             stats_.flush_failures++;
+            m_flush_failures.add();
             *out = res.error;
             return false;
         }
         // A duplicate ack means the upstream already holds this exact
         // coverage (a retried or restarted flush) — success either way.
         stats_.flushes++;
+        m_flushes.add();
         last_flushed_checksum_ = ex.checksum;
         flush_seq_++;
     }
@@ -80,6 +106,7 @@ RelayNode::flushUpstream(std::string *why, int max_attempts)
         }
         forwarded_orphans_.insert(orphan.checksum);
         stats_.orphans_forwarded++;
+        m_orphans.add();
     }
     accepted_since_flush_ = 0;
     return true;
@@ -96,6 +123,10 @@ RelayNode::run()
     lo.idle_timeout_ms = options_.idle_timeout_ms;
     lo.on_accept = [&](const ShardManifest &m, const ProfileData &,
                        const std::vector<std::string> &chunks) {
+        for (const std::string &id : m.trace_ids) {
+            trace_.span("relay_accept", id);
+            seen_trace_ids_.insert(id);
+        }
         // Persist before the downstream ack (the sender's success
         // must imply durability), exactly like `aggregate --state`.
         if (journal_)

@@ -36,6 +36,7 @@
 #include "fleet/aggregate.hh"
 #include "fleet/journal.hh"
 #include "fleet/transport.hh"
+#include "support/telemetry.hh"
 
 namespace hbbp {
 
@@ -75,6 +76,8 @@ struct RelayOptions
     /** Backoff before the first upstream reconnect; doubles per
      * retry (see SocketTransportOptions). */
     int upstream_backoff_ms = 100;
+    /** JSONL span log for shard-lifecycle tracing; empty disables. */
+    std::string trace_log;
 };
 
 /** What a relay run did (the no-shard-loss proof). */
@@ -139,6 +142,15 @@ class RelayNode
     std::set<uint64_t> forwarded_orphans_;
     size_t accepted_since_flush_ = 0;
     RelayStats stats_;
+    telemetry::TraceLog trace_;
+    /**
+     * Every stamped trace id accepted this run, sorted (std::set) so
+     * the outgoing aggregate's `trace=` line is deterministic. Only
+     * *stamped* arrivals propagate: tracing is opt-in at the
+     * collector, and an unstamped fleet must keep rendering the exact
+     * pre-tracing manifest bytes.
+     */
+    std::set<std::string> seen_trace_ids_;
 };
 
 } // namespace hbbp

@@ -11,6 +11,7 @@
 
 #include "support/logging.hh"
 #include "support/rng.hh"
+#include "support/telemetry.hh"
 
 namespace fs = std::filesystem;
 
@@ -69,8 +70,16 @@ ProfileStore::contains(const ProfileKey &key) const
 std::optional<ProfileData>
 ProfileStore::lookup(const ProfileKey &key) const
 {
-    if (!contains(key))
+    static telemetry::Counter &m_hits =
+        telemetry::counter("hbbp_store_hits_total");
+    static telemetry::Counter &m_misses =
+        telemetry::counter("hbbp_store_misses_total");
+    static telemetry::Counter &m_heals =
+        telemetry::counter("hbbp_store_heals_total");
+    if (!contains(key)) {
+        m_misses.add();
         return std::nullopt;
+    }
     // A cache treats an unreadable entry — legacy format version,
     // stale checksum, truncation — as a miss to be re-collected and
     // overwritten, never a fatal error. Evict the dead file while
@@ -82,6 +91,7 @@ ProfileStore::lookup(const ProfileKey &key) const
     std::optional<ProfileData> pd =
         ProfileData::tryLoad(pathFor(key), &why, nullptr, &io_failed);
     if (!pd) {
+        m_misses.add();
         // Only the entry's *content* condemns it. An I/O-level
         // failure (fd exhaustion, a transient permission hiccup, a
         // flaky mount) says nothing about the bytes — deleting on
@@ -92,9 +102,12 @@ ProfileStore::lookup(const ProfileKey &key) const
         } else {
             warn("evicting stale profile store entry (%s)",
                  why.c_str());
+            m_heals.add();
             std::error_code ec;
             fs::remove(pathFor(key), ec);
         }
+    } else {
+        m_hits.add();
     }
     return pd;
 }
@@ -222,6 +235,9 @@ ProfileStore::gc(const GcOptions &options) const
         // no longer takes up space.
         res.evicted++;
         res.bytes_after -= entry.size;
+        static telemetry::Counter &m_evictions =
+            telemetry::counter("hbbp_store_gc_evictions_total");
+        m_evictions.add();
     };
 
     size_t next = 0;
@@ -260,6 +276,9 @@ ProfileStore::gc(const GcOptions &options) const
                res.bytes_after > static_cast<uint64_t>(options.max_bytes))
             evict(entries[next++]);
     }
+    static telemetry::Gauge &m_resident =
+        telemetry::gauge("hbbp_store_resident_bytes");
+    m_resident.set(static_cast<int64_t>(res.bytes_after));
     return res;
 }
 

@@ -19,6 +19,7 @@
 #include "fleet/merge.hh"
 #include "support/bytes.hh"
 #include "support/logging.hh"
+#include "support/telemetry.hh"
 
 namespace hbbp {
 
@@ -409,8 +410,24 @@ SocketTransport::sendShard(const ShardManifest &manifest,
     uint32_t acked = 0; // Chunks the receiver has confirmed staged.
     int backoff_ms = options_.backoff_ms;
 
+    static telemetry::Counter &m_frames_sent =
+        telemetry::counter("hbbp_transport_frames_sent_total");
+    static telemetry::Counter &m_frames_acked =
+        telemetry::counter("hbbp_transport_frames_acked_total");
+    static telemetry::Counter &m_retries =
+        telemetry::counter("hbbp_transport_retries_total");
+    static telemetry::Counter &m_rejects =
+        telemetry::counter("hbbp_transport_rejects_total");
+    static telemetry::Counter &m_bytes_sent =
+        telemetry::counter("hbbp_transport_bytes_sent_total");
+    static telemetry::Histogram &m_connect_ms = telemetry::histogram(
+        "hbbp_transport_connect_ms", telemetry::latencyBucketsMs());
+    static telemetry::Histogram &m_ack_ms = telemetry::histogram(
+        "hbbp_transport_ack_ms", telemetry::latencyBucketsMs());
+
     while (res.attempts < options_.max_attempts) {
         if (res.attempts > 0) {
+            m_retries.add();
             // Bounded exponential backoff between connection attempts:
             // a briefly absent listener (restarting aggregator) is the
             // expected case, a permanently absent one gives up loudly.
@@ -421,18 +438,24 @@ SocketTransport::sendShard(const ShardManifest &manifest,
         }
         res.attempts++;
         std::string why;
+        int64_t connect_start = nowMs();
         int fd = connectTo(options_.host, options_.port,
                            options_.io_timeout_ms, &why);
         if (fd < 0) {
             res.error = why;
             continue;
         }
+        m_connect_ms.observe(
+            static_cast<uint64_t>(nowMs() - connect_start));
 
         bool rewound = false; // Only honor one Incomplete per attempt.
         bool conn_dead = false;
         for (uint32_t i = acked; i < chunk_count && !conn_dead;) {
             std::string frame =
                 renderFrame(manifest, i, chunk_count, chunks[i]);
+            int64_t frame_start = nowMs();
+            m_frames_sent.add();
+            m_bytes_sent.add(frame.size());
             if (!writeAll(fd, frame.data(), frame.size(),
                           options_.io_timeout_ms)) {
                 res.error = format("connection to %s:%u lost "
@@ -452,6 +475,11 @@ SocketTransport::sendShard(const ShardManifest &manifest,
                 conn_dead = true;
                 break;
             }
+            m_frames_acked.add();
+            m_ack_ms.observe(
+                static_cast<uint64_t>(nowMs() - frame_start));
+            if (code == AckCode::Rejected)
+                m_rejects.add();
             switch (code) {
             case AckCode::ChunkAccepted:
                 acked = ++i;
@@ -599,9 +627,34 @@ decodeHeader(const std::string &buf, size_t off, FrameHeader *h)
            h->chunk_index < h->chunk_count;
 }
 
+/** Per-outcome receive counters, bumped at the single ack chokepoint. */
+telemetry::Counter &
+ackCounter(AckCode code)
+{
+    static telemetry::Counter &chunk =
+        telemetry::counter("hbbp_listener_ack_chunk_total");
+    static telemetry::Counter &shard =
+        telemetry::counter("hbbp_listener_ack_shard_total");
+    static telemetry::Counter &dup =
+        telemetry::counter("hbbp_listener_ack_duplicate_total");
+    static telemetry::Counter &rejected =
+        telemetry::counter("hbbp_listener_ack_rejected_total");
+    static telemetry::Counter &incomplete =
+        telemetry::counter("hbbp_listener_ack_incomplete_total");
+    switch (code) {
+    case AckCode::ChunkAccepted: return chunk;
+    case AckCode::ShardAccepted: return shard;
+    case AckCode::Duplicate: return dup;
+    case AckCode::Rejected: return rejected;
+    case AckCode::Incomplete: return incomplete;
+    }
+    panic("invalid AckCode %d", static_cast<int>(code));
+}
+
 bool
 sendAck(int fd, AckCode code, const std::string &reason = {})
 {
+    ackCounter(code).add();
     ByteWriter w;
     w.u8(static_cast<uint8_t>(code));
     w.u32(static_cast<uint32_t>(reason.size()));
@@ -620,6 +673,14 @@ ShardListener::serve(IncrementalAggregator &agg,
     std::map<std::pair<std::string, uint32_t>, StagedShard> staging;
     size_t accepted = 0;
     int64_t last_progress = nowMs();
+    static telemetry::Gauge &m_active_streams =
+        telemetry::gauge("hbbp_listener_active_streams");
+    static telemetry::Gauge &m_staged_chunks =
+        telemetry::gauge("hbbp_listener_staged_chunks");
+    static telemetry::Counter &m_bytes_recv =
+        telemetry::counter("hbbp_listener_bytes_received_total");
+    static telemetry::Counter &m_idle_aborts =
+        telemetry::counter("hbbp_listener_idle_aborts_total");
     bool done = options.expect > 0 &&
                 agg.coveredShards() >= options.expect;
 
@@ -804,6 +865,15 @@ ShardListener::serve(IncrementalAggregator &agg,
     };
 
     while (!done) {
+        // A SIGUSR1 dump request lands here, between poll rounds, so
+        // the handler itself stays a single relaxed store.
+        telemetry::dumpIfRequested();
+        m_active_streams.set(static_cast<int64_t>(conns.size()));
+        size_t staged_chunks = 0;
+        for (const auto &[key, s] : staging)
+            staged_chunks += s.chunks.size();
+        m_staged_chunks.set(static_cast<int64_t>(staged_chunks));
+
         std::vector<struct pollfd> pfds;
         pfds.push_back({listen_fd_, POLLIN, 0});
         for (const Conn &c : conns)
@@ -830,6 +900,7 @@ ShardListener::serve(IncrementalAggregator &agg,
                 char chunk[65536];
                 ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
                 if (n > 0) {
+                    m_bytes_recv.add(static_cast<uint64_t>(n));
                     conn.buf.append(chunk, static_cast<size_t>(n));
                     // Bytes on the wire are progress too: a frame
                     // whose transfer alone outlasts the idle timeout
@@ -892,10 +963,14 @@ ShardListener::serve(IncrementalAggregator &agg,
         }
 
         if (!done && options.idle_timeout_ms >= 0 &&
-            nowMs() - last_progress >= options.idle_timeout_ms)
+            nowMs() - last_progress >= options.idle_timeout_ms) {
+            m_idle_aborts.add();
             break;
+        }
     }
 
+    m_active_streams.set(0);
+    m_staged_chunks.set(0);
     for (const Conn &c : conns)
         ::close(c.fd);
     return accepted;

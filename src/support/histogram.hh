@@ -72,23 +72,64 @@ class Counter
 
     /**
      * Merge another counter into this one (scaled by @p scale).
-     * Deterministic regardless of iteration order: each key's update
-     * is the single expression old + v * scale, so per-key results
-     * cannot depend on the order the other map is walked in.
+     * Routed through the vecops element-wise kernels: keys present on
+     * both sides are gathered into contiguous spans and folded with
+     * saxpy (one mul + one add per element, no FMA — the exact
+     * per-key expression old + v * scale the scalar loop computed),
+     * new keys arrive via scaledCopy. Element-wise kernels touch each
+     * lane independently, so the result is bit-identical whatever
+     * order the other map is walked in and whatever backend dispatch
+     * picked.
      */
     void
     merge(const Counter &other, double scale = 1.0)
     {
-        for (const auto &[k, v] : other.values_)
-            values_[k] += v * scale;
+        std::vector<double *> dst;
+        std::vector<double> dst_vals, src_vals;
+        std::vector<const Key *> fresh_keys;
+        std::vector<double> fresh_vals;
+        dst.reserve(other.values_.size());
+        for (const auto &[k, v] : other.values_) {
+            auto it = values_.find(k);
+            if (it != values_.end()) {
+                dst.push_back(&it->second);
+                dst_vals.push_back(it->second);
+                src_vals.push_back(v);
+            } else {
+                fresh_keys.push_back(&k);
+                fresh_vals.push_back(v);
+            }
+        }
+        vecops::saxpy(dst_vals.data(), scale, src_vals.data(),
+                      dst_vals.size());
+        for (size_t i = 0; i < dst.size(); i++)
+            *dst[i] = dst_vals[i];
+        std::vector<double> scaled(fresh_vals.size());
+        vecops::scaledCopy(scaled.data(), fresh_vals.data(), scale,
+                           fresh_vals.size());
+        for (size_t i = 0; i < fresh_keys.size(); i++)
+            values_.emplace(*fresh_keys[i], scaled[i]);
     }
 
-    /** Multiply every value by @p scale. */
+    /**
+     * Multiply every value by @p scale, as one vecops::scale pass over
+     * the gathered values (one IEEE multiply per element — the same
+     * bits as the per-entry loop, on every backend).
+     */
     void
     scale(double scale)
     {
-        for (auto &[k, v] : values_)
-            v *= scale;
+        std::vector<double *> slots;
+        std::vector<double> vals;
+        slots.reserve(values_.size());
+        vals.reserve(values_.size());
+        for (auto &[k, v] : values_) {
+            slots.push_back(&v);
+            vals.push_back(v);
+        }
+        vecops::scale(vals.data(), scale, vals.size());
+        for (size_t i = 0; i < slots.size(); i++)
+            *slots[i] = vals[i];
     }
 
     /** Entries sorted by decreasing value, at most @p n of them. */

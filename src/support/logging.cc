@@ -1,5 +1,6 @@
 #include "support/logging.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -7,7 +8,26 @@
 namespace hbbp {
 
 namespace {
+
 LogLevel g_level = LogLevel::Normal;
+
+/** The process-wide throttle behind warn(). Leaked intentionally so
+ * warnings during static destruction never touch a dead object. */
+WarnRateLimiter &
+warnLimiter()
+{
+    static WarnRateLimiter *limiter = new WarnRateLimiter();
+    return *limiter;
+}
+
+int64_t
+monotonicMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 } // namespace
 
 void
@@ -68,16 +88,70 @@ fatal(const char *fmt, ...)
     std::exit(1);
 }
 
+WarnRateLimiter::WarnRateLimiter(size_t burst, int64_t interval_ms)
+    : burst_(burst), interval_ms_(interval_ms)
+{
+}
+
+void
+WarnRateLimiter::configure(size_t burst, int64_t interval_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    burst_ = burst;
+    interval_ms_ = interval_ms;
+    sites_.clear();
+}
+
+WarnThrottleDecision
+WarnRateLimiter::note(const std::string &site, int64_t now_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (burst_ == 0)
+        return {true, 0};
+    auto [it, fresh] = sites_.try_emplace(site);
+    Site &s = it->second;
+    if (fresh || now_ms - s.window_start_ms >= interval_ms_) {
+        // New window: this message prints and carries the summary of
+        // anything dropped since the last printed one.
+        uint64_t dropped = fresh ? 0 : s.suppressed;
+        s = Site{now_ms, 1, 0};
+        return {true, dropped};
+    }
+    if (s.printed < burst_) {
+        s.printed++;
+        uint64_t dropped = s.suppressed;
+        s.suppressed = 0;
+        return {true, dropped};
+    }
+    s.suppressed++;
+    return {false, 0};
+}
+
+void
+setWarnRateLimit(size_t burst, int64_t interval_ms)
+{
+    warnLimiter().configure(burst, interval_ms);
+}
+
 void
 warn(const char *fmt, ...)
 {
     if (g_level == LogLevel::Quiet)
         return;
+    WarnThrottleDecision d = warnLimiter().note(fmt, monotonicMs());
+    if (!d.print)
+        return;
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (d.suppressed > 0)
+        std::fprintf(stderr,
+                     "warn: %s (suppressed %llu similar warnings)\n",
+                     msg.c_str(),
+                     static_cast<unsigned long long>(d.suppressed));
+    else
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void

@@ -11,7 +11,10 @@
 #define HBBP_SUPPORT_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 namespace hbbp {
 
@@ -45,7 +48,16 @@ LogLevel logLevel();
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Warn about suspicious but non-fatal conditions. */
+/**
+ * Warn about suspicious but non-fatal conditions.
+ *
+ * Warnings are rate-limited per call site (keyed on the format
+ * string): after a burst within one interval, further repeats are
+ * dropped, and the next printed warning at that site carries a
+ * "(suppressed N ...)" summary. A single misbehaving peer retrying in
+ * a tight loop therefore cannot flood a daemon's stderr. Tune or
+ * disable with setWarnRateLimit().
+ */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Informative status message. */
@@ -53,6 +65,62 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Extra-detail message, printed only at LogLevel::Verbose. */
 void verbose(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Configure warn() rate limiting: at most @p burst prints per
+ * call site within any @p interval_ms window. burst = 0 disables
+ * throttling entirely (every warning prints). Also clears all
+ * accumulated per-site state, so tests get a clean slate.
+ */
+void setWarnRateLimit(size_t burst, int64_t interval_ms);
+
+/** What WarnRateLimiter::note() decided for one message. */
+struct WarnThrottleDecision
+{
+    /** Print this message. */
+    bool print = true;
+    /** Messages dropped at this site since the last printed one;
+     * non-zero only when print is true (the summary rides along). */
+    uint64_t suppressed = 0;
+};
+
+/**
+ * Per-site warning throttle (the mechanism behind warn()'s rate
+ * limiting, exposed so tests can drive it with a fake clock).
+ *
+ * Each site gets a fixed window: the first `burst` messages inside
+ * `interval_ms` of the window's start print, the rest are counted
+ * and dropped. The first message after the window expires opens a
+ * fresh window and reports how many were dropped in the old one.
+ * Thread-safe; warn() is never on a hot path, so one mutex is fine.
+ */
+class WarnRateLimiter
+{
+  public:
+    explicit WarnRateLimiter(size_t burst = 8,
+                             int64_t interval_ms = 10'000);
+
+    /** Record one message at @p site, timestamped @p now_ms
+     * (milliseconds on any monotonic clock). */
+    WarnThrottleDecision note(const std::string &site,
+                              int64_t now_ms);
+
+    /** Reconfigure and drop all per-site state. */
+    void configure(size_t burst, int64_t interval_ms);
+
+  private:
+    struct Site
+    {
+        int64_t window_start_ms = 0;
+        uint64_t printed = 0;
+        uint64_t suppressed = 0;
+    };
+
+    std::mutex mutex_;
+    size_t burst_;
+    int64_t interval_ms_;
+    std::unordered_map<std::string, Site> sites_;
+};
 
 /** printf-style formatting into a std::string. */
 std::string vformat(const char *fmt, va_list ap);

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "support/logging.hh"
+#include "support/vectorops.hh"
 
 namespace hbbp {
 
@@ -61,10 +62,32 @@ mean(const std::vector<double> &xs)
 {
     if (xs.empty())
         return 0.0;
-    double sum = 0.0;
-    for (double x : xs)
-        sum += x;
-    return sum / static_cast<double>(xs.size());
+    // The fold goes through vecops: bit-stable 8-lane reduction, same
+    // bits whatever backend dispatch picked.
+    return vecops::sum(xs) / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    // Two-pass population variance: center first (one IEEE subtract
+    // per element), then fold the squares as a vecops dot product —
+    // both halves are backend-bit-stable.
+    std::vector<double> centered(xs.size());
+    for (size_t i = 0; i < xs.size(); i++)
+        centered[i] = xs[i] - m;
+    return vecops::dot(centered.data(), centered.data(),
+                       centered.size()) /
+           static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
 }
 
 double
@@ -89,13 +112,16 @@ geomean(const std::vector<double> &xs)
 {
     if (xs.empty())
         return 0.0;
-    double log_sum = 0.0;
-    for (double x : xs) {
-        if (x <= 0.0)
-            panic("geomean requires positive inputs, got %f", x);
-        log_sum += std::log(x);
+    // log() stays scalar (not a span kernel); the fold of the logs
+    // routes through vecops like every other reduction.
+    std::vector<double> logs(xs.size());
+    for (size_t i = 0; i < xs.size(); i++) {
+        if (xs[i] <= 0.0)
+            panic("geomean requires positive inputs, got %f", xs[i]);
+        logs[i] = std::log(xs[i]);
     }
-    return std::exp(log_sum / static_cast<double>(xs.size()));
+    return std::exp(vecops::sum(logs) /
+                    static_cast<double>(xs.size()));
 }
 
 } // namespace hbbp

@@ -57,8 +57,18 @@ class RunningStats
     bool has_any_ = false;
 };
 
-/** Arithmetic mean of a vector; 0 when empty. */
+/** Arithmetic mean of a vector; 0 when empty. Folds via vectorops. */
 double mean(const std::vector<double> &xs);
+
+/**
+ * Population variance of a vector; 0 with fewer than 2 samples.
+ * Two-pass (mean, then centered squares), both folds via vectorops,
+ * so the result is bit-identical across SIMD backends.
+ */
+double variance(const std::vector<double> &xs);
+
+/** Square root of variance(xs). */
+double stddev(const std::vector<double> &xs);
 
 /**
  * Percentile via linear interpolation between closest ranks.

@@ -1,0 +1,390 @@
+#include "support/telemetry.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+namespace telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+std::atomic<bool> g_dump_requested{false};
+
+/// Round-robin shard assignment: each thread gets a fixed slot for its
+/// lifetime, so a thread's increments never migrate between cache lines.
+size_t
+threadSlot()
+{
+    static std::atomic<size_t> next{0};
+    static thread_local size_t slot =
+        next.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+    return slot;
+}
+
+uint64_t
+saturatingAdd(uint64_t a, uint64_t b)
+{
+    uint64_t s = a + b;
+    return s < a ? UINT64_MAX : s;
+}
+
+/// Minimal JSON string escaping: backslash, quote, and control bytes.
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c) & 0xff);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+Counter::add(uint64_t n)
+{
+    if (!g_enabled.load(std::memory_order_relaxed))
+        return;
+    slots_[threadSlot()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+uint64_t
+Counter::value() const
+{
+    uint64_t total = 0;
+    for (const Slot &s : slots_)
+        total += s.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Gauge::set(int64_t v)
+{
+    if (!g_enabled.load(std::memory_order_relaxed))
+        return;
+    v_.store(v, std::memory_order_relaxed);
+}
+
+void
+Gauge::add(int64_t n)
+{
+    if (!g_enabled.load(std::memory_order_relaxed))
+        return;
+    v_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+Gauge::sub(int64_t n)
+{
+    add(-n);
+}
+
+int64_t
+Gauge::value() const
+{
+    return v_.load(std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1)
+{
+    if (bounds_.empty())
+        panic("histogram needs at least one bucket bound");
+    for (size_t i = 1; i < bounds_.size(); ++i) {
+        if (bounds_[i] <= bounds_[i - 1])
+            panic("histogram bounds must be strictly ascending");
+    }
+}
+
+void
+Histogram::observe(uint64_t v)
+{
+    if (!g_enabled.load(std::memory_order_relaxed))
+        return;
+    // First bucket whose upper bound admits v (le semantics); values
+    // above every bound land in the implicit +Inf bucket.
+    size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+               bounds_.begin();
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    // Saturating sum: a CAS loop, but observations are off the fold
+    // hot path (latency sampling only).
+    uint64_t cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, saturatingAdd(cur, v),
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+uint64_t
+Histogram::bucketCount(size_t i) const
+{
+    if (i >= counts_.size())
+        panic("histogram bucket index %zu out of range", i);
+    return counts_[i].load(std::memory_order_relaxed);
+}
+
+uint64_t
+Histogram::count() const
+{
+    uint64_t total = 0;
+    for (const auto &c : counts_)
+        total += c.load(std::memory_order_relaxed);
+    return total;
+}
+
+uint64_t
+Histogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+std::vector<uint64_t>
+latencyBucketsMs()
+{
+    return {1, 4, 16, 64, 256, 1024, 4096, 16384};
+}
+
+std::vector<uint64_t>
+latencyBucketsUs()
+{
+    return {16, 128, 1024, 8192, 65536, 524288, 4194304, 33554432};
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &e = entries_[name];
+    if (e.gauge || e.histogram)
+        panic("metric '%s' already registered with a different kind",
+              name.c_str());
+    if (!e.counter)
+        e.counter = std::make_unique<Counter>();
+    return *e.counter;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &e = entries_[name];
+    if (e.counter || e.histogram)
+        panic("metric '%s' already registered with a different kind",
+              name.c_str());
+    if (!e.gauge)
+        e.gauge = std::make_unique<Gauge>();
+    return *e.gauge;
+}
+
+Histogram &
+Registry::histogram(const std::string &name, std::vector<uint64_t> bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry &e = entries_[name];
+    if (e.counter || e.gauge)
+        panic("metric '%s' already registered with a different kind",
+              name.c_str());
+    if (!e.histogram)
+        e.histogram = std::make_unique<Histogram>(std::move(bounds));
+    return *e.histogram;
+}
+
+std::string
+Registry::renderSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    char buf[256];
+    for (const auto &[name, e] : entries_) {
+        if (e.counter) {
+            std::snprintf(buf, sizeof(buf), "counter %s %" PRIu64 "\n",
+                          name.c_str(), e.counter->value());
+            out += buf;
+        } else if (e.gauge) {
+            std::snprintf(buf, sizeof(buf), "gauge %s %" PRId64 "\n",
+                          name.c_str(), e.gauge->value());
+            out += buf;
+        } else if (e.histogram) {
+            const Histogram &h = *e.histogram;
+            std::snprintf(buf, sizeof(buf), "hist %s count=%" PRIu64
+                          " sum=%" PRIu64, name.c_str(), h.count(),
+                          h.sum());
+            out += buf;
+            for (size_t i = 0; i < h.bounds().size(); ++i) {
+                std::snprintf(buf, sizeof(buf), " le%" PRIu64 "=%" PRIu64,
+                              h.bounds()[i], h.bucketCount(i));
+                out += buf;
+            }
+            std::snprintf(buf, sizeof(buf), " le+Inf=%" PRIu64 "\n",
+                          h.bucketCount(h.bounds().size()));
+            out += buf;
+        }
+    }
+    return out;
+}
+
+std::string
+Registry::renderPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out;
+    char buf[256];
+    for (const auto &[name, e] : entries_) {
+        if (e.counter) {
+            std::snprintf(buf, sizeof(buf),
+                          "# TYPE %s counter\n%s %" PRIu64 "\n",
+                          name.c_str(), name.c_str(), e.counter->value());
+            out += buf;
+        } else if (e.gauge) {
+            std::snprintf(buf, sizeof(buf),
+                          "# TYPE %s gauge\n%s %" PRId64 "\n",
+                          name.c_str(), name.c_str(), e.gauge->value());
+            out += buf;
+        } else if (e.histogram) {
+            const Histogram &h = *e.histogram;
+            std::snprintf(buf, sizeof(buf), "# TYPE %s histogram\n",
+                          name.c_str());
+            out += buf;
+            // Prometheus buckets are cumulative.
+            uint64_t cum = 0;
+            for (size_t i = 0; i < h.bounds().size(); ++i) {
+                cum += h.bucketCount(i);
+                std::snprintf(buf, sizeof(buf),
+                              "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                              name.c_str(), h.bounds()[i], cum);
+                out += buf;
+            }
+            cum += h.bucketCount(h.bounds().size());
+            std::snprintf(buf, sizeof(buf),
+                          "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n"
+                          "%s_sum %" PRIu64 "\n"
+                          "%s_count %" PRIu64 "\n",
+                          name.c_str(), cum, name.c_str(), h.sum(),
+                          name.c_str(), cum);
+            out += buf;
+        }
+    }
+    return out;
+}
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry(); // leaked: outlive static dtors
+    return *r;
+}
+
+Counter &
+counter(const std::string &name)
+{
+    return registry().counter(name);
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    return registry().gauge(name);
+}
+
+Histogram &
+histogram(const std::string &name, std::vector<uint64_t> bounds)
+{
+    return registry().histogram(name, std::move(bounds));
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+requestDump()
+{
+    g_dump_requested.store(true, std::memory_order_relaxed);
+}
+
+void
+dumpIfRequested()
+{
+    if (!g_dump_requested.exchange(false, std::memory_order_relaxed))
+        return;
+    dumpSnapshot("telemetry snapshot (SIGUSR1)");
+}
+
+void
+dumpSnapshot(const char *prefix)
+{
+    std::string snap = registry().renderSnapshot();
+    std::fprintf(stderr, "--- %s ---\n%s--- end snapshot ---\n", prefix,
+                 snap.c_str());
+    std::fflush(stderr);
+}
+
+TraceLog::~TraceLog()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+TraceLog::open(const std::string &path, const std::string &node)
+{
+    if (path.empty())
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_)
+        std::fclose(file_);
+    file_ = std::fopen(path.c_str(), "ab");
+    if (!file_)
+        fatal("cannot open trace log '%s': %s", path.c_str(),
+              std::strerror(errno));
+    node_ = node;
+}
+
+void
+TraceLog::span(const std::string &span_name, const std::string &trace_id,
+               const std::string &detail)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!file_)
+        return;
+    auto now = std::chrono::system_clock::now().time_since_epoch();
+    uint64_t ts_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+    std::string line = "{\"ts_us\":" + std::to_string(ts_us) +
+                       ",\"node\":\"" + jsonEscape(node_) +
+                       "\",\"span\":\"" + jsonEscape(span_name) +
+                       "\",\"trace\":\"" + jsonEscape(trace_id) + "\"";
+    if (!detail.empty())
+        line += ",\"detail\":\"" + jsonEscape(detail) + "\"";
+    line += "}\n";
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fflush(file_);
+}
+
+} // namespace telemetry
+} // namespace hbbp

@@ -1,11 +1,25 @@
 #include "support/thread_pool.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "support/logging.hh"
+#include "support/telemetry.hh"
 
 namespace hbbp {
+
+namespace {
+
+telemetry::Gauge &
+queueDepthGauge()
+{
+    static telemetry::Gauge &g =
+        telemetry::gauge("hbbp_pool_queue_depth");
+    return g;
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(unsigned threads)
 {
@@ -34,6 +48,7 @@ ThreadPool::submit(std::function<void()> task)
         queue_.push_back(std::move(task));
         in_flight_++;
     }
+    queueDepthGauge().add();
     work_available_.notify_one();
 }
 
@@ -47,6 +62,8 @@ ThreadPool::wait()
 void
 ThreadPool::workerLoop()
 {
+    static telemetry::Histogram &m_task_us = telemetry::histogram(
+        "hbbp_pool_task_us", telemetry::latencyBucketsUs());
     for (;;) {
         std::function<void()> task;
         {
@@ -59,6 +76,8 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        queueDepthGauge().sub();
+        auto task_start = std::chrono::steady_clock::now();
         // An exception escaping a std::thread entry point aborts the
         // process with no diagnostic (and would leak in_flight_, hanging
         // wait()); route it through fatal() like every other dead end.
@@ -69,6 +88,10 @@ ThreadPool::workerLoop()
         } catch (...) {
             fatal("worker task failed with an unknown exception");
         }
+        m_task_us.observe(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - task_start)
+                .count()));
         {
             std::unique_lock<std::mutex> lock(mutex_);
             in_flight_--;

@@ -25,6 +25,7 @@
  *                     [--state FILE] [--journal-every N] [--retries N]
  *                     [--bind ADDR] [--port-file FILE]
  *   hbbp-tool store   gc --store DIR [--max-age-s N] [--max-bytes N]
+ *   hbbp-tool stats   [--from HOST:PORT]
  *   hbbp-tool migrate <profile-in> [-o <profile-out>]
  *   hbbp-tool analyze <workload> -i <profile> [options]
  *   hbbp-tool report  <workload> [-i <profile>] [options]
@@ -86,6 +87,18 @@
  *   --max-age-s N           evict entries older than N seconds
  *   --max-bytes N           then evict until the store fits N bytes
  *
+ * observability (aggregate --listen and relay; see README):
+ *   --metrics-port N        serve the metrics registry as Prometheus
+ *                           text on a second port (0 = ephemeral)
+ *   --metrics-port-file F   write the bound metrics port here
+ *   --trace-log FILE        append shard-lifecycle span records (JSONL)
+ *                           — also on push, where it stamps the shard's
+ *                           trace id into the manifest
+ *   stats [--from H:P]      print a scraped endpoint's metrics (or this
+ *                           process's own registry snapshot)
+ *   SIGUSR1                 daemons dump the registry snapshot to
+ *                           stderr at the next accept-loop poll
+ *
  * analyze/report options:
  *   --source hbbp|ebs|lbr   data source for the mix (default hbbp)
  *   --cutoff N              HBBP length cutoff (default 18)
@@ -104,6 +117,7 @@
 #include <cctype>
 #include <cerrno>
 #include <climits>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -121,6 +135,7 @@
 #include "fleet/journal.hh"
 #include "fleet/manifest.hh"
 #include "fleet/merge.hh"
+#include "fleet/metrics.hh"
 #include "fleet/relay.hh"
 #include "fleet/shard.hh"
 #include "fleet/store.hh"
@@ -129,6 +144,7 @@
 #include "support/bytes.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
+#include "support/telemetry.hh"
 #include "tools/profiler.hh"
 #include "tools/registry.hh"
 
@@ -174,6 +190,10 @@ struct CliOptions
     std::string relay_id;         ///< relay: upstream host id.
     int64_t max_age_s = -1;       ///< store gc: age bound.
     int64_t max_bytes = -1;       ///< store gc: size bound.
+    int metrics_port = -1;        ///< aggregate/relay: -1 = off.
+    std::string metrics_port_file; ///< bound metrics port report file.
+    std::string trace_log;        ///< span log path; empty = off.
+    std::string stats_from;       ///< stats: HOST:PORT to scrape.
 };
 
 [[noreturn]] void
@@ -209,6 +229,7 @@ usage()
                  "[--bind ADDR] [--port-file FILE]\n"
                  "       hbbp-tool store gc --store DIR "
                  "[--max-age-s N] [--max-bytes N]\n"
+                 "       hbbp-tool stats [--from HOST:PORT]\n"
                  "       hbbp-tool migrate <profile-in> "
                  "[-o <profile-out>]\n"
                  "       hbbp-tool analyze <workload> -i <profile> "
@@ -228,12 +249,13 @@ parse(int argc, char **argv)
         usage();
     opts.command = argv[1];
     int i = 2;
-    // merge takes positional profiles; aggregate and relay only
+    // merge takes positional profiles; aggregate, relay and stats only
     // flags; every other command (but list) leads with a positional
     // argument — a workload name, the input profile for migrate, or
     // the action for store.
     if (opts.command != "list" && opts.command != "merge" &&
-        opts.command != "aggregate" && opts.command != "relay") {
+        opts.command != "aggregate" && opts.command != "relay" &&
+        opts.command != "stats") {
         if (i >= argc)
             usage();
         opts.workload = argv[i++];
@@ -352,6 +374,16 @@ parse(int argc, char **argv)
         else if (arg == "--max-bytes")
             opts.max_bytes = static_cast<int64_t>(
                 need_count("--max-bytes", INT64_MAX));
+        else if (arg == "--metrics-port")
+            opts.metrics_port = static_cast<int>(
+                need_count("--metrics-port", UINT16_MAX));
+        else if (arg == "--metrics-port-file")
+            opts.metrics_port_file =
+                need_value("--metrics-port-file");
+        else if (arg == "--trace-log")
+            opts.trace_log = need_value("--trace-log");
+        else if (arg == "--from")
+            opts.stats_from = need_value("--from");
         else if (!arg.empty() && arg[0] == '-')
             fatal("unknown option '%s'", arg.c_str());
         else if (opts.command == "merge")
@@ -388,6 +420,35 @@ parseHostPort(const std::string &value, const char *flag,
     if (!digits || parsed == 0 || parsed > UINT16_MAX)
         fatal("invalid port in '%s'", value.c_str());
     *port = static_cast<uint16_t>(parsed);
+}
+
+void
+onSigUsr1(int)
+{
+    // Async-signal-safe: one relaxed store; the daemon's accept loop
+    // polls dumpIfRequested() and prints the snapshot from there.
+    telemetry::requestDump();
+}
+
+/**
+ * Daemon observability setup shared by aggregate --listen and relay:
+ * start the metrics endpoint when requested (reporting the bound port
+ * for scripts) and arm the SIGUSR1 snapshot dump.
+ */
+std::unique_ptr<MetricsServer>
+startObservability(const CliOptions &opts)
+{
+    std::signal(SIGUSR1, onSigUsr1);
+    if (opts.metrics_port < 0)
+        return nullptr;
+    auto server = std::make_unique<MetricsServer>(
+        static_cast<uint16_t>(opts.metrics_port));
+    std::printf("metrics on port %u\n", server->port());
+    std::fflush(stdout);
+    if (!opts.metrics_port_file.empty())
+        writeFileAtomically(opts.metrics_port_file,
+                            format("%u\n", server->port()));
+    return server;
 }
 
 MixDim
@@ -601,7 +662,20 @@ cmdPush(const CliOptions &opts)
     if (!opts.profile_out.empty())
         merged.save(opts.profile_out);
 
+    // Tracing is opt-in: it stamps the shard's trace id into the
+    // manifest (so relays and the root can attribute it), and an
+    // unstamped push keeps the exact pre-tracing manifest bytes.
+    telemetry::TraceLog trace;
+    std::string trace_id;
+    if (!opts.trace_log.empty()) {
+        trace.open(opts.trace_log, "collector:" + opts.host);
+        trace_id = shardTraceId(manifest);
+        manifest.trace_ids.push_back(trace_id);
+    }
+
     SendResult res;
+    trace.span("push_start", trace_id,
+               format("seq=%u chunks=%zu", opts.seq, chunks.size()));
     if (!opts.to.empty()) {
         SocketTransportOptions so;
         parseHostPort(opts.to, "--to", &so.host, &so.port);
@@ -615,6 +689,9 @@ cmdPush(const CliOptions &opts)
     }
     if (!res.ok)
         fatal("push failed: %s", res.error.c_str());
+    trace.span("push_acked", trace_id,
+               format("attempts=%d%s", res.attempts,
+                      res.duplicate ? " duplicate" : ""));
 
     std::printf("pushed shard host=%s seq=%u workload=%s "
                 "checksum=%016llx (%zu chunk%s, %d attempt%s%s) "
@@ -643,6 +720,10 @@ cmdAggregate(const CliOptions &opts)
     if (opts.watch_dir.empty() == !listening)
         fatal("aggregate requires exactly one of --watch-dir <dir> or "
               "--listen <port>");
+
+    std::unique_ptr<MetricsServer> metrics = startObservability(opts);
+    telemetry::TraceLog trace;
+    trace.open(opts.trace_log, "root");
 
     std::optional<ProfileStore> central;
     if (!opts.store_dir.empty())
@@ -674,6 +755,12 @@ cmdAggregate(const CliOptions &opts)
     auto per_accept = [&](const ShardManifest &m,
                           const ProfileData *profile,
                           const std::vector<std::string> *chunks) {
+        // The root is the end of a traced shard's life: one root_fold
+        // span per stamped id carried by this arrival closes the
+        // collector -> relay -> root chain.
+        for (const std::string &id : m.trace_ids)
+            trace.span("root_fold", id,
+                       format("from=%s", m.host.c_str()));
         if (central && !central->containsChecksum(m.checksum)) {
             if (profile)
                 central->insertByChecksum(m.checksum, *profile);
@@ -761,6 +848,10 @@ cmdAggregate(const CliOptions &opts)
                 static_cast<unsigned long long>(saturatedFoldLanes()),
                 opts.profile_out.empty() ? "" : " -> ",
                 opts.profile_out.c_str());
+    if (metrics) {
+        metrics->stop();
+        telemetry::dumpSnapshot("aggregate exiting");
+    }
     return 0;
 }
 
@@ -801,7 +892,9 @@ cmdRelay(const CliOptions &opts)
     ro.state_file = opts.state_file;
     ro.journal_every = opts.journal_every;
     ro.upstream_retries = std::max(opts.retries, 1);
+    ro.trace_log = opts.trace_log;
 
+    std::unique_ptr<MetricsServer> metrics = startObservability(opts);
     RelayNode relay(std::move(ro));
     std::printf("relaying %s:%u -> %s\n", opts.bind_addr.c_str(),
                 relay.port(), opts.to.c_str());
@@ -817,6 +910,10 @@ cmdRelay(const CliOptions &opts)
                 rs.accepted, rs.covered, rs.restored, rs.flushes,
                 rs.flush_failures, rs.orphans_forwarded,
                 rs.upstream_ok ? 1 : 0);
+    if (metrics) {
+        metrics->stop();
+        telemetry::dumpSnapshot("relay exiting");
+    }
     // Order matters: the final flush already ran, so these exits lose
     // nothing that --state does not hold.
     if (!rs.upstream_ok)
@@ -850,6 +947,30 @@ cmdStore(const CliOptions &opts)
                 res.scanned, res.evicted,
                 static_cast<unsigned long long>(res.bytes_before),
                 static_cast<unsigned long long>(res.bytes_after));
+    return 0;
+}
+
+/**
+ * Print metrics: scraped from a live daemon's --metrics-port endpoint
+ * (Prometheus text passed through verbatim), or — with no --from —
+ * this process's own registry snapshot in the compact deterministic
+ * format daemons dump on SIGUSR1.
+ */
+int
+cmdStats(const CliOptions &opts)
+{
+    if (!opts.stats_from.empty()) {
+        std::string host;
+        uint16_t port = 0;
+        parseHostPort(opts.stats_from, "--from", &host, &port);
+        std::string body, why;
+        if (!fetchMetricsText(host, port, &body, &why))
+            fatal("fetching metrics from %s: %s",
+                  opts.stats_from.c_str(), why.c_str());
+        std::fputs(body.c_str(), stdout);
+        return 0;
+    }
+    std::fputs(telemetry::registry().renderSnapshot().c_str(), stdout);
     return 0;
 }
 
@@ -966,6 +1087,8 @@ main(int argc, char **argv)
         return cmdRelay(opts);
     if (opts.command == "store")
         return cmdStore(opts);
+    if (opts.command == "stats")
+        return cmdStats(opts);
     if (opts.command == "migrate")
         return cmdMigrate(opts);
     if (opts.command == "analyze")

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Assert a complete shard-lifecycle trace in a --trace-log JSONL file.
+
+Usage: check_trace.py <trace.jsonl> <host>
+
+Finds the trace id stamped by `push --host <host>` and checks that its
+span records reconstruct the full collector -> relay -> root chain
+(push_start, push_acked, relay_accept, relay_flush, root_fold) with
+monotonic wall-clock timestamps along the lifecycle. Used by
+cli_relay_smoke.cmake.
+"""
+
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} <trace.jsonl> <host>")
+    path, host = sys.argv[1], sys.argv[2]
+
+    # trace id -> span name -> list of records
+    traces = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"{path}:{lineno}: invalid JSON: {e}")
+            for key in ("ts_us", "node", "span", "trace"):
+                if key not in rec:
+                    sys.exit(f"{path}:{lineno}: missing key '{key}'")
+            traces.setdefault(rec["trace"], {}).setdefault(
+                rec["span"], []).append(rec)
+
+    target = None
+    for trace, by_span in traces.items():
+        if any(r["node"] == "collector:" + host
+               for r in by_span.get("push_start", [])):
+            target = trace
+            break
+    if target is None:
+        sys.exit(f"no push_start from collector:{host} in {path} "
+                 f"(traces: {sorted(traces)})")
+
+    by_span = traces[target]
+    required = ["push_start", "push_acked", "relay_accept",
+                "relay_flush", "root_fold"]
+    for span in required:
+        if span not in by_span:
+            sys.exit(f"trace {target}: missing span '{span}' "
+                     f"(have {sorted(by_span)})")
+
+    # The lifecycle must move forward in wall-clock time. push_acked is
+    # checked separately: it lands after relay_accept but its ordering
+    # against the relay's later spans is not part of the lifecycle.
+    order = ["push_start", "relay_accept", "relay_flush", "root_fold"]
+    ts = [min(r["ts_us"] for r in by_span[s]) for s in order]
+    for (sa, a), (sb, b) in zip(zip(order, ts), zip(order[1:], ts[1:])):
+        if b < a:
+            sys.exit(f"trace {target}: {sb} (ts_us={b}) precedes "
+                     f"{sa} (ts_us={a})")
+    if min(r["ts_us"] for r in by_span["push_acked"]) < ts[0]:
+        sys.exit(f"trace {target}: push_acked precedes push_start")
+
+    total = sum(len(recs) for recs in by_span.values())
+    print(f"trace OK: {target}: {' -> '.join(order)} monotonic "
+          f"({total} span records)")
+
+
+if __name__ == "__main__":
+    main()

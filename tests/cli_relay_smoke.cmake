@@ -2,10 +2,15 @@
 # ctest):
 #
 #   Phase 1: a depth-2 fan-in tree — four hbbp-tool push collectors ->
-#   two relay processes -> one `aggregate --listen` root, everything
-#   CONCURRENT. The root aggregate must be byte-identical to a flat
-#   single-run `hbbp-tool merge` of the same four shards, and the root
-#   must report exactly two aggregate arrivals covering four hosts.
+#   two relay processes -> one `aggregate --listen` root. The root
+#   aggregate must be byte-identical to a flat single-run
+#   `hbbp-tool merge` of the same four shards, and the root must report
+#   exactly two aggregate arrivals covering four hosts. Each relay's
+#   --metrics-port endpoint is scraped live (after its first accept,
+#   while it waits for its second) and must report exactly one folded
+#   shard; every process appends to one --trace-log, and check_trace.py
+#   must reconstruct hostA's complete collector -> relay -> root span
+#   chain with monotonic timestamps.
 #
 #   Phase 2: the same tree, but relay1 runs with --state and
 #   --flush-every 1 and is SIGKILLed after accepting (and flushing)
@@ -51,37 +56,51 @@ waitport() {
         sleep 0.1
     done
 }
+trace=\"$dir/trace.jsonl\"
 \"$tool\" aggregate --listen 0 --port-file \"$dir/root1.port\" --expect 4 \\
-    --timeout-ms 120000 -o \"$dir/root1.profile\" > \"$dir/root1.log\" 2>&1 &
+    --timeout-ms 120000 -o \"$dir/root1.profile\" --trace-log \"$trace\" \\
+    > \"$dir/root1.log\" 2>&1 &
 rootpid=$!
 waitport \"$dir/root1.port\"
 rp=$(cat \"$dir/root1.port\")
 \"$tool\" relay --listen 0 --port-file \"$dir/r1.port\" --to 127.0.0.1:$rp \\
-    --relay-id relay1 --expect 2 --timeout-ms 120000 > \"$dir/r1.log\" 2>&1 &
+    --relay-id relay1 --expect 2 --timeout-ms 120000 \\
+    --metrics-port 0 --metrics-port-file \"$dir/r1.mport\" \\
+    --trace-log \"$trace\" > \"$dir/r1.log\" 2>&1 &
 r1pid=$!
 \"$tool\" relay --listen 0 --port-file \"$dir/r2.port\" --to 127.0.0.1:$rp \\
-    --relay-id relay2 --expect 2 --timeout-ms 120000 > \"$dir/r2.log\" 2>&1 &
+    --relay-id relay2 --expect 2 --timeout-ms 120000 \\
+    --metrics-port 0 --metrics-port-file \"$dir/r2.mport\" \\
+    --trace-log \"$trace\" > \"$dir/r2.log\" 2>&1 &
 r2pid=$!
 waitport \"$dir/r1.port\"
 waitport \"$dir/r2.port\"
+waitport \"$dir/r1.mport\"
+waitport \"$dir/r2.mport\"
 p1=$(cat \"$dir/r1.port\")
 p2=$(cat \"$dir/r2.port\")
+# hostA lands first; relay1 then waits for its second shard, which is
+# the window to scrape its live metrics endpoint: exactly one shard
+# folded so far. Same dance on relay2 with hostC. hostB/hostD then
+# push concurrently with each other.
 \"$tool\" push test40 --host hostA --to 127.0.0.1:$p1 --retries 20 \\
-    -o \"$dir/a.profile\" > \"$dir/pushA.log\" 2>&1 &
-pa=$!
+    --trace-log \"$trace\" -o \"$dir/a.profile\" > \"$dir/pushA.log\" 2>&1 \\
+    || exit 1
+\"$tool\" stats --from 127.0.0.1:$(cat \"$dir/r1.mport\") \\
+    > \"$dir/metrics_r1.txt\" 2> \"$dir/scrape1.log\" || exit 1
 \"$tool\" push test40 --host hostB --to 127.0.0.1:$p1 --retries 20 \\
-    -o \"$dir/b.profile\" > \"$dir/pushB.log\" 2>&1 &
+    --trace-log \"$trace\" -o \"$dir/b.profile\" > \"$dir/pushB.log\" 2>&1 &
 pb=$!
 \"$tool\" push test40 --host hostC --to 127.0.0.1:$p2 --retries 20 \\
-    -o \"$dir/c.profile\" > \"$dir/pushC.log\" 2>&1 &
-pc=$!
+    --trace-log \"$trace\" -o \"$dir/c.profile\" > \"$dir/pushC.log\" 2>&1 \\
+    || exit 1
+\"$tool\" stats --from 127.0.0.1:$(cat \"$dir/r2.mport\") \\
+    > \"$dir/metrics_r2.txt\" 2> \"$dir/scrape2.log\" || exit 1
 \"$tool\" push test40 --host hostD --to 127.0.0.1:$p2 --retries 20 \\
-    -o \"$dir/d.profile\" > \"$dir/pushD.log\" 2>&1 &
+    --trace-log \"$trace\" -o \"$dir/d.profile\" > \"$dir/pushD.log\" 2>&1 &
 pd=$!
 rc=0
-wait $pa || rc=1
 wait $pb || rc=1
-wait $pc || rc=1
 wait $pd || rc=1
 wait $r1pid || rc=1
 wait $r2pid || rc=1
@@ -102,6 +121,30 @@ endif()
 if(NOT root1_log MATCHES "hosts=4 covered=4 aggregates=2")
     message(FATAL_ERROR "expected 2 aggregates covering 4 hosts: ${root1_log}")
 endif()
+
+# Live metrics: each relay was scraped after its first accept and
+# before its second, so the folded-shard counter must read exactly 1 —
+# the counters track the tree's topology, not just "something moved".
+foreach(relay r1 r2)
+    file(READ "${WORK_DIR}/metrics_${relay}.txt" scraped)
+    if(NOT scraped MATCHES "# TYPE hbbp_agg_shards_folded_total counter")
+        message(FATAL_ERROR "${relay} scrape is not Prometheus text:\n${scraped}")
+    endif()
+    if(NOT scraped MATCHES "hbbp_agg_shards_folded_total 1[\r\n]")
+        message(FATAL_ERROR "${relay} had not folded exactly 1 shard at scrape time:\n${scraped}")
+    endif()
+endforeach()
+
+# The trace log must reconstruct hostA's full lifecycle: push_start/
+# push_acked at the collector, relay_accept/relay_flush at relay1,
+# root_fold at the root, with monotonic timestamps.
+execute_process(COMMAND python3 "${CMAKE_CURRENT_LIST_DIR}/check_trace.py"
+    "${WORK_DIR}/trace.jsonl" hostA
+    RESULT_VARIABLE trace_rc OUTPUT_VARIABLE trace_out ERROR_VARIABLE trace_err)
+if(NOT trace_rc EQUAL 0)
+    message(FATAL_ERROR "trace reconstruction failed: ${trace_out}${trace_err}")
+endif()
+message(STATUS "${trace_out}")
 
 # Byte-identical to a flat one-shot merge of the same four shards.
 execute_process(COMMAND "${HBBP_TOOL}" merge -o "${WORK_DIR}/flat.profile"

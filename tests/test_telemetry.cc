@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Tests for the telemetry subsystem: the metrics registry (counter
+ * sharding under concurrency, histogram bucket edges, deterministic
+ * snapshot bytes), the --metrics-port HTTP endpoint, shard-lifecycle
+ * trace ids in the manifest (including v1 byte compatibility), the
+ * JSONL trace log, and the warn() rate limiter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/manifest.hh"
+#include "fleet/metrics.hh"
+#include "support/logging.hh"
+#include "support/telemetry.hh"
+
+namespace hbbp {
+namespace {
+
+using telemetry::Registry;
+
+TEST(TelemetryCounter, ConcurrentIncrementsAreExact)
+{
+    Registry reg;
+    telemetry::Counter &c = reg.counter("test_concurrent_total");
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 20'000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; t++) {
+        workers.emplace_back([&c] {
+            for (uint64_t i = 0; i < kPerThread; i++)
+                c.add();
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(TelemetryCounter, AddN)
+{
+    Registry reg;
+    telemetry::Counter &c = reg.counter("test_addn_total");
+    c.add(5);
+    c.add(7);
+    EXPECT_EQ(c.value(), 12u);
+}
+
+TEST(TelemetryGauge, SetAddSub)
+{
+    Registry reg;
+    telemetry::Gauge &g = reg.gauge("test_gauge");
+    g.set(10);
+    g.add(3);
+    g.sub(5);
+    EXPECT_EQ(g.value(), 8);
+    g.set(-2);
+    EXPECT_EQ(g.value(), -2);
+}
+
+TEST(TelemetryHistogram, BucketEdgesAreLeSemantics)
+{
+    Registry reg;
+    telemetry::Histogram &h = reg.histogram("test_hist", {10, 100});
+    h.observe(0);   // le10
+    h.observe(10);  // le10: a value equal to the bound lands inside it
+    h.observe(11);  // le100
+    h.observe(100); // le100
+    h.observe(101); // +Inf
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.sum(), 0u + 10 + 11 + 100 + 101);
+}
+
+TEST(TelemetryHistogram, SumSaturatesInsteadOfWrapping)
+{
+    Registry reg;
+    telemetry::Histogram &h = reg.histogram("test_sat_hist", {1});
+    h.observe(UINT64_MAX - 1);
+    h.observe(1000);
+    EXPECT_EQ(h.sum(), UINT64_MAX);
+    EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(TelemetryHistogram, ConcurrentObservationsCountExactly)
+{
+    Registry reg;
+    telemetry::Histogram &h =
+        reg.histogram("test_conc_hist", telemetry::latencyBucketsUs());
+    constexpr int kThreads = 4;
+    constexpr uint64_t kPerThread = 5'000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; t++) {
+        workers.emplace_back([&h, t] {
+            for (uint64_t i = 0; i < kPerThread; i++)
+                h.observe(static_cast<uint64_t>(t) * 1000 + i % 7);
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+TEST(TelemetryRegistry, SnapshotBytesAreDeterministic)
+{
+    Registry reg;
+    // Registered out of order: the snapshot must sort by name.
+    reg.counter("zzz_total").add(3);
+    reg.gauge("mid_gauge").set(-4);
+    telemetry::Histogram &h = reg.histogram("aaa_hist", {10, 100});
+    h.observe(7);
+    h.observe(50);
+    h.observe(5000);
+    EXPECT_EQ(reg.renderSnapshot(),
+              "hist aaa_hist count=3 sum=5057 le10=1 le100=1 le+Inf=1\n"
+              "gauge mid_gauge -4\n"
+              "counter zzz_total 3\n");
+    // A second render is byte-identical.
+    EXPECT_EQ(reg.renderSnapshot(), reg.renderSnapshot());
+}
+
+TEST(TelemetryRegistry, PrometheusRenderIsCumulative)
+{
+    Registry reg;
+    reg.counter("req_total").add(2);
+    telemetry::Histogram &h = reg.histogram("lat_ms", {1, 4});
+    h.observe(1);
+    h.observe(3);
+    h.observe(100);
+    EXPECT_EQ(reg.renderPrometheus(),
+              "# TYPE lat_ms histogram\n"
+              "lat_ms_bucket{le=\"1\"} 1\n"
+              "lat_ms_bucket{le=\"4\"} 2\n"
+              "lat_ms_bucket{le=\"+Inf\"} 3\n"
+              "lat_ms_sum 104\n"
+              "lat_ms_count 3\n"
+              "# TYPE req_total counter\n"
+              "req_total 2\n");
+}
+
+TEST(TelemetryRegistry, FindOrCreateReturnsSameInstance)
+{
+    Registry reg;
+    telemetry::Counter &a = reg.counter("same_total");
+    telemetry::Counter &b = reg.counter("same_total");
+    EXPECT_EQ(&a, &b);
+    a.add();
+    EXPECT_EQ(b.value(), 1u);
+    // Histogram bounds: first caller wins, rediscovery ignores them.
+    telemetry::Histogram &h1 = reg.histogram("hh", {1, 2});
+    telemetry::Histogram &h2 = reg.histogram("hh", {500});
+    EXPECT_EQ(&h1, &h2);
+    EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(TelemetryEnabled, DisabledMakesWritesNoOps)
+{
+    Registry reg;
+    telemetry::Counter &c = reg.counter("toggled_total");
+    telemetry::Gauge &g = reg.gauge("toggled_gauge");
+    telemetry::Histogram &h = reg.histogram("toggled_hist", {10});
+    ASSERT_TRUE(telemetry::enabled());
+    telemetry::setEnabled(false);
+    c.add(100);
+    g.set(100);
+    h.observe(100);
+    telemetry::setEnabled(true);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(h.count(), 0u);
+    c.add(1);
+    EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(MetricsEndpoint, RoundTripAgainstLiveServer)
+{
+    // The endpoint serves the *process* registry; plant a marker there.
+    telemetry::counter("test_endpoint_marker_total").add(42);
+    MetricsServer server(0);
+    ASSERT_GT(server.port(), 0);
+    std::string body, why;
+    ASSERT_TRUE(fetchMetricsText("127.0.0.1", server.port(), &body, &why))
+        << why;
+    EXPECT_NE(body.find("# TYPE test_endpoint_marker_total counter"),
+              std::string::npos)
+        << body;
+    EXPECT_NE(body.find("test_endpoint_marker_total 42"),
+              std::string::npos)
+        << body;
+    // A second scrape works too (the server keeps accepting).
+    std::string body2;
+    ASSERT_TRUE(
+        fetchMetricsText("127.0.0.1", server.port(), &body2, &why))
+        << why;
+    EXPECT_NE(body2.find("test_endpoint_marker_total"),
+              std::string::npos);
+    server.stop();
+}
+
+TEST(MetricsEndpoint, FetchFromClosedPortFails)
+{
+    // Bind-then-stop guarantees the port is closed when we dial it.
+    uint16_t port;
+    {
+        MetricsServer probe(0);
+        port = probe.port();
+        probe.stop();
+    }
+    std::string body, why;
+    EXPECT_FALSE(fetchMetricsText("127.0.0.1", port, &body, &why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(TraceId, DeterministicAndOpaque)
+{
+    ShardManifest m;
+    m.host = "hostA";
+    m.seq = 3;
+    m.checksum = 0x1234abcdu;
+    EXPECT_EQ(shardTraceId(m), "hostA-3-000000001234abcd");
+    EXPECT_EQ(shardTraceId(m), shardTraceId(m));
+    m.seq = 4;
+    EXPECT_NE(shardTraceId(m), "hostA-3-000000001234abcd");
+}
+
+TEST(TraceId, UnstampedManifestKeepsV1Bytes)
+{
+    ShardManifest m;
+    m.host = "h1";
+    m.workload = "w";
+    m.seq = 0;
+    m.checksum = 7;
+    std::string text = m.render();
+    // No trace= line creeps into unstamped manifests: pre-tracing
+    // consumers must keep seeing the exact bytes they froze on.
+    EXPECT_EQ(text.find("trace="), std::string::npos);
+}
+
+TEST(TraceId, StampedManifestRoundTrips)
+{
+    ShardManifest m;
+    m.host = "h1";
+    m.workload = "w";
+    m.seq = 2;
+    m.checksum = 99;
+    m.profile_file = "h1-2.profile";
+    m.trace_ids = {"h1-2-0000000000000063", "h2-0-0000000000000001"};
+    std::string text = m.render();
+    EXPECT_NE(text.find("trace=h1-2-0000000000000063,"
+                        "h2-0-0000000000000001"),
+              std::string::npos)
+        << text;
+    std::string why;
+    auto parsed = ShardManifest::parse(text, &why);
+    ASSERT_TRUE(parsed.has_value()) << why;
+    EXPECT_EQ(parsed->trace_ids, m.trace_ids);
+}
+
+TEST(TraceId, ParsesAtVersion1ForOldSenders)
+{
+    // A v1 manifest carrying trace= parses: the key mechanism is
+    // version-independent, so stamped leaf shards pass through
+    // aggregation points regardless of manifest version.
+    ShardManifest m;
+    m.host = "h1";
+    m.workload = "w";
+    m.seq = 0;
+    m.checksum = 7;
+    m.profile_file = "h1-0.profile";
+    std::string text = m.render();
+    text += "trace=h1-0-0000000000000007\n";
+    std::string why;
+    auto parsed = ShardManifest::parse(text, &why);
+    ASSERT_TRUE(parsed.has_value()) << why;
+    ASSERT_EQ(parsed->trace_ids.size(), 1u);
+    EXPECT_EQ(parsed->trace_ids[0], "h1-0-0000000000000007");
+}
+
+TEST(TraceId, MalformedTraceValuesRejected)
+{
+    ShardManifest m;
+    m.host = "h1";
+    m.workload = "w";
+    m.checksum = 7;
+    m.profile_file = "h1-0.profile";
+    std::string base = m.render();
+    for (std::string bad : {"trace=\n", "trace=a, b\n", "trace=a,,b\n"}) {
+        std::string why;
+        EXPECT_FALSE(
+            ShardManifest::parse(base + bad, &why).has_value())
+            << bad;
+        EXPECT_FALSE(why.empty());
+    }
+}
+
+TEST(TraceLog, AppendsJsonlSpans)
+{
+    std::string path = testing::TempDir() + "/trace_log_test.jsonl";
+    std::remove(path.c_str());
+    {
+        telemetry::TraceLog log;
+        log.open(path, "unit");
+        log.span("push_start", "h1-0-abc", "seq=0");
+        log.span("push_acked", "h1-0-abc");
+    }
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"node\":\"unit\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"span\":\"push_start\""),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("\"trace\":\"h1-0-abc\""),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("\"detail\":\"seq=0\""), std::string::npos);
+    EXPECT_EQ(lines[0].find("\"ts_us\":"), 1u);
+    // No detail key when the detail is empty.
+    EXPECT_EQ(lines[1].find("\"detail\""), std::string::npos);
+}
+
+TEST(TraceLog, InactiveLogIsANoOp)
+{
+    telemetry::TraceLog log;
+    EXPECT_FALSE(log.active());
+    log.span("whatever", "id"); // must not crash or create files
+}
+
+TEST(TraceLog, EscapesJsonMetacharacters)
+{
+    std::string path = testing::TempDir() + "/trace_log_escape.jsonl";
+    std::remove(path.c_str());
+    telemetry::TraceLog log;
+    log.open(path, "unit");
+    log.span("s", "id", "quote\" back\\slash\ttab");
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_NE(line.find("quote\\\" back\\\\slash\\u0009tab"),
+              std::string::npos)
+        << line;
+}
+
+TEST(WarnRateLimiter, BurstThenSuppress)
+{
+    WarnRateLimiter rl(/*burst=*/2, /*interval_ms=*/1000);
+    EXPECT_TRUE(rl.note("site", 0).print);
+    EXPECT_TRUE(rl.note("site", 10).print);
+    // Burst exhausted: the rest of the window is suppressed.
+    EXPECT_FALSE(rl.note("site", 20).print);
+    EXPECT_FALSE(rl.note("site", 30).print);
+    // A different site has its own budget.
+    EXPECT_TRUE(rl.note("other", 40).print);
+}
+
+TEST(WarnRateLimiter, WindowRolloverReportsSuppressedCount)
+{
+    WarnRateLimiter rl(1, 1000);
+    EXPECT_TRUE(rl.note("s", 0).print);
+    EXPECT_FALSE(rl.note("s", 100).print);
+    EXPECT_FALSE(rl.note("s", 200).print);
+    EXPECT_FALSE(rl.note("s", 300).print);
+    WarnThrottleDecision d = rl.note("s", 1000);
+    EXPECT_TRUE(d.print);
+    EXPECT_EQ(d.suppressed, 3u);
+    // The summary was delivered; the fresh window starts clean.
+    WarnThrottleDecision d2 = rl.note("s", 2500);
+    EXPECT_TRUE(d2.print);
+    EXPECT_EQ(d2.suppressed, 0u);
+}
+
+TEST(WarnRateLimiter, ZeroBurstDisablesThrottling)
+{
+    WarnRateLimiter rl(0, 1000);
+    for (int i = 0; i < 100; i++) {
+        WarnThrottleDecision d = rl.note("s", i);
+        EXPECT_TRUE(d.print);
+        EXPECT_EQ(d.suppressed, 0u);
+    }
+}
+
+TEST(WarnRateLimiter, ConfigureResetsState)
+{
+    WarnRateLimiter rl(1, 1000);
+    EXPECT_TRUE(rl.note("s", 0).print);
+    EXPECT_FALSE(rl.note("s", 1).print);
+    rl.configure(1, 1000);
+    EXPECT_TRUE(rl.note("s", 2).print);
+}
+
+} // namespace
+} // namespace hbbp

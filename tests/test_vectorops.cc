@@ -19,6 +19,7 @@
 
 #include "support/histogram.hh"
 #include "support/rng.hh"
+#include "support/stats.hh"
 #include "support/vectorops.hh"
 
 namespace hbbp {
@@ -427,6 +428,118 @@ TEST(CounterDeterminism, TotalIdenticalAcrossBackends)
         EXPECT_EQ(bits(c.total()), ref) << name(b);
     }
     ASSERT_TRUE(setVectorBackend(before));
+}
+
+// ---------------------------------------------------------------------
+// support/stats routed through vecops: the free-function folds must
+// return identical bits whichever usable backend is forced, and stay
+// exact on the integer-valued inputs counters feed them.
+// ---------------------------------------------------------------------
+
+TEST(StatsVectorized, MeanExactOnIntegers)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 100; i++)
+        xs.push_back(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(mean(xs), 50.5);
+    EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(StatsVectorized, VarianceMatchesDefinition)
+{
+    std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    // Textbook population variance of this set is exactly 4.
+    EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+    EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+    EXPECT_EQ(variance({}), 0.0);
+    EXPECT_EQ(variance({3.0}), 0.0);
+}
+
+TEST(StatsVectorized, FoldsIdenticalAcrossForcedBackends)
+{
+    VectorBackend before = activeVectorBackend();
+    Rng rng(11);
+    std::vector<double> xs = randomSpan(rng, 257);
+    std::vector<double> pos(xs.size());
+    for (size_t i = 0; i < xs.size(); i++)
+        pos[i] = std::fabs(xs[i]) + 1.0; // geomean needs positives
+
+    ASSERT_TRUE(setVectorBackend(VectorBackend::Scalar));
+    uint64_t ref_mean = bits(mean(xs));
+    uint64_t ref_var = bits(variance(xs));
+    uint64_t ref_sd = bits(stddev(xs));
+    uint64_t ref_gm = bits(geomean(pos));
+
+    for (VectorBackend b : simdBackends()) {
+        ASSERT_TRUE(setVectorBackend(b));
+        EXPECT_EQ(bits(mean(xs)), ref_mean) << name(b);
+        EXPECT_EQ(bits(variance(xs)), ref_var) << name(b);
+        EXPECT_EQ(bits(stddev(xs)), ref_sd) << name(b);
+        EXPECT_EQ(bits(geomean(pos)), ref_gm) << name(b);
+    }
+    ASSERT_TRUE(setVectorBackend(before));
+}
+
+// ---------------------------------------------------------------------
+// Counter::merge / Counter::scale routed through the element-wise
+// kernels: per-key bits must match the scalar-backend result whatever
+// backend is forced (the kernels touch each lane independently, so map
+// iteration order cannot leak into results).
+// ---------------------------------------------------------------------
+
+TEST(CounterDeterminism, MergeAndScaleIdenticalAcrossBackends)
+{
+    VectorBackend before = activeVectorBackend();
+    Rng rng(12);
+    Counter<int> base, incoming;
+    for (int k = 0; k < 300; k++)
+        base.add(static_cast<int>(rng.nextBelow(200)), randomValue(rng));
+    for (int k = 0; k < 300; k++)
+        incoming.add(static_cast<int>(rng.nextBelow(400)),
+                     randomValue(rng));
+    double merge_scale = randomValue(rng);
+    double mul = randomValue(rng);
+
+    auto run = [&]() {
+        Counter<int> c = base;
+        c.merge(incoming, merge_scale);
+        c.scale(mul);
+        return c.sortedByKey();
+    };
+
+    ASSERT_TRUE(setVectorBackend(VectorBackend::Scalar));
+    auto ref = run();
+    for (VectorBackend b : simdBackends()) {
+        ASSERT_TRUE(setVectorBackend(b));
+        auto got = run();
+        ASSERT_EQ(got.size(), ref.size()) << name(b);
+        for (size_t i = 0; i < ref.size(); i++) {
+            ASSERT_EQ(got[i].first, ref[i].first) << name(b);
+            ASSERT_EQ(bits(got[i].second), bits(ref[i].second))
+                << name(b) << " key=" << ref[i].first;
+        }
+    }
+    ASSERT_TRUE(setVectorBackend(before));
+}
+
+TEST(CounterDeterminism, MergeMatchesScalarLoopSemantics)
+{
+    // The vectorized merge must compute exactly old + v * scale for
+    // present keys and v * scale for fresh ones.
+    Counter<int> c;
+    c.add(1, 10.0);
+    c.add(2, 0.25);
+    Counter<int> other;
+    other.add(1, 4.0);  // present: 10 + 4*0.5 = 12
+    other.add(3, 8.0);  // fresh: 8*0.5 = 4
+    c.merge(other, 0.5);
+    EXPECT_DOUBLE_EQ(c.get(1), 12.0);
+    EXPECT_DOUBLE_EQ(c.get(2), 0.25);
+    EXPECT_DOUBLE_EQ(c.get(3), 4.0);
+    c.scale(2.0);
+    EXPECT_DOUBLE_EQ(c.get(1), 24.0);
+    EXPECT_DOUBLE_EQ(c.get(2), 0.5);
+    EXPECT_DOUBLE_EQ(c.get(3), 8.0);
 }
 
 TEST(CounterDeterminism, SortedByKeyIsSorted)
