@@ -36,9 +36,15 @@ Checks, failing loudly (exit 1) on the first violation:
      baselines recorded before it existed) skip the gate with a
      warning.
 
+Benches whose JSON carries a "query" section instead of "fold"
+(scale_query) take a different gate -- see check_query(): the cached
+path must never re-analyze, cached_speedup must clear
+--query-speedup-floor (default 2.0), and cold_qps must be within
+--tolerance of the baseline.
+
 Defaults can be overridden via HBBP_BENCH_TOLERANCE,
-HBBP_BENCH_SPEEDUP_FLOOR and HBBP_BENCH_TELEMETRY_OVERHEAD_MAX for
-one-off noisy runners.
+HBBP_BENCH_SPEEDUP_FLOOR, HBBP_BENCH_TELEMETRY_OVERHEAD_MAX and
+HBBP_BENCH_QUERY_SPEEDUP_FLOOR for one-off noisy runners.
 """
 
 import argparse
@@ -62,6 +68,62 @@ def load(path):
             return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot load {path}: {e}")
+
+
+def check_query(base, fresh, args):
+    """Gate a scale_query run: the epoch cache must pay for itself.
+
+    - cached_no_reanalysis must be true (the bench itself fatal()s,
+      but a hand-edited or stale JSON must not pass the gate);
+    - cached_speedup must clear --query-speedup-floor: serving from
+      the result cache has to beat re-running the analyzer by a
+      healthy margin on any machine, loud or quiet;
+    - cold_qps must be within --tolerance of the baseline (the same
+      wide CI-machines-differ ratio the fold gate uses): a collapse
+      here means the uncached serving path itself regressed.
+    batch_speedup is reported, not gated -- on loopback the connect
+    cost it prices is small enough to drown in scheduler noise.
+    """
+    bench = fresh.get("bench", "?")
+    bq = base.get("query")
+    fq = fresh.get("query")
+    if not isinstance(fq, dict):
+        fail(f"{bench}: fresh run has no \"query\" section")
+    if not isinstance(bq, dict):
+        fail(f"{bench}: baseline has no \"query\" section")
+
+    if fq.get("cached_no_reanalysis") is not True:
+        fail(
+            f"{bench}: cached path fell back to re-analysis "
+            f"(cached_no_reanalysis="
+            f"{fq.get('cached_no_reanalysis')})"
+        )
+
+    speedup = fq.get("cached_speedup", 0.0)
+    if not isinstance(speedup, (int, float)) or speedup < args.query_speedup_floor:
+        fail(
+            f"{bench}: cached_speedup {speedup} below floor "
+            f"{args.query_speedup_floor} (cold "
+            f"{fq.get('cold_qps')} qps vs cached "
+            f"{fq.get('cached_qps')} qps)"
+        )
+
+    base_cold = bq.get("cold_qps", 0.0)
+    fresh_cold = fq.get("cold_qps", 0.0)
+    if base_cold <= 0.0 or fresh_cold <= 0.0:
+        fail(f"{bench}: non-positive cold_qps")
+    if fresh_cold * args.tolerance < base_cold:
+        fail(
+            f"{bench}: cold path regressed: {fresh_cold:.1f} qps vs "
+            f"baseline {base_cold:.1f} (tolerance {args.tolerance}x)"
+        )
+    print(
+        f"check_bench: {bench}: cold {fresh_cold:.1f} qps (baseline "
+        f"{base_cold:.1f}), cached {fq.get('cached_qps', 0.0):.1f} qps "
+        f"({speedup:.1f}x, floor {args.query_speedup_floor}), batch "
+        f"{fq.get('batch_speedup', 0.0):.2f}x over per-query connects"
+    )
+    print(f"check_bench: {bench}: OK")
 
 
 def fold_backends(doc, path):
@@ -98,6 +160,14 @@ def main():
         ),
         help="max telemetry.overhead_pct when the section is present",
     )
+    ap.add_argument(
+        "--query-speedup-floor",
+        type=float,
+        default=float(
+            os.environ.get("HBBP_BENCH_QUERY_SPEEDUP_FLOOR", "2.0")
+        ),
+        help="min cached_speedup for query-section benches",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -109,6 +179,13 @@ def main():
             f"{base.get('bench')!r}, fresh is {fresh.get('bench')!r}"
         )
     bench = fresh.get("bench", "?")
+
+    # Query-path benches carry a "query" section instead of "fold":
+    # the read path has no per-backend SIMD story to gate, it has a
+    # cache story.
+    if "query" in fresh or "query" in base:
+        check_query(base, fresh, args)
+        return
 
     base_fold, base_by_name = fold_backends(base, args.baseline)
     fresh_fold, fresh_by_name = fold_backends(fresh, args.fresh)

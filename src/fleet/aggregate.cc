@@ -376,6 +376,25 @@ IncrementalAggregator::coveredShards() const
     return n;
 }
 
+const ProfileData *
+IncrementalAggregator::hostPartial(const std::string &host) const
+{
+    auto it = hosts_.find(host);
+    if (it == hosts_.end() || !it->second.partial)
+        return nullptr;
+    return &*it->second.partial;
+}
+
+std::vector<IncrementalAggregator::HostProgress>
+IncrementalAggregator::hostProgress() const
+{
+    std::vector<HostProgress> rows;
+    rows.reserve(hosts_.size());
+    for (const auto &[host, hs] : hosts_)
+        rows.push_back({host, hs.next_seq, hs.pending.size()});
+    return rows;
+}
+
 PartialExport
 IncrementalAggregator::exportPartials() const
 {

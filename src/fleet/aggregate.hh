@@ -164,6 +164,37 @@ class IncrementalAggregator
     size_t hostCount() const { return hosts_.size(); }
 
     /**
+     * The invalidation epoch: bumped once per accepted shard, never
+     * otherwise. Anything derived from aggregate() — an analysis, a
+     * rendered report, a served query result — is valid exactly as
+     * long as this number stands still, which is what the query
+     * layer's `epoch=`/`cached=` headers expose.
+     */
+    uint64_t epoch() const { return epoch_; }
+
+    /** Workload of the accepted shards ("" before the first one). */
+    const std::string &workloadName() const { return workload_; }
+
+    /**
+     * One host's folded contiguous partial, or nullptr when the host
+     * is unknown or still gapped at sequence 0. The pointer is valid
+     * until the next accepted shard. Backs per-host slice queries.
+     */
+    const ProfileData *hostPartial(const std::string &host) const;
+
+    /** One row of hostProgress(). (Distinct from the manifest's
+     *  HostCoverage, which describes an aggregate shard's payload.) */
+    struct HostProgress
+    {
+        std::string host;
+        uint32_t covered = 0; ///< Gap-free folded prefix [0, covered).
+        size_t pending = 0;   ///< Out-of-order shards behind a gap.
+    };
+
+    /** Per-host arrival coverage, sorted by host id. */
+    std::vector<HostProgress> hostProgress() const;
+
+    /**
      * Leaf shards the aggregate accounts for: each host's folded
      * prefix plus its pending out-of-order arrivals. Equal to
      * stats().accepted when every arrival was a leaf shard; with

@@ -11,6 +11,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "fleet/socket_client.hh"
 #include "support/logging.hh"
 #include "support/telemetry.hh"
 
@@ -21,32 +22,6 @@ namespace {
 constexpr int kIoTimeoutMs = 2000;
 /// Largest request head we bother reading before answering.
 constexpr size_t kMaxRequestBytes = 4096;
-
-void
-setIoTimeout(int fd, int timeout_ms)
-{
-    struct timeval tv = {};
-    tv.tv_sec = timeout_ms / 1000;
-    tv.tv_usec = (timeout_ms % 1000) * 1000;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-bool
-writeAll(int fd, const char *data, size_t len)
-{
-    size_t off = 0;
-    while (off < len) {
-        ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
-        if (n <= 0) {
-            if (n < 0 && errno == EINTR)
-                continue;
-            return false;
-        }
-        off += static_cast<size_t>(n);
-    }
-    return true;
-}
 
 /**
  * Drain the request head until a blank line or the size cap. The
@@ -129,7 +104,7 @@ MetricsServer::serveLoop()
         int fd = ::accept(listen_fd_, nullptr, nullptr);
         if (fd < 0)
             continue;
-        setIoTimeout(fd, kIoTimeoutMs);
+        netSetIoTimeout(fd, kIoTimeoutMs);
         drainRequest(fd);
         std::string body = telemetry::registry().renderPrometheus();
         std::string resp =
@@ -137,7 +112,7 @@ MetricsServer::serveLoop()
             "Content-Type: text/plain; version=0.0.4\r\n"
             "Content-Length: " + std::to_string(body.size()) + "\r\n"
             "\r\n" + body;
-        writeAll(fd, resp.data(), resp.size());
+        netWriteAll(fd, resp.data(), resp.size(), kIoTimeoutMs);
         ::close(fd);
     }
 }
@@ -146,37 +121,16 @@ bool
 fetchMetricsText(const std::string &host, uint16_t port,
                  std::string *body, std::string *why)
 {
-    struct addrinfo hints = {};
-    hints.ai_family = AF_UNSPEC;
-    hints.ai_socktype = SOCK_STREAM;
-    struct addrinfo *addrs = nullptr;
-    std::string service = std::to_string(port);
-    int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &addrs);
-    if (rc != 0) {
-        *why = format("cannot resolve '%s': %s", host.c_str(),
-                      ::gai_strerror(rc));
+    // The shared client discipline matters here: the scraper's old
+    // private copy used a plain blocking connect(), so a blackholed
+    // daemon address hung `stats --from` for the kernel's default
+    // multi-minute timeout instead of failing within the deadline.
+    int fd = netConnect(host, port, kIoTimeoutMs, why);
+    if (fd < 0)
         return false;
-    }
-    int fd = -1;
-    for (struct addrinfo *a = addrs; a; a = a->ai_next) {
-        fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
-        if (fd < 0)
-            continue;
-        if (::connect(fd, a->ai_addr, a->ai_addrlen) == 0)
-            break;
-        ::close(fd);
-        fd = -1;
-    }
-    ::freeaddrinfo(addrs);
-    if (fd < 0) {
-        *why = format("cannot connect to %s:%u: %s", host.c_str(), port,
-                      std::strerror(errno));
-        return false;
-    }
-    setIoTimeout(fd, kIoTimeoutMs);
     std::string req = "GET /metrics HTTP/1.0\r\nHost: " + host +
                       "\r\n\r\n";
-    if (!writeAll(fd, req.data(), req.size())) {
+    if (!netWriteAll(fd, req.data(), req.size(), kIoTimeoutMs)) {
         *why = format("cannot send request: %s", std::strerror(errno));
         ::close(fd);
         return false;

@@ -1,0 +1,153 @@
+#include "fleet/socket_client.hh"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace hbbp {
+
+int64_t
+steadyNowMs()
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+netSetIoTimeout(int fd, int timeout_ms)
+{
+    struct timeval tv;
+    tv.tv_sec = timeout_ms / 1'000;
+    tv.tv_usec = (timeout_ms % 1'000) * 1'000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+int
+netConnectWithDeadline(int fd, const struct sockaddr *addr,
+                       socklen_t addrlen, int timeout_ms)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, addr, addrlen);
+    if (rc != 0 && errno == EINPROGRESS) {
+        struct pollfd pfd = {fd, POLLOUT, 0};
+        rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc == 1) {
+            int err = 0;
+            socklen_t len = sizeof(err);
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+            if (err == 0) {
+                rc = 0;
+            } else {
+                errno = err;
+                rc = -1;
+            }
+        } else {
+            if (rc == 0)
+                errno = ETIMEDOUT;
+            rc = -1;
+        }
+    }
+    if (rc == 0)
+        ::fcntl(fd, F_SETFL, flags);
+    return rc;
+}
+
+int
+netConnect(const std::string &host, uint16_t port, int io_timeout_ms,
+           std::string *why)
+{
+    struct addrinfo hints = {};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo *addrs = nullptr;
+    std::string service = format("%u", port);
+    int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                           &addrs);
+    if (rc != 0) {
+        *why = format("cannot resolve '%s': %s", host.c_str(),
+                      ::gai_strerror(rc));
+        return -1;
+    }
+    int fd = -1;
+    for (struct addrinfo *a = addrs; a; a = a->ai_next) {
+        fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+        if (fd < 0)
+            continue;
+        if (netConnectWithDeadline(fd, a->ai_addr, a->ai_addrlen,
+                                   io_timeout_ms) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(addrs);
+    if (fd < 0) {
+        *why = format("cannot connect to %s:%u: %s", host.c_str(),
+                      port, std::strerror(errno));
+        return -1;
+    }
+    netSetIoTimeout(fd, io_timeout_ms);
+    return fd;
+}
+
+bool
+netWriteAll(int fd, const void *data, size_t size, int timeout_ms)
+{
+    using clock = std::chrono::steady_clock;
+    clock::time_point deadline =
+        clock::now() + std::chrono::milliseconds(timeout_ms);
+    const char *p = static_cast<const char *>(data);
+    while (size > 0) {
+        ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+        if (n > 0) {
+            p += n;
+            size -= static_cast<size_t>(n);
+            deadline =
+                clock::now() + std::chrono::milliseconds(timeout_ms);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (clock::now() >= deadline)
+                return false;
+            struct pollfd pfd = {fd, POLLOUT, 0};
+            if (::poll(&pfd, 1, 100) < 0 && errno != EINTR)
+                return false;
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+bool
+netReadFull(int fd, void *data, size_t size)
+{
+    char *p = static_cast<char *>(data);
+    while (size > 0) {
+        ssize_t n = ::recv(fd, p, size, 0);
+        if (n > 0) {
+            p += n;
+            size -= static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace hbbp

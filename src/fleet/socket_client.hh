@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The one TCP client/IO discipline every socket user shares.
+ *
+ * Before this header existed the shard transport and the metrics
+ * scraper each carried their own connect/read/write loops, and only
+ * the transport's copy had the hard-won properties: a *connect
+ * deadline* (a blackholed peer costs one bounded attempt, not the
+ * kernel's multi-minute default), per-operation IO timeouts, and a
+ * progress-stalled write bound (a peer that stops draining its socket
+ * costs one closed connection, not a wedged loop). Divergent copies
+ * rot — the scraper's blocking connect() hung on black holes — so the
+ * helpers live here once and the transport, the metrics fetcher and
+ * the analysis-query client all build on them.
+ */
+
+#ifndef HBBP_FLEET_SOCKET_CLIENT_HH
+#define HBBP_FLEET_SOCKET_CLIENT_HH
+
+#include <sys/socket.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace hbbp {
+
+/** Milliseconds on the steady clock (for deadlines and latencies). */
+int64_t steadyNowMs();
+
+/** Set SO_RCVTIMEO/SO_SNDTIMEO on @p fd. */
+void netSetIoTimeout(int fd, int timeout_ms);
+
+/**
+ * connect() with a deadline: non-blocking connect polled for
+ * completion within @p timeout_ms; 0 on success, -1 with errno set
+ * (ETIMEDOUT on deadline) otherwise. The fd is restored to its
+ * original flags on success.
+ */
+int netConnectWithDeadline(int fd, const struct sockaddr *addr,
+                           socklen_t addrlen, int timeout_ms);
+
+/**
+ * Resolve and connect to @p host:@p port with the connect deadline
+ * and set per-operation IO timeouts; -1 with *@p why on failure.
+ */
+int netConnect(const std::string &host, uint16_t port,
+               int io_timeout_ms, std::string *why);
+
+/**
+ * write() all of @p size bytes, polling for writability and giving up
+ * after @p timeout_ms with no forward progress; false on error or
+ * stall. Progress resets the deadline, so a slow-but-moving peer is
+ * never cut off — only a genuinely stalled one.
+ */
+bool netWriteAll(int fd, const void *data, size_t size,
+                 int timeout_ms = 10'000);
+
+/** read() exactly @p size bytes (blocking fd); false on EOF/error. */
+bool netReadFull(int fd, void *data, size_t size);
+
+} // namespace hbbp
+
+#endif // HBBP_FLEET_SOCKET_CLIENT_HH

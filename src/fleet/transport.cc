@@ -17,6 +17,8 @@
 #include <utility>
 
 #include "fleet/merge.hh"
+#include "fleet/query.hh"
+#include "fleet/socket_client.hh"
 #include "support/bytes.hh"
 #include "support/logging.hh"
 #include "support/telemetry.hh"
@@ -53,81 +55,9 @@ enum class AckCode : uint8_t {
 /** Ack wire format: u8 code, u32 reason_len, reason bytes. */
 constexpr size_t kAckHeaderBytes = 5;
 
-int64_t
-nowMs()
-{
-    using namespace std::chrono;
-    return duration_cast<milliseconds>(
-               steady_clock::now().time_since_epoch())
-        .count();
-}
-
-/**
- * write() all of @p data, polling for writability, giving up after
- * @p timeout_ms of no progress; false on error or timeout. The bound
- * matters on the listener side: one peer that stops draining its
- * socket must cost one closed connection, not a wedged serve() loop.
- */
-bool
-writeAll(int fd, const void *data, size_t size,
-         int timeout_ms = 10'000)
-{
-    using clock = std::chrono::steady_clock;
-    clock::time_point deadline =
-        clock::now() + std::chrono::milliseconds(timeout_ms);
-    const char *p = static_cast<const char *>(data);
-    while (size > 0) {
-        ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
-        if (n > 0) {
-            p += n;
-            size -= static_cast<size_t>(n);
-            deadline =
-                clock::now() + std::chrono::milliseconds(timeout_ms);
-            continue;
-        }
-        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-            if (clock::now() >= deadline)
-                return false;
-            struct pollfd pfd = {fd, POLLOUT, 0};
-            if (::poll(&pfd, 1, 100) < 0 && errno != EINTR)
-                return false;
-            continue;
-        }
-        if (n < 0 && errno == EINTR)
-            continue;
-        return false;
-    }
-    return true;
-}
-
-/** read() exactly @p size bytes (blocking fd); false on EOF/error. */
-bool
-readFull(int fd, void *data, size_t size)
-{
-    char *p = static_cast<char *>(data);
-    while (size > 0) {
-        ssize_t n = ::recv(fd, p, size, 0);
-        if (n > 0) {
-            p += n;
-            size -= static_cast<size_t>(n);
-            continue;
-        }
-        if (n < 0 && errno == EINTR)
-            continue;
-        return false;
-    }
-    return true;
-}
-
-void
-setIoTimeout(int fd, int timeout_ms)
-{
-    struct timeval tv;
-    tv.tv_sec = timeout_ms / 1'000;
-    tv.tv_usec = (timeout_ms % 1'000) * 1'000;
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
+// The byte-moving primitives (deadline connect, progress-bounded
+// writes, exact reads, IO timeouts) live in fleet/socket_client.hh —
+// one copy shared with the metrics fetcher and the query client.
 
 std::string
 renderFrame(const ShardManifest &manifest, uint32_t chunk_index,
@@ -298,82 +228,6 @@ DropDirTransport::sendShard(const ShardManifest &manifest,
 
 namespace {
 
-/**
- * connect() with a deadline: non-blocking connect polled for
- * completion within @p timeout_ms. A blackholed peer (packets
- * dropped, not refused) must cost one bounded attempt, not the
- * kernel's multi-minute default — senders retry on their own
- * schedule, and a relay flushes from inside its accept path.
- */
-int
-connectWithDeadline(int fd, const struct sockaddr *addr,
-                    socklen_t addrlen, int timeout_ms)
-{
-    int flags = ::fcntl(fd, F_GETFL, 0);
-    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-    int rc = ::connect(fd, addr, addrlen);
-    if (rc != 0 && errno == EINPROGRESS) {
-        struct pollfd pfd = {fd, POLLOUT, 0};
-        rc = ::poll(&pfd, 1, timeout_ms);
-        if (rc == 1) {
-            int err = 0;
-            socklen_t len = sizeof(err);
-            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
-            if (err == 0) {
-                rc = 0;
-            } else {
-                errno = err;
-                rc = -1;
-            }
-        } else {
-            if (rc == 0)
-                errno = ETIMEDOUT;
-            rc = -1;
-        }
-    }
-    if (rc == 0)
-        ::fcntl(fd, F_SETFL, flags);
-    return rc;
-}
-
-/** Connect to host:port; -1 with *@p why on failure. */
-int
-connectTo(const std::string &host, uint16_t port, int io_timeout_ms,
-          std::string *why)
-{
-    struct addrinfo hints = {};
-    hints.ai_family = AF_UNSPEC;
-    hints.ai_socktype = SOCK_STREAM;
-    struct addrinfo *addrs = nullptr;
-    std::string service = format("%u", port);
-    int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
-                           &addrs);
-    if (rc != 0) {
-        *why = format("cannot resolve '%s': %s", host.c_str(),
-                      ::gai_strerror(rc));
-        return -1;
-    }
-    int fd = -1;
-    for (struct addrinfo *a = addrs; a; a = a->ai_next) {
-        fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
-        if (fd < 0)
-            continue;
-        if (connectWithDeadline(fd, a->ai_addr, a->ai_addrlen,
-                                io_timeout_ms) == 0)
-            break;
-        ::close(fd);
-        fd = -1;
-    }
-    ::freeaddrinfo(addrs);
-    if (fd < 0) {
-        *why = format("cannot connect to %s:%u: %s", host.c_str(),
-                      port, std::strerror(errno));
-        return -1;
-    }
-    setIoTimeout(fd, io_timeout_ms);
-    return fd;
-}
-
 /** Read one ack; false on connection trouble. */
 bool
 readAck(int fd, AckCode *code, std::string *reason)
@@ -381,7 +235,7 @@ readAck(int fd, AckCode *code, std::string *reason)
     uint8_t raw_code;
     uint32_t reason_len;
     char header[kAckHeaderBytes];
-    if (!readFull(fd, header, sizeof(header)))
+    if (!netReadFull(fd, header, sizeof(header)))
         return false;
     std::memcpy(&raw_code, header, 1);
     std::memcpy(&reason_len, header + 1, 4);
@@ -389,7 +243,7 @@ readAck(int fd, AckCode *code, std::string *reason)
         reason_len > kMaxManifestBytes)
         return false;
     reason->assign(reason_len, '\0');
-    if (reason_len > 0 && !readFull(fd, reason->data(), reason_len))
+    if (reason_len > 0 && !netReadFull(fd, reason->data(), reason_len))
         return false;
     *code = static_cast<AckCode>(raw_code);
     return true;
@@ -438,25 +292,25 @@ SocketTransport::sendShard(const ShardManifest &manifest,
         }
         res.attempts++;
         std::string why;
-        int64_t connect_start = nowMs();
-        int fd = connectTo(options_.host, options_.port,
+        int64_t connect_start = steadyNowMs();
+        int fd = netConnect(options_.host, options_.port,
                            options_.io_timeout_ms, &why);
         if (fd < 0) {
             res.error = why;
             continue;
         }
         m_connect_ms.observe(
-            static_cast<uint64_t>(nowMs() - connect_start));
+            static_cast<uint64_t>(steadyNowMs() - connect_start));
 
         bool rewound = false; // Only honor one Incomplete per attempt.
         bool conn_dead = false;
         for (uint32_t i = acked; i < chunk_count && !conn_dead;) {
             std::string frame =
                 renderFrame(manifest, i, chunk_count, chunks[i]);
-            int64_t frame_start = nowMs();
+            int64_t frame_start = steadyNowMs();
             m_frames_sent.add();
             m_bytes_sent.add(frame.size());
-            if (!writeAll(fd, frame.data(), frame.size(),
+            if (!netWriteAll(fd, frame.data(), frame.size(),
                           options_.io_timeout_ms)) {
                 res.error = format("connection to %s:%u lost "
                                    "mid-frame (chunk %u/%u)",
@@ -477,7 +331,7 @@ SocketTransport::sendShard(const ShardManifest &manifest,
             }
             m_frames_acked.add();
             m_ack_ms.observe(
-                static_cast<uint64_t>(nowMs() - frame_start));
+                static_cast<uint64_t>(steadyNowMs() - frame_start));
             if (code == AckCode::Rejected)
                 m_rejects.add();
             switch (code) {
@@ -600,6 +454,14 @@ struct Conn
 {
     int fd = -1;
     std::string buf; ///< Bytes received but not yet framed.
+    /**
+     * What the connection's first 8 bytes said it is: shard frames
+     * open with kFrameMagic, query frames with kQueryFrameMagic. One
+     * port serves both — a query client dials the same address the
+     * collectors push to.
+     */
+    bool is_query = false;
+    bool kind_known = false;
 };
 
 /** A decoded frame header. */
@@ -660,7 +522,7 @@ sendAck(int fd, AckCode code, const std::string &reason = {})
     w.u32(static_cast<uint32_t>(reason.size()));
     std::string bytes = w.bytes();
     bytes += reason;
-    return writeAll(fd, bytes.data(), bytes.size());
+    return netWriteAll(fd, bytes.data(), bytes.size());
 }
 
 } // namespace
@@ -672,7 +534,7 @@ ShardListener::serve(IncrementalAggregator &agg,
     std::vector<Conn> conns;
     std::map<std::pair<std::string, uint32_t>, StagedShard> staging;
     size_t accepted = 0;
-    int64_t last_progress = nowMs();
+    int64_t last_progress = steadyNowMs();
     static telemetry::Gauge &m_active_streams =
         telemetry::gauge("hbbp_listener_active_streams");
     static telemetry::Gauge &m_staged_chunks =
@@ -772,7 +634,7 @@ ShardListener::serve(IncrementalAggregator &agg,
             // Idempotent re-delivery (a sender retrying from chunk 0
             // after a crash): confirm and move on.
             if (!final_chunk) {
-                last_progress = nowMs();
+                last_progress = steadyNowMs();
                 return sendAck(conn.fd, AckCode::ChunkAccepted);
             }
         } else {
@@ -782,7 +644,7 @@ ShardListener::serve(IncrementalAggregator &agg,
                 staged.bytes.emplace(h.chunk_index, payload);
         }
         if (!final_chunk) {
-            last_progress = nowMs();
+            last_progress = steadyNowMs();
             return sendAck(conn.fd, AckCode::ChunkAccepted);
         }
 
@@ -856,7 +718,7 @@ ShardListener::serve(IncrementalAggregator &agg,
             return sendAck(conn.fd, AckCode::Rejected, why);
         }
         accepted++;
-        last_progress = nowMs();
+        last_progress = steadyNowMs();
         // Callback before the ack: a sender that saw success may rely
         // on the checkpoint/deposit having happened.
         if (options.on_accept)
@@ -864,10 +726,35 @@ ShardListener::serve(IncrementalAggregator &agg,
         return sendAck(conn.fd, AckCode::ShardAccepted);
     };
 
+    // Answer one query frame's body and frame the reply. Queries are
+    // progress (an active query storm keeps the daemon alive), and
+    // they run here, on the serve thread, so the handler may read the
+    // aggregator without synchronization.
+    auto processQuery = [&](Conn &conn,
+                            const std::string &body) -> bool {
+        std::string reply =
+            options.on_query
+                ? options.on_query(body)
+                : queryErrorReplyBody(
+                      "this endpoint does not serve queries");
+        ByteWriter w;
+        w.u64(kQueryReplyMagic);
+        w.u32(static_cast<uint32_t>(reply.size()));
+        std::string frame = w.bytes();
+        frame += reply;
+        last_progress = steadyNowMs();
+        if (!options.on_query)
+            return netWriteAll(conn.fd, frame.data(), frame.size()) &&
+                   false; // Reply, then close: nothing more to serve.
+        return netWriteAll(conn.fd, frame.data(), frame.size());
+    };
+
     while (!done) {
         // A SIGUSR1 dump request lands here, between poll rounds, so
         // the handler itself stays a single relaxed store.
         telemetry::dumpIfRequested();
+        if (options.should_stop && options.should_stop())
+            break;
         m_active_streams.set(static_cast<int64_t>(conns.size()));
         size_t staged_chunks = 0;
         for (const auto &[key, s] : staging)
@@ -905,7 +792,7 @@ ShardListener::serve(IncrementalAggregator &agg,
                     // Bytes on the wire are progress too: a frame
                     // whose transfer alone outlasts the idle timeout
                     // must not be aborted mid-receive.
-                    last_progress = nowMs();
+                    last_progress = steadyNowMs();
                     continue;
                 }
                 if (n < 0 &&
@@ -927,8 +814,44 @@ ShardListener::serve(IncrementalAggregator &agg,
             // buffer once per poll round: erasing the front per frame
             // would re-copy everything still queued behind it.
             size_t consumed = 0;
-            while (!close_conn &&
-                   conn.buf.size() - consumed >= kFrameHeaderBytes) {
+            while (!close_conn) {
+                size_t have = conn.buf.size() - consumed;
+                if (!conn.kind_known) {
+                    if (have < 8)
+                        break;
+                    uint64_t magic;
+                    std::memcpy(&magic, conn.buf.data() + consumed, 8);
+                    conn.is_query = magic == kQueryFrameMagic;
+                    conn.kind_known = true;
+                }
+                if (conn.is_query) {
+                    if (have < kQueryFrameHeaderBytes)
+                        break;
+                    uint64_t magic;
+                    uint32_t body_len;
+                    std::memcpy(&magic, conn.buf.data() + consumed, 8);
+                    std::memcpy(&body_len,
+                                conn.buf.data() + consumed + 8, 4);
+                    if (magic != kQueryFrameMagic || body_len == 0 ||
+                        body_len > kMaxQueryBodyBytes) {
+                        warn("closing query connection: malformed "
+                             "query frame header");
+                        close_conn = true;
+                        break;
+                    }
+                    if (have < kQueryFrameHeaderBytes + body_len)
+                        break;
+                    std::string body = conn.buf.substr(
+                        consumed + kQueryFrameHeaderBytes, body_len);
+                    if (!processQuery(conn, body)) {
+                        close_conn = true;
+                        break;
+                    }
+                    consumed += kQueryFrameHeaderBytes + body_len;
+                    continue;
+                }
+                if (have < kFrameHeaderBytes)
+                    break;
                 FrameHeader h;
                 if (!decodeHeader(conn.buf, consumed, &h)) {
                     warn("closing shard sender connection: malformed "
@@ -963,7 +886,7 @@ ShardListener::serve(IncrementalAggregator &agg,
         }
 
         if (!done && options.idle_timeout_ms >= 0 &&
-            nowMs() - last_progress >= options.idle_timeout_ms) {
+            steadyNowMs() - last_progress >= options.idle_timeout_ms) {
             m_idle_aborts.add();
             break;
         }

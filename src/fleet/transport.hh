@@ -169,6 +169,21 @@ struct ListenOptions
     std::function<void(const ShardManifest &, const ProfileData &,
                        const std::vector<std::string> &)>
         on_accept;
+    /**
+     * Analysis-query handler: body in, reply body out (the listener
+     * does the framing — see fleet/query.hh for the wire format).
+     * Query connections share the shard port and are told apart by
+     * their opening magic; with no handler set they get one error
+     * reply and are closed. Handlers run on the serve() thread, so
+     * they may touch the aggregator without locking.
+     */
+    std::function<std::string(const std::string &)> on_query;
+    /**
+     * Polled once per loop round; returning true ends serve() as if
+     * the expected count had been reached. Lets a co-hosted query
+     * endpoint (e.g. a `shutdown` verb) stop the daemon cleanly.
+     */
+    std::function<bool()> should_stop;
 };
 
 /**

@@ -37,6 +37,12 @@ std::string hexAddr(uint64_t addr);
 /** Format a double as a percentage string with @p decimals places. */
 std::string percentStr(double fraction, int decimals = 1);
 
+/**
+ * Escape @p s for embedding inside a JSON string literal (quotes,
+ * backslashes, control characters; no surrounding quotes added).
+ */
+std::string jsonEscape(const std::string &s);
+
 /** Levenshtein edit distance between @p a and @p b. */
 size_t editDistance(const std::string &a, const std::string &b);
 

@@ -46,6 +46,17 @@ TextTable::rowCount() const
     return n;
 }
 
+std::vector<std::vector<std::string>>
+TextTable::dataRows() const
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(rows_.size());
+    for (const auto &r : rows_)
+        if (!r.empty())
+            rows.push_back(r);
+    return rows;
+}
+
 std::string
 TextTable::render() const
 {

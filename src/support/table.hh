@@ -42,6 +42,12 @@ class TextTable
     /** Render as CSV (RFC-4180-style quoting of commas and quotes). */
     std::string renderCsv() const;
 
+    /** The column headers, as constructed. */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** The data rows in order, separators excluded. */
+    std::vector<std::vector<std::string>> dataRows() const;
+
   private:
     std::vector<std::string> headers_;
     std::vector<Align> aligns_;

@@ -24,99 +24,35 @@
  *                     [--flush-every N] [--expect N] [--timeout-ms N]
  *                     [--state FILE] [--journal-every N] [--retries N]
  *                     [--bind ADDR] [--port-file FILE]
+ *   hbbp-tool serve   --listen PORT [--state FILE] [--expect N]
+ *                     [--timeout-ms N] [--bind ADDR] [--port-file FILE]
+ *                     [--metrics-port N] [--journal-every N]
+ *   hbbp-tool query   --from HOST:PORT <verb> [--host H] [options]
  *   hbbp-tool store   gc --store DIR [--max-age-s N] [--max-bytes N]
  *   hbbp-tool stats   [--from HOST:PORT]
  *   hbbp-tool migrate <profile-in> [-o <profile-out>]
  *   hbbp-tool analyze <workload> -i <profile> [options]
  *   hbbp-tool report  <workload> [-i <profile>] [options]
+ *   hbbp-tool fdo     <workload> -i <profile> [-o FILE] [options]
  *
- * collect/batch options:
- *   --jobs N                worker threads (default 1)
- *   --shards N              shards per collection (default: jobs)
- *   --store DIR             content-addressed profile cache directory
+ * Per-command options are declared in tools/options.hh; the analysis
+ * flags (--source/--cutoff/--no-bias-rule/--patch-kernel/--pivot/
+ * --top/--function/--format) are shared by analyze, report, fdo and
+ * query, and --format text|csv|json renders any analysis view
+ * uniformly (--csv remains an alias for --format csv).
  *
- * export options (the simulated-host collector):
- *   --host ID               host id stamped into the shard manifest
- *   --export-dir DIR        drop directory shards are exported into
- *   --seq N                 shard sequence number (default 0)
- *
- * push options (export, but over a pluggable shard transport):
- *   --to HOST:PORT          push to an `aggregate --listen` socket
- *   --export-dir DIR        use the drop-directory transport instead
- *   --chunks N              stream the shard as N status=partial
- *                           chunks finalized by a complete frame
- *   --retries N             socket connection attempts (default 5)
- *   -o <profile>            also save the collected profile locally
- *
- * aggregate options (the central aggregation side):
- *   --watch-dir DIR         drop directory to poll for shard manifests
- *   --listen PORT           accept socket pushes on PORT (0 picks an
- *                           ephemeral port)
- *   --bind ADDR             listen address (default 127.0.0.1; pass
- *                           0.0.0.0 to accept remote collectors)
- *   --port-file FILE        write the bound port here (for scripts)
- *   --state FILE            checkpoint aggregator state per accepted
- *                           shard; restored on startup, so a restarted
- *                           job resumes instead of re-importing
- *   --expect N              wait until N leaf shards are covered (an
- *                           aggregate arrival covers all of its hosts'
- *                           leaves at once)
- *   --timeout-ms N          give up after N ms with no new import
- *                           (an idle timeout, default 10000)
- *   --analyze WORKLOAD      re-analyze after every accepted shard
- *   --store DIR             central store imported shards are copied to
- *   --journal-every N       with --state: append O(shard) journal
- *                           records per accept and rewrite the full
- *                           checkpoint every N records (default 32;
- *                           0 rewrites the checkpoint on every accept)
- *
- * relay options (a fan-in tree node: listen downstream, fold, push the
- * partial aggregate upstream as a first-class shard):
- *   --listen PORT           downstream port collectors/relays dial
- *   --to HOST:PORT          upstream aggregation point (relay or root)
- *   --relay-id ID           host id stamped on upstream aggregates
- *                           (default relay-<pid>: sibling relays must
- *                           not share an id)
- *   --flush-every N         push upstream every N accepted arrivals
- *                           (0: only on exit)
- *   --expect N              leaf shards to wait for downstream
- *   --state FILE            checkpoint+journal, as for aggregate
- *   --retries N             upstream connection attempts per flush
- *
- * store gc options (bounded eviction, oldest entries first):
- *   --max-age-s N           evict entries older than N seconds
- *   --max-bytes N           then evict until the store fits N bytes
- *
- * observability (aggregate --listen and relay; see README):
- *   --metrics-port N        serve the metrics registry as Prometheus
- *                           text on a second port (0 = ephemeral)
- *   --metrics-port-file F   write the bound metrics port here
- *   --trace-log FILE        append shard-lifecycle span records (JSONL)
- *                           — also on push, where it stamps the shard's
- *                           trace id into the manifest
- *   stats [--from H:P]      print a scraped endpoint's metrics (or this
- *                           process's own registry snapshot)
- *   SIGUSR1                 daemons dump the registry snapshot to
- *                           stderr at the next accept-loop poll
- *
- * analyze/report options:
- *   --source hbbp|ebs|lbr   data source for the mix (default hbbp)
- *   --cutoff N              HBBP length cutoff (default 18)
- *   --no-bias-rule          disable the bias->EBS term
- *   --patch-kernel          apply the live-kernel-text fix
- *   --pivot d1,d2,...       pivot dims: module,function,block,mnemonic,
- *                           isa,category,packing,width,ring,mem
- *   --top N                 keep the N largest rows
- *   --function NAME         print annotated disassembly of NAME
- *   --csv                   render pivots as CSV
+ * serve is the query-serving daemon: it co-hosts a shard listener
+ * (collectors keep pushing to the same port) and the hbbp-query/1
+ * endpoint, answering mix/report/fdo/hosts/status queries over the
+ * live aggregate with per-epoch result caching. query is the matching
+ * client; its stdout carries exactly the bytes offline analyze/report
+ * would print, with `epoch=N cached=K` metadata on stderr. A
+ * `shutdown` verb stops the daemon deterministically.
  */
 
 #include <unistd.h>
 
 #include <algorithm>
-#include <cctype>
-#include <cerrno>
-#include <climits>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -127,15 +63,15 @@
 #include <string>
 #include <vector>
 
-#include <filesystem>
-
-#include "analysis/report.hh"
+#include "analysis/analyzer.hh"
+#include "analysis/service.hh"
 #include "fleet/aggregate.hh"
 #include "fleet/batch.hh"
 #include "fleet/journal.hh"
 #include "fleet/manifest.hh"
 #include "fleet/merge.hh"
 #include "fleet/metrics.hh"
+#include "fleet/query.hh"
 #include "fleet/relay.hh"
 #include "fleet/shard.hh"
 #include "fleet/store.hh"
@@ -145,56 +81,13 @@
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "support/telemetry.hh"
+#include "tools/options.hh"
 #include "tools/profiler.hh"
 #include "tools/registry.hh"
 
 using namespace hbbp;
 
 namespace {
-
-struct CliOptions
-{
-    std::string command;
-    std::string workload;
-    std::string profile_in;
-    std::string profile_out;
-    std::vector<std::string> inputs; ///< Positional profiles for merge.
-    std::string source = "hbbp";
-    std::string store_dir;
-    double cutoff = 18.0;
-    bool bias_rule = true;
-    bool patch_kernel = false;
-    std::vector<std::string> pivot;
-    size_t top = 0;
-    unsigned jobs = 1;
-    uint32_t shards = 0; ///< 0 = default to jobs.
-    std::string function;
-    bool csv = false;
-    std::string host;             ///< export/push: simulated host id.
-    std::string export_dir;       ///< export/push: shard drop directory.
-    uint32_t seq = 0;             ///< export/push: shard sequence number.
-    std::string to;               ///< push: HOST:PORT to stream to.
-    uint32_t chunks = 1;          ///< push: frames to stream the shard as.
-    int retries = 5;              ///< push: socket connection attempts.
-    int fail_after = -1;          ///< push: test hook, die after N chunks.
-    std::string watch_dir;        ///< aggregate: directory to poll.
-    int listen_port = -1;         ///< aggregate: socket port (-1 = off).
-    std::string bind_addr = "127.0.0.1"; ///< aggregate: listen address.
-    std::string port_file;        ///< aggregate: bound-port report file.
-    std::string state_file;       ///< aggregate: checkpoint/restore path.
-    size_t expect = 0;            ///< aggregate/relay: coverage to wait for.
-    int timeout_ms = 10'000;      ///< aggregate/relay: idle timeout.
-    std::string analyze_workload; ///< aggregate: per-arrival analysis.
-    size_t journal_every = 32;    ///< aggregate/relay: compact threshold.
-    size_t flush_every = 0;       ///< relay: upstream flush cadence.
-    std::string relay_id;         ///< relay: upstream host id.
-    int64_t max_age_s = -1;       ///< store gc: age bound.
-    int64_t max_bytes = -1;       ///< store gc: size bound.
-    int metrics_port = -1;        ///< aggregate/relay: -1 = off.
-    std::string metrics_port_file; ///< bound metrics port report file.
-    std::string trace_log;        ///< span log path; empty = off.
-    std::string stats_from;       ///< stats: HOST:PORT to scrape.
-};
 
 [[noreturn]] void
 usage()
@@ -227,6 +120,14 @@ usage()
                  "[--timeout-ms N] [--state FILE]\n"
                  "                 [--journal-every N] [--retries N] "
                  "[--bind ADDR] [--port-file FILE]\n"
+                 "       hbbp-tool serve --listen PORT [--state FILE] "
+                 "[--expect N] [--timeout-ms N]\n"
+                 "                 [--bind ADDR] [--port-file FILE] "
+                 "[--metrics-port N] [--journal-every N]\n"
+                 "       hbbp-tool query --from HOST:PORT "
+                 "<mix|report|fdo|hosts|status|shutdown>\n"
+                 "                 [--host ID] [--format text|csv|json] "
+                 "[analysis options]\n"
                  "       hbbp-tool store gc --store DIR "
                  "[--max-age-s N] [--max-bytes N]\n"
                  "       hbbp-tool stats [--from HOST:PORT]\n"
@@ -236,190 +137,14 @@ usage()
                  "[--source hbbp|ebs|lbr] [--cutoff N]\n"
                  "                 [--no-bias-rule] [--patch-kernel] "
                  "[--pivot dims] [--top N]\n"
-                 "                 [--function NAME] [--csv]\n"
-                 "       hbbp-tool report <workload> [-i <profile>]\n");
+                 "                 [--function NAME] "
+                 "[--format text|csv|json]\n"
+                 "       hbbp-tool report <workload> [-i <profile>] "
+                 "[--format text|csv|json]\n"
+                 "       hbbp-tool fdo <workload> -i <profile> "
+                 "[-o FILE] [--cutoff N]\n"
+                 "                 [--format text|csv|json]\n");
     std::exit(2);
-}
-
-CliOptions
-parse(int argc, char **argv)
-{
-    CliOptions opts;
-    if (argc < 2)
-        usage();
-    opts.command = argv[1];
-    int i = 2;
-    // merge takes positional profiles; aggregate, relay and stats only
-    // flags; every other command (but list) leads with a positional
-    // argument — a workload name, the input profile for migrate, or
-    // the action for store.
-    if (opts.command != "list" && opts.command != "merge" &&
-        opts.command != "aggregate" && opts.command != "relay" &&
-        opts.command != "stats") {
-        if (i >= argc)
-            usage();
-        opts.workload = argv[i++];
-    }
-    auto need_value = [&](const char *flag) -> std::string {
-        if (i >= argc)
-            fatal("missing value for %s", flag);
-        return argv[i++];
-    };
-    // std::stoul/stod would throw (or wrap negatives) on bad input;
-    // every malformed flag value should die with a fatal() diagnostic.
-    auto need_count = [&](const char *flag,
-                          uint64_t max = UINT64_MAX) -> uint64_t {
-        std::string value = need_value(flag);
-        errno = 0;
-        char *end = nullptr;
-        unsigned long long v = std::strtoull(value.c_str(), &end, 10);
-        if (value.empty() || *end != '\0' || errno == ERANGE ||
-            value[0] == '-')
-            fatal("invalid value '%s' for %s (expected a non-negative "
-                  "integer)", value.c_str(), flag);
-        // Narrowing would silently truncate (e.g. 2^32 shards -> 0).
-        if (v > max)
-            fatal("value '%s' for %s is out of range (max %llu)",
-                  value.c_str(), flag,
-                  static_cast<unsigned long long>(max));
-        return v;
-    };
-    auto need_number = [&](const char *flag) -> double {
-        std::string value = need_value(flag);
-        errno = 0;
-        char *end = nullptr;
-        double v = std::strtod(value.c_str(), &end);
-        if (value.empty() || *end != '\0' || errno == ERANGE)
-            fatal("invalid value '%s' for %s (expected a number)",
-                  value.c_str(), flag);
-        return v;
-    };
-    while (i < argc) {
-        std::string arg = argv[i++];
-        if (arg == "-o")
-            opts.profile_out = need_value("-o");
-        else if (arg == "-i")
-            opts.profile_in = need_value("-i");
-        else if (arg == "--source")
-            opts.source = need_value("--source");
-        else if (arg == "--store")
-            opts.store_dir = need_value("--store");
-        else if (arg == "--cutoff")
-            opts.cutoff = need_number("--cutoff");
-        else if (arg == "--no-bias-rule")
-            opts.bias_rule = false;
-        else if (arg == "--patch-kernel")
-            opts.patch_kernel = true;
-        else if (arg == "--pivot")
-            opts.pivot = split(need_value("--pivot"), ',');
-        else if (arg == "--top")
-            opts.top = static_cast<size_t>(need_count("--top"));
-        else if (arg == "--jobs")
-            opts.jobs = static_cast<unsigned>(
-                need_count("--jobs", UINT_MAX));
-        else if (arg == "--shards")
-            opts.shards = static_cast<uint32_t>(
-                need_count("--shards", UINT32_MAX));
-        else if (arg == "--function")
-            opts.function = need_value("--function");
-        else if (arg == "--csv")
-            opts.csv = true;
-        else if (arg == "--host")
-            opts.host = need_value("--host");
-        else if (arg == "--export-dir")
-            opts.export_dir = need_value("--export-dir");
-        else if (arg == "--seq")
-            opts.seq = static_cast<uint32_t>(
-                need_count("--seq", UINT32_MAX));
-        else if (arg == "--to")
-            opts.to = need_value("--to");
-        else if (arg == "--chunks")
-            opts.chunks = static_cast<uint32_t>(
-                need_count("--chunks", UINT32_MAX));
-        else if (arg == "--retries")
-            opts.retries = static_cast<int>(
-                need_count("--retries", INT_MAX));
-        else if (arg == "--fail-after")
-            opts.fail_after = static_cast<int>(
-                need_count("--fail-after", INT_MAX));
-        else if (arg == "--watch-dir")
-            opts.watch_dir = need_value("--watch-dir");
-        else if (arg == "--listen")
-            opts.listen_port = static_cast<int>(
-                need_count("--listen", UINT16_MAX));
-        else if (arg == "--bind")
-            opts.bind_addr = need_value("--bind");
-        else if (arg == "--port-file")
-            opts.port_file = need_value("--port-file");
-        else if (arg == "--state")
-            opts.state_file = need_value("--state");
-        else if (arg == "--expect")
-            opts.expect = static_cast<size_t>(need_count("--expect"));
-        else if (arg == "--timeout-ms")
-            opts.timeout_ms = static_cast<int>(
-                need_count("--timeout-ms", INT_MAX));
-        else if (arg == "--analyze")
-            opts.analyze_workload = need_value("--analyze");
-        else if (arg == "--journal-every")
-            opts.journal_every =
-                static_cast<size_t>(need_count("--journal-every"));
-        else if (arg == "--flush-every")
-            opts.flush_every =
-                static_cast<size_t>(need_count("--flush-every"));
-        else if (arg == "--relay-id")
-            opts.relay_id = need_value("--relay-id");
-        else if (arg == "--max-age-s")
-            opts.max_age_s = static_cast<int64_t>(
-                need_count("--max-age-s", INT64_MAX));
-        else if (arg == "--max-bytes")
-            opts.max_bytes = static_cast<int64_t>(
-                need_count("--max-bytes", INT64_MAX));
-        else if (arg == "--metrics-port")
-            opts.metrics_port = static_cast<int>(
-                need_count("--metrics-port", UINT16_MAX));
-        else if (arg == "--metrics-port-file")
-            opts.metrics_port_file =
-                need_value("--metrics-port-file");
-        else if (arg == "--trace-log")
-            opts.trace_log = need_value("--trace-log");
-        else if (arg == "--from")
-            opts.stats_from = need_value("--from");
-        else if (!arg.empty() && arg[0] == '-')
-            fatal("unknown option '%s'", arg.c_str());
-        else if (opts.command == "merge")
-            opts.inputs.push_back(arg);
-        else
-            fatal("unexpected argument '%s'", arg.c_str());
-    }
-    if (opts.jobs == 0)
-        fatal("--jobs must be >= 1");
-    if (opts.shards == 0)
-        opts.shards = std::max(opts.jobs, 1u);
-    return opts;
-}
-
-/** Split a HOST:PORT flag value; fatal() on malformed input. */
-void
-parseHostPort(const std::string &value, const char *flag,
-              std::string *host, uint16_t *port)
-{
-    size_t colon = value.rfind(':');
-    if (colon == std::string::npos || colon + 1 >= value.size())
-        fatal("%s expects HOST:PORT, got '%s'", flag, value.c_str());
-    *host = value.substr(0, colon);
-    // Bare digits only: strtoul would skip whitespace and accept
-    // signs, the exact laxity the manifest parser rejects.
-    std::string port_str = value.substr(colon + 1);
-    unsigned long parsed = 0;
-    bool digits = port_str.size() <= 5;
-    for (char c : port_str)
-        if (!std::isdigit(static_cast<unsigned char>(c)))
-            digits = false;
-    if (digits)
-        parsed = std::strtoul(port_str.c_str(), nullptr, 10);
-    if (!digits || parsed == 0 || parsed > UINT16_MAX)
-        fatal("invalid port in '%s'", value.c_str());
-    *port = static_cast<uint16_t>(parsed);
 }
 
 void
@@ -431,12 +156,12 @@ onSigUsr1(int)
 }
 
 /**
- * Daemon observability setup shared by aggregate --listen and relay:
- * start the metrics endpoint when requested (reporting the bound port
- * for scripts) and arm the SIGUSR1 snapshot dump.
+ * Daemon observability setup shared by aggregate --listen, relay and
+ * serve: start the metrics endpoint when requested (reporting the
+ * bound port for scripts) and arm the SIGUSR1 snapshot dump.
  */
 std::unique_ptr<MetricsServer>
-startObservability(const CliOptions &opts)
+startObservability(const DaemonOptions &opts)
 {
     std::signal(SIGUSR1, onSigUsr1);
     if (opts.metrics_port < 0)
@@ -451,19 +176,6 @@ startObservability(const CliOptions &opts)
     return server;
 }
 
-MixDim
-dimFromName(const std::string &dim_name)
-{
-    for (MixDim d : {MixDim::Module, MixDim::Function, MixDim::Block,
-                     MixDim::Mnemonic, MixDim::Isa, MixDim::Category,
-                     MixDim::Packing, MixDim::Width, MixDim::Ring,
-                     MixDim::MemAccess}) {
-        if (dim_name == name(d))
-            return d;
-    }
-    fatal("unknown pivot dimension '%s'", dim_name.c_str());
-}
-
 int
 cmdList()
 {
@@ -473,7 +185,7 @@ cmdList()
 }
 
 int
-cmdCollect(const CliOptions &opts)
+cmdCollect(const CollectOptions &opts)
 {
     if (opts.profile_out.empty())
         fatal("collect requires -o <profile>");
@@ -481,13 +193,13 @@ cmdCollect(const CliOptions &opts)
     CollectorConfig cc = collectorConfigFor(w);
 
     ShardPlan plan;
-    plan.shards = opts.shards;
-    plan.jobs = opts.jobs;
+    plan.shards = opts.coll.shards;
+    plan.jobs = opts.coll.jobs;
 
     ProfileData pd;
     bool cache_hit = false;
-    if (!opts.store_dir.empty()) {
-        ProfileStore store(opts.store_dir);
+    if (!opts.coll.store_dir.empty()) {
+        ProfileStore store(opts.coll.store_dir);
         ProfileKey key{w.name, cc, plan.shards, MachineConfig{}};
         pd = store.getOrCollect(key, *w.program, plan.jobs, &cache_hit);
     } else {
@@ -506,7 +218,7 @@ cmdCollect(const CliOptions &opts)
 }
 
 int
-cmdMerge(const CliOptions &opts)
+cmdMerge(const MergeOptions &opts)
 {
     if (opts.profile_out.empty())
         fatal("merge requires -o <profile>");
@@ -525,27 +237,27 @@ cmdMerge(const CliOptions &opts)
 }
 
 int
-cmdBatch(const CliOptions &opts)
+cmdBatch(const BatchOptions &opts)
 {
     std::vector<std::string> workloads;
-    if (opts.workload == "all")
+    if (opts.workloads == "all")
         workloads = workloadNames();
     else
-        workloads = split(opts.workload, ',');
+        workloads = split(opts.workloads, ',');
 
     BatchConfig bc;
-    bc.shards = opts.shards;
-    bc.jobs = opts.jobs;
-    bc.store_dir = opts.store_dir;
-    bc.analyzer.map.patch_kernel_text = opts.patch_kernel;
+    bc.shards = opts.coll.shards;
+    bc.jobs = opts.coll.jobs;
+    bc.store_dir = opts.coll.store_dir;
+    bc.analyzer.map.patch_kernel_text = opts.analysis.patch_kernel;
     bc.analyzer.classifier = std::make_shared<CutoffClassifier>(
-        opts.cutoff, opts.bias_rule);
+        opts.analysis.cutoff, opts.analysis.bias_rule);
 
     BatchResult res = runBatch(workloads, bc);
 
     TextTable summary = res.summaryTable();
-    TextTable mix = res.aggregateMixTable(opts.top);
-    if (opts.csv) {
+    TextTable mix = res.aggregateMixTable(opts.analysis.top);
+    if (opts.analysis.format == "csv") {
         std::printf("%s\n%s", summary.renderCsv().c_str(),
                     mix.renderCsv().c_str());
     } else {
@@ -565,7 +277,7 @@ cmdBatch(const CliOptions &opts)
  * result as a shard into a drop directory.
  */
 int
-cmdExport(const CliOptions &opts)
+cmdExport(const ExportOptions &opts)
 {
     if (opts.host.empty())
         fatal("export requires --host <id>");
@@ -578,14 +290,14 @@ cmdExport(const CliOptions &opts)
                                  opts.host, opts.seq);
 
     ShardPlan plan;
-    plan.shards = opts.shards;
-    plan.jobs = opts.jobs;
+    plan.shards = opts.coll.shards;
+    plan.jobs = opts.coll.jobs;
     ProfileKey key{w.name, cc, plan.shards, MachineConfig{}};
 
     ProfileData pd;
     bool cache_hit = false;
-    if (!opts.store_dir.empty()) {
-        ProfileStore store(opts.store_dir);
+    if (!opts.coll.store_dir.empty()) {
+        ProfileStore store(opts.coll.store_dir);
         pd = store.getOrCollect(key, *w.program, plan.jobs, &cache_hit);
     } else {
         pd = collectSharded(*w.program, MachineConfig{}, cc, plan);
@@ -612,7 +324,7 @@ cmdExport(const CliOptions &opts)
  * drop-directory transport.
  */
 int
-cmdPush(const CliOptions &opts)
+cmdPush(const PushOptions &opts)
 {
     if (opts.host.empty())
         fatal("push requires --host <id>");
@@ -636,7 +348,7 @@ cmdPush(const CliOptions &opts)
     // deliver incrementally as each chunk finishes.
     ShardPlan plan;
     plan.shards = opts.chunks;
-    plan.jobs = opts.jobs;
+    plan.jobs = opts.coll.jobs;
     ProfileKey key{w.name, cc, plan.shards, MachineConfig{}};
     std::vector<ProfileData> parts =
         collectShards(*w.program, MachineConfig{}, cc, plan);
@@ -714,16 +426,17 @@ cmdPush(const CliOptions &opts)
  * aggregate.
  */
 int
-cmdAggregate(const CliOptions &opts)
+cmdAggregate(const AggregateOptions &opts)
 {
-    bool listening = opts.listen_port >= 0;
+    const DaemonOptions &d = opts.daemon;
+    bool listening = d.listen_port >= 0;
     if (opts.watch_dir.empty() == !listening)
         fatal("aggregate requires exactly one of --watch-dir <dir> or "
               "--listen <port>");
 
-    std::unique_ptr<MetricsServer> metrics = startObservability(opts);
+    std::unique_ptr<MetricsServer> metrics = startObservability(d);
     telemetry::TraceLog trace;
-    trace.open(opts.trace_log, "root");
+    trace.open(d.trace_log, "root");
 
     std::optional<ProfileStore> central;
     if (!opts.store_dir.empty())
@@ -736,12 +449,12 @@ cmdAggregate(const CliOptions &opts)
 
     IncrementalAggregator agg;
     std::optional<StateJournal> journal;
-    if (!opts.state_file.empty() && opts.journal_every > 0)
-        journal.emplace(opts.state_file, opts.journal_every);
-    if (restoreAggregatorState(agg, journal, opts.state_file) > 0)
+    if (!d.state_file.empty() && d.journal_every > 0)
+        journal.emplace(d.state_file, d.journal_every);
+    if (restoreAggregatorState(agg, journal, d.state_file) > 0)
         std::printf("restored aggregator state from %s: "
                     "%zu shard%s across %zu host%s\n",
-                    opts.state_file.c_str(), agg.restoredShards(),
+                    d.state_file.c_str(), agg.restoredShards(),
                     agg.restoredShards() == 1 ? "" : "s",
                     agg.hostCount(),
                     agg.hostCount() == 1 ? "" : "s");
@@ -770,7 +483,7 @@ cmdAggregate(const CliOptions &opts)
         }
         if (aw)
             agg.analyzeWith(*aw->program, analyzer);
-        if (opts.state_file.empty())
+        if (d.state_file.empty())
             return;
         if (journal && chunks) {
             journal->record(agg, m, *chunks);
@@ -791,22 +504,22 @@ cmdAggregate(const CliOptions &opts)
                 journal->compact(agg);
             }
         } else {
-            agg.saveState(opts.state_file);
+            agg.saveState(d.state_file);
         }
     };
 
     if (listening) {
         ShardListener listener(
-            static_cast<uint16_t>(opts.listen_port), opts.bind_addr);
-        std::printf("listening on %s:%u\n", opts.bind_addr.c_str(),
+            static_cast<uint16_t>(d.listen_port), d.bind_addr);
+        std::printf("listening on %s:%u\n", d.bind_addr.c_str(),
                     listener.port());
         std::fflush(stdout);
-        if (!opts.port_file.empty())
-            writeFileAtomically(opts.port_file,
+        if (!d.port_file.empty())
+            writeFileAtomically(d.port_file,
                                 format("%u\n", listener.port()));
         ListenOptions lo;
-        lo.expect = opts.expect;
-        lo.idle_timeout_ms = opts.timeout_ms;
+        lo.expect = d.expect;
+        lo.idle_timeout_ms = d.timeout_ms;
         lo.on_accept = [&](const ShardManifest &m,
                            const ProfileData &pd,
                            const std::vector<std::string> &chunks) {
@@ -815,8 +528,8 @@ cmdAggregate(const CliOptions &opts)
         listener.serve(agg, lo);
     } else {
         WatchOptions wo;
-        wo.expect = opts.expect;
-        wo.timeout_ms = opts.timeout_ms;
+        wo.expect = d.expect;
+        wo.timeout_ms = d.timeout_ms;
         wo.on_accept = [&](const ShardManifest &m) {
             // The shard's bytes were already verified during import,
             // so the deposit copies the file instead of re-parsing it.
@@ -826,11 +539,11 @@ cmdAggregate(const CliOptions &opts)
     }
 
     const AggregatorStats &st = agg.stats();
-    if (opts.expect > 0 && agg.coveredShards() < opts.expect)
+    if (d.expect > 0 && agg.coveredShards() < d.expect)
         fatal("no shard for %d ms while waiting for %zu shards via "
               "'%s' (covered %zu, accepted %zu, duplicates %zu, "
               "incompatible %zu, malformed %zu)",
-              opts.timeout_ms, opts.expect,
+              d.timeout_ms, d.expect,
               listening ? "--listen" : opts.watch_dir.c_str(),
               agg.coveredShards(), st.accepted, st.duplicates,
               st.incompatible, st.malformed);
@@ -862,16 +575,17 @@ cmdAggregate(const CliOptions &opts)
  * `aggregate --listen`.
  */
 int
-cmdRelay(const CliOptions &opts)
+cmdRelay(const RelayCliOptions &opts)
 {
-    if (opts.listen_port < 0)
+    const DaemonOptions &d = opts.daemon;
+    if (d.listen_port < 0)
         fatal("relay requires --listen <port>");
     if (opts.to.empty())
         fatal("relay requires --to <host:port>");
 
     RelayOptions ro;
-    ro.listen_port = static_cast<uint16_t>(opts.listen_port);
-    ro.bind_addr = opts.bind_addr;
+    ro.listen_port = static_cast<uint16_t>(d.listen_port);
+    ro.bind_addr = d.bind_addr;
     parseHostPort(opts.to, "--to", &ro.upstream_host,
                   &ro.upstream_port);
     // The relay id becomes the upstream manifest's host id: hold it
@@ -887,20 +601,20 @@ cmdRelay(const CliOptions &opts)
                       ? format("relay-%ld", static_cast<long>(::getpid()))
                       : opts.relay_id;
     ro.flush_every = opts.flush_every;
-    ro.expect = opts.expect;
-    ro.idle_timeout_ms = opts.timeout_ms;
-    ro.state_file = opts.state_file;
-    ro.journal_every = opts.journal_every;
+    ro.expect = d.expect;
+    ro.idle_timeout_ms = d.timeout_ms;
+    ro.state_file = d.state_file;
+    ro.journal_every = d.journal_every;
     ro.upstream_retries = std::max(opts.retries, 1);
-    ro.trace_log = opts.trace_log;
+    ro.trace_log = d.trace_log;
 
-    std::unique_ptr<MetricsServer> metrics = startObservability(opts);
+    std::unique_ptr<MetricsServer> metrics = startObservability(d);
     RelayNode relay(std::move(ro));
-    std::printf("relaying %s:%u -> %s\n", opts.bind_addr.c_str(),
+    std::printf("relaying %s:%u -> %s\n", d.bind_addr.c_str(),
                 relay.port(), opts.to.c_str());
     std::fflush(stdout);
-    if (!opts.port_file.empty())
-        writeFileAtomically(opts.port_file,
+    if (!d.port_file.empty())
+        writeFileAtomically(d.port_file,
                             format("%u\n", relay.port()));
 
     RelayStats rs = relay.run();
@@ -918,21 +632,140 @@ cmdRelay(const CliOptions &opts)
     // nothing that --state does not hold.
     if (!rs.upstream_ok)
         fatal("final upstream flush failed: %s", rs.error.c_str());
-    if (opts.expect > 0 && rs.covered < opts.expect)
+    if (d.expect > 0 && rs.covered < d.expect)
         fatal("no shard for %d ms while waiting to cover %zu shards "
-              "(covered %zu)", opts.timeout_ms, opts.expect,
+              "(covered %zu)", d.timeout_ms, d.expect,
               rs.covered);
+    return 0;
+}
+
+/**
+ * The query-serving daemon: one port, two protocols. Collectors push
+ * shards exactly as they would to `aggregate --listen`; query clients
+ * dial the same port and speak hbbp-query/1. Every accepted shard
+ * bumps the aggregator's epoch, invalidating the analysis service's
+ * caches, so queries between arrivals are cache hits and queries
+ * after an arrival observe the new aggregate. All of it runs on the
+ * listener's single poll thread — no locks anywhere near the
+ * aggregator.
+ */
+int
+cmdServe(const ServeOptions &opts)
+{
+    const DaemonOptions &d = opts.daemon;
+    if (d.listen_port < 0)
+        fatal("serve requires --listen <port>");
+
+    std::unique_ptr<MetricsServer> metrics = startObservability(d);
+    telemetry::TraceLog trace;
+    trace.open(d.trace_log, "serve");
+
+    IncrementalAggregator agg;
+    std::optional<StateJournal> journal;
+    if (!d.state_file.empty() && d.journal_every > 0)
+        journal.emplace(d.state_file, d.journal_every);
+    if (restoreAggregatorState(agg, journal, d.state_file) > 0)
+        std::printf("restored aggregator state from %s: "
+                    "%zu shard%s across %zu host%s\n",
+                    d.state_file.c_str(), agg.restoredShards(),
+                    agg.restoredShards() == 1 ? "" : "s",
+                    agg.hostCount(),
+                    agg.hostCount() == 1 ? "" : "s");
+
+    AggregatorProfileSource source(agg);
+    AnalysisService service(source, makeWorkloadByName);
+    QueryEndpoint endpoint(service);
+
+    ShardListener listener(static_cast<uint16_t>(d.listen_port),
+                           d.bind_addr);
+    std::printf("serving on %s:%u\n", d.bind_addr.c_str(),
+                listener.port());
+    std::fflush(stdout);
+    if (!d.port_file.empty())
+        writeFileAtomically(d.port_file,
+                            format("%u\n", listener.port()));
+
+    ListenOptions lo;
+    lo.expect = d.expect;
+    lo.idle_timeout_ms = d.timeout_ms;
+    lo.on_accept = [&](const ShardManifest &m, const ProfileData &,
+                       const std::vector<std::string> &chunks) {
+        for (const std::string &id : m.trace_ids)
+            trace.span("root_fold", id,
+                       format("from=%s", m.host.c_str()));
+        if (d.state_file.empty())
+            return;
+        if (journal)
+            journal->record(agg, m, chunks);
+        else
+            agg.saveState(d.state_file);
+    };
+    lo.on_query = [&](const std::string &body) {
+        return endpoint.handle(body);
+    };
+    lo.should_stop = [&] { return endpoint.stopRequested(); };
+    listener.serve(agg, lo);
+
+    const ServiceStats &ss = service.stats();
+    const AggregatorStats &st = agg.stats();
+    std::printf("serve: accepted=%zu hosts=%zu covered=%zu epoch=%llu "
+                "requests=%llu cache_hits=%llu cache_misses=%llu "
+                "errors=%llu analyses=%llu\n",
+                st.accepted, agg.hostCount(), agg.coveredShards(),
+                static_cast<unsigned long long>(agg.epoch()),
+                static_cast<unsigned long long>(ss.requests),
+                static_cast<unsigned long long>(ss.hits),
+                static_cast<unsigned long long>(ss.misses),
+                static_cast<unsigned long long>(ss.errors),
+                static_cast<unsigned long long>(ss.analyses));
+    if (metrics) {
+        metrics->stop();
+        telemetry::dumpSnapshot("serve exiting");
+    }
+    return 0;
+}
+
+/**
+ * The query client. Stdout carries exactly the payload bytes — what
+ * offline analyze/report/fdo would print for the same aggregate and
+ * options — so scripts can diff the two; the `epoch=N cached=K`
+ * metadata goes to stderr.
+ */
+int
+cmdQuery(const QueryCliOptions &opts)
+{
+    if (opts.from.empty())
+        fatal("query requires --from <host:port>");
+    std::string host;
+    uint16_t port = 0;
+    parseHostPort(opts.from, "--from", &host, &port);
+
+    QueryRequest req;
+    req.verb = opts.verb;
+    req.params = opts.analysis.toQueryParams();
+
+    QueryClient client(host, port);
+    QueryReply reply;
+    std::string why;
+    if (!client.query(req.renderText(), &reply, &why))
+        fatal("query to %s failed: %s", opts.from.c_str(),
+              why.c_str());
+    std::fprintf(stderr, "epoch=%llu cached=%d\n",
+                 static_cast<unsigned long long>(reply.epoch),
+                 reply.cached ? 1 : 0);
+    if (!reply.ok)
+        fatal("%s", reply.error.c_str());
+    std::fwrite(reply.payload.data(), 1, reply.payload.size(), stdout);
     return 0;
 }
 
 /** Store maintenance: `hbbp-tool store gc` bounded eviction. */
 int
-cmdStore(const CliOptions &opts)
+cmdStore(const StoreOptions &opts)
 {
-    // The positional argument slot carries the action here.
-    if (opts.workload != "gc")
+    if (opts.action != "gc")
         fatal("unknown store action '%s' (expected: gc)",
-              opts.workload.c_str());
+              opts.action.c_str());
     if (opts.store_dir.empty())
         fatal("store gc requires --store <dir>");
     if (opts.max_age_s < 0 && opts.max_bytes < 0)
@@ -957,16 +790,16 @@ cmdStore(const CliOptions &opts)
  * format daemons dump on SIGUSR1.
  */
 int
-cmdStats(const CliOptions &opts)
+cmdStats(const StatsOptions &opts)
 {
-    if (!opts.stats_from.empty()) {
+    if (!opts.from.empty()) {
         std::string host;
         uint16_t port = 0;
-        parseHostPort(opts.stats_from, "--from", &host, &port);
+        parseHostPort(opts.from, "--from", &host, &port);
         std::string body, why;
         if (!fetchMetricsText(host, port, &body, &why))
             fatal("fetching metrics from %s: %s",
-                  opts.stats_from.c_str(), why.c_str());
+                  opts.from.c_str(), why.c_str());
         std::fputs(body.c_str(), stdout);
         return 0;
     }
@@ -976,10 +809,9 @@ cmdStats(const CliOptions &opts)
 
 /** Rewrite a legacy or stale-checksum profile in the current format. */
 int
-cmdMigrate(const CliOptions &opts)
+cmdMigrate(const MigrateOptions &opts)
 {
-    // The positional argument slot carries the input path here.
-    const std::string &in = opts.workload;
+    const std::string &in = opts.input;
     std::string out = opts.profile_out.empty() ? in : opts.profile_out;
     uint32_t version = 0;
     ProfileData pd = ProfileData::loadAnyVersion(in, &version);
@@ -994,61 +826,71 @@ cmdMigrate(const CliOptions &opts)
     return 0;
 }
 
-int
-cmdAnalyze(const CliOptions &opts, bool full_report)
+/**
+ * The in-process analysis transport: the same AnalysisService the
+ * serve daemon exposes over the socket, fed by a FixedProfileSource
+ * over the loaded (or freshly collected) profile. Errors the service
+ * reports — unknown source, unknown pivot dimension, missing
+ * function — become the same fatal() diagnostics the pre-service CLI
+ * printed.
+ */
+QueryResult
+serveLocalQuery(const std::string &verb,
+                const std::string &workload_name,
+                const std::string &profile_in,
+                const AnalysisOptions &aopts)
 {
-    Workload w = requireWorkloadByName(opts.workload);
-
+    Workload w = requireWorkloadByName(workload_name);
     ProfileData pd;
-    if (!opts.profile_in.empty()) {
-        pd = ProfileData::load(opts.profile_in);
+    if (!profile_in.empty()) {
+        pd = ProfileData::load(profile_in);
     } else {
         pd = Collector::collect(*w.program, MachineConfig{},
                                 collectorConfigFor(w));
     }
+    FixedProfileSource source(std::move(pd), w.name);
+    AnalysisService service(source, makeWorkloadByName);
 
-    AnalyzerOptions aopts;
-    aopts.map.patch_kernel_text = opts.patch_kernel;
-    aopts.classifier = std::make_shared<CutoffClassifier>(
-        opts.cutoff, opts.bias_rule);
-    Analyzer analyzer(aopts);
-    AnalysisResult res = analyzer.analyze(*w.program, pd);
+    QueryRequest req;
+    req.verb = verb;
+    req.params = aopts.toQueryParams();
+    QueryResult result = service.serve(req);
+    if (!result.error.empty())
+        fatal("%s", result.error.c_str());
+    return result;
+}
 
-    std::unique_ptr<InstructionMix> mix;
-    if (opts.source == "hbbp")
-        mix = std::make_unique<InstructionMix>(res.hbbpMix());
-    else if (opts.source == "ebs")
-        mix = std::make_unique<InstructionMix>(res.ebsMix());
-    else if (opts.source == "lbr")
-        mix = std::make_unique<InstructionMix>(res.lbrMix());
-    else
-        fatal("unknown source '%s'", opts.source.c_str());
+int
+cmdAnalyze(const AnalyzeOptions &opts, bool full_report)
+{
+    QueryResult result =
+        serveLocalQuery(full_report ? "report" : "mix", opts.workload,
+                        opts.profile_in, opts.analysis);
+    // serve() validated the format parameter before producing a
+    // non-error result.
+    std::string out = result.render(
+        *renderFormatFromName(opts.analysis.format));
+    std::fwrite(out.data(), 1, out.size(), stdout);
+    return 0;
+}
 
-    Reporter reporter(*mix);
-    if (full_report) {
-        std::printf("%s\n", reporter.summary().c_str());
+int
+cmdFdo(const FdoOptions &opts)
+{
+    QueryResult result = serveLocalQuery("fdo", opts.workload,
+                                         opts.profile_in,
+                                         opts.analysis);
+    if (!opts.profile_out.empty()) {
+        // The saved artifact is always the canonical text profile,
+        // whatever --format renders on stdout.
+        writeFileAtomically(opts.profile_out,
+                            result.render(RenderFormat::Text));
+        std::printf("fdo profile -> %s\n", opts.profile_out.c_str());
         return 0;
     }
-
-    if (!opts.function.empty()) {
-        std::string listing =
-            reporter.annotatedDisassembly(opts.function);
-        if (listing.empty())
-            fatal("no function named '%s'", opts.function.c_str());
-        std::printf("%s", listing.c_str());
-        return 0;
-    }
-
-    MixQuery q;
-    if (!opts.pivot.empty()) {
-        q.group_by.clear();
-        for (const std::string &d : opts.pivot)
-            q.group_by.push_back(dimFromName(d));
-    }
-    q.top_n = opts.top;
-    TextTable table = mix->pivotTable(q);
-    std::printf("%s", opts.csv ? table.renderCsv().c_str()
-                               : table.render().c_str());
+    std::string out = result.render(
+        *renderFormatFromName(opts.analysis.format));
+    std::fwrite(out.data(), 1, out.size(), stdout);
     return 0;
 }
 
@@ -1068,32 +910,45 @@ main(int argc, char **argv)
         std::printf("hbbp-tool %s\n", kVersion);
         return 0;
     }
-    CliOptions opts = parse(argc, argv);
-    if (opts.command == "list")
+    if (argc < 2)
+        usage();
+    std::string command = argv[1];
+    if (command == "list") {
+        ArgParser p(argc, argv, 2);
+        p.run();
         return cmdList();
-    if (opts.command == "collect")
-        return cmdCollect(opts);
-    if (opts.command == "merge")
-        return cmdMerge(opts);
-    if (opts.command == "batch")
-        return cmdBatch(opts);
-    if (opts.command == "export")
-        return cmdExport(opts);
-    if (opts.command == "push")
-        return cmdPush(opts);
-    if (opts.command == "aggregate")
-        return cmdAggregate(opts);
-    if (opts.command == "relay")
-        return cmdRelay(opts);
-    if (opts.command == "store")
-        return cmdStore(opts);
-    if (opts.command == "stats")
-        return cmdStats(opts);
-    if (opts.command == "migrate")
-        return cmdMigrate(opts);
-    if (opts.command == "analyze")
-        return cmdAnalyze(opts, /*full_report=*/false);
-    if (opts.command == "report")
-        return cmdAnalyze(opts, /*full_report=*/true);
+    }
+    if (command == "collect")
+        return cmdCollect(CollectOptions::parse(argc, argv));
+    if (command == "merge")
+        return cmdMerge(MergeOptions::parse(argc, argv));
+    if (command == "batch")
+        return cmdBatch(BatchOptions::parse(argc, argv));
+    if (command == "export")
+        return cmdExport(ExportOptions::parse(argc, argv));
+    if (command == "push")
+        return cmdPush(PushOptions::parse(argc, argv));
+    if (command == "aggregate")
+        return cmdAggregate(AggregateOptions::parse(argc, argv));
+    if (command == "relay")
+        return cmdRelay(RelayCliOptions::parse(argc, argv));
+    if (command == "serve")
+        return cmdServe(ServeOptions::parse(argc, argv));
+    if (command == "query")
+        return cmdQuery(QueryCliOptions::parse(argc, argv));
+    if (command == "store")
+        return cmdStore(StoreOptions::parse(argc, argv));
+    if (command == "stats")
+        return cmdStats(StatsOptions::parse(argc, argv));
+    if (command == "migrate")
+        return cmdMigrate(MigrateOptions::parse(argc, argv));
+    if (command == "analyze")
+        return cmdAnalyze(AnalyzeOptions::parse(argc, argv),
+                          /*full_report=*/false);
+    if (command == "report")
+        return cmdAnalyze(AnalyzeOptions::parse(argc, argv),
+                          /*full_report=*/true);
+    if (command == "fdo")
+        return cmdFdo(FdoOptions::parse(argc, argv));
     usage();
 }

@@ -1,0 +1,226 @@
+# Multi-process smoke test for the query-serving daemon (run via
+# ctest):
+#
+#   One `hbbp-tool serve --listen` daemon co-hosts shard ingestion and
+#   the analysis-query endpoint on the same port. Three hosts push
+#   shards while a background query storm hammers the daemon — every
+#   reply must be well-formed (early "no profile yet" errors allowed).
+#   After each arrival wave the observed epoch must advance, and the
+#   final mix/report/fdo payloads must be byte-identical to offline
+#   `analyze`/`report`/`fdo` over the merge of the same shards. A
+#   repeated identical query must come back `cached=1` with identical
+#   bytes, and a `shutdown` query must stop the daemon cleanly.
+#
+# Invoked as:
+#   cmake -DHBBP_TOOL=<hbbp-tool> -DWORK_DIR=<scratch dir> \
+#         -P cli_serve_smoke.cmake
+
+cmake_minimum_required(VERSION 3.20)
+
+if(NOT DEFINED HBBP_TOOL OR NOT DEFINED WORK_DIR)
+    message(FATAL_ERROR "pass -DHBBP_TOOL=... and -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(dump_logs)
+    set(logs "")
+    file(GLOB log_files "${WORK_DIR}/*.log")
+    foreach(log_file IN LISTS log_files)
+        file(READ "${log_file}" log)
+        get_filename_component(log_name "${log_file}" NAME)
+        string(APPEND logs "--- ${log_name} ---\n${log}")
+    endforeach()
+    set(ALL_LOGS "${logs}" PARENT_SCOPE)
+endfunction()
+
+# All orchestration (backgrounding, the query storm, waits) lives in
+# one sh script because CMake cannot background processes itself.
+# Query payloads go to stdout, the `epoch=N cached=B` metadata line to
+# stderr — the script splits them per invocation.
+set(serve_script "
+dir='${WORK_DIR}'
+tool='${HBBP_TOOL}'
+q() { # q <name> <verb> [extra args...] -- query, split payload/meta
+    name=$1; verb=$2; shift 2
+    \"$tool\" query --from 127.0.0.1:$port \"$verb\" \"$@\" \\
+        > \"$dir/$name.out\" 2> \"$dir/$name.meta\"
+}
+\"$tool\" serve --listen 0 --port-file \"$dir/port\" \\
+    > \"$dir/serve.log\" 2>&1 &
+servepid=$!
+i=0
+while [ ! -s \"$dir/port\" ]; do
+    i=$((i+1)); [ $i -gt 200 ] && echo 'daemon never published its port' && exit 1
+    sleep 0.1
+done
+port=$(cat \"$dir/port\")
+
+# The storm: loop mix+status queries for the whole ingestion window.
+# Failures other than the pre-first-shard 'no profile to analyze yet'
+# are fatal; count iterations so we know the storm actually overlapped.
+storm() {
+    n=0
+    while [ ! -f \"$dir/storm.stop\" ]; do
+        out=$(\"$tool\" query --from 127.0.0.1:$port mix 2>&1)
+        rc=$?
+        if [ $rc -ne 0 ]; then
+            case \"$out\" in
+                *'no profile to analyze yet'*) ;;
+                *) echo \"storm query failed: $out\" > \"$dir/storm.fail\"; break ;;
+            esac
+        fi
+        \"$tool\" query --from 127.0.0.1:$port status >/dev/null 2>&1
+        n=$((n+1))
+    done
+    echo $n > \"$dir/storm.count\"
+}
+storm & stormpid=$!
+
+# Shards arrive mid-storm; after each wave the epoch must have moved.
+\"$tool\" push test40 --host hostA --to 127.0.0.1:$port --chunks 2 \\
+    --retries 20 -o \"$dir/a.profile\" > \"$dir/pushA.log\" 2>&1 || exit 1
+q epoch1 status || exit 1
+\"$tool\" push test40 --host hostB --to 127.0.0.1:$port --chunks 3 \\
+    --retries 20 -o \"$dir/b.profile\" > \"$dir/pushB.log\" 2>&1 &
+pb=$!
+\"$tool\" push test40 --host hostC --to 127.0.0.1:$port --chunks 1 \\
+    --retries 20 -o \"$dir/c.profile\" > \"$dir/pushC.log\" 2>&1 &
+pc=$!
+wait $pb || exit 1
+wait $pc || exit 1
+
+: > \"$dir/storm.stop\"
+wait $stormpid
+[ -f \"$dir/storm.fail\" ] && cat \"$dir/storm.fail\" && exit 1
+
+# Post-arrival queries: all three verbs, plus the cached repeat and
+# the csv rendering of the mix.
+q mix mix || exit 1
+q mix_again mix || exit 1
+# A parameterization the storm never issued: provably cold, then cached.
+q mix_cold mix --top 7 || exit 1
+q mix_cold2 mix --top 7 || exit 1
+q mix_csv mix --format csv || exit 1
+q report report || exit 1
+q fdo fdo || exit 1
+q hosts hosts --format csv || exit 1
+q status status || exit 1
+
+# Clean daemon shutdown through the query protocol itself.
+q shutdown shutdown || exit 1
+wait $servepid || exit 1
+exit 0
+")
+execute_process(COMMAND sh -c "${serve_script}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    dump_logs()
+    message(FATAL_ERROR "serve smoke orchestration failed (exit ${rc})\n${ALL_LOGS}")
+endif()
+
+# The storm must actually have run queries concurrently with ingestion.
+file(READ "${WORK_DIR}/storm.count" storm_count)
+string(STRIP "${storm_count}" storm_count)
+if(storm_count LESS 3)
+    message(FATAL_ERROR "query storm barely ran (${storm_count} iterations)")
+endif()
+
+# Epoch progression: one shard in at the first probe, three by the end.
+file(READ "${WORK_DIR}/epoch1.meta" epoch1_meta)
+if(NOT epoch1_meta MATCHES "epoch=1 ")
+    message(FATAL_ERROR "expected epoch=1 after the first shard: ${epoch1_meta}")
+endif()
+file(READ "${WORK_DIR}/status.meta" status_meta)
+if(NOT status_meta MATCHES "epoch=3 ")
+    message(FATAL_ERROR "expected epoch=3 after three shards: ${status_meta}")
+endif()
+file(READ "${WORK_DIR}/status.out" status_out)
+if(NOT status_out MATCHES "hosts=3")
+    message(FATAL_ERROR "status does not report 3 hosts: ${status_out}")
+endif()
+
+# Cold vs cached: the --top 7 parameterization was never issued by the
+# storm, so its first serve must miss and its repeat must hit. (The
+# plain mix may already be warm — the storm itself cached it.)
+file(READ "${WORK_DIR}/mix_cold.meta" mix_cold_meta)
+if(NOT mix_cold_meta MATCHES "epoch=3 cached=0")
+    message(FATAL_ERROR "never-issued query should be uncached: ${mix_cold_meta}")
+endif()
+file(READ "${WORK_DIR}/mix_cold2.meta" mix_cold2_meta)
+if(NOT mix_cold2_meta MATCHES "epoch=3 cached=1")
+    message(FATAL_ERROR "repeated query should be epoch-cached: ${mix_cold2_meta}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORK_DIR}/mix_cold.out" "${WORK_DIR}/mix_cold2.out"
+    RESULT_VARIABLE differs_cold)
+if(differs_cold)
+    message(FATAL_ERROR "cached --top 7 repeat returned different bytes")
+endif()
+file(READ "${WORK_DIR}/mix_again.meta" mix_again_meta)
+if(NOT mix_again_meta MATCHES "epoch=3 cached=1")
+    message(FATAL_ERROR "repeated mix should be epoch-cached: ${mix_again_meta}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORK_DIR}/mix.out" "${WORK_DIR}/mix_again.out"
+    RESULT_VARIABLE differs)
+if(differs)
+    message(FATAL_ERROR "cached repeat returned different bytes")
+endif()
+
+# hosts: every pusher visible as a fully-covered slice.
+file(READ "${WORK_DIR}/hosts.out" hosts_out)
+foreach(host hostA hostB hostC)
+    if(NOT hosts_out MATCHES "${host},1,0")
+        message(FATAL_ERROR "missing ${host} slice in hosts query: ${hosts_out}")
+    endif()
+endforeach()
+
+# Byte-identity against the offline pipeline over the same shards: the
+# daemon's mix/report/fdo answers must equal analyze/report/fdo over
+# the local merge of the pushed profiles.
+execute_process(COMMAND "${HBBP_TOOL}" merge -o "${WORK_DIR}/merged.profile"
+    "${WORK_DIR}/a.profile" "${WORK_DIR}/b.profile" "${WORK_DIR}/c.profile"
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "offline merge failed (exit ${rc})")
+endif()
+foreach(pair
+        "mix;analyze"
+        "mix_csv;analyze;--format;csv"
+        "report;report"
+        "fdo;fdo")
+    list(GET pair 0 qname)
+    list(GET pair 1 command)
+    set(extra "")
+    list(LENGTH pair pair_len)
+    if(pair_len GREATER 2)
+        list(SUBLIST pair 2 -1 extra)
+    endif()
+    execute_process(
+        COMMAND "${HBBP_TOOL}" ${command} test40
+            -i "${WORK_DIR}/merged.profile" ${extra}
+        OUTPUT_FILE "${WORK_DIR}/offline_${qname}.out"
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "offline ${command} failed (exit ${rc})")
+    endif()
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+        "${WORK_DIR}/${qname}.out" "${WORK_DIR}/offline_${qname}.out"
+        RESULT_VARIABLE differs)
+    if(differs)
+        message(FATAL_ERROR
+            "served ${qname} is not byte-identical to offline ${command}")
+    endif()
+endforeach()
+
+# The daemon's exit summary reflects the storm it survived.
+file(READ "${WORK_DIR}/serve.log" serve_log)
+if(NOT serve_log MATCHES "serve: accepted=3 ")
+    message(FATAL_ERROR "unexpected serve summary: ${serve_log}")
+endif()
+if(NOT serve_log MATCHES " epoch=3 ")
+    message(FATAL_ERROR "serve summary should end at epoch 3: ${serve_log}")
+endif()
+
+message(STATUS "serve smoke OK: ${storm_count}-iteration query storm over live ingestion; epoch 1->3 observed; mix/csv/report/fdo byte-identical to offline; cached repeat identical; clean shutdown")
