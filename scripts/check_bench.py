@@ -42,9 +42,19 @@ path must never re-analyze, cached_speedup must clear
 --query-speedup-floor (default 2.0), and cold_qps must be within
 --tolerance of the baseline.
 
+Benches carrying a "store" section (scale_store) gate the profile
+store's indexed read path -- see check_store():
+mmap_bytes_identical must be true (the zero-copy and plain-read
+paths saw the same bytes), indexed_speedup must clear
+--store-speedup-floor (default 5.0 -- the in-memory index has to
+beat enumerating the directory by far more than that at 10k
+entries; the low floor only absorbs noisy-runner variance), and
+deposit_per_s must be within --tolerance of the baseline.
+
 Defaults can be overridden via HBBP_BENCH_TOLERANCE,
-HBBP_BENCH_SPEEDUP_FLOOR, HBBP_BENCH_TELEMETRY_OVERHEAD_MAX and
-HBBP_BENCH_QUERY_SPEEDUP_FLOOR for one-off noisy runners.
+HBBP_BENCH_SPEEDUP_FLOOR, HBBP_BENCH_TELEMETRY_OVERHEAD_MAX,
+HBBP_BENCH_QUERY_SPEEDUP_FLOOR and HBBP_BENCH_STORE_SPEEDUP_FLOOR
+for one-off noisy runners.
 """
 
 import argparse
@@ -126,6 +136,68 @@ def check_query(base, fresh, args):
     print(f"check_bench: {bench}: OK")
 
 
+def check_store(base, fresh, args):
+    """Gate a scale_store run: the index must pay for itself.
+
+    - mmap_bytes_identical must be true: the mmap'd and plain-read
+      consumption of the same entry digested to the same bytes --
+      the correctness half of the zero-copy read path;
+    - indexed_speedup must clear --store-speedup-floor: membership
+      from the in-memory index has to beat a directory enumeration
+      decisively at bench scale, or contains() silently became a
+      readdir again;
+    - deposit_per_s must be within --tolerance of the baseline: a
+      collapse means the flock'd deposit critical section grew
+      (e.g. an accidental full index reload per deposit).
+    indexed_lookup_per_s and the MB/s figures are reported, not
+    gated -- absolute rates are machine property, the ratios are
+    the contract.
+    """
+    bench = fresh.get("bench", "?")
+    bs = base.get("store")
+    fs_ = fresh.get("store")
+    if not isinstance(fs_, dict):
+        fail(f"{bench}: fresh run has no \"store\" section")
+    if not isinstance(bs, dict):
+        fail(f"{bench}: baseline has no \"store\" section")
+
+    if fs_.get("mmap_bytes_identical") is not True:
+        fail(
+            f"{bench}: mmap and plain-read paths disagree "
+            f"(mmap_bytes_identical="
+            f"{fs_.get('mmap_bytes_identical')})"
+        )
+
+    speedup = fs_.get("indexed_speedup", 0.0)
+    if not isinstance(speedup, (int, float)) or speedup < args.store_speedup_floor:
+        fail(
+            f"{bench}: indexed_speedup {speedup} below floor "
+            f"{args.store_speedup_floor} (indexed "
+            f"{fs_.get('indexed_lookup_per_s')}/s vs scan "
+            f"{fs_.get('scan_lookup_per_s')}/s at "
+            f"{fs_.get('entries')} entries)"
+        )
+
+    base_dep = bs.get("deposit_per_s", 0.0)
+    fresh_dep = fs_.get("deposit_per_s", 0.0)
+    if base_dep <= 0.0 or fresh_dep <= 0.0:
+        fail(f"{bench}: non-positive deposit_per_s")
+    if fresh_dep * args.tolerance < base_dep:
+        fail(
+            f"{bench}: contended deposit path regressed: "
+            f"{fresh_dep:.1f}/s vs baseline {base_dep:.1f} "
+            f"(tolerance {args.tolerance}x)"
+        )
+    print(
+        f"check_bench: {bench}: indexed {speedup:.0f}x over dir scan "
+        f"(floor {args.store_speedup_floor}) at {fs_.get('entries')} "
+        f"entries, deposits {fresh_dep:.0f}/s (baseline "
+        f"{base_dep:.0f}), mmap {fs_.get('mmap_mb_s', 0.0):.0f} MB/s "
+        f"vs read {fs_.get('read_mb_s', 0.0):.0f} MB/s"
+    )
+    print(f"check_bench: {bench}: OK")
+
+
 def fold_backends(doc, path):
     fold = doc.get("fold")
     if not isinstance(fold, dict):
@@ -168,6 +240,14 @@ def main():
         ),
         help="min cached_speedup for query-section benches",
     )
+    ap.add_argument(
+        "--store-speedup-floor",
+        type=float,
+        default=float(
+            os.environ.get("HBBP_BENCH_STORE_SPEEDUP_FLOOR", "5.0")
+        ),
+        help="min indexed_speedup for store-section benches",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -185,6 +265,12 @@ def main():
     # cache story.
     if "query" in fresh or "query" in base:
         check_query(base, fresh, args)
+        return
+
+    # Store-path benches carry a "store" section: the embedded-index
+    # read path has no SIMD story either, it has an index story.
+    if "store" in fresh or "store" in base:
+        check_store(base, fresh, args)
         return
 
     base_fold, base_by_name = fold_backends(base, args.baseline)

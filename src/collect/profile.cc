@@ -78,7 +78,7 @@ checkedEnum(uint8_t raw, uint8_t max, const char *what,
 }
 
 ProfileData
-parseBody(const std::string &body, const std::string &path)
+parseBody(std::string_view body, const std::string &path)
 {
     ByteReader r(body, path, "profile");
     ProfileData pd;
@@ -144,12 +144,13 @@ parseBody(const std::string &body, const std::string &path)
     return pd;
 }
 
-/** The header fields and payload of a profile file. */
+/** The header fields and payload of a serialized profile. */
 struct ProbedProfile
 {
     uint32_t version = 0;
     uint64_t checksum = 0; ///< Derived from the payload for legacy files.
-    std::string body;
+    /** A view into the probed bytes — the caller keeps them alive. */
+    std::string_view body;
 };
 
 /**
@@ -160,7 +161,7 @@ struct ProbedProfile
  * on any failure.
  */
 std::optional<ProbedProfile>
-probeBytes(const std::string &bytes, const std::string &context,
+probeBytes(std::string_view bytes, const std::string &context,
            bool allow_legacy, std::string *why)
 {
     why->clear();
@@ -230,19 +231,33 @@ probeBytes(const std::string &bytes, const std::string &context,
  * when non-null, distinguishes an I/O-level failure (open/read — no
  * verdict on the bytes) from a content-level one.
  */
-std::optional<ProbedProfile>
+struct ProbedFile
+{
+    /** Owns (or maps) the file bytes probed.body points into. */
+    MappedBytes data;
+    ProbedProfile probed;
+};
+
+std::optional<ProbedFile>
 probe(const std::string &path, bool allow_legacy, std::string *why,
       bool *io_failed = nullptr)
 {
     if (io_failed)
         *io_failed = false;
-    std::string bytes = readFileBytes(path, why);
-    if (!why->empty()) {
+    ProbedFile f;
+    // mmap with a plain-read fallback (support/bytes): large profiles
+    // parse straight out of the page cache with no copy.
+    if (!f.data.open(path, why)) {
         if (io_failed)
             *io_failed = true;
         return std::nullopt;
     }
-    return probeBytes(bytes, path, allow_legacy, why);
+    std::optional<ProbedProfile> p =
+        probeBytes(f.data.view(), path, allow_legacy, why);
+    if (!p)
+        return std::nullopt;
+    f.probed = *p;
+    return std::optional<ProbedFile>(std::move(f));
 }
 
 } // namespace
@@ -265,7 +280,7 @@ ProfileData::serialize(uint64_t *checksum_out) const
 }
 
 std::optional<ProfileData>
-ProfileData::parse(const std::string &bytes, const std::string &context,
+ProfileData::parse(std::string_view bytes, const std::string &context,
                    std::string *why, uint64_t *checksum_out)
 {
     std::string local;
@@ -318,12 +333,12 @@ ProfileData
 ProfileData::load(const std::string &path)
 {
     std::string why;
-    std::optional<ProbedProfile> p =
+    std::optional<ProbedFile> p =
         probe(path, /*allow_legacy=*/false, &why);
     if (!p)
         fatal("%s", why.c_str());
     try {
-        return parseBody(p->body, path);
+        return parseBody(p->probed.body, path);
     } catch (const ByteParseError &e) {
         fatal("%s", e.what());
     }
@@ -333,14 +348,14 @@ ProfileData
 ProfileData::loadAnyVersion(const std::string &path, uint32_t *version_out)
 {
     std::string why;
-    std::optional<ProbedProfile> p =
+    std::optional<ProbedFile> p =
         probe(path, /*allow_legacy=*/true, &why);
     if (!p)
         fatal("%s", why.c_str());
     if (version_out)
-        *version_out = p->version;
+        *version_out = p->probed.version;
     try {
-        return parseBody(p->body, path);
+        return parseBody(p->probed.body, path);
     } catch (const ByteParseError &e) {
         fatal("%s", e.what());
     }
@@ -352,14 +367,14 @@ ProfileData::tryLoad(const std::string &path, std::string *why,
 {
     std::string local;
     std::string *out = why ? why : &local;
-    std::optional<ProbedProfile> p =
+    std::optional<ProbedFile> p =
         probe(path, /*allow_legacy=*/false, out, io_failed);
     if (!p)
         return std::nullopt;
     if (checksum_out)
-        *checksum_out = p->checksum;
+        *checksum_out = p->probed.checksum;
     try {
-        return parseBody(p->body, path);
+        return parseBody(p->probed.body, path);
     } catch (const ByteParseError &e) {
         *out = e.what();
         return std::nullopt;
@@ -370,11 +385,11 @@ std::optional<uint64_t>
 probeProfileChecksum(const std::string &path, std::string *why)
 {
     std::string local;
-    std::optional<ProbedProfile> p =
+    std::optional<ProbedFile> p =
         probe(path, /*allow_legacy=*/false, why ? why : &local);
     if (!p)
         return std::nullopt;
-    return p->checksum;
+    return p->probed.checksum;
 }
 
 } // namespace hbbp

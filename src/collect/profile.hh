@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "collect/periods.hh"
@@ -77,7 +78,7 @@ struct ProfileData
      * nothing here is allowed to take the process down.
      */
     static std::optional<ProfileData>
-    parse(const std::string &bytes, const std::string &context,
+    parse(std::string_view bytes, const std::string &context,
           std::string *why, uint64_t *checksum_out = nullptr);
 
     /**

@@ -17,12 +17,12 @@ namespace hbbp {
 
 namespace {
 
-// One appended record: magic, body length, body checksum, then the
-// body (manifest text + transportable chunks). The checksum makes a
-// torn append — the only non-atomic write in the fleet layer —
-// detectable, so replay stops at the damage instead of trusting it.
+// One appended record: the shared frameRecord() framing (magic, body
+// length, body checksum) around a body of manifest text +
+// transportable chunks. The checksum makes a torn append — the only
+// non-atomic write in the fleet layer — detectable, so replay stops
+// at the damage instead of trusting it.
 constexpr uint64_t kJournalMagic = 0x48424250'4a524e31ULL; // "HBBPJRN1"
-constexpr size_t kRecordHeaderBytes = 24;
 
 std::string
 renderRecord(const ShardManifest &manifest,
@@ -35,13 +35,7 @@ renderRecord(const ShardManifest &manifest,
         body.u64(chunk.size());
         body.raw(chunk.data(), chunk.size());
     }
-    ByteWriter rec;
-    rec.u64(kJournalMagic);
-    rec.u64(body.bytes().size());
-    rec.u64(fnv1a(body.bytes()));
-    std::string bytes = rec.bytes();
-    bytes += body.bytes();
-    return bytes;
+    return frameRecord(kJournalMagic, body.bytes());
 }
 
 /**
@@ -51,7 +45,7 @@ renderRecord(const ShardManifest &manifest,
  * behavior and counts as success.
  */
 bool
-replayBody(IncrementalAggregator &agg, const std::string &body,
+replayBody(IncrementalAggregator &agg, std::string_view body,
            const std::string &path, std::string *why)
 {
     try {
@@ -125,43 +119,24 @@ StateJournal::restore(IncrementalAggregator &agg, std::string *why)
 
     std::string read_why;
     std::string bytes = readFileBytes(journal_, &read_why);
-    size_t off = 0;
-    while (bytes.size() - off >= kRecordHeaderBytes) {
-        uint64_t magic, body_len, stored;
-        std::memcpy(&magic, bytes.data() + off, 8);
-        std::memcpy(&body_len, bytes.data() + off + 8, 8);
-        std::memcpy(&stored, bytes.data() + off + 16, 8);
-        if (magic != kJournalMagic) {
-            warn("state journal '%s' is damaged at offset %zu; "
-                 "dropping the tail", journal_.c_str(), off);
-            break;
-        }
-        if (bytes.size() - off - kRecordHeaderBytes < body_len) {
-            // A torn append: the process died mid-record. The arrival
-            // it carried was never acknowledged, so its sender owns
-            // the retry.
-            warn("state journal '%s' ends in a torn record; dropping "
-                 "it", journal_.c_str());
-            break;
-        }
-        std::string body =
-            bytes.substr(off + kRecordHeaderBytes,
-                         static_cast<size_t>(body_len));
-        if (fnv1a(body) != stored) {
-            warn("state journal '%s' record at offset %zu fails its "
-                 "checksum; dropping the tail", journal_.c_str(), off);
-            break;
-        }
-        std::string replay_why;
-        if (!replayBody(agg, body, journal_, &replay_why)) {
-            warn("state journal '%s' record at offset %zu does not "
-                 "replay (%s); dropping the tail", journal_.c_str(),
-                 off, replay_why.c_str());
-            break;
-        }
-        replayed_++;
-        off += kRecordHeaderBytes + static_cast<size_t>(body_len);
-    }
+    std::string scan_why;
+    size_t off = scanRecords(
+        bytes, kJournalMagic, 0,
+        [&](std::string_view body) {
+            std::string replay_why;
+            if (!replayBody(agg, body, journal_, &replay_why)) {
+                scan_why = format("record does not replay (%s)",
+                                  replay_why.c_str());
+                return false;
+            }
+            replayed_++;
+            return true;
+        },
+        &scan_why);
+    if (off < bytes.size())
+        warn("state journal '%s' is damaged at offset %zu (%s); "
+             "dropping the tail", journal_.c_str(), off,
+             scan_why.c_str());
     // A dropped tail must also leave the *file*: appends go to the
     // end, so damage left in place would strand every post-restart
     // record — acknowledged shards — behind bytes the next restore

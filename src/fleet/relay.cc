@@ -12,6 +12,19 @@ RelayNode::RelayNode(RelayOptions options)
 {
     if (!options_.state_file.empty() && options_.journal_every > 0)
         journal_.emplace(options_.state_file, options_.journal_every);
+    if (!options_.store_dir.empty()) {
+        store_.emplace(options_.store_dir);
+        // Owner identity must survive a restart of the same relay so
+        // the restarted node inherits (and releases) crashed pins;
+        // --relay-id defaults to a per-pid value, so prefer the
+        // state file when there is one.
+        pin_.emplace(*store_,
+                     format("relay-%016llx",
+                            static_cast<unsigned long long>(fnv1a(
+                                options_.state_file.empty()
+                                    ? options_.relay_id
+                                    : options_.state_file))));
+    }
     trace_.open(options_.trace_log, "relay:" + options_.relay_id);
 }
 
@@ -117,15 +130,32 @@ RelayNode::run()
 {
     stats_.restored =
         restoreAggregatorState(agg_, journal_, options_.state_file);
+    // Pins inherited from a crashed predecessor: whatever they
+    // protected is either in the restored state (durable) or will be
+    // re-sent (and re-pinned) by its downstream sender.
+    if (pin_ && pin_->restored() > 0)
+        pin_->release();
 
     ListenOptions lo;
     lo.expect = options_.expect;
     lo.idle_timeout_ms = options_.idle_timeout_ms;
-    lo.on_accept = [&](const ShardManifest &m, const ProfileData &,
+    lo.on_accept = [&](const ShardManifest &m, const ProfileData &pd,
                        const std::vector<std::string> &chunks) {
         for (const std::string &id : m.trace_ids) {
             trace_.span("relay_accept", id);
             seen_trace_ids_.insert(id);
+        }
+        if (store_) {
+            // Pin before depositing: the entry must survive any
+            // concurrent `store gc` until this arrival is durable
+            // (journaled below, or carried in the upstream flush).
+            pin_->pin(m.checksum);
+            if (chunks.size() == 1)
+                // Single-chunk arrivals already are exact
+                // profile-file bytes: zero-copy deposit.
+                store_->depositBytesByChecksum(m.checksum, chunks[0]);
+            else
+                store_->insertByChecksum(m.checksum, pd);
         }
         // Persist before the downstream ack (the sender's success
         // must imply durability), exactly like `aggregate --state`.
@@ -133,6 +163,8 @@ RelayNode::run()
             journal_->record(agg_, m, chunks);
         else if (!options_.state_file.empty())
             agg_.saveState(options_.state_file);
+        if (pin_ && !options_.state_file.empty())
+            pin_->unpin(m.checksum); // Durable in --state.
         accepted_since_flush_++;
         if (options_.flush_every > 0 &&
             accepted_since_flush_ >= options_.flush_every) {
@@ -155,6 +187,10 @@ RelayNode::run()
     stats_.upstream_ok = flushUpstream(&why);
     if (!stats_.upstream_ok)
         stats_.error = why;
+    else if (pin_)
+        // Everything this relay held is acknowledged upstream; the
+        // store entries are plain cache again.
+        pin_->release();
     return stats_;
 }
 

@@ -35,6 +35,7 @@
 
 #include "fleet/aggregate.hh"
 #include "fleet/journal.hh"
+#include "fleet/store.hh"
 #include "fleet/transport.hh"
 #include "support/telemetry.hh"
 
@@ -78,6 +79,14 @@ struct RelayOptions
     int upstream_backoff_ms = 100;
     /** JSONL span log for shard-lifecycle tracing; empty disables. */
     std::string trace_log;
+    /**
+     * Profile store to deposit accepted leaf shards into (shared,
+     * multi-process-safe); empty disables. Deposited shards are
+     * pinned until they are durable — journaled into --state or
+     * acknowledged by the upstream flush — so a concurrent
+     * `store gc` cannot evict bytes a crashed relay still needs.
+     */
+    std::string store_dir;
 };
 
 /** What a relay run did (the no-shard-loss proof). */
@@ -137,6 +146,8 @@ class RelayNode
     IncrementalAggregator agg_;
     ShardListener listener_;
     std::optional<StateJournal> journal_;
+    std::optional<ProfileStore> store_;
+    std::optional<StorePin> pin_;
     uint32_t flush_seq_ = 0;
     uint64_t last_flushed_checksum_ = 0;
     std::set<uint64_t> forwarded_orphans_;

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace hbbp {
 
@@ -66,9 +67,9 @@ uint64_t splitmix64(uint64_t x);
  */
 uint64_t fnv1a(const void *data, size_t len);
 
-/** fnv1a() over a byte string. */
+/** fnv1a() over a byte string (or a view into an mmap'd one). */
 inline uint64_t
-fnv1a(const std::string &bytes)
+fnv1a(std::string_view bytes)
 {
     return fnv1a(bytes.data(), bytes.size());
 }

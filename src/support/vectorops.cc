@@ -178,14 +178,19 @@ parseBackendName(const char *s, VectorBackend *out)
 }
 
 /**
- * Default policy: AVX2 when usable, else NEON, else scalar. AVX-512 is
- * never preferred implicitly — the 512-bit frequency penalty can erase
- * the width win (measure first; see the BENCH_scale_*.json trajectory)
- * — but stays one HBBP_VECTOR_BACKEND=avx512 away.
+ * Default policy: the widest usable backend — AVX-512, then AVX2,
+ * then NEON, then scalar. The BENCH_scale_*.json trajectory shows
+ * AVX-512 beating AVX2 on the fold kernels with no frequency cliff on
+ * these span lengths, and the bit-stability contract makes the flip
+ * results-neutral by construction; check_bench.py's simd_speedup
+ * floor guards the preference on every CI runner. Any choice stays
+ * one HBBP_VECTOR_BACKEND= away.
  */
 VectorBackend
 defaultBackend()
 {
+    if (vectorBackendUsable(VectorBackend::Avx512))
+        return VectorBackend::Avx512;
     if (vectorBackendUsable(VectorBackend::Avx2))
         return VectorBackend::Avx2;
     if (vectorBackendUsable(VectorBackend::Neon))

@@ -23,12 +23,14 @@
  *   hbbp-tool relay   --listen PORT --to HOST:PORT [--relay-id ID]
  *                     [--flush-every N] [--expect N] [--timeout-ms N]
  *                     [--state FILE] [--journal-every N] [--retries N]
- *                     [--bind ADDR] [--port-file FILE]
+ *                     [--bind ADDR] [--port-file FILE] [--store DIR]
  *   hbbp-tool serve   --listen PORT [--state FILE] [--expect N]
  *                     [--timeout-ms N] [--bind ADDR] [--port-file FILE]
  *                     [--metrics-port N] [--journal-every N]
+ *                     [--store DIR]
  *   hbbp-tool query   --from HOST:PORT <verb> [--host H] [options]
  *   hbbp-tool store   gc --store DIR [--max-age-s N] [--max-bytes N]
+ *   hbbp-tool store   (stat|verify|rebuild-index) --store DIR
  *   hbbp-tool stats   [--from HOST:PORT]
  *   hbbp-tool migrate <profile-in> [-o <profile-out>]
  *   hbbp-tool analyze <workload> -i <profile> [options]
@@ -119,17 +121,20 @@ usage()
                  "                 [--flush-every N] [--expect N] "
                  "[--timeout-ms N] [--state FILE]\n"
                  "                 [--journal-every N] [--retries N] "
-                 "[--bind ADDR] [--port-file FILE]\n"
+                 "[--bind ADDR] [--port-file FILE] [--store DIR]\n"
                  "       hbbp-tool serve --listen PORT [--state FILE] "
                  "[--expect N] [--timeout-ms N]\n"
                  "                 [--bind ADDR] [--port-file FILE] "
-                 "[--metrics-port N] [--journal-every N]\n"
+                 "[--metrics-port N] [--journal-every N] "
+                 "[--store DIR]\n"
                  "       hbbp-tool query --from HOST:PORT "
                  "<mix|report|fdo|hosts|status|shutdown>\n"
                  "                 [--host ID] [--format text|csv|json] "
                  "[analysis options]\n"
                  "       hbbp-tool store gc --store DIR "
                  "[--max-age-s N] [--max-bytes N]\n"
+                 "       hbbp-tool store (stat|verify|rebuild-index) "
+                 "--store DIR\n"
                  "       hbbp-tool stats [--from HOST:PORT]\n"
                  "       hbbp-tool migrate <profile-in> "
                  "[-o <profile-out>]\n"
@@ -439,8 +444,19 @@ cmdAggregate(const AggregateOptions &opts)
     trace.open(d.trace_log, "root");
 
     std::optional<ProfileStore> central;
-    if (!opts.store_dir.empty())
+    std::optional<StorePin> pin;
+    if (!opts.store_dir.empty()) {
         central.emplace(opts.store_dir);
+        // The pin owner must be stable across a SIGKILL + restart of
+        // the same job so a restarted aggregator inherits (and can
+        // release) its crashed predecessor's pins. The state file is
+        // that identity; stateless runs fall back to the store path.
+        pin.emplace(*central,
+                    format("agg-%016llx",
+                           static_cast<unsigned long long>(fnv1a(
+                               d.state_file.empty() ? opts.store_dir
+                                                    : d.state_file))));
+    }
 
     std::optional<Workload> aw;
     if (!opts.analyze_workload.empty())
@@ -458,6 +474,16 @@ cmdAggregate(const AggregateOptions &opts)
                     agg.restoredShards() == 1 ? "" : "s",
                     agg.hostCount(),
                     agg.hostCount() == 1 ? "" : "s");
+    // Whatever the previous run pinned is either in the restored
+    // state (durable) or was never acknowledged (its sender retries,
+    // re-pinning on redelivery) — safe to release either way, and
+    // leaking pins forever would quietly exempt entries from gc.
+    if (pin && pin->restored() > 0) {
+        std::printf("releasing %zu pin%s inherited from a previous "
+                    "run\n", pin->restored(),
+                    pin->restored() == 1 ? "" : "s");
+        pin->release();
+    }
     // Persist after every accepted shard (and the per-arrival
     // analysis/deposit), before the arrival is acknowledged: a killed
     // aggregator restarted with the same --state resumes from its
@@ -474,8 +500,17 @@ cmdAggregate(const AggregateOptions &opts)
         for (const std::string &id : m.trace_ids)
             trace.span("root_fold", id,
                        format("from=%s", m.host.c_str()));
-        if (central && !central->containsChecksum(m.checksum)) {
-            if (profile)
+        if (central) {
+            // Pin BEFORE depositing: from here until this arrival is
+            // durable (journaled below), a concurrent `store gc` must
+            // not evict the shard out from under a crashed restart.
+            pin->pin(m.checksum);
+            if (chunks && chunks->size() == 1)
+                // The chunk already is exact profile-file bytes:
+                // deposit without a re-parse or re-serialize.
+                central->depositBytesByChecksum(m.checksum,
+                                                (*chunks)[0]);
+            else if (profile)
                 central->insertByChecksum(m.checksum, *profile);
             else
                 central->depositFileByChecksum(
@@ -506,6 +541,10 @@ cmdAggregate(const AggregateOptions &opts)
         } else {
             agg.saveState(d.state_file);
         }
+        // The arrival is durable (journaled or checkpointed): the
+        // store entry no longer needs crash protection.
+        if (pin)
+            pin->unpin(m.checksum);
     };
 
     if (listening) {
@@ -549,6 +588,10 @@ cmdAggregate(const AggregateOptions &opts)
               st.incompatible, st.malformed);
     if (!opts.profile_out.empty())
         agg.aggregate().save(opts.profile_out);
+    // Clean completion: stateless runs kept every deposit pinned
+    // until the aggregate was saved above.
+    if (pin)
+        pin->release();
 
     std::printf("aggregate: accepted=%zu duplicates=%zu "
                 "incompatible=%zu malformed=%zu analyses=%zu "
@@ -607,6 +650,7 @@ cmdRelay(const RelayCliOptions &opts)
     ro.journal_every = d.journal_every;
     ro.upstream_retries = std::max(opts.retries, 1);
     ro.trace_log = d.trace_log;
+    ro.store_dir = opts.store_dir;
 
     std::unique_ptr<MetricsServer> metrics = startObservability(d);
     RelayNode relay(std::move(ro));
@@ -660,6 +704,17 @@ cmdServe(const ServeOptions &opts)
     telemetry::TraceLog trace;
     trace.open(d.trace_log, "serve");
 
+    std::optional<ProfileStore> central;
+    std::optional<StorePin> pin;
+    if (!opts.store_dir.empty()) {
+        central.emplace(opts.store_dir);
+        pin.emplace(*central,
+                    format("serve-%016llx",
+                           static_cast<unsigned long long>(fnv1a(
+                               d.state_file.empty() ? opts.store_dir
+                                                    : d.state_file))));
+    }
+
     IncrementalAggregator agg;
     std::optional<StateJournal> journal;
     if (!d.state_file.empty() && d.journal_every > 0)
@@ -671,6 +726,8 @@ cmdServe(const ServeOptions &opts)
                     agg.restoredShards() == 1 ? "" : "s",
                     agg.hostCount(),
                     agg.hostCount() == 1 ? "" : "s");
+    if (pin && pin->restored() > 0)
+        pin->release(); // Durable in the restored state either way.
 
     AggregatorProfileSource source(agg);
     AnalysisService service(source, makeWorkloadByName);
@@ -688,17 +745,28 @@ cmdServe(const ServeOptions &opts)
     ListenOptions lo;
     lo.expect = d.expect;
     lo.idle_timeout_ms = d.timeout_ms;
-    lo.on_accept = [&](const ShardManifest &m, const ProfileData &,
+    lo.on_accept = [&](const ShardManifest &m, const ProfileData &pd,
                        const std::vector<std::string> &chunks) {
         for (const std::string &id : m.trace_ids)
             trace.span("root_fold", id,
                        format("from=%s", m.host.c_str()));
+        if (central) {
+            // Same pin-deposit-unpin dance as aggregate: the entry
+            // must outlive any concurrent gc until durable here.
+            pin->pin(m.checksum);
+            if (chunks.size() == 1)
+                central->depositBytesByChecksum(m.checksum, chunks[0]);
+            else
+                central->insertByChecksum(m.checksum, pd);
+        }
         if (d.state_file.empty())
             return;
         if (journal)
             journal->record(agg, m, chunks);
         else
             agg.saveState(d.state_file);
+        if (pin)
+            pin->unpin(m.checksum);
     };
     lo.on_query = [&](const std::string &body) {
         return endpoint.handle(body);
@@ -706,6 +774,8 @@ cmdServe(const ServeOptions &opts)
     lo.should_stop = [&] { return endpoint.stopRequested(); };
     listener.serve(agg, lo);
 
+    if (pin)
+        pin->release(); // Clean exit: deposits are plain cache now.
     const ServiceStats &ss = service.stats();
     const AggregatorStats &st = agg.stats();
     std::printf("serve: accepted=%zu hosts=%zu covered=%zu epoch=%llu "
@@ -759,28 +829,61 @@ cmdQuery(const QueryCliOptions &opts)
     return 0;
 }
 
-/** Store maintenance: `hbbp-tool store gc` bounded eviction. */
+/**
+ * Store maintenance: `hbbp-tool store gc|stat|verify|rebuild-index`.
+ * gc is bounded eviction; stat summarizes the index; verify
+ * cross-checks index vs directory vs checksums; rebuild-index
+ * re-derives the index from the entries (the recovery tool).
+ */
 int
 cmdStore(const StoreOptions &opts)
 {
-    if (opts.action != "gc")
-        fatal("unknown store action '%s' (expected: gc)",
-              opts.action.c_str());
     if (opts.store_dir.empty())
-        fatal("store gc requires --store <dir>");
-    if (opts.max_age_s < 0 && opts.max_bytes < 0)
-        fatal("store gc requires --max-age-s and/or --max-bytes "
-              "(unbounded gc would evict nothing)");
-
-    ProfileStore store(opts.store_dir);
-    ProfileStore::GcResult res =
-        store.gc({opts.max_age_s, opts.max_bytes});
-    std::printf("store gc: scanned=%zu evicted=%zu bytes_before=%llu "
-                "bytes_after=%llu\n",
-                res.scanned, res.evicted,
-                static_cast<unsigned long long>(res.bytes_before),
-                static_cast<unsigned long long>(res.bytes_after));
-    return 0;
+        fatal("store %s requires --store <dir>",
+              opts.action.empty() ? "gc" : opts.action.c_str());
+    if (opts.action == "gc") {
+        if (opts.max_age_s < 0 && opts.max_bytes < 0)
+            fatal("store gc requires --max-age-s and/or --max-bytes "
+                  "(unbounded gc would evict nothing)");
+        ProfileStore store(opts.store_dir);
+        ProfileStore::GcResult res =
+            store.gc({opts.max_age_s, opts.max_bytes});
+        std::printf("store gc: scanned=%zu evicted=%zu "
+                    "pinned_skipped=%zu bytes_before=%llu "
+                    "bytes_after=%llu\n",
+                    res.scanned, res.evicted, res.pinned_skipped,
+                    static_cast<unsigned long long>(res.bytes_before),
+                    static_cast<unsigned long long>(res.bytes_after));
+        return 0;
+    }
+    if (opts.action == "stat") {
+        ProfileStore store(opts.store_dir);
+        ProfileStore::Stats st = store.stats();
+        std::printf("store stat: key_entries=%zu shard_entries=%zu "
+                    "total_bytes=%llu pinned=%zu pin_owners=%zu\n",
+                    st.key_entries, st.shard_entries,
+                    static_cast<unsigned long long>(st.total_bytes),
+                    st.pinned, st.pin_owners);
+        return 0;
+    }
+    if (opts.action == "verify") {
+        ProfileStore store(opts.store_dir);
+        ProfileStore::VerifyResult res = store.verify();
+        std::printf("store verify: checked=%zu missing_files=%zu "
+                    "stray_files=%zu checksum_mismatches=%zu %s\n",
+                    res.checked, res.missing_files, res.stray_files,
+                    res.checksum_mismatches,
+                    res.ok() ? "ok" : "NOT OK");
+        return res.ok() ? 0 : 1;
+    }
+    if (opts.action == "rebuild-index") {
+        ProfileStore store(opts.store_dir);
+        size_t n = store.rebuildIndex();
+        std::printf("store rebuild-index: indexed=%zu\n", n);
+        return 0;
+    }
+    fatal("unknown store action '%s' (expected: gc, stat, verify, "
+          "rebuild-index)", opts.action.c_str());
 }
 
 /**

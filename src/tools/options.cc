@@ -327,6 +327,7 @@ RelayCliOptions::parse(int argc, char **argv)
     ArgParser p(argc, argv, 2);
     p.value("--to", &opts.to);
     p.value("--relay-id", &opts.relay_id);
+    p.value("--store", &opts.store_dir);
     p.count("--flush-every", &opts.flush_every);
     p.count("--retries", &opts.retries,
             static_cast<uint64_t>(INT_MAX));
@@ -401,6 +402,7 @@ ServeOptions::parse(int argc, char **argv)
     // still arms the idle exit when a script wants one.
     opts.daemon.timeout_ms = -1;
     ArgParser p(argc, argv, 2);
+    p.value("--store", &opts.store_dir);
     addDaemonFlags(p, &opts.daemon);
     p.run();
     return opts;

@@ -226,6 +226,7 @@ struct RelayCliOptions
 {
     std::string to;
     std::string relay_id;
+    std::string store_dir;
     size_t flush_every = 0;
     int retries = 5;
     DaemonOptions daemon;
@@ -279,6 +280,7 @@ struct FdoOptions
 
 struct ServeOptions
 {
+    std::string store_dir; ///< Shared profile store to deposit into.
     DaemonOptions daemon; ///< timeout_ms defaults to -1: serve until
                           ///< a shutdown query (or --expect).
 

@@ -801,7 +801,12 @@ TEST(Store, UnreadableEntriesAreEvictedNotLeaked)
     // entries whose keys are no longer requested). A failed load now
     // unlinks the entry.
     std::string dir = freshDir("evict_store");
-    ProfileStore store(dir);
+    // The stale files below are written moments before the lookup;
+    // disable the heal grace window that would (correctly) treat
+    // such young entries as a racing depositor's work.
+    ProfileStore::Options opts;
+    opts.heal_grace_s = 0;
+    ProfileStore store(dir, opts);
     CollectorConfig cc;
     ProfileKey stale_key{"loop", cc, 1, MachineConfig{}};
     cc.seed = 99;
@@ -809,6 +814,9 @@ TEST(Store, UnreadableEntriesAreEvictedNotLeaked)
 
     writeFile(store.pathFor(stale_key), "HBBPPROFxxxx not really");
     writeFile(store.pathFor(other_stale), "legacy junk");
+    // Out-of-band writes bypass the index; rebuild adopts them (the
+    // unreadable bytes still occupy disk, which is the point here).
+    store.rebuildIndex();
     EXPECT_EQ(store.entryCount(), 2u);
 
     EXPECT_EQ(store.lookup(stale_key), std::nullopt);
