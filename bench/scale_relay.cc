@@ -32,6 +32,7 @@
 #include "fleet/aggregate.hh"
 #include "fleet/manifest.hh"
 #include "fleet/merge.hh"
+#include "fleet/metrics.hh"
 #include "fleet/relay.hh"
 #include "fleet/shard.hh"
 #include "fleet/transport.hh"
@@ -159,6 +160,69 @@ measureTelemetryOverhead(const std::vector<ShardManifest> &manifests,
                                 to.disabled_seconds * 100.0
                           : 0.0;
     return to;
+}
+
+/** What the federation plane itself costs and whether it adds up. */
+struct FederationBench
+{
+    size_t children = 0;
+    size_t merged_series = 0; ///< Non-comment lines in one merge.
+    double merges_per_s = 0.0; ///< federateMetricsText() throughput.
+    double scrape_ms = 0.0; ///< Min loopback /metrics round-trip.
+    bool rollup_consistent = false; ///< subtree == own + child sum.
+};
+
+/**
+ * Price the federation plane: the scrape round-trip against a live
+ * MetricsServer and the pure-merge throughput of federateMetricsText
+ * over the federator's real snapshots. Both the bench child and the
+ * "parent" render the same process registry, so a marker counter set
+ * to V must roll up to exactly 2*V in the merged view — a cheap
+ * end-to-end check that the rollup arithmetic holds on live scrapes,
+ * not just in unit tests.
+ */
+FederationBench
+measureFederation(MetricsFederator &fed, uint16_t child_port,
+                  int merge_iters)
+{
+    FederationBench fb;
+    fb.children = fed.childCount();
+    fb.scrape_ms = 1e9;
+    for (int i = 0; i < 25; i++) {
+        std::string body, why;
+        auto start = std::chrono::steady_clock::now();
+        if (!fetchMetricsText("127.0.0.1", child_port, &body, &why))
+            fatal("federation bench scrape failed: %s", why.c_str());
+        fb.scrape_ms = std::min(fb.scrape_ms, secondsSince(start) * 1e3);
+    }
+    std::string own = telemetry::registry().renderPrometheus();
+    std::vector<PeerSnapshot> snaps = fed.snapshots();
+    std::string merged = federateMetricsText(own, snaps);
+    for (size_t pos = 0; pos < merged.size();) {
+        size_t eol = merged.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = merged.size();
+        if (eol > pos && merged[pos] != '#')
+            fb.merged_series++;
+        pos = eol + 1;
+    }
+    uint64_t marker =
+        telemetry::counter("hbbp_bench_federation_marker_total")
+            .value();
+    fb.rollup_consistent =
+        merged.find(format("hbbp_bench_federation_marker_total"
+                           "{agg=\"subtree\"} %llu",
+                           static_cast<unsigned long long>(2 * marker)))
+        != std::string::npos;
+    auto start = std::chrono::steady_clock::now();
+    size_t sink = 0;
+    for (int i = 0; i < merge_iters; i++)
+        sink += federateMetricsText(own, snaps).size();
+    double s = secondsSince(start);
+    if (sink == 0)
+        fatal("federation bench merged nothing");
+    fb.merges_per_s = s > 0.0 ? merge_iters / s : 0.0;
+    return fb;
 }
 
 } // namespace
@@ -298,8 +362,40 @@ main(int argc, char **argv)
     bench::FoldBench fb =
         bench::runFoldBench(fold_profiles, 4096, quick ? 500 : 2000);
 
+    // Federation plane, live for the rest of the run: a child
+    // MetricsServer scraped in the background while the fold-path
+    // overhead is measured. The ISSUE's <2% telemetry budget must
+    // hold with federation enabled, not just with idle counters.
+    telemetry::counter("hbbp_bench_federation_marker_total").add(7);
+    MetricsServer fed_child(0);
+    MetricsFederator federator(/*interval_s=*/0.05);
+    federator.noteChild("bench-child",
+                        format("127.0.0.1:%u",
+                               static_cast<unsigned>(fed_child.port())));
+    {
+        // Wait for the first successful scrape so the merge below
+        // sees real child series (including the marker counter).
+        auto wait_start = std::chrono::steady_clock::now();
+        for (;;) {
+            std::vector<PeerSnapshot> snaps = federator.snapshots();
+            if (!snaps.empty() && snaps[0].fresh &&
+                snaps[0].text.find(
+                    "hbbp_bench_federation_marker_total") !=
+                    std::string::npos)
+                break;
+            if (secondsSince(wait_start) > 10.0)
+                fatal("federation bench child never became fresh");
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+    }
+
     TelemetryOverhead to = measureTelemetryOverhead(
         fold_manifests, fold_profiles, quick ? 120 : 160);
+
+    FederationBench fed = measureFederation(federator, fed_child.port(),
+                                            quick ? 400 : 1500);
+    federator.stop();
+    fed_child.stop();
 
     if (human) {
         bench::headline("Relay tree scaling",
@@ -329,6 +425,12 @@ main(int argc, char **argv)
                     to.overhead_pct, to.enabled_seconds,
                     to.disabled_seconds, to.shards, to.reps,
                     to.noise_pct);
+        std::printf("federation: %zu child, %zu merged series, "
+                    "%.0f merges/s, %.3f ms scrape, rollup %s\n",
+                    fed.children, fed.merged_series, fed.merges_per_s,
+                    fed.scrape_ms,
+                    fed.rollup_consistent ? "consistent"
+                                          : "INCONSISTENT");
         return 0;
     }
 
@@ -340,6 +442,11 @@ main(int argc, char **argv)
                 "\"overhead_pct\": %.3f, \"noise_pct\": %.3f},\n",
                 to.reps, to.shards, to.enabled_seconds,
                 to.disabled_seconds, to.overhead_pct, to.noise_pct);
+    std::printf("  \"federation\": {\"children\": %zu, "
+                "\"merged_series\": %zu, \"merges_per_s\": %.1f, "
+                "\"scrape_ms\": %.3f, \"rollup_consistent\": %s},\n",
+                fed.children, fed.merged_series, fed.merges_per_s,
+                fed.scrape_ms, fed.rollup_consistent ? "true" : "false");
     std::printf("  \"points\": [\n");
     for (size_t i = 0; i < points.size(); i++) {
         const RelayPoint &p = points[i];

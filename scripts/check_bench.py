@@ -35,6 +35,13 @@ Checks, failing loudly (exit 1) on the first violation:
      budget applies as-is). Benches without the section (and
      baselines recorded before it existed) skip the gate with a
      warning.
+  7. Federation: when the fresh run carries a "federation" section
+     (scale_relay does -- measured with a live MetricsFederator
+     scraping a child endpoint while the telemetry overhead above is
+     sampled), rollup_consistent must be true (the marker counter's
+     agg="subtree" series equals own + child exactly), merges_per_s
+     and scrape_ms must be positive, and merges_per_s must be within
+     --tolerance of the baseline when the baseline has the section.
 
 Benches whose JSON carries a "query" section instead of "fold"
 (scale_query) take a different gate -- see check_query(): the cached
@@ -353,6 +360,46 @@ def main():
             f"(budget {args.telemetry_overhead_max}% + noise floor "
             f"{noise:.3f}%)"
         )
+
+    federation = fresh.get("federation")
+    if federation is None:
+        warn(f"{bench}: no federation section; federation gate skipped")
+    else:
+        if federation.get("rollup_consistent") is not True:
+            fail(
+                f"{bench}: federated rollup arithmetic broken "
+                f"(rollup_consistent="
+                f"{federation.get('rollup_consistent')})"
+            )
+        merges = federation.get("merges_per_s", 0.0)
+        scrape_ms = federation.get("scrape_ms", 0.0)
+        if not isinstance(merges, (int, float)) or merges <= 0.0:
+            fail(f"{bench}: non-positive federation merges_per_s")
+        if not isinstance(scrape_ms, (int, float)) or scrape_ms <= 0.0:
+            fail(f"{bench}: non-positive federation scrape_ms")
+        base_fed = base.get("federation")
+        if isinstance(base_fed, dict) and base_fed.get("merges_per_s", 0.0) > 0.0:
+            base_merges = base_fed["merges_per_s"]
+            if merges * args.tolerance < base_merges:
+                fail(
+                    f"{bench}: federated merge regressed: "
+                    f"{merges:.0f} merges/s vs baseline "
+                    f"{base_merges:.0f} (tolerance {args.tolerance}x)"
+                )
+            print(
+                f"check_bench: {bench}: federation merge "
+                f"{merges:.0f}/s (baseline {base_merges:.0f}), "
+                f"scrape {scrape_ms:.3f} ms, rollup consistent"
+            )
+        else:
+            warn(
+                f"{bench}: baseline predates the federation section; "
+                f"merge-rate comparison skipped"
+            )
+            print(
+                f"check_bench: {bench}: federation merge {merges:.0f}/s, "
+                f"scrape {scrape_ms:.3f} ms, rollup consistent"
+            )
 
     print(f"check_bench: {bench}: OK")
 

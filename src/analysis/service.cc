@@ -1,6 +1,7 @@
 #include "analysis/service.hh"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
@@ -617,8 +618,21 @@ AnalysisService::buildStatus(const QueryRequest &request)
     return r;
 }
 
+namespace {
+
+/** Steady-clock nanoseconds for the serve-timing split. */
+int64_t
+serveNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
 QueryResult
-AnalysisService::serve(const QueryRequest &request)
+AnalysisService::serve(const QueryRequest &request, ServeTiming *timing)
 {
     static telemetry::Counter &m_requests =
         telemetry::counter("hbbp_query_requests_total");
@@ -631,6 +645,7 @@ AnalysisService::serve(const QueryRequest &request)
 
     stats_.requests++;
     m_requests.add();
+    int64_t t0 = serveNowNs();
     refreshEpoch();
     uint64_t epoch = source_.epoch();
     const std::string &verb = request.verb;
@@ -640,6 +655,9 @@ AnalysisService::serve(const QueryRequest &request)
     if (!renderFormatFromName(format_name)) {
         stats_.errors++;
         m_errors.add();
+        if (timing)
+            timing->cache_ns =
+                static_cast<uint64_t>(serveNowNs() - t0);
         return QueryResult::failure(
             verb, epoch,
             format("unknown format '%s' (expected: text, csv, json)",
@@ -655,11 +673,18 @@ AnalysisService::serve(const QueryRequest &request)
             m_hits.add();
             QueryResult r = it->second;
             r.cached = true;
+            if (timing)
+                timing->cache_ns =
+                    static_cast<uint64_t>(serveNowNs() - t0);
             return r;
         }
         stats_.misses++;
         m_misses.add();
     }
+
+    int64_t t1 = serveNowNs();
+    if (timing)
+        timing->cache_ns = static_cast<uint64_t>(t1 - t0);
 
     QueryResult r;
     if (verb == "mix")
@@ -680,6 +705,9 @@ AnalysisService::serve(const QueryRequest &request)
     r.verb = verb;
     r.epoch = epoch;
     r.cached = false;
+    if (timing)
+        timing->analysis_ns =
+            static_cast<uint64_t>(serveNowNs() - t1);
     if (!r.error.empty()) {
         stats_.errors++;
         m_errors.add();

@@ -210,6 +210,17 @@ using WorkloadResolver =
     std::function<std::optional<Workload>(const std::string &)>;
 
 /**
+ * Where one served query's time went, in nanoseconds. The query
+ * endpoint forwards this split in the reply's `timing=` header; the
+ * transport-side parse/render halves are measured by the caller.
+ */
+struct ServeTiming
+{
+    uint64_t cache_ns = 0;    ///< Epoch refresh + result-cache probe.
+    uint64_t analysis_ns = 0; ///< Building the result (0 on a hit).
+};
+
+/**
  * The analysis facade: serves `mix`, `report`, `fdo`, `hosts` and
  * `status` queries over a ProfileSource, with per-epoch caching.
  *
@@ -235,9 +246,11 @@ class AnalysisService
      * bad input — a malformed query from the network must cost one
      * error result, not the daemon. `mix`/`report`/`fdo` results are
      * cached per epoch; `hosts`/`status` are computed fresh (status
-     * reports live counters).
+     * reports live counters). *@p timing, when non-null, receives
+     * the cache-probe/analysis time split.
      */
-    QueryResult serve(const QueryRequest &request);
+    QueryResult serve(const QueryRequest &request,
+                      ServeTiming *timing = nullptr);
 
     /** The source's current epoch (what new results will carry). */
     uint64_t epoch() const { return source_.epoch(); }

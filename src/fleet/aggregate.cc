@@ -9,6 +9,7 @@
 
 #include "fleet/merge.hh"
 #include "support/bytes.hh"
+#include "support/events.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/telemetry.hh"
@@ -218,6 +219,8 @@ IncrementalAggregator::addShard(const ShardManifest &manifest,
     static telemetry::Counter &m_folded =
         telemetry::counter("hbbp_agg_shards_folded_total");
     m_folded.add();
+    telemetry::beatEnable(telemetry::Stage::Fold);
+    telemetry::beat(telemetry::Stage::Fold);
 
     stats_.accepted++;
     epoch_++;
@@ -317,6 +320,9 @@ IncrementalAggregator::addAggregateShard(const ShardManifest &manifest,
         static telemetry::Counter &m_superseded =
             telemetry::counter("hbbp_agg_superseded_total");
         m_superseded.add();
+        events::emit(events::Level::Info, "shard_supersede",
+                     {{"relay", manifest.host},
+                      {"level", format("%u", manifest.level)}});
         if (why)
             *why = format(
                 "aggregate from relay '%s' is entirely superseded: "
@@ -359,6 +365,8 @@ IncrementalAggregator::addAggregateShard(const ShardManifest &manifest,
     static telemetry::Counter &m_agg_folded =
         telemetry::counter("hbbp_agg_aggregates_folded_total");
     m_agg_folded.add();
+    telemetry::beatEnable(telemetry::Stage::Fold);
+    telemetry::beat(telemetry::Stage::Fold);
 
     stats_.accepted++;
     stats_.aggregates++;

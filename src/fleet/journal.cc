@@ -184,6 +184,8 @@ StateJournal::record(IncrementalAggregator &agg,
     static telemetry::Counter &m_append_bytes =
         telemetry::counter("hbbp_journal_append_bytes_total");
     m_append_bytes.add(bytes.size());
+    telemetry::beatEnable(telemetry::Stage::Journal);
+    telemetry::beat(telemetry::Stage::Journal);
     pending_records_++;
     if (pending_records_ >= compact_every_)
         compact(agg);

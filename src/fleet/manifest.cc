@@ -164,6 +164,10 @@ ShardManifest::render() const
     // bytes identical to pre-tracing builds at every version.
     if (!trace_ids.empty())
         text += "trace=" + join(trace_ids, ",") + "\n";
+    // Optional trailing metrics endpoint, same discipline: a daemon
+    // that does not advertise one renders nothing.
+    if (!metrics_endpoint.empty())
+        text += "metrics=" + metrics_endpoint + "\n";
     return text;
 }
 
@@ -287,6 +291,14 @@ ShardManifest::parse(const std::string &text, std::string *why)
                                        id.c_str()));
                 m.trace_ids.push_back(id);
             }
+        } else if (key == "metrics") {
+            // Optional at every version. An endpoint is `host:port`;
+            // reject only what would corrupt a re-render or a later
+            // scrape attempt.
+            if (value.find_first_of(" \t,") != std::string::npos)
+                return fail(format("malformed metrics endpoint '%s'",
+                                   value.c_str()));
+            m.metrics_endpoint = value;
         }
         // Unknown keys are ignored: minor-version additions stay
         // readable by older aggregators.

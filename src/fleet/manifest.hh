@@ -118,6 +118,17 @@ struct ShardManifest
      * older parsers skip the key entirely (unknown keys are ignored).
      */
     std::vector<std::string> trace_ids;
+    /**
+     * Optional metrics scrape endpoint (`host:port`) of the daemon
+     * that pushed this shard. A relay stamps its aggregates with its
+     * own --metrics-port address so the parent learns where to
+     * federate metrics from — endpoint discovery rides the shard tree
+     * instead of needing separate configuration. Rendered as a
+     * trailing `metrics=` line only when non-empty, so unstamped
+     * manifests keep their frozen bytes and older parsers skip the
+     * key.
+     */
+    std::string metrics_endpoint;
 
     bool operator==(const ShardManifest &other) const = default;
 

@@ -1,7 +1,12 @@
 #include "fleet/metrics.hh"
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <set>
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -12,7 +17,9 @@
 #include <unistd.h>
 
 #include "fleet/socket_client.hh"
+#include "support/events.hh"
 #include "support/logging.hh"
+#include "support/strings.hh"
 #include "support/telemetry.hh"
 
 namespace hbbp {
@@ -24,12 +31,11 @@ constexpr int kIoTimeoutMs = 2000;
 constexpr size_t kMaxRequestBytes = 4096;
 
 /**
- * Drain the request head until a blank line or the size cap. The
- * scrape response is the same whatever the path, so the only job here
- * is to consume the client's request before answering — some clients
- * treat an early response as an error.
+ * Read the request head until a blank line or the size cap. Some
+ * clients treat an early response as an error, so the head is always
+ * consumed; its request line is what routes /metrics vs /healthz.
  */
-void
+std::string
 drainRequest(int fd)
 {
     char buf[512];
@@ -37,11 +43,87 @@ drainRequest(int fd)
     while (head.size() < kMaxRequestBytes) {
         ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
         if (n <= 0)
-            return;
+            break;
         head.append(buf, static_cast<size_t>(n));
         if (head.find("\r\n\r\n") != std::string::npos ||
             head.find("\n\n") != std::string::npos)
-            return;
+            break;
+    }
+    return head;
+}
+
+/** The path of `GET <path> HTTP/1.x`; "/metrics" when unparseable. */
+std::string
+requestPath(const std::string &head)
+{
+    size_t eol = head.find_first_of("\r\n");
+    std::vector<std::string> parts = split(
+        head.substr(0, eol == std::string::npos ? head.size() : eol),
+        ' ');
+    if (parts.size() < 2 || parts[1].empty())
+        return "/metrics";
+    // Ignore any query string: /healthz?verbose routes like /healthz.
+    return parts[1].substr(0, parts[1].find('?'));
+}
+
+/** One `name[{labels}] value` exposition line, decomposed. */
+struct SeriesLine
+{
+    std::string name;
+    std::string labels; ///< Between the braces, braces stripped.
+    std::string value;
+};
+
+bool
+parseSeriesLine(const std::string &line, SeriesLine *out)
+{
+    if (line.empty() || line[0] == '#')
+        return false;
+    size_t brace = line.find('{');
+    size_t space = line.find(' ');
+    if (brace != std::string::npos &&
+        (space == std::string::npos || brace < space)) {
+        size_t close = line.find('}', brace);
+        if (close == std::string::npos || close + 1 >= line.size() ||
+            line[close + 1] != ' ')
+            return false;
+        out->name = line.substr(0, brace);
+        out->labels = line.substr(brace + 1, close - brace - 1);
+        out->value = line.substr(close + 2);
+    } else {
+        if (space == std::string::npos)
+            return false;
+        out->name = line.substr(0, space);
+        out->labels.clear();
+        out->value = line.substr(space + 1);
+    }
+    return !out->name.empty() && !out->value.empty();
+}
+
+/** Parse a bare unsigned decimal series value; false otherwise. */
+bool
+parseSeriesValue(const std::string &value, unsigned long long *out)
+{
+    if (value.empty())
+        return false;
+    for (char c : value)
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    errno = 0;
+    *out = std::strtoull(value.c_str(), nullptr, 10);
+    return errno != ERANGE;
+}
+
+/** Collect every `# TYPE <name> counter` name into *@p out. */
+void
+collectCounterNames(const std::string &text, std::set<std::string> *out)
+{
+    for (const std::string &line : split(text, '\n')) {
+        if (line.rfind("# TYPE ", 0) != 0)
+            continue;
+        std::vector<std::string> parts = split(line, ' ');
+        if (parts.size() == 4 && parts[3] == "counter")
+            out->insert(parts[2]);
     }
 }
 
@@ -49,6 +131,12 @@ drainRequest(int fd)
 
 MetricsServer::MetricsServer(uint16_t port)
 {
+    metrics_fn_ = [] {
+        return telemetry::registry().renderPrometheus();
+    };
+    healthz_fn_ = [] {
+        return telemetry::renderHealth(telemetry::healthNowMs(), 30.0);
+    };
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0)
         fatal("metrics: cannot create socket: %s", std::strerror(errno));
@@ -74,6 +162,20 @@ MetricsServer::MetricsServer(uint16_t port)
 MetricsServer::~MetricsServer()
 {
     stop();
+}
+
+void
+MetricsServer::setMetricsRenderer(Renderer fn)
+{
+    std::lock_guard<std::mutex> lock(render_mu_);
+    metrics_fn_ = std::move(fn);
+}
+
+void
+MetricsServer::setHealthzRenderer(Renderer fn)
+{
+    std::lock_guard<std::mutex> lock(render_mu_);
+    healthz_fn_ = std::move(fn);
 }
 
 void
@@ -105,8 +207,13 @@ MetricsServer::serveLoop()
         if (fd < 0)
             continue;
         netSetIoTimeout(fd, kIoTimeoutMs);
-        drainRequest(fd);
-        std::string body = telemetry::registry().renderPrometheus();
+        std::string path = requestPath(drainRequest(fd));
+        Renderer fn;
+        {
+            std::lock_guard<std::mutex> lock(render_mu_);
+            fn = path == "/healthz" ? healthz_fn_ : metrics_fn_;
+        }
+        std::string body = fn();
         std::string resp =
             "HTTP/1.0 200 OK\r\n"
             "Content-Type: text/plain; version=0.0.4\r\n"
@@ -117,9 +224,299 @@ MetricsServer::serveLoop()
     }
 }
 
+std::string
+federateMetricsText(const std::string &own,
+                    const std::vector<PeerSnapshot> &peers)
+{
+    // Local series pass through verbatim, so single-daemon scrape
+    // consumers (and the relay smoke test's regexes) see the exact
+    // bytes a non-federating build serves.
+    std::string out = own;
+
+    std::vector<const PeerSnapshot *> sorted;
+    sorted.reserve(peers.size());
+    for (const PeerSnapshot &p : peers)
+        sorted.push_back(&p);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const PeerSnapshot *a, const PeerSnapshot *b) {
+                  return a->peer < b->peer;
+              });
+
+    std::set<std::string> counters;
+    collectCounterNames(own, &counters);
+    for (const PeerSnapshot *p : sorted)
+        if (p->fresh)
+            collectCounterNames(p->text, &counters);
+
+    if (!sorted.empty()) {
+        out += "# TYPE hbbp_federation_child_up gauge\n";
+        for (const PeerSnapshot *p : sorted)
+            out += format("hbbp_federation_child_up{peer=\"%s\"} %d\n",
+                          p->peer.c_str(), p->fresh ? 1 : 0);
+    }
+
+    // Subtree totals: local value plus each fresh child's own subtree
+    // series when it federates too, its bare series otherwise — so a
+    // root's rollup covers grandchildren without double counting.
+    std::map<std::string, unsigned long long> rollup;
+    for (const std::string &line : split(own, '\n')) {
+        SeriesLine s;
+        unsigned long long v;
+        if (parseSeriesLine(line, &s) && s.labels.empty() &&
+            counters.count(s.name) && parseSeriesValue(s.value, &v))
+            rollup[s.name] += v;
+    }
+
+    for (const PeerSnapshot *p : sorted) {
+        if (!p->fresh)
+            continue;
+        std::map<std::string, unsigned long long> bare, subtree;
+        for (const std::string &line : split(p->text, '\n')) {
+            if (line.empty() || line[0] == '#')
+                continue;
+            SeriesLine s;
+            if (!parseSeriesLine(line, &s)) {
+                static telemetry::Counter &m_bad = telemetry::counter(
+                    "hbbp_federation_unparsed_lines_total");
+                m_bad.add();
+                continue;
+            }
+            unsigned long long v;
+            if (counters.count(s.name) &&
+                parseSeriesValue(s.value, &v)) {
+                if (s.labels.empty())
+                    bare[s.name] = v;
+                else if (s.labels == "agg=\"subtree\"")
+                    subtree[s.name] = v;
+            }
+            // Re-emit with the child's identity. A line that already
+            // carries a peer label is a grandchild's — pass it
+            // through unchanged so identity survives depth.
+            if (s.labels.find("peer=\"") != std::string::npos) {
+                out += line + "\n";
+            } else if (s.labels.empty()) {
+                out += format("%s{peer=\"%s\"} %s\n", s.name.c_str(),
+                              p->peer.c_str(), s.value.c_str());
+            } else {
+                out += format("%s{%s,peer=\"%s\"} %s\n", s.name.c_str(),
+                              s.labels.c_str(), p->peer.c_str(),
+                              s.value.c_str());
+            }
+        }
+        for (const auto &[name, v] : bare)
+            if (!subtree.count(name))
+                rollup[name] += v;
+        for (const auto &[name, v] : subtree)
+            rollup[name] += v;
+    }
+
+    for (const auto &[name, v] : rollup)
+        out += format("%s{agg=\"subtree\"} %llu\n", name.c_str(), v);
+    return out;
+}
+
+MetricsFederator::MetricsFederator(double interval_s,
+                                   double stale_after_s)
+    : interval_s_(interval_s), stale_after_s_(stale_after_s)
+{
+    telemetry::beatEnable(telemetry::Stage::Federator);
+    thread_ = std::thread([this] { scrapeLoop(); });
+}
+
+MetricsFederator::~MetricsFederator()
+{
+    stop();
+}
+
+void
+MetricsFederator::noteChild(const std::string &peer,
+                            const std::string &endpoint)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = children_.find(peer);
+    if (it == children_.end()) {
+        Child c;
+        c.endpoint = endpoint;
+        c.last_ok_ms = telemetry::healthNowMs();
+        children_.emplace(peer, std::move(c));
+        static telemetry::Gauge &m_children =
+            telemetry::gauge("hbbp_federation_children");
+        m_children.set(static_cast<int64_t>(children_.size()));
+        return;
+    }
+    if (it->second.endpoint != endpoint) {
+        static telemetry::Counter &m_reendpoint = telemetry::counter(
+            "hbbp_federation_child_reendpoint_total");
+        m_reendpoint.add();
+        warn("federation: child '%s' moved from %s to %s",
+             peer.c_str(), it->second.endpoint.c_str(),
+             endpoint.c_str());
+        it->second.endpoint = endpoint;
+    }
+}
+
+std::vector<PeerSnapshot>
+MetricsFederator::snapshots() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t now = telemetry::healthNowMs();
+    std::vector<PeerSnapshot> out;
+    out.reserve(children_.size());
+    for (const auto &[peer, c] : children_) {
+        PeerSnapshot s;
+        s.peer = peer;
+        s.text = c.text;
+        s.fresh = c.up && c.ever_ok;
+        s.age_s = static_cast<double>(now - c.last_ok_ms) / 1000.0;
+        if (s.age_s < 0.0)
+            s.age_s = 0.0;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+bool
+MetricsFederator::childrenUp(std::string *lines) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t now = telemetry::healthNowMs();
+    bool all_up = true;
+    for (const auto &[peer, c] : children_) {
+        double age_s =
+            static_cast<double>(now - c.last_ok_ms) / 1000.0;
+        if (age_s < 0.0)
+            age_s = 0.0;
+        if (lines)
+            *lines += format("child %s up=%d age_s=%.3f\n",
+                             peer.c_str(), c.up ? 1 : 0, age_s);
+        all_up = all_up && c.up;
+    }
+    return all_up;
+}
+
+size_t
+MetricsFederator::childCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return children_.size();
+}
+
+void
+MetricsFederator::stop()
+{
+    if (!thread_.joinable())
+        return;
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+}
+
+void
+MetricsFederator::scrapeLoop()
+{
+    static telemetry::Counter &m_rounds =
+        telemetry::counter("hbbp_federation_scrape_rounds_total");
+    static telemetry::Counter &m_fail =
+        telemetry::counter("hbbp_federation_scrape_failures_total");
+    while (!stop_.load(std::memory_order_relaxed)) {
+        telemetry::beat(telemetry::Stage::Federator);
+        m_rounds.add();
+        std::vector<std::pair<std::string, std::string>> targets;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (const auto &[peer, c] : children_)
+                targets.emplace_back(peer, c.endpoint);
+        }
+        for (const auto &[peer, endpoint] : targets) {
+            if (stop_.load(std::memory_order_relaxed))
+                break;
+            size_t colon = endpoint.rfind(':');
+            std::string host = colon == std::string::npos
+                                   ? endpoint
+                                   : endpoint.substr(0, colon);
+            unsigned long long port = 0;
+            bool addr_ok =
+                colon != std::string::npos &&
+                parseSeriesValue(endpoint.substr(colon + 1), &port) &&
+                port > 0 && port <= 65535;
+            std::string body, why;
+            bool ok = addr_ok &&
+                      fetchMetricsText(host,
+                                       static_cast<uint16_t>(port),
+                                       &body, &why);
+            if (!addr_ok)
+                why = format("bad endpoint '%s'", endpoint.c_str());
+            int64_t now = telemetry::healthNowMs();
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = children_.find(peer);
+            if (it == children_.end() ||
+                it->second.endpoint != endpoint)
+                continue; // Re-registered mid-scrape; drop the result.
+            Child &c = it->second;
+            if (ok) {
+                if (!c.up)
+                    events::emit(events::Level::Info,
+                                 "child_recovered",
+                                 {{"peer", peer},
+                                  {"endpoint", endpoint}});
+                c.up = true;
+                c.ever_ok = true;
+                c.text = std::move(body);
+                c.last_ok_ms = now;
+            } else {
+                m_fail.add();
+                double age_s =
+                    static_cast<double>(now - c.last_ok_ms) / 1000.0;
+                if (c.up && age_s > stale_after_s_) {
+                    c.up = false;
+                    events::emit(events::Level::Warn, "child_stale",
+                                 {{"peer", peer},
+                                  {"endpoint", endpoint},
+                                  {"age_s", format("%.3f", age_s)},
+                                  {"why", why}});
+                    warn("federation: child '%s' at %s is stale "
+                         "(%.1fs since last scrape: %s)",
+                         peer.c_str(), endpoint.c_str(), age_s,
+                         why.c_str());
+                }
+            }
+            // The round is progressing even when a child's scrape
+            // had to time out — keep the loop-stage beat honest.
+            telemetry::beat(telemetry::Stage::Federator);
+        }
+        int64_t interval_ms =
+            static_cast<int64_t>(interval_s_ * 1000.0);
+        int64_t slept = 0;
+        while (slept < interval_ms &&
+               !stop_.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+            slept += 50;
+        }
+    }
+}
+
+std::string
+renderHealthz(double stall_s, MetricsFederator *federator)
+{
+    int64_t now = telemetry::healthNowMs();
+    bool degraded = telemetry::anyStageStalled(now, stall_s);
+    std::string child_lines;
+    if (federator && !federator->childrenUp(&child_lines))
+        degraded = true;
+    std::string out =
+        degraded ? "status: degraded\n" : "status: live\n";
+    for (const telemetry::StageHealth &h : telemetry::stageHealth(now))
+        out += format("stage %s age_s=%.3f loop=%d\n",
+                      telemetry::name(h.stage), h.age_s,
+                      h.loop ? 1 : 0);
+    out += child_lines;
+    return out;
+}
+
 bool
 fetchMetricsText(const std::string &host, uint16_t port,
-                 std::string *body, std::string *why)
+                 std::string *body, std::string *why,
+                 const std::string &path)
 {
     // The shared client discipline matters here: the scraper's old
     // private copy used a plain blocking connect(), so a blackholed
@@ -128,7 +525,7 @@ fetchMetricsText(const std::string &host, uint16_t port,
     int fd = netConnect(host, port, kIoTimeoutMs, why);
     if (fd < 0)
         return false;
-    std::string req = "GET /metrics HTTP/1.0\r\nHost: " + host +
+    std::string req = "GET " + path + " HTTP/1.0\r\nHost: " + host +
                       "\r\n\r\n";
     if (!netWriteAll(fd, req.data(), req.size(), kIoTimeoutMs)) {
         *why = format("cannot send request: %s", std::strerror(errno));

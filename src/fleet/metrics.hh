@@ -1,19 +1,32 @@
 /**
  * @file
- * Live metrics endpoint for fleet daemons.
+ * Metrics exposition endpoint and up-tree metrics federation.
  *
- * MetricsServer binds a TCP port (0 = ephemeral, like the shard
- * listener) and serves the process telemetry registry in Prometheus
- * text exposition format to any HTTP/1.x GET — `curl`,
- * `hbbp-tool stats --from HOST:PORT`, or a real Prometheus scraper.
- * It reuses the transport layer's non-blocking socket discipline but
- * lives on its own port so the shard frame protocol (which opens with
- * a binary magic, not "GET ") stays undisturbed.
+ * MetricsServer is the tiny HTTP/1.0 endpoint behind --metrics-port.
+ * It understands two verbs: `GET /metrics` (Prometheus text) and
+ * `GET /healthz` (the health plane's liveness body). Both bodies come
+ * from pluggable renderers, so a federating daemon swaps in a merged
+ * view without the server knowing. It reuses the transport layer's
+ * socket discipline but lives on its own port so the shard frame
+ * protocol (which opens with a binary magic, not "GET ") stays
+ * undisturbed; request handling is deliberately sequential — a scrape
+ * is a few kilobytes and the daemons' real work happens elsewhere.
  *
- * The server runs on a background thread; construction binds and
- * starts serving, destruction (or stop()) shuts it down. Request
- * handling is deliberately sequential — a scrape is a few kilobytes
- * and the daemons' real work happens elsewhere.
+ * Federation rides the shard tree: a relay stamps its own scrape
+ * address into the manifests it flushes upstream (`metrics=` line),
+ * so a parent discovers children exactly as fast as shards arrive —
+ * no separate topology configuration. MetricsFederator owns the
+ * discovered children, scrapes them from a background thread, and
+ * exposes fresh snapshots; federateMetricsText() is the pure merge:
+ * own series stay byte-identical, child series gain a `peer=` label,
+ * and every counter gets an `agg="subtree"` rollup series computed so
+ * the rollup composes across any tree depth (a parent consumes its
+ * child's subtree series when present, the bare one otherwise).
+ *
+ * A child that stops answering is declared stale after a grace
+ * window: its series drop out of the merged view, its
+ * `hbbp_federation_child_up` gauge goes to 0, healthz degrades, and a
+ * `child_stale` event is emitted (`child_recovered` on the way back).
  */
 
 #ifndef HBBP_FLEET_METRICS_HH
@@ -21,17 +34,24 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace hbbp {
 
 class MetricsServer
 {
   public:
+    /** A body producer; called per request, must be thread-safe. */
+    using Renderer = std::function<std::string()>;
+
     /**
-     * Bind 127.0.0.1:`port` (0 picks an ephemeral port) and start
-     * serving. fatal()s if the socket cannot be bound.
+     * Bind `port` (0 picks an ephemeral port) and start serving.
+     * fatal()s if the socket cannot be bound.
      */
     explicit MetricsServer(uint16_t port);
     ~MetricsServer();
@@ -40,6 +60,21 @@ class MetricsServer
 
     /** The bound port (useful with port 0). */
     uint16_t port() const { return port_; }
+
+    /**
+     * Replace the /metrics body (default: the process registry's
+     * renderPrometheus()). A federating daemon installs the merged
+     * view here. Thread-safe.
+     */
+    void setMetricsRenderer(Renderer fn);
+
+    /**
+     * Replace the /healthz body (default: telemetry::renderHealth
+     * with a 30s stall threshold). Daemons with a configured
+     * --stall-warn-s or a federator install renderHealthz() here.
+     * Thread-safe.
+     */
+    void setHealthzRenderer(Renderer fn);
 
     /** Stop serving and join the thread. Idempotent. */
     void stop();
@@ -51,17 +86,124 @@ class MetricsServer
     uint16_t port_ = 0;
     std::atomic<bool> stop_{false};
     std::thread thread_;
+    std::mutex render_mu_;
+    Renderer metrics_fn_;
+    Renderer healthz_fn_;
 };
 
 /**
- * Fetch the metrics body from a MetricsServer at host:port.
+ * One child's latest scrape as the merge consumes it. `fresh` gates
+ * inclusion: a stale or not-yet-scraped child contributes only its
+ * child_up gauge, never old series.
+ */
+struct PeerSnapshot
+{
+    std::string peer;   ///< Label value (the child's node id).
+    std::string text;   ///< Last successful Prometheus scrape body.
+    bool fresh = false; ///< Series are current enough to merge.
+    double age_s = 0.0; ///< Seconds since the last successful scrape.
+};
+
+/**
+ * Merge @p own (a renderPrometheus() body, passed through verbatim so
+ * local series keep their bytes) with child snapshots:
+ *
+ *  - `hbbp_federation_child_up{peer="X"} 0|1` per child, sorted;
+ *  - every fresh child's series re-emitted with a `peer="X"` label
+ *    appended (lines already carrying a peer label — a grandchild's —
+ *    pass through unchanged, so identity survives depth);
+ *  - one `name{agg="subtree"} total` rollup per counter, summing the
+ *    local value plus each fresh child's subtree series (falling back
+ *    to its bare series), so rollups compose across tree levels.
+ *
+ * Pure and deterministic: children are sorted by peer id, rollups by
+ * metric name.
+ */
+std::string federateMetricsText(const std::string &own,
+                                const std::vector<PeerSnapshot> &peers);
+
+/**
+ * Scrapes discovered children on a background thread and hands fresh
+ * snapshots to the merge. Children arrive via noteChild() as shards
+ * carrying `metrics=` lines are accepted; a re-advertised endpoint
+ * overwrites the old one. Every scrape round beats Stage::Federator.
+ */
+class MetricsFederator
+{
+  public:
+    /**
+     * @p interval_s between scrape rounds; a child whose last success
+     * is more than @p stale_after_s ago is declared stale.
+     */
+    explicit MetricsFederator(double interval_s = 1.0,
+                              double stale_after_s = 5.0);
+    ~MetricsFederator();
+    MetricsFederator(const MetricsFederator &) = delete;
+    MetricsFederator &operator=(const MetricsFederator &) = delete;
+
+    /**
+     * Register (or re-register) child @p peer at `host:port`
+     * @p endpoint. Thread-safe; called from the listener's accept
+     * path. An endpoint change warns and bumps
+     * hbbp_federation_child_reendpoint_total — two children
+     * advertising one peer id would otherwise silently shadow each
+     * other.
+     */
+    void noteChild(const std::string &peer, const std::string &endpoint);
+
+    /** Current snapshots, sorted by peer id. */
+    std::vector<PeerSnapshot> snapshots() const;
+
+    /**
+     * Append one `child <peer> up=<0|1> age_s=<age>` line per child
+     * to *@p lines. Returns false when any child is stale — the
+     * healthz degrade signal.
+     */
+    bool childrenUp(std::string *lines) const;
+
+    size_t childCount() const;
+
+    /** Stop and join the scrape thread (also done by the dtor). */
+    void stop();
+
+  private:
+    struct Child
+    {
+        std::string endpoint;
+        std::string text;
+        bool up = true; ///< Optimistic until the grace window passes.
+        int64_t last_ok_ms = 0; ///< Last success (or discovery) time.
+        bool ever_ok = false;
+    };
+
+    void scrapeLoop();
+
+    double interval_s_;
+    double stale_after_s_;
+    mutable std::mutex mu_;
+    std::map<std::string, Child> children_;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+/**
+ * The healthz body: `status: live|degraded` (degraded when a loop
+ * stage stalled past @p stall_s or any federation child is stale),
+ * one `stage ...` line per enabled heartbeat stage, then one
+ * `child ...` line per federation child. @p federator may be null.
+ */
+std::string renderHealthz(double stall_s, MetricsFederator *federator);
+
+/**
+ * Fetch `GET @p path` from a MetricsServer at host:port.
  *
  * Sends a plain HTTP/1.0 GET and returns the response body (headers
  * stripped). Returns false and fills *why on connect/read failure or
  * a non-200 status.
  */
 bool fetchMetricsText(const std::string &host, uint16_t port,
-                      std::string *body, std::string *why);
+                      std::string *body, std::string *why,
+                      const std::string &path = "/metrics");
 
 } // namespace hbbp
 

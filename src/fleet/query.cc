@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 
 #include "fleet/socket_client.hh"
@@ -31,6 +33,15 @@ renderQueryReplyBody(const QueryReply &reply)
     out += format("epoch=%llu\n",
                   static_cast<unsigned long long>(reply.epoch));
     out += format("cached=%d\n", reply.cached ? 1 : 0);
+    if (reply.has_timing)
+        out += format(
+            "timing=parse:%llu,cache:%llu,analysis:%llu,render:%llu\n",
+            static_cast<unsigned long long>(reply.parse_ns),
+            static_cast<unsigned long long>(reply.cache_ns),
+            static_cast<unsigned long long>(reply.analysis_ns),
+            static_cast<unsigned long long>(reply.render_ns));
+    if (!reply.trace_id.empty())
+        out += "trace=" + reply.trace_id + "\n";
     if (!reply.ok) {
         // Header values are single-line by construction.
         std::string error = reply.error;
@@ -91,6 +102,28 @@ parseQueryReplyBody(const std::string &body, QueryReply *reply,
             have_epoch = true;
         } else if (key == "cached") {
             reply->cached = value == "1";
+        } else if (key == "timing") {
+            // Tolerant parse: unknown phases are skipped so the
+            // header can grow phases without breaking old clients.
+            for (const std::string &part : split(value, ',')) {
+                size_t colon = part.find(':');
+                if (colon == std::string::npos)
+                    continue;
+                std::string phase = part.substr(0, colon);
+                uint64_t ns = std::strtoull(
+                    part.c_str() + colon + 1, nullptr, 10);
+                if (phase == "parse")
+                    reply->parse_ns = ns;
+                else if (phase == "cache")
+                    reply->cache_ns = ns;
+                else if (phase == "analysis")
+                    reply->analysis_ns = ns;
+                else if (phase == "render")
+                    reply->render_ns = ns;
+            }
+            reply->has_timing = true;
+        } else if (key == "trace") {
+            reply->trace_id = value;
         } else if (key == "error") {
             reply->error = value;
         }
@@ -217,39 +250,93 @@ AggregatorProfileSource::hostSlices() const
 // QueryEndpoint.
 // ---------------------------------------------------------------------------
 
+QueryEndpoint::QueryEndpoint(AnalysisService &service)
+    : service_(service)
+{
+    telemetry::beatEnable(telemetry::Stage::Query);
+}
+
+void
+QueryEndpoint::setTraceLog(telemetry::TraceLog *trace, std::string node)
+{
+    trace_ = trace;
+    trace_node_ = std::move(node);
+}
+
+namespace {
+
+/** Steady-clock nanoseconds for the per-query timing header. */
+int64_t
+queryNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
 std::string
 QueryEndpoint::handle(const std::string &request_body)
 {
     static telemetry::Histogram &m_serve_ms = telemetry::histogram(
         "hbbp_query_serve_ms", telemetry::latencyBucketsMs());
     int64_t start_ms = steadyNowMs();
+    int64_t t0 = queryNowNs();
 
     QueryReply reply;
+    reply.has_timing = true;
     std::string why;
     std::optional<QueryRequest> request =
         QueryRequest::parseText(request_body, &why);
+    int64_t t_parsed = queryNowNs();
+    reply.parse_ns = static_cast<uint64_t>(t_parsed - t0);
+    std::string verb = "?";
     if (!request) {
         reply.epoch = service_.epoch();
         reply.error = why;
     } else if (request->verb == "shutdown") {
         // Transport-level: acknowledged here, the listener's
         // should_stop hook observes stopRequested() next poll round.
+        verb = request->verb;
         stop_ = true;
         reply.ok = true;
         reply.epoch = service_.epoch();
         reply.payload = "shutting down\n";
     } else {
-        QueryResult result = service_.serve(*request);
+        verb = request->verb;
+        ServeTiming timing;
+        QueryResult result = service_.serve(*request, &timing);
+        reply.cache_ns = timing.cache_ns;
+        reply.analysis_ns = timing.analysis_ns;
         reply.ok = result.error.empty();
         reply.epoch = result.epoch;
         reply.cached = result.cached;
         reply.error = result.error;
         if (reply.ok) {
+            int64_t t_render = queryNowNs();
             // serve() validated the format parameter.
             reply.payload = result.render(*renderFormatFromName(
                 request->param("format", "text")));
+            reply.render_ns =
+                static_cast<uint64_t>(queryNowNs() - t_render);
         }
     }
+    // The query's join point into the shard-lifecycle trace: one
+    // query_serve span on the daemon's own timeline, id echoed in the
+    // reply so the caller can find it.
+    if (trace_ && trace_->active()) {
+        reply.trace_id = format(
+            "query-%s-%llu", trace_node_.c_str(),
+            static_cast<unsigned long long>(++query_seq_));
+        trace_->span("query_serve", reply.trace_id,
+                     format("verb %s epoch %llu cached %d",
+                            verb.c_str(),
+                            static_cast<unsigned long long>(
+                                reply.epoch),
+                            reply.cached ? 1 : 0));
+    }
+    telemetry::beat(telemetry::Stage::Query);
     m_serve_ms.observe(
         static_cast<uint64_t>(steadyNowMs() - start_ms));
     return renderQueryReplyBody(reply);

@@ -37,6 +37,7 @@
 
 #include "analysis/service.hh"
 #include "fleet/aggregate.hh"
+#include "support/telemetry.hh"
 
 namespace hbbp {
 
@@ -63,6 +64,25 @@ struct QueryReply
     bool cached = false;
     std::string error;   ///< Set when !ok.
     std::string payload; ///< The rendered QueryResult bytes.
+    /**
+     * Server-side time split, rendered as
+     * `timing=parse:N,cache:N,analysis:N,render:N` (nanoseconds)
+     * when has_timing — where the request's wall time went: request
+     * parse, cache probe (epoch refresh + result-cache lookup),
+     * analysis build (0 on a cache hit), payload render. Older
+     * clients skip the header; older servers simply never send it.
+     */
+    bool has_timing = false;
+    uint64_t parse_ns = 0;
+    uint64_t cache_ns = 0;
+    uint64_t analysis_ns = 0;
+    uint64_t render_ns = 0;
+    /**
+     * Query trace id (`trace=` header) when the serving daemon runs
+     * with --trace-log: the id of the query_serve span it appended,
+     * so a reply can be joined to the shard-lifecycle trace timeline.
+     */
+    std::string trace_id;
 };
 
 /** Serialize a reply body (headers, blank line, payload). */
@@ -155,10 +175,7 @@ class AggregatorProfileSource : public ProfileSource
 class QueryEndpoint
 {
   public:
-    explicit QueryEndpoint(AnalysisService &service)
-        : service_(service)
-    {
-    }
+    explicit QueryEndpoint(AnalysisService &service);
 
     /** One request body in, one reply body out. Never throws. */
     std::string handle(const std::string &request_body);
@@ -166,9 +183,21 @@ class QueryEndpoint
     /** True once a shutdown query was acknowledged. */
     bool stopRequested() const { return stop_; }
 
+    /**
+     * Attach the daemon's shard-lifecycle trace log (borrowed; may
+     * be null or inactive). Every served query then appends one
+     * `query_serve` span with a fresh `query-<node>-<seq>` trace id,
+     * which the reply echoes in its `trace=` header — the query's
+     * join point into the ingestion trace timeline.
+     */
+    void setTraceLog(telemetry::TraceLog *trace, std::string node);
+
   private:
     AnalysisService &service_;
     bool stop_ = false;
+    telemetry::TraceLog *trace_ = nullptr;
+    std::string trace_node_;
+    uint64_t query_seq_ = 0;
 };
 
 } // namespace hbbp

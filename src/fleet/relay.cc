@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "fleet/metrics.hh"
 #include "support/logging.hh"
 
 namespace hbbp {
@@ -26,6 +27,7 @@ RelayNode::RelayNode(RelayOptions options)
                                     : options_.state_file))));
     }
     trace_.open(options_.trace_log, "relay:" + options_.relay_id);
+    telemetry::beatEnable(telemetry::Stage::Flush);
 }
 
 bool
@@ -69,6 +71,9 @@ RelayNode::flushUpstream(std::string *why, int max_attempts)
         // back to individual collector shards.
         m.trace_ids.assign(seen_trace_ids_.begin(),
                            seen_trace_ids_.end());
+        // Advertise this relay's scrape address: federation endpoint
+        // discovery rides the shard tree.
+        m.metrics_endpoint = options_.metrics_endpoint;
         std::vector<std::string> chunks;
         chunks.reserve(ex.partials.size());
         for (HostPartial &hp : ex.partials) {
@@ -97,6 +102,7 @@ RelayNode::flushUpstream(std::string *why, int max_attempts)
         // coverage (a retried or restarted flush) — success either way.
         stats_.flushes++;
         m_flushes.add();
+        telemetry::beat(telemetry::Stage::Flush);
         last_flushed_checksum_ = ex.checksum;
         flush_seq_++;
     }
@@ -145,6 +151,8 @@ RelayNode::run()
             trace_.span("relay_accept", id);
             seen_trace_ids_.insert(id);
         }
+        if (options_.federator && !m.metrics_endpoint.empty())
+            options_.federator->noteChild(m.host, m.metrics_endpoint);
         if (store_) {
             // Pin before depositing: the entry must survive any
             // concurrent `store gc` until this arrival is durable

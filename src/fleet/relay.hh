@@ -41,6 +41,8 @@
 
 namespace hbbp {
 
+class MetricsFederator;
+
 /** RelayNode configuration. */
 struct RelayOptions
 {
@@ -87,6 +89,18 @@ struct RelayOptions
      * `store gc` cannot evict bytes a crashed relay still needs.
      */
     std::string store_dir;
+    /**
+     * This relay's own metrics scrape address (`host:port`), stamped
+     * as a `metrics=` line on every aggregate flushed upstream so the
+     * parent can federate metrics from it; empty advertises nothing.
+     */
+    std::string metrics_endpoint;
+    /**
+     * When set, arriving shards that advertise a `metrics=` endpoint
+     * register their sender as a federation child (borrowed, not
+     * owned; must outlive run()).
+     */
+    MetricsFederator *federator = nullptr;
 };
 
 /** What a relay run did (the no-shard-loss proof). */

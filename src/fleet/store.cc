@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <vector>
 
+#include "support/events.hh"
 #include "support/logging.hh"
 #include "support/rng.hh"
 #include "support/telemetry.hh"
@@ -617,6 +618,8 @@ ProfileStore::depositLocked(
     e.size = fs::file_size(path, ec);
     e.checksum = checksum;
     recordPut(Kind::Shard, checksum, e);
+    telemetry::beatEnable(telemetry::Stage::Deposit);
+    telemetry::beat(telemetry::Stage::Deposit);
     return true;
 }
 
@@ -816,6 +819,13 @@ ProfileStore::gc(const GcOptions &options) const
         static telemetry::Counter &m_evictions =
             telemetry::counter("hbbp_store_gc_evictions_total");
         m_evictions.add();
+        events::emit(
+            events::Level::Info, "store_gc_evict",
+            {{"checksum",
+              format("%016llx", static_cast<unsigned long long>(
+                                    entry.checksum))},
+             {"bytes", format("%llu", static_cast<unsigned long long>(
+                                          entry.size))}});
     };
 
     size_t next = 0;
@@ -1015,6 +1025,8 @@ StorePin::pin(uint64_t checksum)
     static telemetry::Counter &m_pins =
         telemetry::counter("hbbp_store_pins_total");
     m_pins.add();
+    telemetry::gauge("hbbp_store_pinned_entries")
+        .set(static_cast<int64_t>(pins_.size()));
     FileLock::Guard guard(lock_, /*exclusive=*/true);
     noteLockWait(guard);
     persist();
@@ -1028,6 +1040,8 @@ StorePin::unpin(uint64_t checksum)
     static telemetry::Counter &m_unpins =
         telemetry::counter("hbbp_store_unpins_total");
     m_unpins.add();
+    telemetry::gauge("hbbp_store_pinned_entries")
+        .set(static_cast<int64_t>(pins_.size()));
     FileLock::Guard guard(lock_, /*exclusive=*/true);
     noteLockWait(guard);
     persist();
@@ -1037,6 +1051,7 @@ void
 StorePin::release()
 {
     pins_.clear();
+    telemetry::gauge("hbbp_store_pinned_entries").set(0);
     FileLock::Guard guard(lock_, /*exclusive=*/true);
     noteLockWait(guard);
     std::error_code ec;

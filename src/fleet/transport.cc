@@ -20,6 +20,7 @@
 #include "fleet/query.hh"
 #include "fleet/socket_client.hh"
 #include "support/bytes.hh"
+#include "support/events.hh"
 #include "support/logging.hh"
 #include "support/telemetry.hh"
 
@@ -282,6 +283,9 @@ SocketTransport::sendShard(const ShardManifest &manifest,
     while (res.attempts < options_.max_attempts) {
         if (res.attempts > 0) {
             m_retries.add();
+            events::emit(events::Level::Warn, "push_retry",
+                         {{"attempt", format("%d", res.attempts)},
+                          {"error", res.error}});
             // Bounded exponential backoff between connection attempts:
             // a briefly absent listener (restarting aggregator) is the
             // expected case, a permanently absent one gives up loudly.
@@ -517,6 +521,11 @@ bool
 sendAck(int fd, AckCode code, const std::string &reason = {})
 {
     ackCounter(code).add();
+    // Every permanent rejection is an exceptional path worth a
+    // flight-recorder entry; the one ack chokepoint catches them all.
+    if (code == AckCode::Rejected)
+        events::emit(events::Level::Warn, "shard_reject",
+                     {{"reason", reason}});
     ByteWriter w;
     w.u8(static_cast<uint8_t>(code));
     w.u32(static_cast<uint32_t>(reason.size()));
@@ -535,6 +544,11 @@ ShardListener::serve(IncrementalAggregator &agg,
     std::map<std::pair<std::string, uint32_t>, StagedShard> staging;
     size_t accepted = 0;
     int64_t last_progress = steadyNowMs();
+    // The poll loop is the daemon's pulse: a Listener beat per round
+    // is what the watchdog and /healthz watch for liveness. Accept is
+    // a work stage — reported, but idleness is not a stall.
+    telemetry::beatEnable(telemetry::Stage::Listener);
+    telemetry::beatEnable(telemetry::Stage::Accept);
     static telemetry::Gauge &m_active_streams =
         telemetry::gauge("hbbp_listener_active_streams");
     static telemetry::Gauge &m_staged_chunks =
@@ -719,6 +733,7 @@ ShardListener::serve(IncrementalAggregator &agg,
         }
         accepted++;
         last_progress = steadyNowMs();
+        telemetry::beat(telemetry::Stage::Accept);
         // Callback before the ack: a sender that saw success may rely
         // on the checkpoint/deposit having happened.
         if (options.on_accept)
@@ -753,6 +768,7 @@ ShardListener::serve(IncrementalAggregator &agg,
         // A SIGUSR1 dump request lands here, between poll rounds, so
         // the handler itself stays a single relaxed store.
         telemetry::dumpIfRequested();
+        telemetry::beat(telemetry::Stage::Listener);
         if (options.should_stop && options.should_stop())
             break;
         m_active_streams.set(static_cast<int64_t>(conns.size()));
@@ -888,6 +904,10 @@ ShardListener::serve(IncrementalAggregator &agg,
         if (!done && options.idle_timeout_ms >= 0 &&
             steadyNowMs() - last_progress >= options.idle_timeout_ms) {
             m_idle_aborts.add();
+            events::emit(events::Level::Warn, "idle_abort",
+                         {{"idle_ms", format("%d",
+                                             options.idle_timeout_ms)},
+                          {"accepted", format("%zu", accepted)}});
             break;
         }
     }

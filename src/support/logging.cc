@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "support/telemetry.hh"
+
 namespace hbbp {
 
 namespace {
@@ -139,8 +141,14 @@ warn(const char *fmt, ...)
     if (g_level == LogLevel::Quiet)
         return;
     WarnThrottleDecision d = warnLimiter().note(fmt, monotonicMs());
-    if (!d.print)
+    if (!d.print) {
+        // The throttle hides the text, but a warn storm must stay
+        // visible on the metrics surface even while the log is quiet.
+        static telemetry::Counter &m_suppressed =
+            telemetry::counter("hbbp_warn_suppressed_total");
+        m_suppressed.add(1);
         return;
+    }
     va_list ap;
     va_start(ap, fmt);
     std::string msg = vformat(fmt, ap);

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "support/logging.hh"
+#include "support/vectorops.hh"
 
 namespace hbbp {
 namespace telemetry {
@@ -117,17 +118,36 @@ Histogram::Histogram(std::vector<uint64_t> bounds)
 void
 Histogram::observe(uint64_t v)
 {
-    if (!g_enabled.load(std::memory_order_relaxed))
+    observeMany(&v, 1);
+}
+
+void
+Histogram::observeMany(const uint64_t *v, size_t n)
+{
+    if (n == 0 || !g_enabled.load(std::memory_order_relaxed))
         return;
-    // First bucket whose upper bound admits v (le semantics); values
-    // above every bound land in the implicit +Inf bucket.
-    size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), v) -
-               bounds_.begin();
-    counts_[i].fetch_add(1, std::memory_order_relaxed);
-    // Saturating sum: a CAS loop, but observations are off the fold
-    // hot path (latency sampling only).
+    // Bucket assignment through the dispatched vecops kernel: one
+    // v <= bound sweep per bound (le semantics — the same bucket
+    // every lower_bound found before), values above every bound in
+    // the implicit +Inf slot.
+    uint64_t stack_counts[24];
+    std::vector<uint64_t> heap_counts;
+    uint64_t *bucket = stack_counts;
+    if (bounds_.size() + 1 > sizeof(stack_counts) / sizeof(uint64_t)) {
+        heap_counts.resize(bounds_.size() + 1);
+        bucket = heap_counts.data();
+    }
+    vecops::bucketCounts(v, n, bounds_.data(), bounds_.size(), bucket);
+    for (size_t i = 0; i <= bounds_.size(); i++)
+        if (bucket[i])
+            counts_[i].fetch_add(bucket[i], std::memory_order_relaxed);
+    // Saturating sum: fold the batch locally, then one CAS loop —
+    // observations are off the fold hot path (latency sampling only).
+    uint64_t batch = 0;
+    for (size_t i = 0; i < n; i++)
+        batch = saturatingAdd(batch, v[i]);
     uint64_t cur = sum_.load(std::memory_order_relaxed);
-    while (!sum_.compare_exchange_weak(cur, saturatingAdd(cur, v),
+    while (!sum_.compare_exchange_weak(cur, saturatingAdd(cur, batch),
                                        std::memory_order_relaxed)) {
     }
 }
@@ -342,6 +362,126 @@ dumpSnapshot(const char *prefix)
     std::fprintf(stderr, "--- %s ---\n%s--- end snapshot ---\n", prefix,
                  snap.c_str());
     std::fflush(stderr);
+}
+
+// ---------------------------------------------------------------------
+// Stage heartbeats.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct StageState
+{
+    std::atomic<bool> enabled{false};
+    std::atomic<int64_t> last_ms{0};
+};
+
+StageState g_stages[kStageCount];
+
+bool
+stageIsLoop(Stage s)
+{
+    return s == Stage::Listener || s == Stage::Federator;
+}
+
+} // namespace
+
+const char *
+name(Stage s)
+{
+    switch (s) {
+      case Stage::Listener: return "listener";
+      case Stage::Federator: return "federator";
+      case Stage::Accept: return "accept";
+      case Stage::Fold: return "fold";
+      case Stage::Journal: return "journal";
+      case Stage::Deposit: return "deposit";
+      case Stage::Query: return "query";
+      case Stage::Flush: return "flush";
+      default:
+        panic("name: bad Stage %d", static_cast<int>(s));
+    }
+}
+
+int64_t
+healthNowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+beatEnable(Stage s)
+{
+    StageState &st = g_stages[static_cast<size_t>(s)];
+    st.last_ms.store(healthNowMs(), std::memory_order_relaxed);
+    st.enabled.store(true, std::memory_order_release);
+}
+
+void
+beat(Stage s)
+{
+    // Not gated on g_enabled: the beat is a liveness signal, not a
+    // metric, and it sits off the measured fold hot path.
+    g_stages[static_cast<size_t>(s)].last_ms.store(
+        healthNowMs(), std::memory_order_relaxed);
+}
+
+void
+beatResetForTest()
+{
+    for (StageState &st : g_stages) {
+        st.enabled.store(false, std::memory_order_relaxed);
+        st.last_ms.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::vector<StageHealth>
+stageHealth(int64_t now_ms)
+{
+    std::vector<StageHealth> out;
+    for (size_t i = 0; i < kStageCount; i++) {
+        if (!g_stages[i].enabled.load(std::memory_order_acquire))
+            continue;
+        StageHealth h;
+        h.stage = static_cast<Stage>(i);
+        h.loop = stageIsLoop(h.stage);
+        int64_t last = g_stages[i].last_ms.load(std::memory_order_relaxed);
+        h.age_s = now_ms > last ? (now_ms - last) / 1000.0 : 0.0;
+        out.push_back(h);
+    }
+    return out;
+}
+
+bool
+anyStageStalled(int64_t now_ms, double stall_s,
+                std::vector<std::string> *stalled)
+{
+    bool any = false;
+    for (const StageHealth &h : stageHealth(now_ms)) {
+        if (!h.loop || h.age_s <= stall_s)
+            continue;
+        any = true;
+        if (stalled)
+            stalled->push_back(name(h.stage));
+    }
+    return any;
+}
+
+std::string
+renderHealth(int64_t now_ms, double stall_s)
+{
+    std::string out = anyStageStalled(now_ms, stall_s)
+                          ? "status: degraded\n"
+                          : "status: live\n";
+    char buf[128];
+    for (const StageHealth &h : stageHealth(now_ms)) {
+        std::snprintf(buf, sizeof(buf), "stage %s age_s=%.3f loop=%d\n",
+                      name(h.stage), h.age_s, h.loop ? 1 : 0);
+        out += buf;
+    }
+    return out;
 }
 
 TraceLog::~TraceLog()

@@ -96,6 +96,16 @@ class Histogram
     /** Record one observation (no-op while telemetry is disabled). */
     void observe(uint64_t v);
 
+    /**
+     * Record a batch of observations in one pass. Bucket assignment
+     * routes through the dispatched vecops::bucketCounts kernel (one
+     * wide compare sweep per bound), so a batch costs O(bounds)
+     * vector passes instead of n binary searches, and only non-empty
+     * buckets touch the shared atomics. observe(v) is
+     * observeMany(&v, 1).
+     */
+    void observeMany(const uint64_t *v, size_t n);
+
     /** Upper bounds, ascending; the +Inf bucket is implicit. */
     const std::vector<uint64_t> &bounds() const { return bounds_; }
 
@@ -187,6 +197,76 @@ void dumpIfRequested();
 
 /** Print `prefix` then the process registry snapshot to stderr. */
 void dumpSnapshot(const char *prefix);
+
+// ---------------------------------------------------------------------
+// Per-stage progress heartbeats — the health plane's liveness signal.
+// ---------------------------------------------------------------------
+
+/**
+ * The pipeline stages a daemon reports progress for. Loop stages
+ * (Listener, Federator) beat once per poll round whether or not work
+ * arrived, so a stale beat means the serving thread itself is wedged
+ * — those are the stages that degrade the process and trip the
+ * watchdog. Work stages (Accept, Fold, Journal, Deposit, Query,
+ * Flush) beat once per completed operation; their ages are reported
+ * on healthz for triage but an idle work stage is not a stalled one.
+ */
+enum class Stage : uint8_t {
+    Listener,  ///< Shard-listener poll round (loop).
+    Federator, ///< Metrics-federation scrape round (loop).
+    Accept,    ///< Shard accepted by the listener.
+    Fold,      ///< Aggregator fold completed.
+    Journal,   ///< State-journal append durable.
+    Deposit,   ///< Profile-store deposit completed.
+    Query,     ///< Analysis query served.
+    Flush,     ///< Relay upstream flush completed.
+};
+constexpr size_t kStageCount = 8;
+
+/** Printable stage name ("listener", "fold", ...). */
+const char *name(Stage s);
+
+/** Mark @p s as present in this process (idempotent). */
+void beatEnable(Stage s);
+
+/** Record progress on @p s now (one relaxed store; wait-free). */
+void beat(Stage s);
+
+/** Reset all stages to absent — the test seam between cases. */
+void beatResetForTest();
+
+/** One enabled stage's health as healthz reports it. */
+struct StageHealth
+{
+    Stage stage = Stage::Listener;
+    bool loop = false;  ///< Degrades the process when stalled.
+    double age_s = 0.0; ///< Seconds since the last beat.
+};
+
+/** Steady-clock milliseconds — the beat/stageHealth time base. */
+int64_t healthNowMs();
+
+/**
+ * Health of every beatEnable()d stage, ages computed against
+ * @p now_ms (pass healthNowMs(); the parameter is the stall logic's
+ * test seam).
+ */
+std::vector<StageHealth> stageHealth(int64_t now_ms);
+
+/**
+ * True when some loop stage is enabled and last beat more than
+ * @p stall_s ago — the daemon stopped making progress. Names of the
+ * stalled stages are appended to *@p stalled when non-null.
+ */
+bool anyStageStalled(int64_t now_ms, double stall_s,
+                     std::vector<std::string> *stalled = nullptr);
+
+/**
+ * The healthz body's process-local half: a `status: live|degraded`
+ * first line (degraded iff anyStageStalled) followed by one
+ * `stage <name> age_s=<age> loop=<0|1>` line per enabled stage.
+ */
+std::string renderHealth(int64_t now_ms, double stall_s);
 
 /**
  * Append-only JSONL span log for shard-lifecycle tracing.

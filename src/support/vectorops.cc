@@ -116,10 +116,25 @@ scalarAccumulateSatU64(uint64_t *dst, const uint64_t *src, size_t n)
     return saturated;
 }
 
+void
+scalarBucketCounts(const uint64_t *x, size_t n, const uint64_t *bounds,
+                   size_t nbounds, uint64_t *counts)
+{
+    uint64_t prev_le = 0;
+    for (size_t b = 0; b < nbounds; b++) {
+        uint64_t le = 0;
+        for (size_t i = 0; i < n; i++)
+            le += x[i] <= bounds[b] ? 1 : 0;
+        counts[b] = le - prev_le;
+        prev_le = le;
+    }
+    counts[nbounds] = n - prev_le;
+}
+
 constexpr VectorOpsTable kScalarTable = {
     scalarSum,  scalarDot, scalarSaxpy,
     scalarScale, scalarScaledCopy, scalarMax,
-    scalarAccumulateSatU64,
+    scalarAccumulateSatU64, scalarBucketCounts,
 };
 
 // ---------------------------------------------------------------------
@@ -356,6 +371,13 @@ size_t
 accumulateSatU64(uint64_t *dst, const uint64_t *src, size_t n)
 {
     return activeTable()->accumulateSatU64(dst, src, n);
+}
+
+void
+bucketCounts(const uint64_t *x, size_t n, const uint64_t *bounds,
+             size_t nbounds, uint64_t *counts)
+{
+    activeTable()->bucketCounts(x, n, bounds, nbounds, counts);
 }
 
 uint64_t

@@ -87,6 +87,22 @@ struct VectorOpsTable
      */
     size_t (*accumulateSatU64)(uint64_t *dst, const uint64_t *src,
                                size_t n);
+    /**
+     * Histogram bucket assignment over strictly-ascending upper
+     * bounds (le semantics, matching telemetry::Histogram): for
+     * i < nbounds, counts[i] = #{v in x[0..n) : v <= bounds[i] and
+     * (i == 0 or v > bounds[i-1])}; counts[nbounds] = #{v : v >
+     * every bound}. counts has nbounds+1 slots and is overwritten.
+     * Defined as one count-of-(v <= bound) pass per bound with the
+     * per-bucket counts taken as adjacent differences — the shape
+     * that vectorizes as a wide compare + mask popcount, where the
+     * per-value binary search does not. Counts are exact integers,
+     * so every backend is bit-identical by construction; the
+     * property tests assert it anyway.
+     */
+    void (*bucketCounts)(const uint64_t *x, size_t n,
+                         const uint64_t *bounds, size_t nbounds,
+                         uint64_t *counts);
 };
 
 /**
@@ -138,6 +154,9 @@ void scaledCopy(double *dst, const double *src, double a, size_t n);
 double maxValue(const double *x, size_t n);
 /** Dispatched VectorOpsTable::accumulateSatU64. */
 size_t accumulateSatU64(uint64_t *dst, const uint64_t *src, size_t n);
+/** Dispatched VectorOpsTable::bucketCounts. */
+void bucketCounts(const uint64_t *x, size_t n, const uint64_t *bounds,
+                  size_t nbounds, uint64_t *counts);
 
 /**
  * Scalar saturating u64 add: a + b, clamped to UINT64_MAX on wrap.

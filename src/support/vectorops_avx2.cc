@@ -167,10 +167,43 @@ avx2AccumulateSatU64(uint64_t *dst, const uint64_t *src, size_t n)
     return saturated;
 }
 
+void
+avx2BucketCounts(const uint64_t *x, size_t n, const uint64_t *bounds,
+                 size_t nbounds, uint64_t *counts)
+{
+    // One v <= bound sweep per bound: AVX2 has only signed 64-bit
+    // compares, so both sides get the 2^63 bias and v <= b becomes
+    // !(v' > b') — four lanes per popcount of the inverted movemask.
+    const __m256i bias = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ULL));
+    size_t nb = n & ~static_cast<size_t>(3);
+    uint64_t prev_le = 0;
+    for (size_t b = 0; b < nbounds; b++) {
+        __m256i vb = _mm256_xor_si256(
+            _mm256_set1_epi64x(static_cast<long long>(bounds[b])),
+            bias);
+        uint64_t le = 0;
+        for (size_t i = 0; i < nb; i += 4) {
+            __m256i v = _mm256_xor_si256(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(x + i)),
+                bias);
+            int gt = _mm256_movemask_pd(
+                _mm256_castsi256_pd(_mm256_cmpgt_epi64(v, vb)));
+            le += 4 - static_cast<unsigned>(__builtin_popcount(gt));
+        }
+        for (size_t i = nb; i < n; i++)
+            le += x[i] <= bounds[b] ? 1 : 0;
+        counts[b] = le - prev_le;
+        prev_le = le;
+    }
+    counts[nbounds] = n - prev_le;
+}
+
 constexpr VectorOpsTable kAvx2Table = {
     avx2Sum,  avx2Dot, avx2Saxpy,
     avx2Scale, avx2ScaledCopy, avx2Max,
-    avx2AccumulateSatU64,
+    avx2AccumulateSatU64, avx2BucketCounts,
 };
 
 } // namespace

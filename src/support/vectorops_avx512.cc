@@ -147,10 +147,36 @@ avx512AccumulateSatU64(uint64_t *dst, const uint64_t *src, size_t n)
     return saturated;
 }
 
+void
+avx512BucketCounts(const uint64_t *x, size_t n, const uint64_t *bounds,
+                   size_t nbounds, uint64_t *counts)
+{
+    // One v <= bound sweep per bound; AVX-512 compares unsigned u64
+    // natively into a mask, so each iteration is one compare and one
+    // popcount over eight lanes.
+    size_t nb = n & ~static_cast<size_t>(7);
+    uint64_t prev_le = 0;
+    for (size_t b = 0; b < nbounds; b++) {
+        __m512i vb = _mm512_set1_epi64(
+            static_cast<long long>(bounds[b]));
+        uint64_t le = 0;
+        for (size_t i = 0; i < nb; i += 8) {
+            __mmask8 m = _mm512_cmple_epu64_mask(
+                _mm512_loadu_si512(x + i), vb);
+            le += static_cast<unsigned>(__builtin_popcount(m));
+        }
+        for (size_t i = nb; i < n; i++)
+            le += x[i] <= bounds[b] ? 1 : 0;
+        counts[b] = le - prev_le;
+        prev_le = le;
+    }
+    counts[nbounds] = n - prev_le;
+}
+
 constexpr VectorOpsTable kAvx512Table = {
     avx512Sum,  avx512Dot, avx512Saxpy,
     avx512Scale, avx512ScaledCopy, avx512Max,
-    avx512AccumulateSatU64,
+    avx512AccumulateSatU64, avx512BucketCounts,
 };
 
 } // namespace

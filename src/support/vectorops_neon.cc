@@ -169,10 +169,35 @@ neonAccumulateSatU64(uint64_t *dst, const uint64_t *src, size_t n)
     return saturated;
 }
 
+void
+neonBucketCounts(const uint64_t *x, size_t n, const uint64_t *bounds,
+                 size_t nbounds, uint64_t *counts)
+{
+    // One v <= bound sweep per bound: vcleq_u64 yields all-ones
+    // lanes, so shifting each lane down to 1 and adding counts two
+    // values per vector step.
+    size_t nb = n & ~static_cast<size_t>(1);
+    uint64_t prev_le = 0;
+    for (size_t b = 0; b < nbounds; b++) {
+        uint64x2_t vb = vdupq_n_u64(bounds[b]);
+        uint64_t le = 0;
+        for (size_t i = 0; i < nb; i += 2) {
+            uint64x2_t m = vcleq_u64(vld1q_u64(x + i), vb);
+            le += vgetq_lane_u64(vshrq_n_u64(m, 63), 0) +
+                  vgetq_lane_u64(vshrq_n_u64(m, 63), 1);
+        }
+        for (size_t i = nb; i < n; i++)
+            le += x[i] <= bounds[b] ? 1 : 0;
+        counts[b] = le - prev_le;
+        prev_le = le;
+    }
+    counts[nbounds] = n - prev_le;
+}
+
 constexpr VectorOpsTable kNeonTable = {
     neonSum,  neonDot, neonSaxpy,
     neonScale, neonScaledCopy, neonMax,
-    neonAccumulateSatU64,
+    neonAccumulateSatU64, neonBucketCounts,
 };
 
 } // namespace

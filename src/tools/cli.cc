@@ -31,7 +31,9 @@
  *   hbbp-tool query   --from HOST:PORT <verb> [--host H] [options]
  *   hbbp-tool store   gc --store DIR [--max-age-s N] [--max-bytes N]
  *   hbbp-tool store   (stat|verify|rebuild-index) --store DIR
- *   hbbp-tool stats   [--from HOST:PORT]
+ *   hbbp-tool stats   [--from HOST:PORT] [--tree] [--healthz]
+ *                     [--watch N [--count M]]
+ *   hbbp-tool events  --from FILE [--code C] [--since T]
  *   hbbp-tool migrate <profile-in> [-o <profile-out>]
  *   hbbp-tool analyze <workload> -i <profile> [options]
  *   hbbp-tool report  <workload> [-i <profile>] [options]
@@ -76,10 +78,12 @@
 #include "fleet/query.hh"
 #include "fleet/relay.hh"
 #include "fleet/shard.hh"
+#include "fleet/socket_client.hh"
 #include "fleet/store.hh"
 #include "fleet/transport.hh"
 #include "hbbp/version.hh"
 #include "support/bytes.hh"
+#include "support/events.hh"
 #include "support/logging.hh"
 #include "support/strings.hh"
 #include "support/telemetry.hh"
@@ -127,6 +131,8 @@ usage()
                  "                 [--bind ADDR] [--port-file FILE] "
                  "[--metrics-port N] [--journal-every N] "
                  "[--store DIR]\n"
+                 "       (daemons also take --trace-log FILE "
+                 "--event-log FILE --stall-warn-s N)\n"
                  "       hbbp-tool query --from HOST:PORT "
                  "<mix|report|fdo|hosts|status|shutdown>\n"
                  "                 [--host ID] [--format text|csv|json] "
@@ -135,7 +141,11 @@ usage()
                  "[--max-age-s N] [--max-bytes N]\n"
                  "       hbbp-tool store (stat|verify|rebuild-index) "
                  "--store DIR\n"
-                 "       hbbp-tool stats [--from HOST:PORT]\n"
+                 "       hbbp-tool stats [--from HOST:PORT] [--tree] "
+                 "[--healthz]\n"
+                 "                 [--watch N [--count M]]\n"
+                 "       hbbp-tool events --from FILE [--code C] "
+                 "[--since T]\n"
                  "       hbbp-tool migrate <profile-in> "
                  "[-o <profile-out>]\n"
                  "       hbbp-tool analyze <workload> -i <profile> "
@@ -161,24 +171,71 @@ onSigUsr1(int)
 }
 
 /**
- * Daemon observability setup shared by aggregate --listen, relay and
- * serve: start the metrics endpoint when requested (reporting the
- * bound port for scripts) and arm the SIGUSR1 snapshot dump.
+ * A daemon's whole health plane, torn down in one place: the
+ * metrics/healthz endpoint, the federation scraper behind it, and the
+ * stall watchdog. stop() order matters — the watchdog and federator
+ * reference telemetry state the server renders, so they go first.
  */
-std::unique_ptr<MetricsServer>
-startObservability(const DaemonOptions &opts)
+struct Observability
+{
+    std::unique_ptr<MetricsServer> server;
+    std::unique_ptr<MetricsFederator> federator;
+    events::StallWatchdog watchdog;
+    /** HOST:PORT children should scrape; "" when metrics are off. */
+    std::string endpoint;
+
+    void
+    stop(const char *banner)
+    {
+        watchdog.stop();
+        if (federator)
+            federator->stop();
+        if (server) {
+            server->stop();
+            telemetry::dumpSnapshot(banner);
+        }
+    }
+};
+
+/**
+ * Daemon observability setup shared by aggregate, relay and serve:
+ * open the structured event log, arm the stall watchdog and the
+ * SIGUSR1 snapshot dump, and start the metrics endpoint when
+ * requested (reporting the bound port for scripts). Every daemon
+ * federates: children discovered from `metrics=` manifest lines are
+ * scraped and merged into this daemon's own /metrics body, and
+ * /healthz degrades on a stalled loop stage or a stale child.
+ */
+std::unique_ptr<Observability>
+startObservability(const DaemonOptions &opts, const std::string &node)
 {
     std::signal(SIGUSR1, onSigUsr1);
+    auto obs = std::make_unique<Observability>();
+    events::openLog(opts.event_log, node);
+    obs->watchdog.start(opts.stall_warn_s);
     if (opts.metrics_port < 0)
-        return nullptr;
-    auto server = std::make_unique<MetricsServer>(
+        return obs;
+    obs->server = std::make_unique<MetricsServer>(
         static_cast<uint16_t>(opts.metrics_port));
-    std::printf("metrics on port %u\n", server->port());
+    obs->endpoint = format("127.0.0.1:%u", obs->server->port());
+    obs->federator = std::make_unique<MetricsFederator>();
+    MetricsFederator *fed = obs->federator.get();
+    obs->server->setMetricsRenderer([fed] {
+        return federateMetricsText(
+            telemetry::registry().renderPrometheus(),
+            fed->snapshots());
+    });
+    // The watchdog threshold doubles as the healthz degrade
+    // threshold; without --stall-warn-s keep the server's default.
+    double stall_s = opts.stall_warn_s > 0 ? opts.stall_warn_s : 30.0;
+    obs->server->setHealthzRenderer(
+        [stall_s, fed] { return renderHealthz(stall_s, fed); });
+    std::printf("metrics on port %u\n", obs->server->port());
     std::fflush(stdout);
     if (!opts.metrics_port_file.empty())
         writeFileAtomically(opts.metrics_port_file,
-                            format("%u\n", server->port()));
-    return server;
+                            format("%u\n", obs->server->port()));
+    return obs;
 }
 
 int
@@ -439,7 +496,7 @@ cmdAggregate(const AggregateOptions &opts)
         fatal("aggregate requires exactly one of --watch-dir <dir> or "
               "--listen <port>");
 
-    std::unique_ptr<MetricsServer> metrics = startObservability(d);
+    std::unique_ptr<Observability> obs = startObservability(d, "root");
     telemetry::TraceLog trace;
     trace.open(d.trace_log, "root");
 
@@ -500,6 +557,10 @@ cmdAggregate(const AggregateOptions &opts)
         for (const std::string &id : m.trace_ids)
             trace.span("root_fold", id,
                        format("from=%s", m.host.c_str()));
+        // Federation discovery rides the shard tree: a child that
+        // advertises a scrape endpoint becomes ours to merge.
+        if (obs->federator && !m.metrics_endpoint.empty())
+            obs->federator->noteChild(m.host, m.metrics_endpoint);
         if (central) {
             // Pin BEFORE depositing: from here until this arrival is
             // durable (journaled below), a concurrent `store gc` must
@@ -604,10 +665,7 @@ cmdAggregate(const AggregateOptions &opts)
                 static_cast<unsigned long long>(saturatedFoldLanes()),
                 opts.profile_out.empty() ? "" : " -> ",
                 opts.profile_out.c_str());
-    if (metrics) {
-        metrics->stop();
-        telemetry::dumpSnapshot("aggregate exiting");
-    }
+    obs->stop("aggregate exiting");
     return 0;
 }
 
@@ -652,7 +710,13 @@ cmdRelay(const RelayCliOptions &opts)
     ro.trace_log = d.trace_log;
     ro.store_dir = opts.store_dir;
 
-    std::unique_ptr<MetricsServer> metrics = startObservability(d);
+    std::unique_ptr<Observability> obs =
+        startObservability(d, ro.relay_id);
+    // The relay is both a federation child (it advertises its own
+    // scrape endpoint on every flushed aggregate) and a parent (its
+    // federator scrapes whatever its downstream advertises).
+    ro.metrics_endpoint = obs->endpoint;
+    ro.federator = obs->federator.get();
     RelayNode relay(std::move(ro));
     std::printf("relaying %s:%u -> %s\n", d.bind_addr.c_str(),
                 relay.port(), opts.to.c_str());
@@ -668,10 +732,7 @@ cmdRelay(const RelayCliOptions &opts)
                 rs.accepted, rs.covered, rs.restored, rs.flushes,
                 rs.flush_failures, rs.orphans_forwarded,
                 rs.upstream_ok ? 1 : 0);
-    if (metrics) {
-        metrics->stop();
-        telemetry::dumpSnapshot("relay exiting");
-    }
+    obs->stop("relay exiting");
     // Order matters: the final flush already ran, so these exits lose
     // nothing that --state does not hold.
     if (!rs.upstream_ok)
@@ -700,7 +761,7 @@ cmdServe(const ServeOptions &opts)
     if (d.listen_port < 0)
         fatal("serve requires --listen <port>");
 
-    std::unique_ptr<MetricsServer> metrics = startObservability(d);
+    std::unique_ptr<Observability> obs = startObservability(d, "serve");
     telemetry::TraceLog trace;
     trace.open(d.trace_log, "serve");
 
@@ -732,6 +793,7 @@ cmdServe(const ServeOptions &opts)
     AggregatorProfileSource source(agg);
     AnalysisService service(source, makeWorkloadByName);
     QueryEndpoint endpoint(service);
+    endpoint.setTraceLog(&trace, "serve");
 
     ShardListener listener(static_cast<uint16_t>(d.listen_port),
                            d.bind_addr);
@@ -750,6 +812,8 @@ cmdServe(const ServeOptions &opts)
         for (const std::string &id : m.trace_ids)
             trace.span("root_fold", id,
                        format("from=%s", m.host.c_str()));
+        if (obs->federator && !m.metrics_endpoint.empty())
+            obs->federator->noteChild(m.host, m.metrics_endpoint);
         if (central) {
             // Same pin-deposit-unpin dance as aggregate: the entry
             // must outlive any concurrent gc until durable here.
@@ -788,10 +852,7 @@ cmdServe(const ServeOptions &opts)
                 static_cast<unsigned long long>(ss.misses),
                 static_cast<unsigned long long>(ss.errors),
                 static_cast<unsigned long long>(ss.analyses));
-    if (metrics) {
-        metrics->stop();
-        telemetry::dumpSnapshot("serve exiting");
-    }
+    obs->stop("serve exiting");
     return 0;
 }
 
@@ -823,6 +884,17 @@ cmdQuery(const QueryCliOptions &opts)
     std::fprintf(stderr, "epoch=%llu cached=%d\n",
                  static_cast<unsigned long long>(reply.epoch),
                  reply.cached ? 1 : 0);
+    if (reply.has_timing)
+        std::fprintf(
+            stderr,
+            "timing parse=%lluns cache=%lluns analysis=%lluns "
+            "render=%lluns\n",
+            static_cast<unsigned long long>(reply.parse_ns),
+            static_cast<unsigned long long>(reply.cache_ns),
+            static_cast<unsigned long long>(reply.analysis_ns),
+            static_cast<unsigned long long>(reply.render_ns));
+    if (!reply.trace_id.empty())
+        std::fprintf(stderr, "trace=%s\n", reply.trace_id.c_str());
     if (!reply.ok)
         fatal("%s", reply.error.c_str());
     std::fwrite(reply.payload.data(), 1, reply.payload.size(), stdout);
@@ -886,27 +958,170 @@ cmdStore(const StoreOptions &opts)
           "rebuild-index)", opts.action.c_str());
 }
 
+/** `name{labels} value` → series key + numeric value. */
+bool
+parseMetricLine(const std::string &line, std::string *key,
+                double *value)
+{
+    if (line.empty() || line[0] == '#')
+        return false;
+    size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0)
+        return false;
+    const char *num = line.c_str() + sp + 1;
+    char *end = nullptr;
+    double v = std::strtod(num, &end);
+    if (end == num || *end != '\0')
+        return false;
+    *key = line.substr(0, sp);
+    *value = v;
+    return true;
+}
+
+/**
+ * Render a federated /metrics body as a fleet tree: this node's own
+ * series first, then each child's (grouped by peer label), then the
+ * subtree rollups — the one-command view of the whole fleet that a
+ * single scrape of the root endpoint carries.
+ */
+void
+printStatsTree(const std::string &from, const std::string &body)
+{
+    std::vector<std::string> local, rollup;
+    std::map<std::string, std::vector<std::string>> peers;
+    for (const std::string &line : split(body, '\n')) {
+        std::string key;
+        double value = 0;
+        if (!parseMetricLine(line, &key, &value))
+            continue;
+        if (key.find("{agg=\"subtree\"}") != std::string::npos) {
+            rollup.push_back(line);
+            continue;
+        }
+        size_t p = key.find("peer=\"");
+        if (p == std::string::npos) {
+            local.push_back(line);
+            continue;
+        }
+        size_t start = p + 6;
+        size_t endq = key.find('"', start);
+        peers[key.substr(start, endq - start)].push_back(line);
+    }
+    std::printf("fleet tree from %s\n", from.c_str());
+    std::printf("node <local>\n");
+    for (const std::string &line : local)
+        std::printf("  %s\n", line.c_str());
+    for (const auto &[peer, lines] : peers) {
+        std::printf("peer %s\n", peer.c_str());
+        for (const std::string &line : lines)
+            std::printf("  %s\n", line.c_str());
+    }
+    if (!rollup.empty()) {
+        std::printf("subtree rollup\n");
+        for (const std::string &line : rollup)
+            std::printf("  %s\n", line.c_str());
+    }
+}
+
+/**
+ * Print one --watch round: every series' current value, with the
+ * delta and per-second rate since the previous scrape once there is
+ * one. New series are marked instead of given a bogus full-value
+ * delta.
+ */
+void
+printStatsDeltas(const std::string &body, double dt_s,
+                 std::map<std::string, double> *prev)
+{
+    std::map<std::string, double> cur;
+    for (const std::string &line : split(body, '\n')) {
+        std::string key;
+        double value = 0;
+        if (parseMetricLine(line, &key, &value))
+            cur[key] = value;
+    }
+    for (const auto &[key, value] : cur) {
+        if (prev->empty()) {
+            std::printf("%s %g\n", key.c_str(), value);
+        } else if (!prev->count(key)) {
+            std::printf("%s %g (new)\n", key.c_str(), value);
+        } else {
+            double delta = value - (*prev)[key];
+            std::printf("%s %g (%+g %.2f/s)\n", key.c_str(), value,
+                        delta, dt_s > 0 ? delta / dt_s : 0.0);
+        }
+    }
+    *prev = std::move(cur);
+}
+
 /**
  * Print metrics: scraped from a live daemon's --metrics-port endpoint
- * (Prometheus text passed through verbatim), or — with no --from —
- * this process's own registry snapshot in the compact deterministic
- * format daemons dump on SIGUSR1.
+ * (Prometheus text passed through verbatim; --tree renders the
+ * federated body as a fleet tree, --healthz fetches the health body
+ * and exits non-zero when degraded, --watch re-scrapes every N
+ * seconds printing deltas and rates), or — with no --from — this
+ * process's own registry snapshot in the compact deterministic format
+ * daemons dump on SIGUSR1.
  */
 int
 cmdStats(const StatsOptions &opts)
 {
-    if (!opts.from.empty()) {
-        std::string host;
-        uint16_t port = 0;
-        parseHostPort(opts.from, "--from", &host, &port);
-        std::string body, why;
-        if (!fetchMetricsText(host, port, &body, &why))
-            fatal("fetching metrics from %s: %s",
-                  opts.from.c_str(), why.c_str());
-        std::fputs(body.c_str(), stdout);
+    if (opts.from.empty()) {
+        std::fputs(telemetry::registry().renderSnapshot().c_str(),
+                   stdout);
         return 0;
     }
-    std::fputs(telemetry::registry().renderSnapshot().c_str(), stdout);
+    std::string host;
+    uint16_t port = 0;
+    parseHostPort(opts.from, "--from", &host, &port);
+    const char *path = opts.healthz ? "/healthz" : "/metrics";
+
+    std::map<std::string, double> prev;
+    int64_t prev_ms = 0;
+    int degraded = 0;
+    for (size_t round = 0;; round++) {
+        std::string body, why;
+        if (!fetchMetricsText(host, port, &body, &why, path))
+            fatal("fetching %s from %s: %s", path, opts.from.c_str(),
+                  why.c_str());
+        int64_t now_ms = steadyNowMs();
+        if (round > 0)
+            std::printf("-- +%.1fs\n", (now_ms - prev_ms) / 1e3);
+        if (opts.healthz) {
+            std::fputs(body.c_str(), stdout);
+            degraded = startsWith(body, "status: live") ? 0 : 1;
+        } else if (opts.tree) {
+            printStatsTree(opts.from, body);
+        } else if (opts.watch_s > 0) {
+            printStatsDeltas(body, (now_ms - prev_ms) / 1e3, &prev);
+        } else {
+            std::fputs(body.c_str(), stdout);
+        }
+        std::fflush(stdout);
+        prev_ms = now_ms;
+        if (opts.watch_s <= 0 ||
+            (opts.watch_count > 0 && round >= opts.watch_count))
+            break;
+        ::usleep(static_cast<useconds_t>(opts.watch_s * 1e6));
+    }
+    return degraded;
+}
+
+/**
+ * Read a structured event log back: `hbbp-tool events --from FILE`
+ * prints one human-readable line per record, filtered by stable code
+ * and/or timestamp. The flight recorder's playback half.
+ */
+int
+cmdEvents(const EventsOptions &opts)
+{
+    std::vector<events::Event> evs;
+    std::string why;
+    if (!events::loadEvents(opts.from, opts.code, opts.since_ms, &evs,
+                            &why))
+        fatal("%s", why.c_str());
+    for (const events::Event &e : evs)
+        std::printf("%s\n", e.render().c_str());
     return 0;
 }
 
@@ -1043,6 +1258,8 @@ main(int argc, char **argv)
         return cmdStore(StoreOptions::parse(argc, argv));
     if (command == "stats")
         return cmdStats(StatsOptions::parse(argc, argv));
+    if (command == "events")
+        return cmdEvents(EventsOptions::parse(argc, argv));
     if (command == "migrate")
         return cmdMigrate(MigrateOptions::parse(argc, argv));
     if (command == "analyze")

@@ -229,6 +229,8 @@ addDaemonFlags(ArgParser &parser, DaemonOptions *opts)
     parser.count("--metrics-port", &opts->metrics_port, UINT16_MAX);
     parser.value("--metrics-port-file", &opts->metrics_port_file);
     parser.value("--trace-log", &opts->trace_log);
+    parser.value("--event-log", &opts->event_log);
+    parser.number("--stall-warn-s", &opts->stall_warn_s);
 }
 
 // ---------------------------------------------------------------------------
@@ -356,7 +358,30 @@ StatsOptions::parse(int argc, char **argv)
     StatsOptions opts;
     ArgParser p(argc, argv, 2);
     p.value("--from", &opts.from);
+    p.boolean("--tree", &opts.tree, true);
+    p.boolean("--healthz", &opts.healthz, true);
+    p.number("--watch", &opts.watch_s);
+    p.count("--count", &opts.watch_count);
     p.run();
+    if (opts.watch_s < 0.0)
+        fatal("--watch expects a non-negative interval in seconds");
+    if ((opts.tree || opts.healthz || opts.watch_s > 0.0) &&
+        opts.from.empty())
+        fatal("--tree/--healthz/--watch need --from HOST:PORT");
+    return opts;
+}
+
+EventsOptions
+EventsOptions::parse(int argc, char **argv)
+{
+    EventsOptions opts;
+    ArgParser p(argc, argv, 2);
+    p.value("--from", &opts.from);
+    p.value("--code", &opts.code);
+    p.count("--since", &opts.since_ms);
+    p.run();
+    if (opts.from.empty())
+        fatal("events needs --from FILE (an --event-log file)");
     return opts;
 }
 

@@ -146,11 +146,15 @@ struct DaemonOptions
     int metrics_port = -1; ///< -1 = off.
     std::string metrics_port_file;
     std::string trace_log;
+    /** Structured JSONL event log (support/events); empty = off. */
+    std::string event_log;
+    /** Watchdog: warn when a loop stage stalls this long; 0 = off. */
+    double stall_warn_s = 0.0;
 };
 
 /** Registers --listen/--bind/--port-file/--state/--expect/
  *  --timeout-ms/--journal-every/--metrics-port/--metrics-port-file/
- *  --trace-log. */
+ *  --trace-log/--event-log/--stall-warn-s. */
 void addDaemonFlags(ArgParser &parser, DaemonOptions *opts);
 
 // ---------------------------------------------------------------------------
@@ -247,8 +251,21 @@ struct StoreOptions
 struct StatsOptions
 {
     std::string from; ///< HOST:PORT to scrape; empty = own registry.
+    bool tree = false;    ///< Render a federated scrape per peer.
+    bool healthz = false; ///< Fetch /healthz instead of /metrics.
+    double watch_s = 0.0; ///< Re-scrape every N seconds; 0 = once.
+    size_t watch_count = 0; ///< Stop after N re-scrapes; 0 = forever.
 
     static StatsOptions parse(int argc, char **argv);
+};
+
+struct EventsOptions
+{
+    std::string from;      ///< Event-log file to read.
+    std::string code;      ///< Keep only this stable code; "" = all.
+    uint64_t since_ms = 0; ///< Keep only ts_ms >= this; 0 = all.
+
+    static EventsOptions parse(int argc, char **argv);
 };
 
 struct MigrateOptions

@@ -19,6 +19,17 @@
 #   earlier partial one at the root — which ends byte-identical to the
 #   flat merge again.
 #
+#   Phase 3: the health plane over the same depth-2 tree. Relays run
+#   --flush-every 1 so their metrics endpoints ride the first flushed
+#   aggregate up to the root; one root scrape must then return both
+#   children's series peer-labeled plus the subtree rollup, and
+#   `stats --tree` must render the fleet from that single endpoint.
+#   healthz reads live on all three daemons mid-run; SIGSTOPping relay1
+#   turns the root degraded (child_stale in its event log), SIGCONT
+#   recovers it (child_recovered), and `hbbp-tool events` filters both
+#   out of the --event-log file. The tree still ends byte-identical to
+#   the flat merge.
+#
 # Invoked as:
 #   cmake -DHBBP_TOOL=<hbbp-tool> -DWORK_DIR=<scratch dir> \
 #         -P cli_relay_smoke.cmake
@@ -240,4 +251,189 @@ if(differs2)
     message(FATAL_ERROR "resumed tree aggregate is not byte-identical to the flat merge")
 endif()
 
-message(STATUS "relay smoke OK: 4 collectors -> 2 relays -> 1 root byte-identical to flat; SIGKILL + --state resume -> same bytes")
+# --- phase 3: metrics federation + healthz over the depth-2 tree ----------
+# --flush-every 1 makes each relay's first accepted shard flush
+# upstream immediately, advertising its metrics endpoint to the root
+# while both relays stay alive waiting for their second shard — the
+# window where the root's federated scrape and the SIGSTOP watchdog
+# drama play out.
+set(phase3_script "
+dir='${WORK_DIR}'
+tool='${HBBP_TOOL}'
+waitport() {
+    i=0
+    while [ ! -s \"$1\" ]; do
+        i=$((i+1)); [ $i -gt 200 ] && echo \"$1 never appeared\" && exit 1
+        sleep 0.1
+    done
+}
+\"$tool\" aggregate --listen 0 --port-file \"$dir/root3.port\" --expect 4 \\
+    --timeout-ms 120000 -o \"$dir/root3.profile\" \\
+    --metrics-port 0 --metrics-port-file \"$dir/root3.mport\" \\
+    --event-log \"$dir/root3.events\" --stall-warn-s 10 \\
+    > \"$dir/root3.log\" 2>&1 &
+rootpid=$!
+waitport \"$dir/root3.port\"
+waitport \"$dir/root3.mport\"
+rp=$(cat \"$dir/root3.port\")
+rmp=$(cat \"$dir/root3.mport\")
+\"$tool\" relay --listen 0 --port-file \"$dir/r1c.port\" --to 127.0.0.1:$rp \\
+    --relay-id relay1 --expect 2 --flush-every 1 --timeout-ms 120000 \\
+    --metrics-port 0 --metrics-port-file \"$dir/r1c.mport\" \\
+    --event-log \"$dir/r1c.events\" --stall-warn-s 10 \\
+    > \"$dir/r1c.log\" 2>&1 &
+r1pid=$!
+\"$tool\" relay --listen 0 --port-file \"$dir/r2c.port\" --to 127.0.0.1:$rp \\
+    --relay-id relay2 --expect 2 --flush-every 1 --timeout-ms 120000 \\
+    --metrics-port 0 --metrics-port-file \"$dir/r2c.mport\" \\
+    --event-log \"$dir/r2c.events\" --stall-warn-s 10 \\
+    > \"$dir/r2c.log\" 2>&1 &
+r2pid=$!
+waitport \"$dir/r1c.port\"
+waitport \"$dir/r2c.port\"
+waitport \"$dir/r1c.mport\"
+waitport \"$dir/r2c.mport\"
+p1=$(cat \"$dir/r1c.port\")
+p2=$(cat \"$dir/r2c.port\")
+# One shard per relay: each is folded and flushed upstream at once,
+# carrying the relay's metrics= endpoint to the root.
+\"$tool\" push test40 --host hostA --to 127.0.0.1:$p1 --retries 20 \\
+    -o \"$dir/a3.profile\" > \"$dir/push3A.log\" 2>&1 || exit 1
+\"$tool\" push test40 --host hostC --to 127.0.0.1:$p2 --retries 20 \\
+    -o \"$dir/c3.profile\" > \"$dir/push3C.log\" 2>&1 || exit 1
+# A single root scrape must eventually (one federation interval)
+# return both children peer-labeled with the rolled-up subtree count:
+# the root folds aggregates, so the level-0 shard counter exists only
+# on the relays — its subtree rollup is exactly their sum, 2.
+i=0
+while true; do
+    i=$((i+1)); [ $i -gt 60 ] && echo 'root never federated both relays' && exit 1
+    \"$tool\" stats --from 127.0.0.1:$rmp > \"$dir/fed.txt\" 2>/dev/null
+    grep -qF 'hbbp_federation_child_up{peer=\"relay1\"} 1' \"$dir/fed.txt\" &&
+    grep -qF 'hbbp_federation_child_up{peer=\"relay2\"} 1' \"$dir/fed.txt\" &&
+    grep -qF 'hbbp_agg_shards_folded_total{agg=\"subtree\"} 2' \"$dir/fed.txt\" && break
+    sleep 0.5
+done
+\"$tool\" stats --from 127.0.0.1:$rmp --tree > \"$dir/tree.txt\" 2>&1 || exit 1
+\"$tool\" stats --from 127.0.0.1:$rmp --watch 0.2 --count 2 \\
+    > \"$dir/watch.txt\" 2>&1 || exit 1
+# healthz: live on all three daemons mid-run (exit 0 = live).
+\"$tool\" stats --from 127.0.0.1:$rmp --healthz \\
+    > \"$dir/healthz_root.txt\" 2>&1 || exit 1
+\"$tool\" stats --from 127.0.0.1:$(cat \"$dir/r1c.mport\") --healthz \\
+    > \"$dir/healthz_r1.txt\" 2>&1 || exit 1
+\"$tool\" stats --from 127.0.0.1:$(cat \"$dir/r2c.mport\") --healthz \\
+    > \"$dir/healthz_r2.txt\" 2>&1 || exit 1
+# Wedge relay1 the hard way: SIGSTOP keeps its sockets alive but stops
+# answering scrapes, so the root must go degraded via child staleness.
+kill -STOP $r1pid
+i=0
+while \"$tool\" stats --from 127.0.0.1:$rmp --healthz \\
+        > \"$dir/healthz_degraded.txt\" 2>&1; do
+    i=$((i+1)); [ $i -gt 120 ] && echo 'root never went degraded' && kill -CONT $r1pid && exit 1
+    sleep 0.5
+done
+kill -CONT $r1pid
+# ...and recover once the child answers again.
+i=0
+until \"$tool\" stats --from 127.0.0.1:$rmp --healthz \\
+        > \"$dir/healthz_recovered.txt\" 2>&1; do
+    i=$((i+1)); [ $i -gt 120 ] && echo 'root never recovered' && exit 1
+    sleep 0.5
+done
+# Finish the tree: second shard per relay, everyone drains and exits.
+rc=0
+\"$tool\" push test40 --host hostB --to 127.0.0.1:$p1 --retries 20 \\
+    -o \"$dir/b3.profile\" > \"$dir/push3B.log\" 2>&1 || rc=1
+\"$tool\" push test40 --host hostD --to 127.0.0.1:$p2 --retries 20 \\
+    -o \"$dir/d3.profile\" > \"$dir/push3D.log\" 2>&1 || rc=1
+wait $r1pid || rc=1
+wait $r2pid || rc=1
+wait $rootpid || rc=1
+exit $rc
+")
+execute_process(COMMAND sh -c "${phase3_script}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    dump_logs()
+    message(FATAL_ERROR "phase 3 (health plane) failed (exit ${rc})\n${ALL_LOGS}")
+endif()
+
+# The single federated scrape: both children's series re-emitted under
+# their peer label, the child_up gauge per child, and the subtree
+# rollup covering root + both relays.
+file(READ "${WORK_DIR}/fed.txt" fed)
+foreach(needle
+        "# TYPE hbbp_federation_child_up gauge"
+        "hbbp_federation_child_up{peer=\"relay1\"} 1"
+        "hbbp_federation_child_up{peer=\"relay2\"} 1"
+        "hbbp_agg_shards_folded_total{peer=\"relay1\"} 1"
+        "hbbp_agg_shards_folded_total{peer=\"relay2\"} 1"
+        "hbbp_agg_shards_folded_total{agg=\"subtree\"} 2"
+        "hbbp_agg_aggregates_folded_total{agg=\"subtree\"} 2")
+    string(FIND "${fed}" "${needle}" at)
+    if(at EQUAL -1)
+        message(FATAL_ERROR "federated scrape lacks '${needle}':\n${fed}")
+    endif()
+endforeach()
+
+# stats --tree renders the whole fleet from the one root endpoint.
+file(READ "${WORK_DIR}/tree.txt" tree)
+foreach(needle "fleet tree from" "peer relay1" "peer relay2" "subtree rollup")
+    string(FIND "${tree}" "${needle}" at)
+    if(at EQUAL -1)
+        message(FATAL_ERROR "stats --tree lacks '${needle}':\n${tree}")
+    endif()
+endforeach()
+
+# stats --watch: an absolute first round, then a delta round separator.
+file(READ "${WORK_DIR}/watch.txt" watch)
+if(NOT watch MATCHES "-- \\+")
+    message(FATAL_ERROR "stats --watch printed no delta rounds:\n${watch}")
+endif()
+
+# healthz: live on all three mid-run, degraded at the root while
+# relay1 was stopped (with the stale child named), live again after.
+foreach(daemon root r1 r2)
+    file(READ "${WORK_DIR}/healthz_${daemon}.txt" hz)
+    if(NOT hz MATCHES "status: live")
+        message(FATAL_ERROR "healthz on ${daemon} not live mid-run: ${hz}")
+    endif()
+endforeach()
+file(READ "${WORK_DIR}/healthz_degraded.txt" hz_degraded)
+if(NOT hz_degraded MATCHES "status: degraded")
+    message(FATAL_ERROR "root healthz never reported degraded: ${hz_degraded}")
+endif()
+if(NOT hz_degraded MATCHES "child relay1 up=0")
+    message(FATAL_ERROR "degraded healthz does not name the stale child: ${hz_degraded}")
+endif()
+file(READ "${WORK_DIR}/healthz_recovered.txt" hz_recovered)
+if(NOT hz_recovered MATCHES "status: live")
+    message(FATAL_ERROR "root healthz never recovered: ${hz_recovered}")
+endif()
+
+# The structured event log at the root recorded the stall-and-recover
+# arc, and `hbbp-tool events` filters it by code.
+foreach(pair "child_stale;peer=relay1" "child_recovered;peer=relay1")
+    list(GET pair 0 code)
+    list(GET pair 1 field)
+    execute_process(COMMAND "${HBBP_TOOL}" events
+        --from "${WORK_DIR}/root3.events" --code "${code}"
+        RESULT_VARIABLE ev_rc OUTPUT_VARIABLE ev_out ERROR_VARIABLE ev_err)
+    if(NOT ev_rc EQUAL 0)
+        message(FATAL_ERROR "events --code ${code} failed: ${ev_out}${ev_err}")
+    endif()
+    if(NOT ev_out MATCHES "${code}" OR NOT ev_out MATCHES "${field}")
+        message(FATAL_ERROR
+            "no ${code} event with ${field} in root3.events: ${ev_out}")
+    endif()
+endforeach()
+
+# Observability drama must not change a byte of the math.
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORK_DIR}/root3.profile" "${WORK_DIR}/flat.profile"
+    RESULT_VARIABLE differs3)
+if(differs3)
+    message(FATAL_ERROR "health-plane tree aggregate is not byte-identical to the flat merge")
+endif()
+
+message(STATUS "relay smoke OK: 4 collectors -> 2 relays -> 1 root byte-identical to flat; SIGKILL + --state resume -> same bytes; federated root scrape + healthz live/degraded/recovered under SIGSTOP -> same bytes")

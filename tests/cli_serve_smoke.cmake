@@ -11,6 +11,12 @@
 #   repeated identical query must come back `cached=1` with identical
 #   bytes, and a `shutdown` query must stop the daemon cleanly.
 #
+#   The daemon and the hostA collector share one --trace-log: every
+#   query reply must carry per-stage `timing` metadata, and the served
+#   query's trace span must join onto hostA's ingestion chain
+#   (push_start -> push_acked -> root_fold -> query_serve), checked by
+#   check_trace.py --serve.
+#
 # Invoked as:
 #   cmake -DHBBP_TOOL=<hbbp-tool> -DWORK_DIR=<scratch dir> \
 #         -P cli_serve_smoke.cmake
@@ -48,6 +54,7 @@ q() { # q <name> <verb> [extra args...] -- query, split payload/meta
         > \"$dir/$name.out\" 2> \"$dir/$name.meta\"
 }
 \"$tool\" serve --listen 0 --port-file \"$dir/port\" \\
+    --trace-log \"$dir/trace.jsonl\" \\
     > \"$dir/serve.log\" 2>&1 &
 servepid=$!
 i=0
@@ -80,7 +87,8 @@ storm & stormpid=$!
 
 # Shards arrive mid-storm; after each wave the epoch must have moved.
 \"$tool\" push test40 --host hostA --to 127.0.0.1:$port --chunks 2 \\
-    --retries 20 -o \"$dir/a.profile\" > \"$dir/pushA.log\" 2>&1 || exit 1
+    --retries 20 --trace-log \"$dir/trace.jsonl\" \\
+    -o \"$dir/a.profile\" > \"$dir/pushA.log\" 2>&1 || exit 1
 q epoch1 status || exit 1
 \"$tool\" push test40 --host hostB --to 127.0.0.1:$port --chunks 3 \\
     --retries 20 -o \"$dir/b.profile\" > \"$dir/pushB.log\" 2>&1 &
@@ -168,6 +176,30 @@ if(differs)
     message(FATAL_ERROR "cached repeat returned different bytes")
 endif()
 
+# Per-query server timing: every reply reports all four stages, on the
+# cold serve and on the cached repeat alike.
+if(NOT mix_cold_meta MATCHES "timing parse=[0-9]+ns cache=[0-9]+ns analysis=[0-9]+ns render=[0-9]+ns")
+    message(FATAL_ERROR "cold query meta lacks timing headers: ${mix_cold_meta}")
+endif()
+if(NOT mix_cold2_meta MATCHES "timing parse=[0-9]+ns cache=[0-9]+ns analysis=[0-9]+ns render=[0-9]+ns")
+    message(FATAL_ERROR "cached query meta lacks timing headers: ${mix_cold2_meta}")
+endif()
+
+# The query's trace span joins its shard's ingestion chain: the reply
+# names a trace id, and check_trace.py must find its query_serve span
+# after hostA's push_start/push_acked/root_fold in the shared log.
+if(NOT mix_cold_meta MATCHES "trace=(query-serve-[0-9]+)")
+    message(FATAL_ERROR "cold query meta lacks a trace id: ${mix_cold_meta}")
+endif()
+set(query_trace "${CMAKE_MATCH_1}")
+execute_process(COMMAND python3 "${CMAKE_CURRENT_LIST_DIR}/check_trace.py"
+    "${WORK_DIR}/trace.jsonl" hostA --serve --query-trace "${query_trace}"
+    RESULT_VARIABLE trace_rc OUTPUT_VARIABLE trace_out ERROR_VARIABLE trace_err)
+if(NOT trace_rc EQUAL 0)
+    message(FATAL_ERROR "query trace join failed: ${trace_out}${trace_err}")
+endif()
+message(STATUS "${trace_out}")
+
 # hosts: every pusher visible as a fully-covered slice.
 file(READ "${WORK_DIR}/hosts.out" hosts_out)
 foreach(host hostA hostB hostC)
@@ -223,4 +255,4 @@ if(NOT serve_log MATCHES " epoch=3 ")
     message(FATAL_ERROR "serve summary should end at epoch 3: ${serve_log}")
 endif()
 
-message(STATUS "serve smoke OK: ${storm_count}-iteration query storm over live ingestion; epoch 1->3 observed; mix/csv/report/fdo byte-identical to offline; cached repeat identical; clean shutdown")
+message(STATUS "serve smoke OK: ${storm_count}-iteration query storm over live ingestion; epoch 1->3 observed; mix/csv/report/fdo byte-identical to offline; cached repeat identical; query timing + trace join checked; clean shutdown")

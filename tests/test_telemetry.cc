@@ -10,9 +10,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -20,7 +22,9 @@
 
 #include "fleet/manifest.hh"
 #include "fleet/metrics.hh"
+#include "support/events.hh"
 #include "support/logging.hh"
+#include "support/strings.hh"
 #include "support/telemetry.hh"
 
 namespace hbbp {
@@ -399,6 +403,325 @@ TEST(WarnRateLimiter, ConfigureResetsState)
     EXPECT_FALSE(rl.note("s", 1).print);
     rl.configure(1, 1000);
     EXPECT_TRUE(rl.note("s", 2).print);
+}
+
+TEST(TelemetryHistogram, ObserveManyMatchesSequentialObserves)
+{
+    telemetry::Registry reg;
+    std::vector<uint64_t> bounds = {10, 100, 1000};
+    telemetry::Histogram &batch = reg.histogram("batch_hist", bounds);
+    telemetry::Histogram &seq = reg.histogram("seq_hist", bounds);
+    std::vector<uint64_t> values;
+    for (uint64_t i = 0; i < 1000; i++)
+        values.push_back((i * 37) % 1500);
+    batch.observeMany(values.data(), values.size());
+    for (uint64_t v : values)
+        seq.observe(v);
+    for (size_t b = 0; b <= bounds.size(); b++)
+        EXPECT_EQ(batch.bucketCount(b), seq.bucketCount(b)) << b;
+    EXPECT_EQ(batch.sum(), seq.sum());
+    EXPECT_EQ(batch.count(), seq.count());
+    batch.observeMany(values.data(), 0); // n == 0 is a no-op
+    EXPECT_EQ(batch.count(), seq.count());
+}
+
+TEST(Federation, NoChildrenKeepsOwnBytesAndRollsUpLocalCounters)
+{
+    std::string own =
+        "# TYPE a_total counter\n"
+        "a_total 3\n";
+    EXPECT_EQ(federateMetricsText(own, {}),
+              "# TYPE a_total counter\n"
+              "a_total 3\n"
+              "a_total{agg=\"subtree\"} 3\n");
+}
+
+TEST(Federation, ChildSeriesGainPeerLabelsAndRollupSums)
+{
+    std::string own =
+        "# TYPE a_total counter\n"
+        "a_total 3\n";
+    PeerSnapshot a{"relay-a", "# TYPE a_total counter\na_total 5\n",
+                   true, 0.1};
+    PeerSnapshot b{"relay-b", "# TYPE a_total counter\na_total 7\n",
+                   true, 0.1};
+    // Hand the merge an unsorted peer list: child_up must come out
+    // sorted anyway.
+    std::string merged = federateMetricsText(own, {b, a});
+    EXPECT_EQ(merged.find("# TYPE a_total counter\na_total 3\n"), 0u)
+        << merged;
+    EXPECT_NE(
+        merged.find("hbbp_federation_child_up{peer=\"relay-a\"} 1\n"
+                    "hbbp_federation_child_up{peer=\"relay-b\"} 1\n"),
+        std::string::npos)
+        << merged;
+    EXPECT_NE(merged.find("a_total{peer=\"relay-a\"} 5\n"),
+              std::string::npos);
+    EXPECT_NE(merged.find("a_total{peer=\"relay-b\"} 7\n"),
+              std::string::npos);
+    EXPECT_NE(merged.find("a_total{agg=\"subtree\"} 15\n"),
+              std::string::npos)
+        << merged;
+}
+
+TEST(Federation, GrandchildPeerLabelsSurviveASecondMerge)
+{
+    // The child is itself a federating relay: its scrape carries its
+    // own bare series, a grandchild's peer-labeled series, and its
+    // subtree rollup. Re-merging at the root must not stack a second
+    // peer label onto the grandchild's identity.
+    std::string own = "# TYPE a_total counter\na_total 1\n";
+    PeerSnapshot mid{"mid",
+                     "# TYPE a_total counter\n"
+                     "a_total 2\n"
+                     "hbbp_federation_child_up{peer=\"leaf\"} 1\n"
+                     "a_total{peer=\"leaf\"} 4\n"
+                     "a_total{agg=\"subtree\"} 6\n",
+                     true, 0.0};
+    std::string merged = federateMetricsText(own, {mid});
+    EXPECT_NE(merged.find("a_total{peer=\"leaf\"} 4\n"),
+              std::string::npos)
+        << merged;
+    EXPECT_EQ(merged.find("peer=\"leaf\",peer=\"mid\""),
+              std::string::npos)
+        << merged;
+    EXPECT_NE(merged.find("a_total{peer=\"mid\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(merged.find("a_total{agg=\"subtree\",peer=\"mid\"} 6\n"),
+              std::string::npos)
+        << merged;
+    // The root rollup consumes the child's *subtree* value (6), not
+    // its bare one (2), so totals compose across depth: 1 + 6.
+    EXPECT_NE(merged.find("\na_total{agg=\"subtree\"} 7\n"),
+              std::string::npos)
+        << merged;
+}
+
+TEST(Federation, StaleChildContributesOnlyTheDownGauge)
+{
+    std::string own = "# TYPE a_total counter\na_total 3\n";
+    PeerSnapshot dead{"relay-dead",
+                      "# TYPE a_total counter\na_total 100\n",
+                      /*fresh=*/false, 9.7};
+    std::string merged = federateMetricsText(own, {dead});
+    EXPECT_NE(
+        merged.find("hbbp_federation_child_up{peer=\"relay-dead\"} 0\n"),
+        std::string::npos)
+        << merged;
+    // Its last-known series and rollup contribution are dropped: a
+    // dead child must not freeze stale totals into the fleet view.
+    EXPECT_EQ(merged.find("a_total{peer=\"relay-dead\"}"),
+              std::string::npos);
+    EXPECT_NE(merged.find("a_total{agg=\"subtree\"} 3\n"),
+              std::string::npos)
+        << merged;
+}
+
+TEST(Federation, FederatorScrapesThenDeclaresDeadChildrenStale)
+{
+    telemetry::counter("test_federator_marker_total").add(9);
+    auto server = std::make_unique<MetricsServer>(0);
+    MetricsFederator fed(/*interval_s=*/0.05, /*stale_after_s=*/0.4);
+    fed.noteChild("childA", format("127.0.0.1:%u", server->port()));
+    EXPECT_EQ(fed.childCount(), 1u);
+    bool fresh = false;
+    for (int i = 0; i < 100 && !fresh; i++) {
+        std::vector<PeerSnapshot> snaps = fed.snapshots();
+        fresh = snaps.size() == 1 && snaps[0].fresh;
+        if (!fresh)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ASSERT_TRUE(fresh);
+    std::vector<PeerSnapshot> snaps = fed.snapshots();
+    EXPECT_NE(snaps[0].text.find("test_federator_marker_total"),
+              std::string::npos);
+    std::string lines;
+    EXPECT_TRUE(fed.childrenUp(&lines));
+    EXPECT_NE(lines.find("child childA up=1"), std::string::npos)
+        << lines;
+    // Kill the child; once the grace window passes it reads as down.
+    server.reset();
+    bool stale = false;
+    for (int i = 0; i < 100 && !stale; i++) {
+        std::string l2;
+        stale = !fed.childrenUp(&l2);
+        if (!stale)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    EXPECT_TRUE(stale);
+    fed.stop();
+}
+
+TEST(HealthBeats, StallLogicUsesTheNowSeam)
+{
+    telemetry::beatResetForTest();
+    telemetry::beatEnable(telemetry::Stage::Listener);
+    telemetry::beat(telemetry::Stage::Listener);
+    int64_t now = telemetry::healthNowMs();
+    EXPECT_FALSE(telemetry::anyStageStalled(now, 10.0));
+    std::vector<std::string> stalled;
+    EXPECT_TRUE(telemetry::anyStageStalled(now + 30'000, 10.0,
+                                           &stalled));
+    ASSERT_EQ(stalled.size(), 1u);
+    EXPECT_EQ(stalled[0], "listener");
+    telemetry::beatResetForTest();
+}
+
+TEST(HealthBeats, WorkStagesReportButNeverDegrade)
+{
+    telemetry::beatResetForTest();
+    telemetry::beatEnable(telemetry::Stage::Fold);
+    telemetry::beat(telemetry::Stage::Fold);
+    int64_t now = telemetry::healthNowMs();
+    // A fold stage that has not run for an hour is idle, not stuck:
+    // work stages only report their age.
+    EXPECT_FALSE(telemetry::anyStageStalled(now + 3'600'000, 0.5));
+    std::string body = telemetry::renderHealth(now + 2000, 0.5);
+    EXPECT_EQ(body.find("status: live\n"), 0u) << body;
+    EXPECT_NE(body.find("stage fold"), std::string::npos) << body;
+    EXPECT_NE(body.find("loop=0"), std::string::npos) << body;
+    telemetry::beatResetForTest();
+}
+
+TEST(HealthBeats, RenderHealthDegradesOnAStalledLoopStage)
+{
+    telemetry::beatResetForTest();
+    telemetry::beatEnable(telemetry::Stage::Listener);
+    telemetry::beat(telemetry::Stage::Listener);
+    std::string body =
+        telemetry::renderHealth(telemetry::healthNowMs() + 10'000, 1.0);
+    EXPECT_EQ(body.find("status: degraded\n"), 0u) << body;
+    EXPECT_NE(body.find("stage listener"), std::string::npos) << body;
+    EXPECT_NE(body.find("loop=1"), std::string::npos) << body;
+    telemetry::beatResetForTest();
+}
+
+TEST(HealthBeats, HealthzEndpointServesLiveAndHonorsRendererSwap)
+{
+    telemetry::beatResetForTest();
+    MetricsServer server(0);
+    std::string body, why;
+    ASSERT_TRUE(fetchMetricsText("127.0.0.1", server.port(), &body,
+                                 &why, "/healthz"))
+        << why;
+    EXPECT_EQ(body.find("status: live"), 0u) << body;
+    server.setHealthzRenderer(
+        [] { return std::string("status: degraded\ncustom\n"); });
+    ASSERT_TRUE(fetchMetricsText("127.0.0.1", server.port(), &body,
+                                 &why, "/healthz"))
+        << why;
+    EXPECT_EQ(body.find("status: degraded"), 0u) << body;
+    server.stop();
+}
+
+TEST(HealthBeats, UnreachableFederationChildDegradesHealthz)
+{
+    telemetry::beatResetForTest();
+    MetricsFederator fed(/*interval_s=*/0.05, /*stale_after_s=*/0.2);
+    fed.noteChild("ghost", "127.0.0.1:1"); // nothing listens there
+    std::string body = renderHealthz(30.0, &fed);
+    EXPECT_NE(body.find("child ghost"), std::string::npos) << body;
+    bool degraded = false;
+    for (int i = 0; i < 100 && !degraded; i++) {
+        degraded = startsWith(renderHealthz(30.0, &fed),
+                              "status: degraded");
+        if (!degraded)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    EXPECT_TRUE(degraded);
+    fed.stop();
+    telemetry::beatResetForTest();
+}
+
+TEST(Events, EmitLoadRoundTripAndFilters)
+{
+    std::string log = testing::TempDir() + "/events_roundtrip.jsonl";
+    std::remove(log.c_str());
+    events::openLog(log, "nodeX");
+    events::emit(events::Level::Warn, "shard_reject",
+                 {{"reason", "bad \"quote\""}});
+    events::emit(events::Level::Info, "store_gc_evict",
+                 {{"checksum", "00ff"}});
+    std::vector<events::Event> all;
+    std::string why;
+    ASSERT_TRUE(events::loadEvents(log, "", 0, &all, &why)) << why;
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].code, "shard_reject");
+    EXPECT_EQ(all[0].level, events::Level::Warn);
+    EXPECT_EQ(all[0].node, "nodeX");
+    EXPECT_EQ(all[0].field("reason"), "bad \"quote\"");
+    EXPECT_GT(all[0].ts_ms, 0u);
+    std::vector<events::Event> evict;
+    ASSERT_TRUE(
+        events::loadEvents(log, "store_gc_evict", 0, &evict, &why))
+        << why;
+    ASSERT_EQ(evict.size(), 1u);
+    EXPECT_EQ(evict[0].level, events::Level::Info);
+    std::vector<events::Event> none;
+    ASSERT_TRUE(events::loadEvents(log, "", all[1].ts_ms + 60'000,
+                                   &none, &why))
+        << why;
+    EXPECT_TRUE(none.empty());
+    events::openLog("", "");
+}
+
+TEST(Events, MalformedLinesFailTheLoadLoudly)
+{
+    std::string log = testing::TempDir() + "/events_malformed.jsonl";
+    {
+        std::ofstream out(log, std::ios::trunc);
+        out << "{\"ts_ms\":1,\"level\":\"warn\",\"code\":\"x\","
+               "\"node\":\"n\",\"fields\":{}}\n"
+            << "not json\n";
+    }
+    std::vector<events::Event> evs;
+    std::string why;
+    EXPECT_FALSE(events::loadEvents(log, "", 0, &evs, &why));
+    EXPECT_NE(why.find(":2:"), std::string::npos) << why;
+}
+
+TEST(Events, RenderIsOneGreppableLine)
+{
+    events::Event e;
+    e.ts_ms = 42;
+    e.level = events::Level::Error;
+    e.code = "watchdog_stall";
+    e.node = "relay-1";
+    e.fields = {{"stage", "listener"}};
+    EXPECT_EQ(e.render(),
+              "42 error watchdog_stall node=relay-1 stage=listener");
+}
+
+TEST(Watchdog, WedgedListenerTripsExactlyOneStallEvent)
+{
+    telemetry::beatResetForTest();
+    std::string log = testing::TempDir() + "/watchdog_events.jsonl";
+    std::remove(log.c_str());
+    events::openLog(log, "unit");
+    // A listener that beat once and then wedged: its heartbeat ages
+    // past the threshold while the watchdog polls.
+    telemetry::beatEnable(telemetry::Stage::Listener);
+    telemetry::beat(telemetry::Stage::Listener);
+    uint64_t before =
+        telemetry::counter("hbbp_watchdog_stalls_total").value();
+    events::StallWatchdog wd;
+    wd.start(0.05);
+    std::this_thread::sleep_for(std::chrono::milliseconds(700));
+    wd.stop();
+    EXPECT_GE(telemetry::counter("hbbp_watchdog_stalls_total").value(),
+              before + 1);
+    std::vector<events::Event> evs;
+    std::string why;
+    ASSERT_TRUE(
+        events::loadEvents(log, "watchdog_stall", 0, &evs, &why))
+        << why;
+    // One event per stall episode, not one per poll round.
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].level, events::Level::Error);
+    EXPECT_EQ(evs[0].field("stage"), "listener");
+    EXPECT_EQ(evs[0].node, "unit");
+    events::openLog("", "");
+    telemetry::beatResetForTest();
 }
 
 } // namespace

@@ -292,6 +292,112 @@ TEST(VectorOpsProperty, AccumulateSatU64MatchesScalar)
     }
 }
 
+/** Brute-force le-bucket assignment, the definition bucketCounts meets. */
+std::vector<uint64_t>
+bucketCountsReference(const std::vector<uint64_t> &x,
+                      const std::vector<uint64_t> &bounds)
+{
+    std::vector<uint64_t> counts(bounds.size() + 1, 0);
+    for (uint64_t v : x) {
+        size_t i = 0;
+        while (i < bounds.size() && v > bounds[i])
+            i++;
+        counts[i]++;
+    }
+    return counts;
+}
+
+TEST(VectorOpsProperty, BucketCountsMatchesScalarBitForBit)
+{
+    Rng rng(8);
+    // Telemetry-shaped bound sets: short and long, including bounds
+    // that sit exactly on generated values so the `<=` edge is hit.
+    std::vector<std::vector<uint64_t>> bound_sets = {
+        {0},
+        {10, 100, 1000},
+        {1, 4, 16, 64, 256, 1024, 4096, 16384},
+        {7, 8, 9, 1000000, UINT64_MAX - 1},
+    };
+    for (VectorBackend b : simdBackends()) {
+        const VectorOpsTable *t = vectorOpsTable(b);
+        ASSERT_NE(t, nullptr) << name(b);
+        for (const std::vector<uint64_t> &bounds : bound_sets) {
+            for (size_t n : propertyLengths()) {
+                std::vector<uint64_t> x(n + 1);
+                for (uint64_t &v : x) {
+                    // Cluster most values around the bounds (edge
+                    // cases), keep some uniform.
+                    if (rng.chance(0.5)) {
+                        uint64_t base =
+                            bounds[rng.nextBelow(bounds.size())];
+                        uint64_t jitter = rng.nextBelow(3);
+                        v = base > jitter ? base - jitter + rng.nextBelow(5)
+                                          : rng.nextBelow(5);
+                    } else {
+                        v = rng.next();
+                    }
+                }
+                std::vector<uint64_t> c_simd(bounds.size() + 1, 99);
+                std::vector<uint64_t> c_ref(bounds.size() + 1, 77);
+                t->bucketCounts(x.data(), n, bounds.data(),
+                                bounds.size(), c_simd.data());
+                scalarTable().bucketCounts(x.data(), n, bounds.data(),
+                                           bounds.size(), c_ref.data());
+                ASSERT_EQ(c_simd, c_ref) << name(b) << " n=" << n;
+                // Misaligned origin.
+                t->bucketCounts(x.data() + 1, n, bounds.data(),
+                                bounds.size(), c_simd.data());
+                scalarTable().bucketCounts(x.data() + 1, n,
+                                           bounds.data(), bounds.size(),
+                                           c_ref.data());
+                ASSERT_EQ(c_simd, c_ref)
+                    << name(b) << " n=" << n << " (unaligned)";
+            }
+        }
+    }
+}
+
+TEST(VectorOpsScalar, BucketCountsMatchesBruteForceReference)
+{
+    Rng rng(9);
+    std::vector<uint64_t> bounds = {5, 10, 50, 100};
+    for (size_t n : propertyLengths()) {
+        std::vector<uint64_t> x(n);
+        for (uint64_t &v : x)
+            v = rng.nextBelow(120); // spans all buckets incl. overflow
+        std::vector<uint64_t> counts(bounds.size() + 1, 42);
+        scalarTable().bucketCounts(x.data(), n, bounds.data(),
+                                   bounds.size(), counts.data());
+        EXPECT_EQ(counts, bucketCountsReference(x, bounds)) << "n=" << n;
+        // Total conservation: every value lands in exactly one bucket.
+        uint64_t total = 0;
+        for (uint64_t c : counts)
+            total += c;
+        EXPECT_EQ(total, n);
+    }
+}
+
+TEST(VectorOpsScalar, BucketCountsBoundaryValuesUseLeSemantics)
+{
+    std::vector<uint64_t> bounds = {10, 100};
+    // v == bound lands in that bucket (le), v == bound+1 in the next.
+    std::vector<uint64_t> x = {10, 11, 100, 101, 0};
+    std::vector<uint64_t> counts(3, 9);
+    vecops::bucketCounts(x.data(), x.size(), bounds.data(),
+                         bounds.size(), counts.data());
+    EXPECT_EQ(counts, (std::vector<uint64_t>{2, 2, 1}));
+    // Empty input zeroes the (previously dirty) counts.
+    counts.assign(3, 7);
+    vecops::bucketCounts(x.data(), 0, bounds.data(), bounds.size(),
+                         counts.data());
+    EXPECT_EQ(counts, (std::vector<uint64_t>{0, 0, 0}));
+    // No bounds: everything overflows into the single +Inf slot.
+    std::vector<uint64_t> inf_only(1, 3);
+    vecops::bucketCounts(x.data(), x.size(), nullptr, 0,
+                         inf_only.data());
+    EXPECT_EQ(inf_only[0], x.size());
+}
+
 // ---------------------------------------------------------------------
 // Scalar reference semantics (the definition the backends mirror).
 // ---------------------------------------------------------------------
